@@ -1,0 +1,28 @@
+"""Shared benchmark helpers.
+
+Every bench regenerates one of the paper's tables/figures and writes its
+rows/series to ``benchmarks/results/<name>.txt`` (so the reproduction is
+inspectable after a ``--benchmark-only`` run) in addition to asserting
+the shape claims inline.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def report():
+    """Write a named result artifact and echo it to stdout."""
+
+    def _write(name: str, text: str) -> str:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text.rstrip() + "\n")
+        print(f"\n===== {name} =====\n{text}")
+        return path
+
+    return _write

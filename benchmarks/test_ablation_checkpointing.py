@@ -1,0 +1,107 @@
+"""Ablation (§V-B) — checkpointed recovery vs. replay-from-scratch.
+
+The paper adopted a stream processor specifically for its "advanced
+failure and recovery mechanisms that can be difficult to re-engineer
+from scratch".  We crash a pipeline repeatedly while it drains a backlog
+and compare total records reprocessed with and without checkpointing —
+and verify output integrity is preserved either way only when the sink
+is idempotent.
+"""
+
+import numpy as np
+
+from repro.columnar import ColumnTable
+from repro.pipeline import CheckpointStore, StreamingQuery
+from repro.stream import Broker, TopicConfig
+
+N_RECORDS = 2_000
+CRASH_EVERY = 5  # batches
+
+
+def make_broker():
+    broker = Broker()
+    broker.create_topic(TopicConfig("obs", 2))
+    for i in range(N_RECORDS):
+        broker.produce("obs", float(i), key=f"k{i % 8}")
+    return broker
+
+
+def transform(records):
+    return ColumnTable(
+        {"timestamp": np.array([r.value for r in records], dtype=float)}
+    )
+
+
+class CrashingSink:
+    """Idempotent sink with transient faults: every CRASH_EVERY-th batch
+    id fails on its *first* attempt and succeeds on retry."""
+
+    def __init__(self):
+        self.batches: dict[int, int] = {}
+        self.crashed: set[int] = set()
+        self.deliveries = 0
+
+    def __call__(self, batch_id, table):
+        self.deliveries += table.num_rows
+        if (
+            batch_id > 0
+            and batch_id % CRASH_EVERY == 0
+            and batch_id not in self.crashed
+        ):
+            self.crashed.add(batch_id)
+            raise RuntimeError("injected crash")
+        self.batches[batch_id] = table.num_rows
+
+    def unique_rows(self):
+        return sum(self.batches.values())
+
+
+def drain(checkpointed: bool):
+    broker = make_broker()
+    sink = CrashingSink()
+    store = CheckpointStore()
+    crashes = 0
+    for _ in range(200):
+        if not checkpointed:
+            store = CheckpointStore()  # amnesia: restart from offset 0
+        query = StreamingQuery(
+            "q", broker, "obs", transform, sink, store,
+            max_records_per_batch=100,
+        )
+        try:
+            query.run_until_caught_up()
+            if query.lag() == 0:
+                break
+        except RuntimeError:
+            crashes += 1
+    return sink, crashes
+
+
+def test_ablation_checkpointing(benchmark, report):
+    with_cp, crashes_cp = benchmark.pedantic(
+        drain, args=(True,), rounds=1, iterations=1
+    )
+    without_cp, crashes_nc = drain(False)
+
+    lines = [
+        f"backlog: {N_RECORDS} records, crash every {CRASH_EVERY} batches",
+        "",
+        f"{'recovery mode':<22} {'crashes':>8} {'rows delivered':>15} "
+        f"{'unique rows':>12} {'overhead':>9}",
+        f"{'checkpointed':<22} {crashes_cp:>8} {with_cp.deliveries:>15,} "
+        f"{with_cp.unique_rows():>12,} "
+        f"{with_cp.deliveries / N_RECORDS - 1:>8.1%}",
+        f"{'replay from scratch':<22} {crashes_nc:>8} "
+        f"{without_cp.deliveries:>15,} {without_cp.unique_rows():>12,} "
+        f"{without_cp.deliveries / N_RECORDS - 1:>8.1%}",
+    ]
+    report("ablation_checkpointing", "\n".join(lines))
+
+    # Integrity: both end up with every record exactly once in the sink
+    # (idempotent sink), but...
+    assert with_cp.unique_rows() == N_RECORDS
+    assert without_cp.unique_rows() == N_RECORDS
+    # ...checkpointing bounds reprocessing to ~one batch per crash, while
+    # scratch replay redelivers multiples of the whole backlog.
+    assert with_cp.deliveries < 1.5 * N_RECORDS
+    assert without_cp.deliveries > 2.0 * N_RECORDS

@@ -1,0 +1,67 @@
+"""Ablation (§IV-B) — in-band vs out-of-band telemetry collection.
+
+The paper's data-collection lesson: some streams are "too invasive to
+the system" to sample in-band, so the facility "fully leverag[es] the
+out-of-band data sources via the management network".  For each stream
+in our fleet we plan the collection path under a 1% application-overhead
+budget and show the decision boundary: low-rate environmental telemetry
+goes out-of-band for free; the perf-counter firehose must ride in-band
+(cheaply, per-channel) and a hypothetical 100 Hz variant is infeasible —
+the case that forces vendor engagement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    CollectionPath,
+    MINI,
+    PowerThermalSource,
+    plan_collection,
+    synthetic_job_mix,
+)
+from repro.telemetry.perf import COUNTERS_PER_GPU
+
+
+def plan_fleet_streams():
+    allocation = synthetic_job_mix(MINI, 0.0, 600.0, np.random.default_rng(1))
+    power = PowerThermalSource(MINI, allocation)
+    streams = {
+        "power": (len(power.catalog), 1.0),
+        "perf_counters": (MINI.gpus_per_node * COUNTERS_PER_GPU, 1.0),
+        "storage_io": (3, 0.1),
+        "interconnect": (3, 0.1),
+    }
+    plans = {}
+    for name, (channels, rate) in streams.items():
+        plans[name] = plan_collection(channels, rate, overhead_budget=0.01)
+    return plans
+
+
+def test_ablation_collection_path(benchmark, report):
+    plans = benchmark(plan_fleet_streams)
+
+    lines = [f"{'stream':<16} {'channels':>9} {'rate':>6} {'path':>13} "
+             f"{'app overhead':>13} {'loss':>6}"]
+    for name, plan in plans.items():
+        lines.append(
+            f"{name:<16} {plan.channels:>9} {plan.rate_hz:>5.1f}Hz "
+            f"{plan.profile.path.value:>13} {plan.app_overhead:>12.3%} "
+            f"{plan.expected_loss:>6.1%}"
+        )
+    # The infeasible case the paper's vendor-engagement loop exists for.
+    try:
+        plan_collection(channels=80, rate_hz=100.0, overhead_budget=0.01)
+        infeasible_msg = "unexpectedly feasible"
+    except ValueError as exc:
+        infeasible_msg = str(exc)
+    lines.append(f"\n80 channels @ 100 Hz: {infeasible_msg}")
+    report("ablation_collection_path", "\n".join(lines))
+
+    # Decision boundary shape claims.
+    assert plans["power"].profile.path is CollectionPath.OUT_OF_BAND
+    assert plans["storage_io"].profile.path is CollectionPath.OUT_OF_BAND
+    assert plans["perf_counters"].profile.path is CollectionPath.IN_BAND
+    assert plans["perf_counters"].app_overhead < 0.01
+    with pytest.raises(ValueError):
+        plan_collection(channels=80, rate_hz=100.0, overhead_budget=0.01)

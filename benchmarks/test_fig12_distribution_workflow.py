@@ -1,0 +1,99 @@
+"""Fig. 12 — the data-distribution workflow end to end.
+
+Pushes a mix of requests (internal, external, publication, public
+release) through the DataRUC workflow, measures approval latencies under
+the standing parallel process vs. the ad-hoc sequential baseline, and
+completes one public release through sanitization and the catalog —
+reproducing the paper's 'comprehensive approval process ... is
+instrumental in accelerating empowerment' finding.
+"""
+
+import numpy as np
+
+from repro.columnar import ColumnTable, write_table
+from repro.governance import (
+    AdvisoryChain,
+    DataRUC,
+    ReleaseCatalog,
+    RequestState,
+    RequestType,
+    Sanitizer,
+)
+
+DAY = 86_400.0
+
+
+def run_workflow():
+    ruc = DataRUC()
+    catalog = ReleaseCatalog()
+    outcomes = []
+    mix = [
+        (RequestType.INTERNAL_PROJECT, False),
+        (RequestType.INTERNAL_PROJECT, False),
+        (RequestType.EXTERNAL_COLLABORATION, False),
+        (RequestType.PUBLICATION, False),
+        (RequestType.DATASET_RELEASE, False),
+        (RequestType.DATASET_RELEASE, True),  # human subjects -> IRB
+    ]
+    for i, (rtype, human) in enumerate(mix):
+        request = ruc.submit(
+            f"staff{i}", rtype, ["power.silver"], "analysis", now=0.0,
+            human_subjects=human,
+        )
+        ruc.run_reviews(request.request_id, now=0.0)
+        approval_at = max(r.reviewed_at for r in request.reviews)
+        if request.request_type is RequestType.INTERNAL_PROJECT:
+            ruc.provision(request.request_id, now=approval_at)
+        elif request.request_type.external:
+            sanitizer = Sanitizer(key=b"release-key")
+            table = ColumnTable(
+                {"user": ["alice", "bob"], "node_hours": np.array([1.0, 2.0])}
+            )
+            clean = sanitizer.sanitize_table(table)
+            assert sanitizer.verify_sanitized(table, clean)
+            ruc.mark_sanitized(request.request_id, now=approval_at + 1 * DAY)
+            ruc.release(request.request_id, now=approval_at + 2 * DAY)
+            if request.request_type is RequestType.DATASET_RELEASE:
+                catalog.publish(
+                    request, f"dataset-{i}", write_table(clean),
+                    released_at=approval_at + 2 * DAY,
+                )
+        outcomes.append(request)
+    return ruc, catalog, outcomes
+
+
+def test_fig12_distribution_workflow(benchmark, report):
+    ruc, catalog, outcomes = benchmark.pedantic(
+        run_workflow, rounds=1, iterations=1
+    )
+
+    chain = AdvisoryChain()
+    lines = [f"{'request':<26} {'reviewers':>9} {'state':<12} "
+             f"{'latency':>9} {'ad-hoc':>8}"]
+    for request in outcomes:
+        parallel = chain.expected_latency_s(request.required_roles, True)
+        sequential = chain.expected_latency_s(request.required_roles, False)
+        latency = request.latency_s()
+        lines.append(
+            f"{request.request_type.value:<26} "
+            f"{len(request.required_roles):>9} {request.state.value:<12} "
+            f"{(latency or 0) / DAY:>7.0f} d {sequential / DAY:>6.0f} d"
+        )
+    lines.append(f"\npublic datasets in catalog: "
+                 f"{[d.doi for d in catalog.datasets()]}")
+    report("fig12_distribution_workflow", "\n".join(lines))
+
+    # Every request reached a proper terminal/provisioned state.
+    states = [r.state for r in outcomes]
+    assert states.count(RequestState.PROVISIONED) == 2
+    # External collaboration + two public releases all end RELEASED.
+    assert states.count(RequestState.RELEASED) == 3
+    # Publication approved but not released (papers go out via journals).
+    assert RequestState.APPROVED in states
+    # Both public releases got catalogued DOIs.
+    assert len(catalog.datasets()) == 2
+    # Internal requests resolve faster than IRB-gated releases.
+    internal = [r for r in outcomes
+                if r.request_type is RequestType.INTERNAL_PROJECT][0]
+    irb_gated = [r for r in outcomes if r.human_subjects][0]
+    assert internal.latency_s() < irb_gated.latency_s()

@@ -1,0 +1,50 @@
+"""Fig. 2 — data-stream maturity stages L0-L5 and cross-generation reuse.
+
+Simulates a stream climbing the ladder, a system-generation change with
+and without knowledge carryover, and reports the re-work saved — the
+paper's 'minimizing re-work by ... accumulating knowledge across
+different system generations' recommendation, quantified.
+"""
+
+from repro.core import MaturityLevel, MaturityTracker
+from repro.core.maturity import Milestone, _ORDER
+
+
+def climb_generations(carryover: bool) -> tuple[int, list[str]]:
+    """Milestones needed to reach L5 on gen N+1; returns (count, log)."""
+    tracker = MaturityTracker("power")
+    log = []
+    for milestone in _ORDER:
+        level = tracker.advance(milestone)
+        log.append(f"gen1 {milestone.value:<12} -> L{int(level)}")
+    level = tracker.new_generation(knowledge_carryover=carryover)
+    log.append(f"--- new generation (carryover={carryover}) -> L{int(level)}")
+    needed = 0
+    for milestone in tracker.milestones_remaining():
+        tracker.advance(milestone)
+        needed += 1
+        log.append(f"gen2 {milestone.value:<12} -> L{int(tracker.level)}")
+    return needed, log
+
+
+def test_fig2_maturity_stages(benchmark, report):
+    (with_carry, log1) = benchmark(climb_generations, True)
+    without_carry, log2 = climb_generations(False)
+
+    lines = ["L0-L5 ladder:"]
+    for level in MaturityLevel:
+        lines.append(f"  L{int(level)}: {level.describe()}")
+    lines.append("")
+    lines.extend(log1)
+    lines.append("")
+    lines.extend(log2)
+    lines.append("")
+    lines.append(
+        f"milestones to re-reach L5: {with_carry} with carryover vs "
+        f"{without_carry} from scratch "
+        f"({without_carry - with_carry} saved per stream per generation)"
+    )
+    report("fig2_maturity_stages", "\n".join(lines))
+
+    assert with_carry == 3 and without_carry == 6
+    assert with_carry < without_carry

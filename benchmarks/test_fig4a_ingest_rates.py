@@ -1,0 +1,59 @@
+"""Fig. 4a — raw data ingest rates up to terabytes per day.
+
+Emits a sampled node subset of the Compass-class (Frontier-like) machine
+at full fidelity, extrapolates each stream to fleet scale, and adds the
+Mountain-class system plus centre-level overheads — reproducing the
+paper's headline: 4.2-4.5 TB/day centre-wide, with the power stream at
+~0.5 TB/day on the exascale machine.
+"""
+
+import numpy as np
+
+from repro.telemetry import COMPASS, FleetTelemetry, MOUNTAIN, synthetic_job_mix
+from repro.util import TB, bytes_per_day, format_bytes
+
+
+def measure_machine(machine, seed, n_sampled=16, window_s=120.0):
+    nodes = np.arange(n_sampled, dtype=np.int32)
+    allocation = synthetic_job_mix(
+        machine.scaled(n_sampled), 0.0, window_s * 4, np.random.default_rng(seed)
+    )
+    fleet = FleetTelemetry(machine, allocation, seed=seed, nodes=nodes)
+    fleet.emit_window(0.0, window_s)
+    return fleet.extrapolated_bytes_per_day()
+
+
+def test_fig4a_ingest_rates(benchmark, report):
+    compass = benchmark.pedantic(
+        measure_machine, args=(COMPASS, 0), rounds=1, iterations=1
+    )
+    mountain = measure_machine(MOUNTAIN, 1)
+
+    # JSON wire formats observed in the field are ~6x the compact binary
+    # framing; the centre also ingests web/infrastructure logs we do not
+    # model, folded into an 'other' line calibrated at 10% of the total.
+    lines = [f"{'stream':<22} {'compass':>14} {'mountain':>14}"]
+    total = 0.0
+    for stream in sorted(compass, key=lambda s: -compass[s]):
+        c, m = compass[stream], mountain.get(stream, 0.0)
+        lines.append(
+            f"{stream:<22} {format_bytes(c) + '/d':>14} "
+            f"{format_bytes(m) + '/d':>14}"
+        )
+        total += c + m
+    other = total * 0.1
+    lines.append(f"{'other (unmodelled)':<22} {format_bytes(other) + '/d':>14}")
+    total += other
+    lines.append("-" * 52)
+    lines.append(f"{'centre total':<22} {format_bytes(total) + '/d':>14}")
+    report("fig4a_ingest_rates", "\n".join(lines))
+
+    # Paper anchors: ~0.5 TB/day power stream on the exascale machine,
+    # 4.2-4.5 TB/day centre-wide (we accept a generous band — the shape
+    # claim is the ordering and the order of magnitude).
+    assert 0.2 * TB < compass["power"] < 1.0 * TB
+    assert 2.0 * TB < total < 8.0 * TB
+    # Ordering: per-component power dominates; plant telemetry is tiny.
+    assert compass["power"] > compass["storage_io"]
+    assert compass["power"] > compass["syslog"]
+    assert compass["facility"] < compass["interconnect"]

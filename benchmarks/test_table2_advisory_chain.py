@@ -1,0 +1,56 @@
+"""Table II — considerations from the advisory chain.
+
+Regenerates the table and exercises the veto semantics: every role's
+concern is documented, each role can unilaterally stop a request, and
+role participation matches request scope (IRB only for human subjects,
+legal/management only when artifacts leave the organization).
+"""
+
+from repro.governance import AdvisoryChain, AdvisoryRole, DataRUC, RequestType, Verdict
+from repro.governance.advisory import TABLE2
+
+
+def render_table2() -> str:
+    lines = [f"{'consideration':<28} description"]
+    lines.append("-" * 90)
+    for role, concern in TABLE2.items():
+        lines.append(f"{role.value:<28} {concern}")
+    return "\n".join(lines)
+
+
+def test_table2_advisory_chain(benchmark, report):
+    text = benchmark(render_table2)
+
+    chain = AdvisoryChain()
+    lines = [text, "", "role participation by request scope:"]
+    scopes = [
+        ("internal project", False, False, False),
+        ("external collaboration", True, False, False),
+        ("publication", False, True, False),
+        ("human-subjects release", True, True, True),
+    ]
+    for name, ext, pub, human in scopes:
+        roles = chain.required_roles(ext, pub, human)
+        lines.append(
+            f"  {name:<26} -> "
+            + ", ".join(sorted(r.value for r in roles))
+        )
+
+    # Veto check: a single rejection stops a release.
+    ruc = DataRUC()
+    request = ruc.submit(
+        "pi", RequestType.DATASET_RELEASE, ["gpu-failures"], "release", 0.0
+    )
+    ruc.record_review(
+        request.request_id, AdvisoryRole.CYBER_SECURITY, Verdict.REJECT, 1.0,
+        comment="PII embedded in hostnames",
+    )
+    lines.append(f"\nveto demonstration: one rejection -> {request.state.value}")
+    report("table2_advisory_chain", "\n".join(lines))
+
+    assert len(TABLE2) == 5
+    assert chain.required_roles(False, False, False) == {
+        AdvisoryRole.DATA_OWNER, AdvisoryRole.CYBER_SECURITY
+    }
+    assert AdvisoryRole.IRB in chain.required_roles(True, True, True)
+    assert request.state.value == "rejected"

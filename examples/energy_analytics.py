@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Energy-efficiency analytics: LVA queries + job power-profile
+classification (the paper's Figs. 8 and 10 workloads).
+
+Refines two simulated hours of power telemetry, then:
+  * runs interactive LVA queries against the refined tiers and contrasts
+    their latency with raw Bronze re-scans,
+  * trains the AE+SOM classifier on the Gold job profiles and prints the
+    Fig. 10 grid (cell populations + dominant archetype per cell).
+
+Run:  python examples/energy_analytics.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import ODAFramework
+from repro.apps import LiveVisualAnalytics
+from repro.columnar import ColumnTable
+from repro.ml import JobProfileClassifier
+from repro.telemetry import AllocationTable, MINI, synthetic_job_mix
+from repro.twin import PowerSimulator
+
+
+def accumulate_gold_profiles(
+    allocation: AllocationTable, dt: float = 120.0
+) -> ColumnTable:
+    """Gold-format profile rows for every job in a schedule, generated
+    with the white-box power simulator (fast stand-in for replaying a
+    week of telemetry through the medallion pipeline)."""
+    simulator = PowerSimulator(MINI, allocation)
+    jid, ts, pw, nn = [], [], [], []
+    for job in allocation.jobs:
+        times = np.arange(job.start, job.end, dt)
+        if times.size < 4:
+            continue
+        power = simulator.job_power(job.job_id, times)
+        jid.append(np.full(times.size, job.job_id, dtype=float))
+        ts.append(times)
+        pw.append(power)
+        nn.append(np.full(times.size, job.n_nodes, dtype=float))
+    return ColumnTable(
+        {
+            "job_id": np.concatenate(jid),
+            "timestamp": np.concatenate(ts),
+            "power_w": np.concatenate(pw),
+            "n_nodes": np.concatenate(nn),
+        }
+    )
+
+
+def main() -> None:
+    print("=== energy analytics: LVA + power-profile classification ===\n")
+    rng = np.random.default_rng(7)
+    allocation = synthetic_job_mix(MINI, 0.0, 7200.0, rng)
+    framework = ODAFramework(MINI, allocation, seed=7)
+    t0 = time.perf_counter()
+    framework.run(0.0, 7200.0, window_s=300.0)
+    print(f"refined 2 h of telemetry in {time.perf_counter() - t0:.1f}s wall\n")
+
+    lva = LiveVisualAnalytics(
+        framework.tiers, framework.fleet.power.catalog, allocation
+    )
+
+    # --- Fig. 8: interactive vs raw-scan latency -------------------------
+    gold = framework.tiers.query_online("power.gold_profiles")
+    job_id = int(gold["job_id"][0])
+    lva.job_power_profile(job_id)
+    lva.job_power_profile_from_raw(job_id)
+    fast = lva.last_latency("job_power_profile")
+    slow = lva.last_latency("job_power_profile_from_raw")
+    print("--- LVA query latency (Fig. 8) ---")
+    print(f"  refined-profile query : {fast * 1e3:8.2f} ms")
+    print(f"  raw Bronze re-scan    : {slow * 1e3:8.2f} ms")
+    print(f"  refinement speedup    : {slow / fast:8.1f}x\n")
+
+    view = lva.system_power_view(0.0, 7200.0, resolution_s=600.0)
+    print("--- system power view (10-minute resolution) ---")
+    for t, p in zip(view["bucket"], view["total_power_w"]):
+        bar = "#" * int(40 * p / max(view["total_power_w"].max(), 1.0))
+        print(f"  t={t:6.0f}s {p / 1e3:8.1f} kW {bar}")
+
+    # --- Fig. 10: the classifier grid ------------------------------------
+    # Classification needs a larger population than two hours of a
+    # 16-node machine produces, so accumulate a simulated *week* of Gold
+    # profiles (what the paper's pipeline amasses continuously).
+    print("\n--- job power-profile classifier (Fig. 10) ---")
+    week_alloc = synthetic_job_mix(
+        MINI, 0.0, 7 * 86_400.0, np.random.default_rng(11),
+        max_job_fraction=0.25,
+    )
+    week_gold = accumulate_gold_profiles(week_alloc)
+    print(f"  accumulated {week_gold.num_rows} profile rows from "
+          f"{len(week_alloc)} jobs over one simulated week")
+    clf = JobProfileClassifier(
+        profile_length=48, latent_dim=6, grid=(4, 4), seed=0
+    )
+    clf.fit(week_gold, ae_epochs=80, som_epochs=15)
+    populations = clf.grid_populations()
+    truth = {j.job_id: j.archetype for j in week_alloc.jobs}
+    report = clf.evaluate(truth)
+    print(f"  jobs classified      : {report.n_jobs}")
+    print(f"  occupied cells       : {report.occupied_cells}/{report.total_cells}")
+    print(f"  cluster purity       : {report.purity:.2f} "
+          f"(k-means baseline {report.baseline_purity:.2f})")
+    print(f"  quantization error   : {report.quantization_error:.3f}")
+
+    job_ids, cells = clf.assign(week_gold)
+    print("\n  cell-population grid (rows x cols):")
+    for r in range(populations.shape[0]):
+        print("   " + " ".join(f"{populations[r, c]:4d}"
+                               for c in range(populations.shape[1])))
+
+    # Dominant archetype per occupied cell.
+    print("\n  dominant archetype per occupied cell:")
+    arch_by_cell: dict[int, list[str]] = {}
+    for jid, cell in zip(job_ids, cells):
+        arch_by_cell.setdefault(int(cell), []).append(truth[int(jid)])
+    for cell, archs in sorted(arch_by_cell.items()):
+        names, counts = np.unique(archs, return_counts=True)
+        top = names[counts.argmax()]
+        r, c = divmod(cell, populations.shape[1])
+        print(f"    cell ({r},{c}): {top:<12} ({len(archs)} jobs)")
+
+    print("\nenergy analytics complete.")
+
+
+if __name__ == "__main__":
+    main()

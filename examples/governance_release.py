@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Data governance end to end: DataRUC request -> advisory review ->
+sanitization -> public release (Table II, Fig. 12).
+
+Walks one public dataset release through the whole workflow, showing
+the advisory chain, the keyed anonymization of identifier columns, the
+catalog publication, and the latency advantage of the standing process
+over ad-hoc sequential review.
+
+Run:  python examples/governance_release.py
+"""
+
+import numpy as np
+
+from repro.columnar import ColumnTable, read_table, write_table
+from repro.governance import (
+    AdvisoryChain,
+    DataRUC,
+    ReleaseCatalog,
+    RequestType,
+    Sanitizer,
+)
+from repro.governance.advisory import TABLE2
+
+DAY = 86_400.0
+
+
+def make_usage_dataset() -> ColumnTable:
+    """A per-job usage dataset with identifying columns."""
+    rng = np.random.default_rng(0)
+    users = [f"user{i:03d}" for i in rng.integers(0, 8, 40)]
+    projects = [f"PRJ{i:03d}" for i in rng.integers(0, 3, 40)]
+    return ColumnTable(
+        {
+            "timestamp": np.sort(rng.uniform(0, DAY, 40)),
+            "user": users,
+            "project": projects,
+            "node_hours": rng.uniform(1, 500, 40).round(1),
+            "energy_kwh": rng.uniform(10, 9000, 40).round(1),
+        }
+    )
+
+
+def main() -> None:
+    print("=== governance: releasing a dataset to the public (Fig. 12) ===\n")
+
+    print("--- Table II: the advisory chain ---")
+    for role, concern in TABLE2.items():
+        print(f"  {role.value:<28} {concern[:58]}...")
+
+    ruc = DataRUC()
+    request = ruc.submit(
+        requester="shinw",
+        request_type=RequestType.DATASET_RELEASE,
+        datasets=["summit.power.usage"],
+        purpose="public release of per-job power and usage data",
+        now=0.0,
+    )
+    print(f"\nrequest #{request.request_id} submitted "
+          f"({request.request_type.value})")
+    print("required reviewers: "
+          + ", ".join(sorted(r.value for r in request.required_roles)))
+
+    # Parallel reviews land at their nominal latencies.
+    ruc.run_reviews(request.request_id, now=0.0)
+    print(f"state after reviews: {request.state.value}")
+    for review in request.reviews:
+        print(f"  {review.role.value:<28} {review.verdict.value:<8} "
+              f"@ day {review.reviewed_at / DAY:.0f}")
+
+    # Latency: standing parallel process vs ad-hoc sequential baseline.
+    chain = AdvisoryChain()
+    parallel = chain.expected_latency_s(request.required_roles, parallel=True)
+    sequential = chain.expected_latency_s(request.required_roles, parallel=False)
+    print(f"\nreview latency: standing process {parallel / DAY:.0f} days vs "
+          f"ad-hoc sequential {sequential / DAY:.0f} days "
+          f"({sequential / parallel:.1f}x slower)")
+
+    # Sanitization: keyed pseudonyms, identities removed, joins preserved.
+    original = make_usage_dataset()
+    sanitizer = Sanitizer(key=b"release-2024-summit-power", prefix="anon_")
+    sanitized = sanitizer.sanitize_table(original)
+    assert sanitizer.verify_sanitized(original, sanitized)
+    ruc.mark_sanitized(request.request_id, now=10 * DAY)
+    print("\n--- sanitization sample ---")
+    for i in range(3):
+        print(f"  {original['user'][i]:<9} -> {sanitized['user'][i]}   "
+              f"{original['project'][i]:<7} -> {sanitized['project'][i]}")
+
+    ruc.release(request.request_id, now=11 * DAY)
+    print(f"\nrequest state: {request.state.value} "
+          f"(end-to-end {request.latency_s() / DAY:.0f} days)")
+
+    # Publish to the catalog (the Constellation role).
+    catalog = ReleaseCatalog()
+    blob = write_table(sanitized, codec="high")
+    record = catalog.publish(
+        request,
+        title="Per-job power and usage data (anonymized)",
+        blob=blob,
+        released_at=11 * DAY,
+        metadata={"license": "CC-BY-4.0", "rows": str(sanitized.num_rows)},
+    )
+    print(f"\npublished: {record.doi}  ({record.size_bytes} bytes, "
+          f"sha256 {record.checksum[:12]}...)")
+
+    # A downstream consumer fetches and verifies.
+    fetched_record, fetched_blob = catalog.get(record.doi)
+    table = read_table(fetched_blob)
+    print(f"downstream fetch OK: {table.num_rows} rows, columns "
+          f"{table.column_names}")
+    print("\ngovernance example complete.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no `wheel` package, so
+PEP 517 editable installs fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` work offline; all
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

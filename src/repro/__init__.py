@@ -1,0 +1,48 @@
+"""repro — an end-to-end HPC Operational Data Analytics framework.
+
+A from-scratch reproduction of the system described in *"Navigating
+Exascale Operational Data Analytics: From Inundation to Insight"*
+(SC 2024, Oak Ridge Leadership Computing Facility).  The package builds
+every layer of the paper's hourglass architecture on a synthetic
+exascale data centre:
+
+========================  ====================================================
+subpackage                 role (paper section)
+========================  ====================================================
+``repro.telemetry``        instrumented machine: power/thermal, jobs, syslog,
+                           I/O, fabric, facility streams (§IV)
+``repro.stream``           Kafka-style STREAM broker (§V)
+``repro.columnar``         Parquet-style columnar format for OCEAN (§V)
+``repro.storage``          LAKE / OCEAN / GLACIER tiers + retention (Fig. 5)
+``repro.pipeline``         micro-batch engine + medallion refinement (Fig. 4)
+``repro.scheduler``        batch-scheduler substrate + accounting (Fig. 7)
+``repro.core``             usage-area registry, maturity model, control
+                           loops, and the :class:`~repro.core.ODAFramework`
+                           facade (Figs. 1-3, Table I)
+``repro.apps``             UA dashboard, RATS-Report, LVA, Copacetic
+                           (Figs. 6-8, §VII)
+``repro.ml``               feature store, tracking, registry, AE+SOM job
+                           power-profile classifier (Figs. 9-10, §VIII)
+``repro.twin``             ExaDigiT-style digital twin: power, losses,
+                           transient cooling, replay (Fig. 11)
+``repro.governance``       DataRUC advisory workflow, sanitization, release
+                           catalog (Table II, Fig. 12, §IX)
+========================  ====================================================
+
+Quickstart::
+
+    import numpy as np
+    from repro import ODAFramework
+    from repro.telemetry import MINI, synthetic_job_mix
+
+    allocation = synthetic_job_mix(MINI, 0.0, 3600.0, np.random.default_rng(0))
+    framework = ODAFramework(MINI, allocation, seed=0)
+    framework.run(0.0, 300.0, window_s=60.0)
+    silver = framework.tiers.query_online("power.silver", 0.0, 300.0)
+"""
+
+from repro.core.framework import ODAFramework, WindowSummary
+
+__version__ = "1.0.0"
+
+__all__ = ["ODAFramework", "WindowSummary", "__version__"]

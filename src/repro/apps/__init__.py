@@ -1,0 +1,31 @@
+"""Packaged data applications (§VII, Figs. 6-8).
+
+The paper's "sustainable well packaged data applications" — long-lived
+software services sitting on the refined data tiers:
+
+* :mod:`repro.apps.ua_dashboard` — User Assistance diagnosis service
+  (Fig. 6): one query joins power, I/O, fabric, and log context for a
+  job, replacing manual multi-system lookups.
+* :mod:`repro.apps.rats` — RATS-Report (Fig. 7): project/user usage,
+  CPU-vs-GPU split, and allocation burn rates.
+* :mod:`repro.apps.lva` — Live Visual Analytics (Fig. 8): low-latency
+  interactive queries over job power profiles, enabled by the upstream
+  refinement pipeline.
+* :mod:`repro.apps.copacetic` — streaming security-event correlation.
+"""
+
+from repro.apps.ua_dashboard import Finding, JobOverview, UserAssistanceDashboard
+from repro.apps.rats import RatsReport
+from repro.apps.lva import LiveVisualAnalytics
+from repro.apps.copacetic import Alert, CopaceticEngine, Rule
+
+__all__ = [
+    "UserAssistanceDashboard",
+    "JobOverview",
+    "Finding",
+    "RatsReport",
+    "LiveVisualAnalytics",
+    "CopaceticEngine",
+    "Rule",
+    "Alert",
+]

@@ -1,0 +1,55 @@
+"""Columnar storage format ("RCF" — repro columnar format).
+
+The paper's OCEAN tier stores "ever-appended parquet-based highly
+compressed tabular data" (§V-B); Parquet's properties — columnar layout,
+per-column encodings, block compression, row-group statistics enabling
+predicate pushdown — are what make long-term telemetry cheap to keep and
+fast to scan.  This package implements those properties from scratch:
+
+* :class:`~repro.columnar.table.ColumnTable` — an immutable-ish
+  struct-of-arrays table (numeric + string columns),
+* :mod:`~repro.columnar.encodings` — PLAIN, RLE, DELTA, and DICTIONARY
+  encodings with a cost-based chooser,
+* :mod:`~repro.columnar.compression` — byte-level codecs,
+* :mod:`~repro.columnar.file_format` — the row-grouped binary file with
+  per-chunk statistics,
+* :mod:`~repro.columnar.predicate` — a predicate algebra evaluated
+  against row-group stats (pruning) and against data (masking).
+"""
+
+from repro.columnar.table import ColumnTable
+from repro.columnar.encodings import (
+    DICTIONARY,
+    DELTA,
+    PLAIN,
+    RLE,
+    choose_encoding,
+    decode_column,
+    encode_column,
+)
+from repro.columnar.compression import CODECS, compress, decompress
+from repro.columnar.file_format import RcfReader, RcfWriter, read_table, write_table
+from repro.columnar.predicate import And, Col, Not, Or, Predicate
+
+__all__ = [
+    "ColumnTable",
+    "PLAIN",
+    "RLE",
+    "DELTA",
+    "DICTIONARY",
+    "encode_column",
+    "decode_column",
+    "choose_encoding",
+    "CODECS",
+    "compress",
+    "decompress",
+    "RcfWriter",
+    "RcfReader",
+    "write_table",
+    "read_table",
+    "Col",
+    "And",
+    "Or",
+    "Not",
+    "Predicate",
+]

@@ -1,0 +1,306 @@
+"""The RCF on-disk format: row groups of encoded, compressed column chunks.
+
+Layout (all integers little-endian)::
+
+    magic "RCF1"
+    u16 n_columns
+    per column: u16 name_len, name utf-8, u8 is_string
+    u32 n_row_groups
+    per row group:
+        u64 n_rows
+        per column (schema order):
+            u8  encoding id      (encodings.py)
+            u8  codec id         (compression.py)
+            u8  has_stats
+            if has_stats:
+                if string column: u32 len, min utf-8, u32 len, max utf-8
+                else:             f64 min, f64 max
+            u64 payload_len
+            payload bytes
+
+Column projection works by *skipping* unneeded payloads (we know their
+length without decoding); predicate pushdown works by testing each row
+group's stats before touching its payloads.  Together these are the two
+I/O savings the paper attributes to the Parquet/OCEAN design.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.columnar.compression import CODECS, codec_name, compress, decompress
+from repro.columnar.encodings import (
+    choose_encoding,
+    decode_column,
+    encode_column,
+)
+from repro.columnar.predicate import Predicate
+from repro.columnar.table import ColumnTable
+
+__all__ = ["RcfWriter", "RcfReader", "write_table", "read_table"]
+
+_MAGIC = b"RCF1"
+
+
+def _column_stats(arr: np.ndarray) -> tuple[object, object] | None:
+    """(min, max) of a column, or None when undefined (empty/all-null)."""
+    if arr.size == 0:
+        return None
+    if arr.dtype == object:
+        present = [x for x in arr.tolist() if x is not None]
+        if not present:
+            return None
+        return min(present), max(present)
+    if arr.dtype.kind == "f":
+        finite = arr[np.isfinite(arr)]
+        if finite.size == 0:
+            return None
+        return float(finite.min()), float(finite.max())
+    return float(arr.min()), float(arr.max())
+
+
+class RcfWriter:
+    """Streaming writer: append tables, then :meth:`finish` to get bytes.
+
+    All appended tables must share the schema of the first.
+    """
+
+    def __init__(self, codec: str = "fast", row_group_size: int = 65_536) -> None:
+        if codec not in CODECS:
+            raise ValueError(f"unknown codec {codec!r}")
+        if row_group_size <= 0:
+            raise ValueError("row_group_size must be positive")
+        self.codec = codec
+        self.row_group_size = row_group_size
+        self._schema: list[tuple[str, bool]] | None = None
+        self._groups: list[bytes] = []
+        self._n_rows = 0
+
+    def append(self, table: ColumnTable) -> None:
+        """Add a table's rows, splitting into row groups as needed."""
+        if table.num_rows == 0:
+            return
+        schema = [(n, table.is_string(n)) for n in table.column_names]
+        if self._schema is None:
+            self._schema = schema
+        elif schema != self._schema:
+            raise ValueError(
+                f"schema mismatch: {schema} != {self._schema}"
+            )
+        for start in range(0, table.num_rows, self.row_group_size):
+            chunk = table.slice(start, start + self.row_group_size)
+            self._groups.append(self._encode_group(chunk))
+            self._n_rows += chunk.num_rows
+
+    def _encode_group(self, chunk: ColumnTable) -> bytes:
+        parts = [struct.pack("<Q", chunk.num_rows)]
+        for name, is_string in self._schema or []:
+            col = chunk[name]
+            encoding = choose_encoding(col)
+            raw = encode_column(col, encoding)
+            payload = compress(raw, self.codec)
+            # Keep whichever is smaller; record the codec actually used.
+            codec = self.codec
+            if len(payload) >= len(raw):
+                payload, codec = raw, "none"
+            stats = _column_stats(col)
+            head = struct.pack(
+                "<BBB", encoding, CODECS[codec], 1 if stats is not None else 0
+            )
+            parts.append(head)
+            if stats is not None:
+                lo, hi = stats
+                if is_string:
+                    lo_b = str(lo).encode("utf-8")
+                    hi_b = str(hi).encode("utf-8")
+                    parts.append(struct.pack("<I", len(lo_b)) + lo_b)
+                    parts.append(struct.pack("<I", len(hi_b)) + hi_b)
+                else:
+                    parts.append(struct.pack("<dd", float(lo), float(hi)))
+            parts.append(struct.pack("<Q", len(payload)))
+            parts.append(payload)
+        return b"".join(parts)
+
+    @property
+    def num_rows(self) -> int:
+        """Rows appended so far."""
+        return self._n_rows
+
+    def finish(self) -> bytes:
+        """Serialize everything appended into one RCF byte string."""
+        schema = self._schema or []
+        parts = [_MAGIC, struct.pack("<H", len(schema))]
+        for name, is_string in schema:
+            nb = name.encode("utf-8")
+            parts.append(struct.pack("<H", len(nb)) + nb)
+            parts.append(struct.pack("<B", 1 if is_string else 0))
+        parts.append(struct.pack("<I", len(self._groups)))
+        parts.extend(self._groups)
+        return b"".join(parts)
+
+
+@dataclass
+class _ChunkMeta:
+    encoding: int
+    codec: str
+    stats: tuple[object, object] | None
+    payload_offset: int
+    payload_len: int
+
+
+@dataclass
+class _GroupMeta:
+    n_rows: int
+    chunks: dict[str, _ChunkMeta]
+
+
+class RcfReader:
+    """Reader with column projection and stats-based row-group pruning."""
+
+    def __init__(self, buf: bytes) -> None:
+        if buf[:4] != _MAGIC:
+            raise ValueError("not an RCF buffer (bad magic)")
+        self._buf = buf
+        off = 4
+        (n_cols,) = struct.unpack_from("<H", buf, off)
+        off += 2
+        self.schema: list[tuple[str, bool]] = []
+        for _ in range(n_cols):
+            (name_len,) = struct.unpack_from("<H", buf, off)
+            off += 2
+            name = buf[off : off + name_len].decode("utf-8")
+            off += name_len
+            (is_string,) = struct.unpack_from("<B", buf, off)
+            off += 1
+            self.schema.append((name, bool(is_string)))
+        (n_groups,) = struct.unpack_from("<I", buf, off)
+        off += 4
+        self._groups: list[_GroupMeta] = []
+        for _ in range(n_groups):
+            off = self._parse_group(off)
+        self._is_string = dict(self.schema)
+
+    def _parse_group(self, off: int) -> int:
+        buf = self._buf
+        (n_rows,) = struct.unpack_from("<Q", buf, off)
+        off += 8
+        chunks: dict[str, _ChunkMeta] = {}
+        for name, is_string in self.schema:
+            encoding, codec_id, has_stats = struct.unpack_from("<BBB", buf, off)
+            off += 3
+            stats = None
+            if has_stats:
+                if is_string:
+                    (lo_len,) = struct.unpack_from("<I", buf, off)
+                    off += 4
+                    lo = buf[off : off + lo_len].decode("utf-8")
+                    off += lo_len
+                    (hi_len,) = struct.unpack_from("<I", buf, off)
+                    off += 4
+                    hi = buf[off : off + hi_len].decode("utf-8")
+                    off += hi_len
+                    stats = (lo, hi)
+                else:
+                    lo, hi = struct.unpack_from("<dd", buf, off)
+                    off += 16
+                    stats = (lo, hi)
+            (payload_len,) = struct.unpack_from("<Q", buf, off)
+            off += 8
+            chunks[name] = _ChunkMeta(
+                encoding, codec_name(codec_id), stats, off, payload_len
+            )
+            off += payload_len
+        self._groups.append(_GroupMeta(n_rows, chunks))
+        return off
+
+    @property
+    def num_row_groups(self) -> int:
+        """Row groups in the file."""
+        return len(self._groups)
+
+    @property
+    def num_rows(self) -> int:
+        """Total rows in the file."""
+        return sum(g.n_rows for g in self._groups)
+
+    def column_names(self) -> list[str]:
+        """Schema column names in order."""
+        return [n for n, _ in self.schema]
+
+    def group_stats(self, group: int) -> dict[str, tuple[object, object] | None]:
+        """Per-column (min, max) stats of one row group."""
+        return {n: c.stats for n, c in self._groups[group].chunks.items()}
+
+    def _decode_chunk(self, meta: _ChunkMeta) -> np.ndarray:
+        payload = self._buf[meta.payload_offset : meta.payload_offset + meta.payload_len]
+        return decode_column(decompress(payload, meta.codec), meta.encoding)
+
+    def read(
+        self,
+        columns: list[str] | None = None,
+        predicate: Predicate | None = None,
+    ) -> ColumnTable:
+        """Materialize (a projection of) the file, applying ``predicate``.
+
+        Row groups whose statistics rule out the predicate are skipped
+        without decompressing any payload.  Surviving groups are decoded
+        (predicate columns first) and filtered exactly.
+        """
+        out_cols = columns if columns is not None else self.column_names()
+        unknown = set(out_cols) - set(self.column_names())
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}")
+        need = set(out_cols)
+        if predicate is not None:
+            need |= predicate.columns()
+
+        pieces: list[ColumnTable] = []
+        for group in self._groups:
+            if predicate is not None:
+                stats = {n: c.stats for n, c in group.chunks.items()}
+                if not predicate.might_match(stats):
+                    continue  # pruned — zero decode cost
+            data = {
+                n: self._decode_chunk(group.chunks[n])
+                for n in self.column_names()
+                if n in need
+            }
+            table = ColumnTable(data)
+            if predicate is not None:
+                table = table.filter(predicate.mask(table))
+            pieces.append(table.select(out_cols))
+        if not pieces:
+            return ColumnTable({n: np.empty(0) for n in out_cols})
+        return ColumnTable.concat(pieces)
+
+    def scan_stats(self, predicate: Predicate) -> tuple[int, int]:
+        """(groups_scanned, groups_pruned) for a predicate — bench hook."""
+        scanned = pruned = 0
+        for group in self._groups:
+            stats = {n: c.stats for n, c in group.chunks.items()}
+            if predicate.might_match(stats):
+                scanned += 1
+            else:
+                pruned += 1
+        return scanned, pruned
+
+
+def write_table(
+    table: ColumnTable, codec: str = "fast", row_group_size: int = 65_536
+) -> bytes:
+    """One-shot table -> RCF bytes."""
+    writer = RcfWriter(codec=codec, row_group_size=row_group_size)
+    writer.append(table)
+    return writer.finish()
+
+
+def read_table(
+    buf: bytes,
+    columns: list[str] | None = None,
+    predicate: Predicate | None = None,
+) -> ColumnTable:
+    """One-shot RCF bytes -> table."""
+    return RcfReader(buf).read(columns=columns, predicate=predicate)

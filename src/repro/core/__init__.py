@@ -1,0 +1,67 @@
+"""The ODA framework core: organizational model + end-to-end facade.
+
+This package encodes the paper's *organizational* artifacts — the parts
+of the contribution that are tables and matrices rather than daemons:
+
+* :mod:`repro.core.registry` — usage areas (Table I), data-source kinds,
+  and the producer/consumer readiness matrix of Fig. 3,
+* :mod:`repro.core.maturity` — the L0-L5 data-stream maturity ladder of
+  Fig. 2,
+* :mod:`repro.core.lifecycle` — operational control loops and their
+  timescales (Fig. 1, Fig. 4c) and the data life-cycle stage model,
+* :mod:`repro.core.framework` — :class:`ODAFramework`, the hourglass
+  facade that wires telemetry, the broker, the medallion pipeline, and
+  the tiered store into one ingest loop.
+"""
+
+from repro.core.maturity import MaturityLevel, MaturityTracker
+from repro.core.registry import (
+    FIG3_MATRIX,
+    DataSourceKind,
+    DataSourceRegistry,
+    UsageArea,
+    paper_registry,
+)
+from repro.core.lifecycle import (
+    DEFAULT_CONTROL_LOOPS,
+    ControlLoop,
+    DataLifecycle,
+    LifecycleStage,
+)
+from repro.core.framework import ODAFramework, WindowSummary
+from repro.core.datacenter import DataCenter
+from repro.core.dictionary import (
+    DataDictionary,
+    DictionaryEntry,
+    ExplorationCampaign,
+)
+from repro.core.platform import (
+    ResourceQuota,
+    SlatePlatform,
+    Workload,
+    WorkloadKind,
+)
+
+__all__ = [
+    "MaturityLevel",
+    "MaturityTracker",
+    "UsageArea",
+    "DataSourceKind",
+    "DataSourceRegistry",
+    "FIG3_MATRIX",
+    "paper_registry",
+    "ControlLoop",
+    "DEFAULT_CONTROL_LOOPS",
+    "LifecycleStage",
+    "DataLifecycle",
+    "ODAFramework",
+    "WindowSummary",
+    "DataCenter",
+    "DataDictionary",
+    "DictionaryEntry",
+    "ExplorationCampaign",
+    "ResourceQuota",
+    "SlatePlatform",
+    "Workload",
+    "WorkloadKind",
+]

@@ -1,0 +1,102 @@
+"""Multi-machine data centre: one ODA framework per generation.
+
+The paper's framework "serves as a centralized system for processing
+operational data from multiple supercomputer generations" — at the time
+of writing, Mountain (Summit-class) and Compass (Frontier-class) side by
+side.  :class:`DataCenter` runs one :class:`~repro.core.ODAFramework`
+per machine and provides the centre-level aggregation the headline
+numbers come from: combined ingest volume, combined tier footprint, and
+cross-machine stream comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.framework import ODAFramework, WindowSummary
+from repro.telemetry.jobs import AllocationTable
+from repro.telemetry.machine import MachineConfig
+
+__all__ = ["DataCenter"]
+
+
+class DataCenter:
+    """A fleet of instrumented machines behind one reporting surface."""
+
+    def __init__(self) -> None:
+        self._frameworks: dict[str, ODAFramework] = {}
+
+    def add_machine(
+        self,
+        machine: MachineConfig,
+        allocation: AllocationTable,
+        seed: int = 0,
+        nodes: np.ndarray | None = None,
+        **framework_kwargs,
+    ) -> ODAFramework:
+        """Stand up a framework for one machine (name must be unique)."""
+        if machine.name in self._frameworks:
+            raise ValueError(f"machine {machine.name!r} already added")
+        framework = ODAFramework(
+            machine, allocation, seed=seed, nodes=nodes, **framework_kwargs
+        )
+        self._frameworks[machine.name] = framework
+        return framework
+
+    def machines(self) -> list[str]:
+        """Machine names, sorted."""
+        return sorted(self._frameworks)
+
+    def framework(self, name: str) -> ODAFramework:
+        """The framework for one machine (KeyError if unknown)."""
+        try:
+            return self._frameworks[name]
+        except KeyError:
+            raise KeyError(f"no machine {name!r}; have {self.machines()}") from None
+
+    def run(
+        self, t0: float, t1: float, window_s: float
+    ) -> dict[str, list[WindowSummary]]:
+        """Drive every machine across the same wall-clock windows."""
+        return {
+            name: fw.run(t0, t1, window_s)
+            for name, fw in sorted(self._frameworks.items())
+        }
+
+    # -- centre-level reporting -------------------------------------------------
+
+    def ingest_volumes(self) -> dict[str, dict[str, float]]:
+        """machine -> stream -> observed bytes/day at machine scale."""
+        return {
+            name: fw.ingest_volumes()
+            for name, fw in sorted(self._frameworks.items())
+        }
+
+    def total_ingest_bytes_per_day(self, unmodelled_fraction: float = 0.1
+                                   ) -> float:
+        """The Fig. 4a headline: centre-wide raw ingest per day.
+
+        ``unmodelled_fraction`` folds in centre streams outside the
+        simulated machines (web logs, infrastructure, backups).
+        """
+        modelled = sum(
+            volume
+            for streams in self.ingest_volumes().values()
+            for volume in streams.values()
+        )
+        return modelled * (1.0 + unmodelled_fraction)
+
+    def tier_footprint(self) -> dict[str, int]:
+        """Combined bytes per tier across machines."""
+        total: dict[str, int] = {}
+        for fw in self._frameworks.values():
+            for tier, nbytes in fw.tier_footprint().items():
+                total[tier] = total.get(tier, 0) + nbytes
+        return total
+
+    def stream_comparison(self, stream: str) -> dict[str, float]:
+        """One stream's bytes/day per machine (a Fig. 4a column)."""
+        out = {}
+        for name, fw in sorted(self._frameworks.items()):
+            out[name] = fw.ingest_volumes().get(stream, 0.0)
+        return out

@@ -1,0 +1,188 @@
+"""Data dictionary and exploration-campaign support (§VI-A).
+
+"These data exploration campaigns first focus on building a data
+dictionary that has qualitative information about the dataset such as
+sample rate, failure rates, logical and physical sensor location, and
+their meaning with respect to the underlying process or system."
+
+:class:`DataDictionary` aggregates every stream's sensor catalog into
+one queryable inventory, and :class:`ExplorationCampaign` runs the
+empirical half: measure *observed* sample rates and loss against the
+nominal spec from actual emissions, flagging the discrepancies that an
+SME must chase with the vendor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.telemetry.schema import ObservationBatch, SensorCatalog, SensorSpec
+from repro.telemetry.sources import TelemetrySource
+
+__all__ = ["DictionaryEntry", "DataDictionary", "ExplorationCampaign"]
+
+
+@dataclass
+class DictionaryEntry:
+    """One channel's dictionary record: nominal spec + observed quality."""
+
+    stream: str
+    spec: SensorSpec
+    observed_rate_hz: float | None = None
+    observed_loss: float | None = None
+    notes: str = ""
+
+    @property
+    def documented(self) -> bool:
+        """True once empirical quality numbers exist."""
+        return self.observed_rate_hz is not None
+
+    @property
+    def rate_discrepancy(self) -> float | None:
+        """Relative |observed - nominal| / nominal rate (None if unknown)."""
+        if self.observed_rate_hz is None:
+            return None
+        nominal = self.spec.sample_rate_hz
+        return abs(self.observed_rate_hz - nominal) / nominal
+
+
+class DataDictionary:
+    """The organization-wide channel inventory."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, str], DictionaryEntry] = {}
+
+    def register_catalog(self, stream: str, catalog: SensorCatalog) -> int:
+        """Add every channel of a stream's catalog; returns count added."""
+        added = 0
+        for spec in catalog:
+            key = (stream, spec.name)
+            if key in self._entries:
+                continue
+            self._entries[key] = DictionaryEntry(stream, spec)
+            added += 1
+        return added
+
+    def entry(self, stream: str, sensor: str) -> DictionaryEntry:
+        """One channel's entry (KeyError if unknown)."""
+        try:
+            return self._entries[(stream, sensor)]
+        except KeyError:
+            raise KeyError(f"no dictionary entry for {stream}/{sensor}") from None
+
+    def entries(self, stream: str | None = None) -> list[DictionaryEntry]:
+        """All entries, optionally restricted to one stream."""
+        return [
+            e for (s, _), e in sorted(self._entries.items())
+            if stream is None or s == stream
+        ]
+
+    def streams(self) -> list[str]:
+        """Streams with registered channels, sorted."""
+        return sorted({s for s, _ in self._entries})
+
+    def coverage(self) -> float:
+        """Fraction of channels with empirical documentation — the
+        'data coverage' number the §VI lessons are about."""
+        if not self._entries:
+            return 0.0
+        documented = sum(1 for e in self._entries.values() if e.documented)
+        return documented / len(self._entries)
+
+    def undocumented(self) -> list[tuple[str, str]]:
+        """(stream, sensor) pairs still awaiting exploration."""
+        return sorted(
+            key for key, e in self._entries.items() if not e.documented
+        )
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one exploration campaign over one stream."""
+
+    stream: str
+    channels_profiled: int
+    mean_observed_loss: float
+    worst_rate_discrepancy: float
+    anomalies: list[str] = field(default_factory=list)
+
+
+class ExplorationCampaign:
+    """Empirical profiling of a stream against its nominal dictionary.
+
+    The campaign emits a window from the source, measures per-channel
+    observed sample rate and loss, writes them into the dictionary, and
+    flags channels whose behaviour diverges from spec (the
+    vendor-engagement backlog of §VI-A).
+    """
+
+    #: Observed-vs-nominal rate mismatch that warrants a vendor ticket.
+    RATE_TOLERANCE = 0.10
+    #: Loss above nominal spec that warrants one.
+    LOSS_TOLERANCE = 0.05
+
+    def __init__(self, dictionary: DataDictionary) -> None:
+        self.dictionary = dictionary
+
+    def profile(
+        self,
+        source: TelemetrySource,
+        t0: float,
+        t1: float,
+        n_components: int | None = None,
+    ) -> CampaignReport:
+        """Profile ``source`` over ``[t0, t1)`` and update the dictionary.
+
+        ``n_components`` overrides the emitting-component count used to
+        normalize rates (defaults to the distinct components observed).
+        """
+        if t1 <= t0:
+            raise ValueError("window must be non-empty")
+        batch = source.emit(t0, t1)
+        if not isinstance(batch, ObservationBatch):
+            raise TypeError("campaigns profile observation streams")
+        duration = t1 - t0
+        report = CampaignReport(source.name, 0, 0.0, 0.0)
+        if len(batch) == 0:
+            return report
+
+        components = (
+            n_components
+            if n_components is not None
+            else np.unique(batch.component_ids).size
+        )
+        losses = []
+        for sensor_id in np.unique(batch.sensor_ids):
+            spec = source.catalog.spec(int(sensor_id))
+            n = int((batch.sensor_ids == sensor_id).sum())
+            observed_rate = n / duration / max(components, 1)
+            nominal_samples = duration / spec.sample_period_s * components
+            observed_loss = max(0.0, 1.0 - n / nominal_samples)
+            entry = self.dictionary.entry(source.name, spec.name)
+            entry.observed_rate_hz = observed_rate
+            entry.observed_loss = observed_loss
+            losses.append(observed_loss)
+            report.channels_profiled += 1
+
+            discrepancy = entry.rate_discrepancy or 0.0
+            report.worst_rate_discrepancy = max(
+                report.worst_rate_discrepancy, discrepancy
+            )
+            if discrepancy > self.RATE_TOLERANCE:
+                msg = (
+                    f"{spec.name}: observed {observed_rate:.3f} Hz vs nominal "
+                    f"{spec.sample_rate_hz:.3f} Hz"
+                )
+                entry.notes = msg
+                report.anomalies.append(msg)
+            elif observed_loss > spec.loss_rate + self.LOSS_TOLERANCE:
+                msg = (
+                    f"{spec.name}: loss {observed_loss:.1%} exceeds spec "
+                    f"{spec.loss_rate:.1%}"
+                )
+                entry.notes = msg
+                report.anomalies.append(msg)
+        report.mean_observed_loss = float(np.mean(losses))
+        return report

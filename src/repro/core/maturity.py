@@ -1,0 +1,118 @@
+"""The L0-L5 data-stream maturity ladder (Fig. 2).
+
+The paper expresses "a degree of data usage readiness" per (source, area)
+cell as levels L0 through L5, maturing through the stages of Fig. 2:
+identified in a collection plan, raw collection enabled, explored and
+documented, refined by a sustainable pipeline, in operational use, and
+finally institutionalized across generations.
+
+:class:`MaturityTracker` models how a stream climbs the ladder as
+milestones land — and how a new system generation *resets* part of the
+progress (the paper's re-work concern) unless knowledge carried over.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["MaturityLevel", "Milestone", "MaturityTracker"]
+
+
+class MaturityLevel(enum.IntEnum):
+    """Data usage readiness of one stream for one consumer area."""
+
+    L0 = 0  #: identified: use case captured in a data collection plan
+    L1 = 1  #: collected: raw stream lands somewhere durable
+    L2 = 2  #: explored: data dictionary exists (rates, meaning, quality)
+    L3 = 3  #: refined: sustainable Bronze->Silver pipeline in production
+    L4 = 4  #: operational: feeds a packaged application or report
+    L5 = 5  #: institutionalized: sustained use, survives staff/system churn
+
+    def describe(self) -> str:
+        """Human-readable stage description."""
+        return _DESCRIPTIONS[self]
+
+
+_DESCRIPTIONS = {
+    MaturityLevel.L0: "identified in a data collection plan",
+    MaturityLevel.L1: "raw collection enabled",
+    MaturityLevel.L2: "explored and documented (data dictionary)",
+    MaturityLevel.L3: "refined by a sustainable pipeline",
+    MaturityLevel.L4: "feeding operational applications",
+    MaturityLevel.L5: "institutionalized across generations",
+}
+
+
+class Milestone(enum.Enum):
+    """Events that advance a stream's maturity by one level."""
+
+    PLANNED = "planned"                  # -> L0
+    COLLECTION_ENABLED = "collection"    # L0 -> L1
+    DICTIONARY_BUILT = "dictionary"      # L1 -> L2
+    PIPELINE_DEPLOYED = "pipeline"       # L2 -> L3
+    APPLICATION_LIVE = "application"     # L3 -> L4
+    SUSTAINED_USE = "sustained"          # L4 -> L5
+
+
+_ORDER = [
+    Milestone.PLANNED,
+    Milestone.COLLECTION_ENABLED,
+    Milestone.DICTIONARY_BUILT,
+    Milestone.PIPELINE_DEPLOYED,
+    Milestone.APPLICATION_LIVE,
+    Milestone.SUSTAINED_USE,
+]
+
+
+@dataclass
+class MaturityTracker:
+    """Milestone-driven maturity state of one data stream.
+
+    Milestones must land in ladder order; skipping is rejected because
+    each stage depends on the previous one's artifacts (you cannot deploy
+    a pipeline over a stream nobody collects).
+    """
+
+    stream: str
+    achieved: list[Milestone] = field(default_factory=list)
+
+    @property
+    def level(self) -> MaturityLevel:
+        """Current maturity level (L0 if nothing achieved yet)."""
+        if not self.achieved:
+            return MaturityLevel.L0
+        return MaturityLevel(min(len(self.achieved) - 1, 5))
+
+    def advance(self, milestone: Milestone) -> MaturityLevel:
+        """Record the next milestone; returns the new level."""
+        expected = _ORDER[len(self.achieved)] if len(self.achieved) < 6 else None
+        if expected is None:
+            raise ValueError(f"stream {self.stream!r} already at L5")
+        if milestone is not expected:
+            raise ValueError(
+                f"stream {self.stream!r}: expected milestone "
+                f"{expected.value!r}, got {milestone.value!r} "
+                "(maturity stages cannot be skipped)"
+            )
+        self.achieved.append(milestone)
+        return self.level
+
+    def new_generation(self, knowledge_carryover: bool = True) -> MaturityLevel:
+        """Model a system-generation change.
+
+        Collection and pipelines are system-specific and reset; with
+        ``knowledge_carryover`` the plan and dictionary knowledge
+        survive (the paper's 'minimizing re-work by ... accumulating
+        knowledge across different system generations'), otherwise the
+        stream restarts from scratch.
+        """
+        keep = 0
+        if knowledge_carryover:
+            keep = min(len(self.achieved), 3)  # plan + collection know-how + dictionary
+        self.achieved = self.achieved[:keep]
+        return self.level
+
+    def milestones_remaining(self) -> list[Milestone]:
+        """Milestones still ahead on the ladder."""
+        return _ORDER[len(self.achieved):]

@@ -1,0 +1,191 @@
+"""Slate-style multi-tenant application platform (§V-C).
+
+"Our platform, called Slate, is constructed atop Kubernetes ... a
+self-service environment [that] empowers project subject matter experts
+to construct and manage their data pipelines autonomously, leveraging
+project-specific allocations ... while maintaining our multi-tenant
+security model."
+
+The substrate modelled here is the *resource governance* part: projects
+hold CPU/memory/storage quotas; workloads (pipelines, databases, web
+portals) are placed against those quotas; the platform tracks
+utilization so common services can be sized against the multi-project
+demand (the 'higher utilization of physical resources' lesson).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ResourceQuota", "Workload", "WorkloadKind", "SlatePlatform"]
+
+
+@dataclass(frozen=True)
+class ResourceQuota:
+    """A project's allocation on the platform."""
+
+    cpu_cores: float
+    memory_gb: float
+    storage_gb: float
+
+    def __post_init__(self) -> None:
+        if min(self.cpu_cores, self.memory_gb, self.storage_gb) < 0:
+            raise ValueError("quota components must be non-negative")
+
+    def fits(self, other: "ResourceQuota") -> bool:
+        """True if ``other`` fits inside this quota."""
+        return (
+            other.cpu_cores <= self.cpu_cores
+            and other.memory_gb <= self.memory_gb
+            and other.storage_gb <= self.storage_gb
+        )
+
+    def __add__(self, other: "ResourceQuota") -> "ResourceQuota":
+        return ResourceQuota(
+            self.cpu_cores + other.cpu_cores,
+            self.memory_gb + other.memory_gb,
+            self.storage_gb + other.storage_gb,
+        )
+
+    def __sub__(self, other: "ResourceQuota") -> "ResourceQuota":
+        return ResourceQuota(
+            self.cpu_cores - other.cpu_cores,
+            self.memory_gb - other.memory_gb,
+            self.storage_gb - other.storage_gb,
+        )
+
+
+ZERO_QUOTA = ResourceQuota(0.0, 0.0, 0.0)
+
+
+class WorkloadKind(enum.Enum):
+    """Continuous-uptime workload types §V-C enumerates."""
+
+    STREAM_PROCESSOR = "stream processor"
+    DATABASE = "database"
+    WEB_PORTAL = "web portal data portal"
+    MESSAGE_QUEUE = "message queue"
+    ML_TRAINING = "ml training"
+
+
+@dataclass
+class Workload:
+    """One deployed workload."""
+
+    name: str
+    project: str
+    kind: WorkloadKind
+    request: ResourceQuota
+    running: bool = True
+
+
+class SlatePlatform:
+    """Quota-enforced multi-tenant workload placement.
+
+    Parameters
+    ----------
+    capacity:
+        Physical capacity of the platform.
+    """
+
+    def __init__(self, capacity: ResourceQuota) -> None:
+        self.capacity = capacity
+        self._quotas: dict[str, ResourceQuota] = {}
+        self._workloads: dict[str, Workload] = {}
+
+    # -- tenancy ------------------------------------------------------------
+
+    def grant_quota(self, project: str, quota: ResourceQuota) -> None:
+        """Allocate a project quota; the sum of quotas may oversubscribe
+        physical capacity (the platform bets on statistical multiplexing,
+        but placement is still capped by real capacity)."""
+        if project in self._quotas:
+            raise ValueError(f"project {project!r} already has a quota")
+        self._quotas[project] = quota
+
+    def quota_of(self, project: str) -> ResourceQuota:
+        """A project's quota (KeyError if none)."""
+        return self._quotas[project]
+
+    def projects(self) -> list[str]:
+        """Projects with quotas, sorted."""
+        return sorted(self._quotas)
+
+    # -- placement ------------------------------------------------------------
+
+    def project_usage(self, project: str) -> ResourceQuota:
+        """Resources consumed by a project's running workloads."""
+        total = ZERO_QUOTA
+        for w in self._workloads.values():
+            if w.project == project and w.running:
+                total = total + w.request
+        return total
+
+    def platform_usage(self) -> ResourceQuota:
+        """Total running consumption across tenants."""
+        total = ZERO_QUOTA
+        for w in self._workloads.values():
+            if w.running:
+                total = total + w.request
+        return total
+
+    def deploy(self, workload: Workload) -> None:
+        """Place a workload, enforcing project quota AND real capacity."""
+        if workload.name in self._workloads:
+            raise ValueError(f"workload {workload.name!r} already deployed")
+        quota = self._quotas.get(workload.project)
+        if quota is None:
+            raise KeyError(f"project {workload.project!r} has no quota")
+        after_project = self.project_usage(workload.project) + workload.request
+        if not quota.fits(after_project):
+            raise ValueError(
+                f"workload {workload.name!r} exceeds {workload.project!r} "
+                "quota"
+            )
+        after_platform = self.platform_usage() + workload.request
+        if not self.capacity.fits(after_platform):
+            raise ValueError(
+                f"workload {workload.name!r} exceeds platform capacity"
+            )
+        self._workloads[workload.name] = workload
+
+    def stop(self, name: str) -> None:
+        """Stop a workload, releasing its resources."""
+        try:
+            self._workloads[name].running = False
+        except KeyError:
+            raise KeyError(f"no workload {name!r}") from None
+
+    def remove(self, name: str) -> None:
+        """Delete a workload record entirely."""
+        if name not in self._workloads:
+            raise KeyError(f"no workload {name!r}")
+        del self._workloads[name]
+
+    def workloads(self, project: str | None = None) -> list[Workload]:
+        """Deployed workloads, optionally per project."""
+        return [
+            w for w in sorted(self._workloads.values(), key=lambda w: w.name)
+            if project is None or w.project == project
+        ]
+
+    # -- reporting -------------------------------------------------------------
+
+    def utilization(self) -> dict[str, float]:
+        """Fraction of physical capacity in use, per dimension."""
+        used = self.platform_usage()
+        return {
+            "cpu": used.cpu_cores / self.capacity.cpu_cores
+            if self.capacity.cpu_cores else 0.0,
+            "memory": used.memory_gb / self.capacity.memory_gb
+            if self.capacity.memory_gb else 0.0,
+            "storage": used.storage_gb / self.capacity.storage_gb
+            if self.capacity.storage_gb else 0.0,
+        }
+
+    def oversubscription(self) -> float:
+        """Sum of granted quotas / physical capacity (CPU dimension) —
+        the multiplexing bet the paper's shared platform makes."""
+        granted = sum(q.cpu_cores for q in self._quotas.values())
+        return granted / self.capacity.cpu_cores if self.capacity.cpu_cores else 0.0

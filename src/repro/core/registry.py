@@ -1,0 +1,274 @@
+"""Usage areas (Table I) and the producer/consumer readiness matrix (Fig. 3).
+
+The paper's Fig. 3 is a matrix of data-source kinds (rows) against
+organizational usage areas (columns); each cell holds two maturity
+levels — one per system generation ("Mountain" = Summit-class, "Compass"
+= Frontier-class) — and bold outlines mark which area's team *owns*
+producing that source.  :func:`paper_registry` reconstructs the published
+matrix; the Fig. 3 bench renders it and derives the coverage statistics
+the paper discusses (critical sources produced by system management but
+under-ready for other consumers).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.maturity import MaturityLevel
+
+__all__ = [
+    "UsageArea",
+    "TABLE1_AREAS",
+    "DataSourceKind",
+    "SOURCE_OWNERS",
+    "FIG3_MATRIX",
+    "DataSourceRegistry",
+    "paper_registry",
+]
+
+
+class UsageArea(enum.Enum):
+    """Organizational areas consuming operational data (Fig. 3 X-axis)."""
+
+    SYSTEM_MGMT = "System Mgmt."
+    USER_ASSIST = "User Assist."
+    FACILITY_MGMT = "Facility Mgmt."
+    CYBER_SEC = "Cyber Sec."
+    APPS = "Apps."
+    PROGRAM_MGMT = "Prgrm Mgmt."
+    PROCUREMENT = "Procurement"
+    RND = "R&D"
+
+
+#: Table I: areas of operational data usage, grouped as in the paper.
+TABLE1_AREAS: list[tuple[str, str, str]] = [
+    ("System Management", "System Administration",
+     "System performance, stability and reliability ensurance: compute, "
+     "interconnect, storage"),
+    ("System Management", "Facility Management",
+     "Reliable and energy efficient power and cooling supply system design "
+     "and operations"),
+    ("System Management", "Cyber Security",
+     "Detection, diagnosis and prevention of security issues"),
+    ("Operations", "User Assistance",
+     "Diagnostics for swift troubleshooting and solutions"),
+    ("Administrative", "Program Management",
+     "Resource allocation, coordination, and reporting to sponsors"),
+    ("Administrative", "Job Scheduling",
+     "Job execution priority adjustment based on program needs and user "
+     "requests"),
+    ("Procurement", "System Design",
+     "Technology integration, tuning, testing, and projection for future "
+     "systems"),
+    ("R&D / Cross Cutting", "Performance", "Performance optimization, tuning"),
+    ("R&D / Cross Cutting", "Reliability",
+     "Reliability projection and prediction"),
+    ("R&D / Cross Cutting", "Applications",
+     "Runtime performance monitoring and optimization, tuning, energy "
+     "efficiency"),
+    ("R&D / Cross Cutting", "Energy Efficiency",
+     "Energy usage optimization from various layers of an HPC data center"),
+]
+
+
+class DataSourceKind(enum.Enum):
+    """Kinds of operational data streams (Fig. 3 Y-axis)."""
+
+    PERF_COUNTERS = "Compute: perf counters"
+    RESOURCE_UTIL = "Compute: resource util"
+    POWER_TEMP = "Compute: power & temp"
+    STORAGE_CLIENT = "Compute: storage client"
+    INTERCONNECT_CLIENT = "Compute: interconnect client"
+    STORAGE_SYSTEM = "Storage system"
+    INTERCONNECT = "Interconnect"
+    SYSLOG_EVENTS = "Syslog & events"
+    RESOURCE_MANAGER = "Resource manager"
+    CRM = "CRM"
+    FACILITY = "Facility"
+
+
+#: Which area's team owns producing each source (Fig. 3 bold outlines).
+SOURCE_OWNERS: dict[DataSourceKind, UsageArea] = {
+    DataSourceKind.PERF_COUNTERS: UsageArea.SYSTEM_MGMT,
+    DataSourceKind.RESOURCE_UTIL: UsageArea.SYSTEM_MGMT,
+    DataSourceKind.POWER_TEMP: UsageArea.SYSTEM_MGMT,
+    DataSourceKind.STORAGE_CLIENT: UsageArea.SYSTEM_MGMT,
+    DataSourceKind.INTERCONNECT_CLIENT: UsageArea.SYSTEM_MGMT,
+    DataSourceKind.STORAGE_SYSTEM: UsageArea.SYSTEM_MGMT,
+    DataSourceKind.INTERCONNECT: UsageArea.SYSTEM_MGMT,
+    DataSourceKind.SYSLOG_EVENTS: UsageArea.SYSTEM_MGMT,
+    DataSourceKind.RESOURCE_MANAGER: UsageArea.SYSTEM_MGMT,
+    DataSourceKind.CRM: UsageArea.PROGRAM_MGMT,
+    DataSourceKind.FACILITY: UsageArea.FACILITY_MGMT,
+}
+
+
+#: Fig. 3 cells: (source, area) -> (Mountain level, Compass level).
+#: Transcribed from the published figure; absent pairs are blank cells.
+FIG3_MATRIX: dict[tuple[DataSourceKind, UsageArea], tuple[int, int]] = {
+    (DataSourceKind.PERF_COUNTERS, UsageArea.APPS): (0, 0),
+    (DataSourceKind.PERF_COUNTERS, UsageArea.PROCUREMENT): (0, 0),
+    (DataSourceKind.PERF_COUNTERS, UsageArea.RND): (0, 0),
+    (DataSourceKind.RESOURCE_UTIL, UsageArea.USER_ASSIST): (0, 0),
+    (DataSourceKind.RESOURCE_UTIL, UsageArea.APPS): (0, 1),
+    (DataSourceKind.RESOURCE_UTIL, UsageArea.PROGRAM_MGMT): (5, 5),
+    (DataSourceKind.RESOURCE_UTIL, UsageArea.PROCUREMENT): (2, 1),
+    (DataSourceKind.RESOURCE_UTIL, UsageArea.RND): (0, 1),
+    (DataSourceKind.POWER_TEMP, UsageArea.SYSTEM_MGMT): (1, 1),
+    (DataSourceKind.POWER_TEMP, UsageArea.USER_ASSIST): (0, 3),
+    (DataSourceKind.POWER_TEMP, UsageArea.FACILITY_MGMT): (4, 4),
+    (DataSourceKind.POWER_TEMP, UsageArea.APPS): (2, 2),
+    (DataSourceKind.POWER_TEMP, UsageArea.PROCUREMENT): (1, 1),
+    (DataSourceKind.POWER_TEMP, UsageArea.RND): (5, 3),
+    (DataSourceKind.STORAGE_CLIENT, UsageArea.SYSTEM_MGMT): (1, 1),
+    (DataSourceKind.STORAGE_CLIENT, UsageArea.USER_ASSIST): (5, 5),
+    (DataSourceKind.STORAGE_CLIENT, UsageArea.APPS): (0, 1),
+    (DataSourceKind.STORAGE_CLIENT, UsageArea.PROCUREMENT): (2, 1),
+    (DataSourceKind.STORAGE_CLIENT, UsageArea.RND): (5, 1),
+    (DataSourceKind.INTERCONNECT_CLIENT, UsageArea.SYSTEM_MGMT): (1, 1),
+    (DataSourceKind.INTERCONNECT_CLIENT, UsageArea.USER_ASSIST): (5, 5),
+    (DataSourceKind.INTERCONNECT_CLIENT, UsageArea.APPS): (0, 1),
+    (DataSourceKind.INTERCONNECT_CLIENT, UsageArea.PROCUREMENT): (2, 0),
+    (DataSourceKind.INTERCONNECT_CLIENT, UsageArea.RND): (0, 1),
+    (DataSourceKind.STORAGE_SYSTEM, UsageArea.SYSTEM_MGMT): (4, 2),
+    (DataSourceKind.STORAGE_SYSTEM, UsageArea.PROCUREMENT): (2, 0),
+    (DataSourceKind.STORAGE_SYSTEM, UsageArea.RND): (0, 0),
+    (DataSourceKind.INTERCONNECT, UsageArea.SYSTEM_MGMT): (0, 0),
+    (DataSourceKind.INTERCONNECT, UsageArea.USER_ASSIST): (0, 0),
+    (DataSourceKind.INTERCONNECT, UsageArea.PROCUREMENT): (2, 1),
+    (DataSourceKind.INTERCONNECT, UsageArea.RND): (0, 0),
+    (DataSourceKind.SYSLOG_EVENTS, UsageArea.SYSTEM_MGMT): (5, 5),
+    (DataSourceKind.SYSLOG_EVENTS, UsageArea.USER_ASSIST): (5, 5),
+    (DataSourceKind.SYSLOG_EVENTS, UsageArea.FACILITY_MGMT): (4, 1),
+    (DataSourceKind.SYSLOG_EVENTS, UsageArea.CYBER_SEC): (5, 4),
+    (DataSourceKind.SYSLOG_EVENTS, UsageArea.PROCUREMENT): (4, 2),
+    (DataSourceKind.SYSLOG_EVENTS, UsageArea.RND): (4, 1),
+    (DataSourceKind.RESOURCE_MANAGER, UsageArea.SYSTEM_MGMT): (5, 5),
+    (DataSourceKind.RESOURCE_MANAGER, UsageArea.USER_ASSIST): (5, 5),
+    (DataSourceKind.RESOURCE_MANAGER, UsageArea.CYBER_SEC): (5, 4),
+    (DataSourceKind.RESOURCE_MANAGER, UsageArea.PROGRAM_MGMT): (5, 5),
+    (DataSourceKind.RESOURCE_MANAGER, UsageArea.PROCUREMENT): (5, 4),
+    (DataSourceKind.RESOURCE_MANAGER, UsageArea.RND): (5, 3),
+    (DataSourceKind.CRM, UsageArea.USER_ASSIST): (5, 5),
+    (DataSourceKind.CRM, UsageArea.PROGRAM_MGMT): (5, 5),
+    (DataSourceKind.CRM, UsageArea.PROCUREMENT): (1, 1),
+    (DataSourceKind.FACILITY, UsageArea.FACILITY_MGMT): (5, 4),
+    (DataSourceKind.FACILITY, UsageArea.PROCUREMENT): (5, 5),
+    (DataSourceKind.FACILITY, UsageArea.RND): (4, 3),
+}
+
+
+@dataclass
+class DataSourceRegistry:
+    """Mutable producer/consumer readiness matrix for a set of systems.
+
+    ``cells[(source, area)][system] = MaturityLevel``.
+    """
+
+    systems: list[str]
+    cells: dict[
+        tuple[DataSourceKind, UsageArea], dict[str, MaturityLevel]
+    ] = field(default_factory=dict)
+
+    def set_level(
+        self,
+        source: DataSourceKind,
+        area: UsageArea,
+        system: str,
+        level: MaturityLevel | int,
+    ) -> None:
+        """Record the readiness of (source, area) on one system."""
+        if system not in self.systems:
+            raise ValueError(f"unknown system {system!r}; have {self.systems}")
+        self.cells.setdefault((source, area), {})[system] = MaturityLevel(level)
+
+    def level(
+        self, source: DataSourceKind, area: UsageArea, system: str
+    ) -> MaturityLevel | None:
+        """Readiness of a cell (None = blank: no use case)."""
+        return self.cells.get((source, area), {}).get(system)
+
+    def owner(self, source: DataSourceKind) -> UsageArea:
+        """The team owning production of a source."""
+        return SOURCE_OWNERS[source]
+
+    # -- derived statistics --------------------------------------------------
+
+    def used_cells(self, system: str) -> list[tuple[DataSourceKind, UsageArea]]:
+        """Cells with a recorded use case on ``system``."""
+        return [key for key, levels in self.cells.items() if system in levels]
+
+    def coverage(self, system: str, threshold: MaturityLevel = MaturityLevel.L3) -> float:
+        """Fraction of used cells at or above ``threshold``.
+
+        This is the paper's "gap in achieving the full readiness and
+        utility of these datasets" number: plenty of identified use cases
+        (cells), far fewer sustained pipelines.
+        """
+        used = self.used_cells(system)
+        if not used:
+            return 0.0
+        ready = sum(
+            1 for key in used if self.cells[key][system] >= threshold
+        )
+        return ready / len(used)
+
+    def readiness_gaps(
+        self, system: str, threshold: MaturityLevel = MaturityLevel.L3
+    ) -> list[tuple[DataSourceKind, UsageArea, MaturityLevel]]:
+        """Used cells below ``threshold`` — the backlog of Fig. 3."""
+        return [
+            (src, area, self.cells[(src, area)][system])
+            for (src, area) in self.used_cells(system)
+            if self.cells[(src, area)][system] < threshold
+        ]
+
+    def consumer_count(self, source: DataSourceKind, system: str) -> int:
+        """Number of areas with a use case for ``source`` on ``system``."""
+        return sum(
+            1
+            for (src, _area), levels in self.cells.items()
+            if src is source and system in levels
+        )
+
+    def cross_team_cells(self, system: str) -> int:
+        """Used cells where the consumer is NOT the producing owner —
+        the multi-source multi-use complexity the hourglass absorbs."""
+        return sum(
+            1
+            for (src, area) in self.used_cells(system)
+            if SOURCE_OWNERS[src] is not area
+        )
+
+    def render(self, ljust: int = 30) -> str:
+        """ASCII rendering of the matrix (rows = sources)."""
+        areas = list(UsageArea)
+        lines = [
+            " " * ljust + " | ".join(a.value.rjust(13) for a in areas)
+        ]
+        for source in DataSourceKind:
+            row = [source.value.ljust(ljust)]
+            per_area = []
+            for area in areas:
+                levels = self.cells.get((source, area), {})
+                if not levels:
+                    per_area.append(" " * 13)
+                    continue
+                cell = " ".join(
+                    f"L{int(levels[s])}" if s in levels else "--"
+                    for s in self.systems
+                )
+                mark = "*" if SOURCE_OWNERS[source] is area else " "
+                per_area.append((cell + mark).rjust(13))
+            lines.append(row[0] + " | ".join(per_area))
+        return "\n".join(lines)
+
+
+def paper_registry() -> DataSourceRegistry:
+    """The Fig. 3 matrix as published (systems: mountain, compass)."""
+    registry = DataSourceRegistry(systems=["mountain", "compass"])
+    for (source, area), (m_level, c_level) in FIG3_MATRIX.items():
+        registry.set_level(source, area, "mountain", m_level)
+        registry.set_level(source, area, "compass", c_level)
+    return registry

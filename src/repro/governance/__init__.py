@@ -1,0 +1,46 @@
+"""Data governance and distribution (§IX, Table II, Fig. 12).
+
+"every data usage request [is reviewed] through an advisory chain ...
+submitting a request to a data resource usage committee (DataRUC)" —
+and, the paper's counterintuitive lesson, this *accelerates* empowerment
+because the standing process replaces ad-hoc legal/security navigation.
+
+* :mod:`repro.governance.advisory` — the Table II advisory roles and
+  their veto semantics,
+* :mod:`repro.governance.dataruc` — the request workflow state machine
+  of Fig. 12 with latency accounting,
+* :mod:`repro.governance.sanitize` — keyed pseudonymization and PII
+  scrubbing for external releases,
+* :mod:`repro.governance.release` — the public release catalog (the
+  Constellation role).
+"""
+
+from repro.governance.advisory import (
+    AdvisoryChain,
+    AdvisoryRole,
+    Review,
+    Verdict,
+)
+from repro.governance.dataruc import (
+    DataRequest,
+    DataRUC,
+    RequestState,
+    RequestType,
+)
+from repro.governance.sanitize import Sanitizer, detect_identifier_columns
+from repro.governance.release import ReleaseCatalog, ReleasedDataset
+
+__all__ = [
+    "AdvisoryRole",
+    "AdvisoryChain",
+    "Review",
+    "Verdict",
+    "DataRequest",
+    "DataRUC",
+    "RequestState",
+    "RequestType",
+    "Sanitizer",
+    "detect_identifier_columns",
+    "ReleaseCatalog",
+    "ReleasedDataset",
+]

@@ -1,0 +1,279 @@
+"""The DataRUC request workflow (Fig. 12).
+
+State machine: SUBMITTED -> UNDER_REVIEW -> APPROVED | REJECTED;
+approved internal requests are PROVISIONED with tier access; approved
+external/publication requests additionally pass SANITIZED before
+RELEASED.  Every transition is timestamped so the Fig. 12 bench can
+report end-to-end latency under the standing process vs. the ad-hoc
+baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.governance.advisory import (
+    AdvisoryChain,
+    AdvisoryRole,
+    Review,
+    Verdict,
+)
+
+__all__ = ["RequestType", "RequestState", "DataRequest", "DataRUC"]
+
+
+class RequestType(enum.Enum):
+    """Kinds of data-usage requests (Fig. 12 entry points)."""
+
+    INTERNAL_PROJECT = "internal project"
+    EXTERNAL_COLLABORATION = "external collaboration"
+    PUBLICATION = "publication"
+    DATASET_RELEASE = "public dataset release"
+
+    @property
+    def external(self) -> bool:
+        """Data leaves the organization."""
+        return self in (
+            RequestType.EXTERNAL_COLLABORATION,
+            RequestType.DATASET_RELEASE,
+        )
+
+    @property
+    def publication(self) -> bool:
+        """Artifacts reach a wider audience."""
+        return self in (RequestType.PUBLICATION, RequestType.DATASET_RELEASE)
+
+
+class RequestState(enum.Enum):
+    """Workflow states of Fig. 12."""
+
+    SUBMITTED = "submitted"
+    UNDER_REVIEW = "under review"
+    APPROVED = "approved"
+    REJECTED = "rejected"
+    PROVISIONED = "provisioned"
+    SANITIZED = "sanitized"
+    RELEASED = "released"
+
+
+#: Tier access granted per request type ("(1) enable data visualization
+#: and reporting applications (STREAM, LAKE) or (2) carry out a
+#: historical analysis campaign (OCEAN)").
+ACCESS_GRANTS: dict[RequestType, tuple[str, ...]] = {
+    RequestType.INTERNAL_PROJECT: ("STREAM", "LAKE", "OCEAN"),
+    RequestType.EXTERNAL_COLLABORATION: ("project-export",),
+    RequestType.PUBLICATION: ("OCEAN",),
+    RequestType.DATASET_RELEASE: ("public-repository",),
+}
+
+
+@dataclass
+class DataRequest:
+    """One request moving through the workflow."""
+
+    request_id: int
+    requester: str
+    request_type: RequestType
+    datasets: list[str]
+    purpose: str
+    human_subjects: bool = False
+    state: RequestState = RequestState.SUBMITTED
+    submitted_at: float = 0.0
+    reviews: list[Review] = field(default_factory=list)
+    required_roles: set[AdvisoryRole] = field(default_factory=set)
+    granted_access: tuple[str, ...] = ()
+    history: list[tuple[RequestState, float]] = field(default_factory=list)
+
+    def transition(self, state: RequestState, at: float) -> None:
+        """Record a state change (monotone time enforced)."""
+        if self.history and at < self.history[-1][1]:
+            raise ValueError("transitions must move forward in time")
+        self.state = state
+        self.history.append((state, at))
+
+    def latency_s(self) -> float | None:
+        """Submit-to-terminal latency, if terminal."""
+        terminal = {
+            RequestState.REJECTED,
+            RequestState.PROVISIONED,
+            RequestState.RELEASED,
+        }
+        for state, at in self.history:
+            if state in terminal:
+                return at - self.submitted_at
+        return None
+
+
+class DataRUC:
+    """The data resource usage committee: intake, review, provisioning."""
+
+    def __init__(self, chain: AdvisoryChain | None = None) -> None:
+        self.chain = chain or AdvisoryChain()
+        self._requests: dict[int, DataRequest] = {}
+        self._ids = itertools.count(1)
+        #: Audit trail: every grant and data touch ("access to the data
+        #: is provided and tracked via various channels", §IX-B).
+        self.access_log: list[tuple[float, str, int, str]] = []
+
+    # -- intake ------------------------------------------------------------------
+
+    def submit(
+        self,
+        requester: str,
+        request_type: RequestType,
+        datasets: list[str],
+        purpose: str,
+        now: float,
+        human_subjects: bool = False,
+    ) -> DataRequest:
+        """File a request; it immediately enters review."""
+        if not datasets:
+            raise ValueError("request must name at least one dataset")
+        request = DataRequest(
+            request_id=next(self._ids),
+            requester=requester,
+            request_type=request_type,
+            datasets=list(datasets),
+            purpose=purpose,
+            human_subjects=human_subjects,
+            submitted_at=now,
+        )
+        request.required_roles = self.chain.required_roles(
+            external=request_type.external,
+            publication=request_type.publication,
+            human_subjects=human_subjects,
+        )
+        request.transition(RequestState.SUBMITTED, now)
+        request.transition(RequestState.UNDER_REVIEW, now)
+        self._requests[request.request_id] = request
+        return request
+
+    def get(self, request_id: int) -> DataRequest:
+        """Request by id (KeyError if unknown)."""
+        try:
+            return self._requests[request_id]
+        except KeyError:
+            raise KeyError(f"unknown request {request_id}") from None
+
+    def pending(self) -> list[DataRequest]:
+        """Requests awaiting reviews."""
+        return [
+            r for r in self._requests.values()
+            if r.state is RequestState.UNDER_REVIEW
+        ]
+
+    # -- review ---------------------------------------------------------------------
+
+    def record_review(
+        self,
+        request_id: int,
+        role: AdvisoryRole,
+        verdict: Verdict,
+        now: float,
+        comment: str = "",
+    ) -> DataRequest:
+        """File one role's review; resolves the request when decisive."""
+        request = self.get(request_id)
+        if request.state is not RequestState.UNDER_REVIEW:
+            raise ValueError(
+                f"request {request_id} is {request.state.value}, not under review"
+            )
+        if role not in request.required_roles:
+            raise ValueError(
+                f"{role.value} is not a required reviewer for request "
+                f"{request_id}"
+            )
+        if any(r.role is role for r in request.reviews):
+            raise ValueError(f"{role.value} already reviewed request {request_id}")
+        request.reviews.append(Review(role, verdict, now, comment))
+        if self.chain.is_rejected(request.reviews):
+            request.transition(RequestState.REJECTED, now)
+        elif self.chain.is_approved(request.required_roles, request.reviews):
+            request.transition(RequestState.APPROVED, now)
+        return request
+
+    def run_reviews(
+        self, request_id: int, now: float, reject_roles: set[AdvisoryRole] = frozenset()
+    ) -> DataRequest:
+        """Simulate all outstanding reviews landing at their nominal
+        latencies (parallel routing).  Roles in ``reject_roles`` veto."""
+        from repro.governance.advisory import REVIEW_LATENCY_S
+
+        request = self.get(request_id)
+        for role in sorted(
+            request.required_roles, key=lambda r: REVIEW_LATENCY_S[r]
+        ):
+            if request.state is not RequestState.UNDER_REVIEW:
+                break
+            verdict = (
+                Verdict.REJECT if role in reject_roles else Verdict.APPROVE
+            )
+            self.record_review(
+                request_id, role, verdict, now + REVIEW_LATENCY_S[role]
+            )
+        return request
+
+    # -- post-approval -----------------------------------------------------------------
+
+    def provision(self, request_id: int, now: float) -> tuple[str, ...]:
+        """Grant tier access for an approved internal request."""
+        request = self.get(request_id)
+        if request.state is not RequestState.APPROVED:
+            raise ValueError("only approved requests can be provisioned")
+        request.granted_access = ACCESS_GRANTS[request.request_type]
+        request.transition(RequestState.PROVISIONED, now)
+        for channel in request.granted_access:
+            self.access_log.append(
+                (now, request.requester, request.request_id, f"grant:{channel}")
+            )
+        return request.granted_access
+
+    def record_access(
+        self, request_id: int, channel: str, now: float
+    ) -> None:
+        """Record one data touch against a provisioned/released grant."""
+        request = self.get(request_id)
+        if request.state not in (RequestState.PROVISIONED, RequestState.RELEASED):
+            raise ValueError(
+                f"request {request_id} has no active grant "
+                f"({request.state.value})"
+            )
+        if channel not in request.granted_access:
+            raise ValueError(
+                f"channel {channel!r} not granted to request {request_id}; "
+                f"granted: {request.granted_access}"
+            )
+        self.access_log.append(
+            (now, request.requester, request_id, f"access:{channel}")
+        )
+
+    def accesses_by(self, requester: str) -> list[tuple[float, int, str]]:
+        """Audit query: all log entries for one requester."""
+        return [
+            (at, rid, what)
+            for at, who, rid, what in self.access_log
+            if who == requester
+        ]
+
+    def mark_sanitized(self, request_id: int, now: float) -> None:
+        """Record completed sanitization for an external request."""
+        request = self.get(request_id)
+        if request.state is not RequestState.APPROVED:
+            raise ValueError("sanitization follows approval")
+        if not request.request_type.external:
+            raise ValueError("internal requests are not sanitized")
+        request.transition(RequestState.SANITIZED, now)
+
+    def release(self, request_id: int, now: float) -> None:
+        """Final release of a sanitized external request."""
+        request = self.get(request_id)
+        if request.state is not RequestState.SANITIZED:
+            raise ValueError("release requires completed sanitization")
+        request.granted_access = ACCESS_GRANTS[request.request_type]
+        request.transition(RequestState.RELEASED, now)
+        for channel in request.granted_access:
+            self.access_log.append(
+                (now, request.requester, request.request_id, f"grant:{channel}")
+            )

@@ -1,0 +1,94 @@
+"""Public release catalog (the Constellation role).
+
+"for datasets, the data is curated, and archived in a public repository
+for public usage" — the catalog mints DOI-like identifiers, stores the
+released artifact immutably, and records the approving request so every
+public dataset traces back through the Fig. 12 workflow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.governance.dataruc import DataRequest, RequestState
+
+__all__ = ["ReleasedDataset", "ReleaseCatalog"]
+
+
+@dataclass(frozen=True)
+class ReleasedDataset:
+    """One published dataset record."""
+
+    doi: str
+    title: str
+    request_id: int
+    size_bytes: int
+    released_at: float
+    checksum: str
+    metadata: dict[str, str] = field(default_factory=dict)
+
+
+class ReleaseCatalog:
+    """Immutable catalog of publicly released datasets."""
+
+    DOI_PREFIX = "10.13139/SIM"
+
+    def __init__(self) -> None:
+        self._datasets: dict[str, ReleasedDataset] = {}
+        self._blobs: dict[str, bytes] = {}
+        self._counter = 0
+
+    def publish(
+        self,
+        request: DataRequest,
+        title: str,
+        blob: bytes,
+        released_at: float,
+        metadata: dict[str, str] | None = None,
+    ) -> ReleasedDataset:
+        """Publish an artifact under an approved-and-released request.
+
+        The gate is the whole point: no RELEASED request, no publication.
+        """
+        if request.state is not RequestState.RELEASED:
+            raise ValueError(
+                f"request {request.request_id} is {request.state.value}; "
+                "only released requests can publish"
+            )
+        self._counter += 1
+        doi = f"{self.DOI_PREFIX}/{self._counter:07d}"
+        record = ReleasedDataset(
+            doi=doi,
+            title=title,
+            request_id=request.request_id,
+            size_bytes=len(blob),
+            released_at=released_at,
+            checksum=hashlib.sha256(blob).hexdigest(),
+            metadata=dict(metadata or {}),
+        )
+        self._datasets[doi] = record
+        self._blobs[doi] = bytes(blob)
+        return record
+
+    def get(self, doi: str) -> tuple[ReleasedDataset, bytes]:
+        """Fetch a released dataset and verify its checksum."""
+        try:
+            record = self._datasets[doi]
+        except KeyError:
+            raise KeyError(f"unknown DOI {doi!r}") from None
+        blob = self._blobs[doi]
+        if hashlib.sha256(blob).hexdigest() != record.checksum:
+            raise RuntimeError(f"checksum mismatch for {doi}")
+        return record, blob
+
+    def search(self, term: str) -> list[ReleasedDataset]:
+        """Title substring search (case-insensitive)."""
+        needle = term.lower()
+        return [
+            r for r in self._datasets.values() if needle in r.title.lower()
+        ]
+
+    def datasets(self) -> list[ReleasedDataset]:
+        """All records, in publication order."""
+        return list(self._datasets.values())

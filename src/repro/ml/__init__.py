@@ -1,0 +1,60 @@
+"""Machine-learning engineering for ODA (§VIII, Figs. 9-10).
+
+Implements the paper's ML stack end to end, from scratch on NumPy:
+
+* :mod:`repro.ml.features` — job power-profile featurization,
+* :mod:`repro.ml.mlp` — a plain feed-forward network with SGD/momentum,
+* :mod:`repro.ml.autoencoder` — profile embedding,
+* :mod:`repro.ml.som` — a self-organizing map: the 2-D cell grid of
+  profile shapes with population colouring shown in Fig. 10,
+* :mod:`repro.ml.classifier` — the end-to-end job power-profile
+  classification pipeline plus a k-means baseline,
+* :mod:`repro.ml.feature_store` — content-addressed, versioned feature
+  sets (the DVC role in Fig. 9),
+* :mod:`repro.ml.tracking` — experiment/run tracking (the MLflow role),
+* :mod:`repro.ml.registry` — model registry with stage promotion.
+"""
+
+from repro.ml.features import profile_matrix, profile_statistics
+from repro.ml.mlp import MLP
+from repro.ml.autoencoder import Autoencoder
+from repro.ml.som import SelfOrganizingMap
+from repro.ml.classifier import (
+    JobProfileClassifier,
+    cluster_purity,
+    kmeans,
+)
+from repro.ml.anomaly import AnomalyReport, PowerAnomalyDetector, windowize
+from repro.ml.forecast import (
+    ForecastEvaluation,
+    PersistenceForecaster,
+    RidgeForecaster,
+    backtest,
+)
+from repro.ml.feature_store import FeatureStore, FeatureVersion
+from repro.ml.tracking import ExperimentTracker, Run
+from repro.ml.registry import ModelRegistry, ModelStage
+
+__all__ = [
+    "profile_matrix",
+    "profile_statistics",
+    "MLP",
+    "Autoencoder",
+    "SelfOrganizingMap",
+    "JobProfileClassifier",
+    "kmeans",
+    "cluster_purity",
+    "FeatureStore",
+    "FeatureVersion",
+    "ExperimentTracker",
+    "Run",
+    "ModelRegistry",
+    "ModelStage",
+    "PowerAnomalyDetector",
+    "AnomalyReport",
+    "windowize",
+    "PersistenceForecaster",
+    "RidgeForecaster",
+    "ForecastEvaluation",
+    "backtest",
+]

@@ -1,0 +1,121 @@
+"""Autoencoder-based anomaly detection on power telemetry.
+
+§VIII positions "descriptive or diagnostic analytics" via dimensionality
+reduction as a core ODA ML use (and cites anomaly detection on power
+consumption as a driving application).  The detector learns the manifold
+of *normal* windowed node-power behaviour; windows whose reconstruction
+error exceeds a calibrated quantile threshold are anomalous —
+sensor faults, stuck readings, or runaway power excursions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.autoencoder import Autoencoder
+
+__all__ = ["PowerAnomalyDetector", "AnomalyReport", "windowize"]
+
+
+def windowize(series: np.ndarray, window: int, stride: int | None = None
+              ) -> np.ndarray:
+    """Slice a 1-D series into overlapping windows, shape (n, window).
+
+    Each window is min-max normalized (shape, not magnitude), matching
+    the featurization used throughout the profile models.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if window <= 1:
+        raise ValueError("window must be > 1")
+    if stride is None:
+        stride = window // 2
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    if series.size < window:
+        return np.empty((0, window))
+    starts = np.arange(0, series.size - window + 1, stride)
+    out = np.empty((starts.size, window))
+    for i, s in enumerate(starts):
+        w = series[s : s + window]
+        lo, hi = w.min(), w.max()
+        out[i] = 0.5 if hi - lo < 1e-9 else (w - lo) / (hi - lo)
+    return out
+
+
+@dataclass(frozen=True)
+class AnomalyReport:
+    """Detection outcome over a scored series."""
+
+    n_windows: int
+    n_anomalous: int
+    threshold: float
+    scores: np.ndarray
+
+    @property
+    def anomaly_fraction(self) -> float:
+        """Fraction of windows flagged."""
+        return self.n_anomalous / self.n_windows if self.n_windows else 0.0
+
+
+class PowerAnomalyDetector:
+    """Reconstruction-error detector over windowed power series.
+
+    Parameters
+    ----------
+    window:
+        Samples per window.
+    latent_dim:
+        AE bottleneck width.
+    quantile:
+        Calibration quantile: the threshold is this quantile of training
+        reconstruction errors (controls the false-positive budget).
+    """
+
+    def __init__(
+        self,
+        window: int = 32,
+        latent_dim: int = 4,
+        quantile: float = 0.995,
+        seed: int = 0,
+    ) -> None:
+        if not 0.5 < quantile < 1.0:
+            raise ValueError("quantile must be in (0.5, 1)")
+        self.window = window
+        self.quantile = quantile
+        self.autoencoder = Autoencoder(window, latent_dim=latent_dim, seed=seed)
+        self.threshold: float | None = None
+
+    def _errors(self, windows: np.ndarray) -> np.ndarray:
+        recon = self.autoencoder.reconstruct(windows)
+        return ((recon - windows) ** 2).mean(axis=1)
+
+    def fit(self, normal_series: np.ndarray, epochs: int = 120) -> "PowerAnomalyDetector":
+        """Train on known-normal telemetry and calibrate the threshold."""
+        windows = windowize(normal_series, self.window)
+        if windows.shape[0] < 8:
+            raise ValueError("need at least 8 training windows")
+        self.autoencoder.fit(windows, epochs=epochs)
+        errors = self._errors(windows)
+        # Margin above the calibration quantile absorbs sampling noise.
+        self.threshold = float(np.quantile(errors, self.quantile)) * 1.5
+        return self
+
+    def score(self, series: np.ndarray) -> AnomalyReport:
+        """Score a series; windows above threshold are anomalous."""
+        if self.threshold is None:
+            raise RuntimeError("detector not fitted")
+        windows = windowize(series, self.window)
+        scores = self._errors(windows) if windows.size else np.empty(0)
+        n_anom = int((scores > self.threshold).sum())
+        return AnomalyReport(
+            n_windows=windows.shape[0],
+            n_anomalous=n_anom,
+            threshold=self.threshold,
+            scores=scores,
+        )
+
+    def is_anomalous(self, series: np.ndarray) -> bool:
+        """True if any window of the series crosses the threshold."""
+        return self.score(series).n_anomalous > 0

@@ -1,0 +1,83 @@
+"""Autoencoder for power-profile embedding.
+
+The Fig. 10 classifier is "a neural network-based classifier [that]
+automatically groups power profiles based on their similarities"; an
+autoencoder bottleneck learns the shape manifold, and the SOM organizes
+the embeddings into the published cell grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.mlp import MLP
+
+__all__ = ["Autoencoder"]
+
+
+class Autoencoder:
+    """Symmetric tanh autoencoder built from two MLPs sharing training.
+
+    Parameters
+    ----------
+    input_dim:
+        Profile length.
+    latent_dim:
+        Bottleneck width (the embedding the SOM consumes).
+    hidden:
+        Width of the single hidden layer on each side.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        latent_dim: int = 8,
+        hidden: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if latent_dim >= input_dim:
+            raise ValueError("latent_dim must compress (be < input_dim)")
+        self.input_dim = input_dim
+        self.latent_dim = latent_dim
+        self.net = MLP(
+            [input_dim, hidden, latent_dim, hidden, input_dim],
+            activation="tanh",
+            loss="mse",
+            seed=seed,
+        )
+
+    def fit(
+        self,
+        x: np.ndarray,
+        epochs: int = 120,
+        batch_size: int = 32,
+        lr: float = 5e-3,
+    ) -> list[float]:
+        """Train to reconstruct ``x``; returns per-epoch loss."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected {self.input_dim}-dim profiles, got {x.shape[1]}"
+            )
+        return self.net.fit(x, x, epochs=epochs, batch_size=batch_size, lr=lr)
+
+    def embed(self, x: np.ndarray) -> np.ndarray:
+        """Bottleneck activations for ``x`` (n, latent_dim)."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        h = x
+        # Forward through encoder half: layers 0 (in->hidden) and 1
+        # (hidden->latent), with the hidden activation applied to both
+        # as in the full network's forward pass.
+        for i in range(2):
+            z = h @ self.net.weights[i] + self.net.biases[i]
+            h = np.tanh(z)
+        return h
+
+    def reconstruct(self, x: np.ndarray) -> np.ndarray:
+        """Full round trip through the bottleneck."""
+        return self.net.predict(x)
+
+    def reconstruction_error(self, x: np.ndarray) -> float:
+        """Mean squared reconstruction error."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return float(np.mean((self.reconstruct(x) - x) ** 2))

@@ -1,0 +1,175 @@
+"""End-to-end job power-profile classification (Fig. 10) + baselines.
+
+Pipeline: Gold profile rows -> fixed-length normalized shapes ->
+autoencoder embedding -> SOM grid.  The published artifact is the grid
+of prototype shapes coloured by population; quality is measured against
+the workload-archetype ground truth via cluster purity, with k-means as
+the non-neural baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.columnar.table import ColumnTable
+from repro.ml.autoencoder import Autoencoder
+from repro.ml.features import profile_matrix
+from repro.ml.som import SelfOrganizingMap
+
+__all__ = ["JobProfileClassifier", "kmeans", "cluster_purity"]
+
+
+def kmeans(
+    x: np.ndarray, k: int, seed: int = 0, iters: int = 50
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's k-means; returns (labels, centroids).
+
+    The classical baseline against which the AE+SOM pipeline is scored.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    if k <= 0 or k > x.shape[0]:
+        raise ValueError("k must be in [1, n_samples]")
+    rng = np.random.default_rng(seed)
+    centroids = x[rng.choice(x.shape[0], k, replace=False)].copy()
+    labels = np.zeros(x.shape[0], dtype=np.int64)
+    for _ in range(iters):
+        d = ((x[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        new_labels = d.argmin(axis=1)
+        if (new_labels == labels).all():
+            labels = new_labels
+            break
+        labels = new_labels
+        for j in range(k):
+            members = x[labels == j]
+            if members.shape[0]:
+                centroids[j] = members.mean(axis=0)
+    return labels, centroids
+
+
+def cluster_purity(labels: np.ndarray, truth: list[str]) -> float:
+    """Weighted majority-class purity of a clustering against truth."""
+    labels = np.asarray(labels)
+    truth_arr = np.asarray(truth)
+    if labels.size != truth_arr.size:
+        raise ValueError("labels and truth length mismatch")
+    if labels.size == 0:
+        return 0.0
+    correct = 0
+    for cluster in np.unique(labels):
+        members = truth_arr[labels == cluster]
+        _, counts = np.unique(members, return_counts=True)
+        correct += counts.max()
+    return correct / labels.size
+
+
+@dataclass
+class ClassifierReport:
+    """Evaluation of one trained classifier."""
+
+    n_jobs: int
+    occupied_cells: int
+    total_cells: int
+    purity: float
+    baseline_purity: float
+    quantization_error: float
+    topographic_error: float
+
+
+class JobProfileClassifier:
+    """AE + SOM pipeline over Gold job power profiles.
+
+    Parameters
+    ----------
+    profile_length:
+        Resampled shape length fed to the autoencoder.
+    latent_dim:
+        AE bottleneck width.
+    grid:
+        SOM grid shape (rows, cols) — the Fig. 10 cell grid.
+    """
+
+    def __init__(
+        self,
+        profile_length: int = 64,
+        latent_dim: int = 8,
+        grid: tuple[int, int] = (6, 6),
+        seed: int = 0,
+    ) -> None:
+        self.profile_length = profile_length
+        self.seed = int(seed)
+        self.autoencoder = Autoencoder(
+            profile_length, latent_dim=latent_dim, seed=seed
+        )
+        self.som = SelfOrganizingMap(grid[0], grid[1], latent_dim, seed=seed)
+        self.job_ids: np.ndarray | None = None
+        self._x: np.ndarray | None = None
+
+    def fit(
+        self,
+        profiles: ColumnTable,
+        ae_epochs: int = 120,
+        som_epochs: int = 30,
+    ) -> "JobProfileClassifier":
+        """Train on Gold profile rows (as produced by the medallion)."""
+        job_ids, x = profile_matrix(profiles, self.profile_length)
+        if x.shape[0] < 4:
+            raise ValueError(
+                f"need at least 4 usable job profiles, got {x.shape[0]}"
+            )
+        self.job_ids = job_ids
+        self._x = x
+        self.autoencoder.fit(x, epochs=ae_epochs)
+        z = self.autoencoder.embed(x)
+        self.som.fit(z, epochs=som_epochs)
+        return self
+
+    def _require_fit(self) -> None:
+        if self.job_ids is None:
+            raise RuntimeError("classifier not fitted")
+
+    def assign(self, profiles: ColumnTable) -> tuple[np.ndarray, np.ndarray]:
+        """(job_ids, cell index per job) for new profiles."""
+        self._require_fit()
+        job_ids, x = profile_matrix(profiles, self.profile_length)
+        z = self.autoencoder.embed(x)
+        return job_ids, self.som.bmu(z)
+
+    def grid_populations(self) -> np.ndarray:
+        """Training-set hit counts per cell — the Fig. 10 colouring."""
+        self._require_fit()
+        z = self.autoencoder.embed(self._x)
+        return self.som.populations(z)
+
+    def cell_shape(self, row: int, col: int) -> np.ndarray:
+        """Representative profile shape of one cell: the mean of training
+        profiles mapped there (codebook lives in latent space)."""
+        self._require_fit()
+        z = self.autoencoder.embed(self._x)
+        cells = self.som.bmu(z)
+        members = self._x[cells == row * self.som.cols + col]
+        if members.shape[0] == 0:
+            return np.full(self.profile_length, np.nan)
+        return members.mean(axis=0)
+
+    def evaluate(self, truth_by_job: dict[int, str]) -> ClassifierReport:
+        """Score against archetype ground truth; k-means on raw shapes is
+        the baseline."""
+        self._require_fit()
+        assert self.job_ids is not None and self._x is not None
+        truth = [truth_by_job[int(j)] for j in self.job_ids]
+        z = self.autoencoder.embed(self._x)
+        som_labels = self.som.bmu(z)
+        k = min(self.som.n_cells, self._x.shape[0])
+        km_labels, _ = kmeans(self._x, k=max(len(set(truth)), 2), seed=self.seed)
+        populations = self.som.populations(z)
+        return ClassifierReport(
+            n_jobs=int(self._x.shape[0]),
+            occupied_cells=int((populations > 0).sum()),
+            total_cells=self.som.n_cells,
+            purity=cluster_purity(som_labels, truth),
+            baseline_purity=cluster_purity(km_labels, truth),
+            quantization_error=self.som.quantization_error(z),
+            topographic_error=self.som.topographic_error(z),
+        )

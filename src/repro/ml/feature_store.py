@@ -1,0 +1,112 @@
+"""Versioned, content-addressed feature store (the DVC role, Fig. 9).
+
+"managing featurized data through version-controlled project feature
+stores (DVC)" — each ``put`` snapshots a feature table, addresses it by
+the SHA-256 of its serialized bytes, and records lineage (parent version
++ parameters).  Identical content always maps to the identical version
+id, which is what makes retraining reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.columnar.file_format import read_table, write_table
+from repro.columnar.table import ColumnTable
+
+__all__ = ["FeatureVersion", "FeatureStore"]
+
+
+@dataclass(frozen=True)
+class FeatureVersion:
+    """Metadata of one immutable feature snapshot."""
+
+    name: str
+    version: str  # content hash (sha256 hex, truncated)
+    n_rows: int
+    nbytes: int
+    params: dict[str, str] = field(default_factory=dict)
+    parent: str | None = None
+
+
+class FeatureStore:
+    """Append-only store of named, versioned feature tables."""
+
+    HASH_LEN = 16
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}  # version -> RCF bytes
+        self._versions: dict[str, list[FeatureVersion]] = {}  # name -> history
+
+    def put(
+        self,
+        name: str,
+        table: ColumnTable,
+        params: dict[str, str] | None = None,
+        parent: str | None = None,
+    ) -> FeatureVersion:
+        """Snapshot a feature table; returns its (possibly reused) version.
+
+        Content-identical tables dedupe to the same version id.
+        """
+        blob = write_table(table, codec="high")
+        version = hashlib.sha256(blob).hexdigest()[: self.HASH_LEN]
+        if parent is not None and parent not in self._blobs:
+            raise KeyError(f"unknown parent version {parent!r}")
+        meta = FeatureVersion(
+            name=name,
+            version=version,
+            n_rows=table.num_rows,
+            nbytes=len(blob),
+            params=dict(params or {}),
+            parent=parent,
+        )
+        history = self._versions.setdefault(name, [])
+        if not any(v.version == version for v in history):
+            self._blobs[version] = blob
+            history.append(meta)
+        return meta
+
+    def get(self, name: str, version: str | None = None) -> ColumnTable:
+        """Fetch a snapshot (latest version when unspecified)."""
+        meta = self.describe(name, version)
+        return read_table(self._blobs[meta.version])
+
+    def describe(self, name: str, version: str | None = None) -> FeatureVersion:
+        """Version metadata (latest when unspecified)."""
+        history = self._versions.get(name)
+        if not history:
+            raise KeyError(f"no feature set {name!r}")
+        if version is None:
+            return history[-1]
+        for meta in history:
+            if meta.version == version:
+                return meta
+        raise KeyError(f"no version {version!r} of {name!r}")
+
+    def versions(self, name: str) -> list[str]:
+        """Version ids of a feature set, oldest first."""
+        return [v.version for v in self._versions.get(name, [])]
+
+    def lineage(self, name: str, version: str) -> list[str]:
+        """Chain of version ids from the given one back to its root."""
+        chain = []
+        meta = self.describe(name, version)
+        while True:
+            chain.append(meta.version)
+            if meta.parent is None:
+                return chain
+            parent_meta = None
+            for hist in self._versions.values():
+                for m in hist:
+                    if m.version == meta.parent:
+                        parent_meta = m
+                        break
+            if parent_meta is None:
+                return chain
+            meta = parent_meta
+
+    def names(self) -> list[str]:
+        """All feature-set names, sorted."""
+        return sorted(self._versions)

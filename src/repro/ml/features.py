@@ -1,0 +1,94 @@
+"""Featurization of job power profiles.
+
+The classifier of Fig. 10 "clusters job power profiles based on their
+similarity in consumption patterns"; similarity is over *shape*, not
+magnitude, so profiles are resampled to a fixed length and normalized to
+[0, 1] per profile before any model sees them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.columnar.table import ColumnTable
+
+__all__ = ["profile_matrix", "profile_statistics"]
+
+
+def _resample_to_length(values: np.ndarray, length: int) -> np.ndarray:
+    """Linear-interpolate a series to exactly ``length`` points."""
+    if values.size == 1:
+        return np.full(length, values[0])
+    x_old = np.linspace(0.0, 1.0, values.size)
+    x_new = np.linspace(0.0, 1.0, length)
+    return np.interp(x_new, x_old, values)
+
+
+def profile_matrix(
+    profiles: ColumnTable,
+    length: int = 64,
+    min_samples: int = 4,
+    normalize: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gold profile rows -> (job_ids, X) with X of shape (n_jobs, length).
+
+    Jobs with fewer than ``min_samples`` profile points are skipped (too
+    short to have a shape).  With ``normalize`` each row is min-max
+    scaled; constant profiles become all-0.5 (flat shape).
+    """
+    if length < 2:
+        raise ValueError("length must be >= 2")
+    if profiles.num_rows == 0:
+        return np.empty(0, dtype=np.int64), np.empty((0, length))
+    job_ids = profiles["job_id"].astype(np.int64)
+    order = np.lexsort((profiles["timestamp"], job_ids))
+    jid_sorted = job_ids[order]
+    power_sorted = profiles["power_w"][order]
+
+    boundaries = np.flatnonzero(
+        np.concatenate(([True], jid_sorted[1:] != jid_sorted[:-1]))
+    )
+    ends = np.concatenate((boundaries[1:], [jid_sorted.size]))
+
+    out_ids, rows = [], []
+    for start, end in zip(boundaries, ends):
+        if end - start < min_samples:
+            continue
+        series = _resample_to_length(power_sorted[start:end], length)
+        if normalize:
+            lo, hi = series.min(), series.max()
+            if hi - lo < 1e-9:
+                series = np.full(length, 0.5)
+            else:
+                series = (series - lo) / (hi - lo)
+        out_ids.append(int(jid_sorted[start]))
+        rows.append(series)
+    if not rows:
+        return np.empty(0, dtype=np.int64), np.empty((0, length))
+    return np.array(out_ids, dtype=np.int64), np.vstack(rows)
+
+
+def profile_statistics(profiles: ColumnTable) -> ColumnTable:
+    """Per-job scalar features (mean/max/std/burstiness) for tabular ML."""
+    from repro.pipeline.ops import group_by_agg
+
+    if profiles.num_rows == 0:
+        return ColumnTable({})
+    stats = group_by_agg(
+        profiles,
+        ["job_id"],
+        {
+            "mean_w": ("power_w", "mean"),
+            "max_w": ("power_w", "max"),
+            "min_w": ("power_w", "min"),
+            "std_w": ("power_w", "std"),
+            "samples": ("power_w", "count"),
+        },
+    )
+    burstiness = stats["std_w"] / np.maximum(stats["mean_w"], 1e-9)
+    dynamic_range = (stats["max_w"] - stats["min_w"]) / np.maximum(
+        stats["max_w"], 1e-9
+    )
+    return stats.with_column("burstiness", burstiness).with_column(
+        "dynamic_range", dynamic_range
+    )

@@ -1,0 +1,144 @@
+"""Short-horizon fleet-power forecasting.
+
+§VIII's predictive/prescriptive analytics role ("act as proxies for the
+actual system, enabling predictive ... analytics through forecasting"),
+and the facility-side motivation the paper's references develop
+(power-aware scheduling, cooling feed-forward).  Two models:
+
+* :class:`PersistenceForecaster` — the last-value baseline every
+  forecasting claim must beat,
+* :class:`RidgeForecaster` — autoregressive ridge regression on lagged
+  samples (closed-form normal equations; no gradient descent needed at
+  this scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PersistenceForecaster",
+    "RidgeForecaster",
+    "ForecastEvaluation",
+    "backtest",
+]
+
+
+class PersistenceForecaster:
+    """Predicts the future equals the present (the honest baseline)."""
+
+    def fit(self, series: np.ndarray) -> "PersistenceForecaster":
+        """No parameters; kept for interface symmetry."""
+        return self
+
+    def predict(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        """Repeat the last observation ``horizon`` steps."""
+        history = np.asarray(history, dtype=np.float64)
+        if history.size == 0:
+            raise ValueError("history must be non-empty")
+        return np.full(horizon, history[-1])
+
+
+class RidgeForecaster:
+    """One-step AR(p) ridge model, rolled forward for multi-step.
+
+    Parameters
+    ----------
+    order:
+        Number of lagged samples used as features.
+    alpha:
+        L2 regularization strength.
+    """
+
+    def __init__(self, order: int = 12, alpha: float = 1e-3) -> None:
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.order = order
+        self.alpha = alpha
+        self.coef_: np.ndarray | None = None
+        self._mean = 0.0
+        self._scale = 1.0
+
+    def fit(self, series: np.ndarray) -> "RidgeForecaster":
+        """Fit on a training series (must exceed the AR order)."""
+        y_all = np.asarray(series, dtype=np.float64)
+        if y_all.size <= self.order + 1:
+            raise ValueError(
+                f"need more than {self.order + 1} samples, got {y_all.size}"
+            )
+        self._mean = float(y_all.mean())
+        self._scale = float(y_all.std()) or 1.0
+        z = (y_all - self._mean) / self._scale
+        p = self.order
+        # Lag matrix: row t -> [z[t-p] .. z[t-1], 1].
+        n = z.size - p
+        x = np.empty((n, p + 1))
+        for lag in range(p):
+            x[:, lag] = z[lag : lag + n]
+        x[:, p] = 1.0
+        y = z[p:]
+        gram = x.T @ x + self.alpha * np.eye(p + 1)
+        self.coef_ = np.linalg.solve(gram, x.T @ y)
+        return self
+
+    def predict(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        """Roll the one-step model forward ``horizon`` steps."""
+        if self.coef_ is None:
+            raise RuntimeError("forecaster not fitted")
+        history = np.asarray(history, dtype=np.float64)
+        if history.size < self.order:
+            raise ValueError(f"history must have >= {self.order} samples")
+        z = ((history - self._mean) / self._scale)[-self.order:].copy()
+        out = np.empty(horizon)
+        for step in range(horizon):
+            features = np.concatenate((z, [1.0]))
+            nxt = float(features @ self.coef_)
+            out[step] = nxt
+            z = np.roll(z, -1)
+            z[-1] = nxt
+        return out * self._scale + self._mean
+
+
+@dataclass(frozen=True)
+class ForecastEvaluation:
+    """Backtest outcome."""
+
+    mape: float
+    rmse: float
+    n_forecasts: int
+
+
+def backtest(
+    model,
+    series: np.ndarray,
+    train_frac: float = 0.6,
+    horizon: int = 8,
+    stride: int = 4,
+) -> ForecastEvaluation:
+    """Rolling-origin evaluation on the held-out tail of ``series``."""
+    series = np.asarray(series, dtype=np.float64)
+    split = int(series.size * train_frac)
+    if split < 2 or series.size - split < horizon + 1:
+        raise ValueError("series too short for this split/horizon")
+    model.fit(series[:split])
+    errors, rel_errors = [], []
+    count = 0
+    for origin in range(split, series.size - horizon, stride):
+        prediction = model.predict(series[:origin], horizon)
+        actual = series[origin : origin + horizon]
+        errors.append(prediction - actual)
+        rel_errors.append(
+            np.abs(prediction - actual) / np.maximum(np.abs(actual), 1e-9)
+        )
+        count += 1
+    err = np.concatenate(errors)
+    rel = np.concatenate(rel_errors)
+    return ForecastEvaluation(
+        mape=float(rel.mean()),
+        rmse=float(np.sqrt((err**2).mean())),
+        n_forecasts=count,
+    )

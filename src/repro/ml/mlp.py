@@ -1,0 +1,206 @@
+"""A plain feed-forward neural network on NumPy.
+
+Deliberately small and fully deterministic (seeded init, fixed shuffle
+streams): the reproducibility pipeline of Fig. 9 asserts that retraining
+with the same seed yields a bit-identical model, and these tests hold
+this implementation to that.
+
+Supports regression (MSE) and classification (softmax cross-entropy)
+heads, ReLU/tanh hidden activations, and minibatch SGD with momentum.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+__all__ = ["MLP"]
+
+_ACTIVATIONS = ("relu", "tanh")
+_LOSSES = ("mse", "softmax")
+
+
+def _act(x: np.ndarray, kind: str) -> np.ndarray:
+    if kind == "relu":
+        return np.maximum(x, 0.0)
+    return np.tanh(x)
+
+
+def _act_grad(pre: np.ndarray, post: np.ndarray, kind: str) -> np.ndarray:
+    if kind == "relu":
+        return (pre > 0).astype(np.float64)
+    return 1.0 - post * post
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class MLP:
+    """Feed-forward network: ``layers = [in, hidden..., out]``.
+
+    Parameters
+    ----------
+    layers:
+        Unit counts, at least [in, out].
+    activation:
+        Hidden activation: ``"relu"`` or ``"tanh"``.
+    loss:
+        ``"mse"`` (linear output) or ``"softmax"`` (class probabilities).
+    seed:
+        Weight-init and shuffle seed; identical seeds + data give
+        bit-identical models.
+    """
+
+    def __init__(
+        self,
+        layers: list[int],
+        activation: str = "relu",
+        loss: str = "mse",
+        seed: int = 0,
+    ) -> None:
+        if len(layers) < 2 or any(n <= 0 for n in layers):
+            raise ValueError("layers must be >= 2 positive sizes")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"activation must be one of {_ACTIVATIONS}")
+        if loss not in _LOSSES:
+            raise ValueError(f"loss must be one of {_LOSSES}")
+        self.layers = list(layers)
+        self.activation = activation
+        self.loss = loss
+        self.seed = int(seed)
+        rng = np.random.default_rng(seed)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for n_in, n_out in zip(layers, layers[1:]):
+            scale = np.sqrt(2.0 / n_in)
+            self.weights.append(rng.normal(0.0, scale, (n_in, n_out)))
+            self.biases.append(np.zeros(n_out))
+        self._vel_w = [np.zeros_like(w) for w in self.weights]
+        self._vel_b = [np.zeros_like(b) for b in self.biases]
+
+    # -- forward ---------------------------------------------------------------
+
+    def _forward(self, x: np.ndarray) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        pres, posts = [], [x]
+        h = x
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = h @ w + b
+            pres.append(z)
+            if i < last:
+                h = _act(z, self.activation)
+            else:
+                h = _softmax(z) if self.loss == "softmax" else z
+            posts.append(h)
+        return pres, posts
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Network output: probabilities (softmax) or values (mse)."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return self._forward(x)[1][-1]
+
+    def predict_classes(self, x: np.ndarray) -> np.ndarray:
+        """Argmax class labels (softmax loss only)."""
+        if self.loss != "softmax":
+            raise ValueError("predict_classes requires softmax loss")
+        return self.predict(x).argmax(axis=1)
+
+    # -- training -----------------------------------------------------------------
+
+    def loss_value(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Current loss on (x, y)."""
+        out = self.predict(x)
+        y = np.asarray(y)
+        if self.loss == "mse":
+            return float(np.mean((out - np.atleast_2d(y)) ** 2))
+        probs = np.clip(out[np.arange(len(y)), y.astype(int)], 1e-12, 1.0)
+        return float(-np.mean(np.log(probs)))
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 50,
+        batch_size: int = 32,
+        lr: float = 1e-2,
+        momentum: float = 0.9,
+        verbose: bool = False,
+    ) -> list[float]:
+        """Minibatch SGD; returns per-epoch training loss."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y row counts differ")
+        n = x.shape[0]
+        shuffle_rng = np.random.default_rng(self.seed + 1)
+        history = []
+        for _ in range(epochs):
+            order = shuffle_rng.permutation(n)
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                self._step(x[idx], y[idx], lr, momentum)
+            history.append(self.loss_value(x, y))
+        return history
+
+    def _step(self, xb: np.ndarray, yb: np.ndarray, lr: float, momentum: float) -> None:
+        pres, posts = self._forward(xb)
+        m = xb.shape[0]
+        out = posts[-1]
+        if self.loss == "mse":
+            target = np.atleast_2d(yb.astype(np.float64))
+            if target.shape != out.shape:
+                target = target.reshape(out.shape)
+            delta = 2.0 * (out - target) / m
+        else:
+            onehot = np.zeros_like(out)
+            onehot[np.arange(m), yb.astype(int)] = 1.0
+            delta = (out - onehot) / m
+        for i in range(len(self.weights) - 1, -1, -1):
+            grad_w = posts[i].T @ delta
+            grad_b = delta.sum(axis=0)
+            if i > 0:
+                delta = (delta @ self.weights[i].T) * _act_grad(
+                    pres[i - 1], posts[i], self.activation
+                )
+            self._vel_w[i] = momentum * self._vel_w[i] - lr * grad_w
+            self._vel_b[i] = momentum * self._vel_b[i] - lr * grad_b
+            self.weights[i] += self._vel_w[i]
+            self.biases[i] += self._vel_b[i]
+
+    # -- serialization ----------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize architecture + weights (deterministic bytes)."""
+        buf = io.BytesIO()
+        meta = np.array(
+            [len(self.layers), self.seed,
+             _ACTIVATIONS.index(self.activation), _LOSSES.index(self.loss)],
+            dtype=np.int64,
+        )
+        np.save(buf, meta)
+        np.save(buf, np.array(self.layers, dtype=np.int64))
+        for w, b in zip(self.weights, self.biases):
+            np.save(buf, w)
+            np.save(buf, b)
+        return buf.getvalue()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "MLP":
+        """Invert :meth:`to_bytes`."""
+        buf = io.BytesIO(blob)
+        meta = np.load(buf)
+        layers = np.load(buf).tolist()
+        model = cls(
+            layers,
+            activation=_ACTIVATIONS[int(meta[2])],
+            loss=_LOSSES[int(meta[3])],
+            seed=int(meta[1]),
+        )
+        for i in range(len(model.weights)):
+            model.weights[i] = np.load(buf)
+            model.biases[i] = np.load(buf)
+        return model

@@ -1,0 +1,115 @@
+"""Model registry with stage promotion (the MLflow-registry role).
+
+Downstream inference workloads (Fig. 9's right side) resolve models by
+(name, stage); promotion moves a version through NONE -> STAGING ->
+PRODUCTION -> ARCHIVED, and at most one version of a name is in
+PRODUCTION at a time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["ModelStage", "ModelRegistry"]
+
+
+class ModelStage(enum.Enum):
+    """Deployment stage of a model version."""
+
+    NONE = "none"
+    STAGING = "staging"
+    PRODUCTION = "production"
+    ARCHIVED = "archived"
+
+
+_ALLOWED = {
+    ModelStage.NONE: {ModelStage.STAGING, ModelStage.ARCHIVED},
+    ModelStage.STAGING: {ModelStage.PRODUCTION, ModelStage.ARCHIVED},
+    ModelStage.PRODUCTION: {ModelStage.ARCHIVED},
+    ModelStage.ARCHIVED: set(),
+}
+
+
+@dataclass
+class _ModelVersion:
+    name: str
+    version: int
+    blob: bytes
+    metrics: dict[str, float] = field(default_factory=dict)
+    stage: ModelStage = ModelStage.NONE
+    source_run: str | None = None
+
+
+class ModelRegistry:
+    """Versioned model blobs with stage lifecycle."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, list[_ModelVersion]] = {}
+
+    def register(
+        self,
+        name: str,
+        blob: bytes,
+        metrics: dict[str, float] | None = None,
+        source_run: str | None = None,
+    ) -> int:
+        """Add a new version; returns its version number (1-based)."""
+        versions = self._models.setdefault(name, [])
+        version = len(versions) + 1
+        versions.append(
+            _ModelVersion(
+                name, version, bytes(blob), dict(metrics or {}),
+                source_run=source_run,
+            )
+        )
+        return version
+
+    def _version(self, name: str, version: int) -> _ModelVersion:
+        versions = self._models.get(name)
+        if not versions or not 1 <= version <= len(versions):
+            raise KeyError(f"no model {name!r} version {version}")
+        return versions[version - 1]
+
+    def promote(self, name: str, version: int, stage: ModelStage) -> None:
+        """Move a version to ``stage`` (valid transitions only).
+
+        Promoting to PRODUCTION archives the previous production version.
+        """
+        mv = self._version(name, version)
+        if stage not in _ALLOWED[mv.stage]:
+            raise ValueError(
+                f"illegal transition {mv.stage.value} -> {stage.value}"
+            )
+        if stage is ModelStage.PRODUCTION:
+            for other in self._models[name]:
+                if other.stage is ModelStage.PRODUCTION:
+                    other.stage = ModelStage.ARCHIVED
+        mv.stage = stage
+
+    def get(self, name: str, stage: ModelStage = ModelStage.PRODUCTION) -> bytes:
+        """Model bytes of the version currently in ``stage``."""
+        for mv in self._models.get(name, []):
+            if mv.stage is stage:
+                return mv.blob
+        raise KeyError(f"no {stage.value} version of model {name!r}")
+
+    def get_version(self, name: str, version: int) -> bytes:
+        """Model bytes of a specific version."""
+        return self._version(name, version).blob
+
+    def metrics(self, name: str, version: int) -> dict[str, float]:
+        """Recorded metrics of a version."""
+        return dict(self._version(name, version).metrics)
+
+    def stage_of(self, name: str, version: int) -> ModelStage:
+        """Current stage of a version."""
+        return self._version(name, version).stage
+
+    def versions(self, name: str) -> int:
+        """Number of registered versions of ``name`` (0 if unknown)."""
+        return len(self._models.get(name, []))
+
+    def names(self) -> list[str]:
+        """All model names, sorted."""
+        return sorted(self._models)

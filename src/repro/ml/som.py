@@ -1,0 +1,126 @@
+"""Self-organizing map: the Fig. 10 cell grid.
+
+Fig. 10's right panel is a 2-D grid where "cells are profile shapes and
+the color is the observed population" — exactly a trained SOM rendered
+with its codebook vectors and hit counts.  Classic online SOM training:
+best-matching unit search, Gaussian neighbourhood, exponentially
+decaying learning rate and radius.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SelfOrganizingMap"]
+
+
+class SelfOrganizingMap:
+    """A (rows x cols) SOM over d-dimensional inputs."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        dim: int,
+        seed: int = 0,
+    ) -> None:
+        if rows <= 0 or cols <= 0 or dim <= 0:
+            raise ValueError("rows, cols, dim must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.dim = dim
+        rng = np.random.default_rng(seed)
+        self.codebook = rng.normal(0.0, 0.1, (rows * cols, dim))
+        # Precomputed grid coordinates for neighbourhood kernels.
+        rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+        self._coords = np.column_stack([rr.ravel(), cc.ravel()]).astype(float)
+        self._seed = seed
+        self.trained = False
+
+    @property
+    def n_cells(self) -> int:
+        """Total grid cells."""
+        return self.rows * self.cols
+
+    def bmu(self, x: np.ndarray) -> np.ndarray:
+        """Best-matching unit index for each row of ``x``."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        # ||c - x||^2 = ||c||^2 - 2 c.x + ||x||^2; drop the x term.
+        d = (
+            (self.codebook**2).sum(axis=1)[None, :]
+            - 2.0 * x @ self.codebook.T
+        )
+        return d.argmin(axis=1)
+
+    def fit(
+        self,
+        x: np.ndarray,
+        epochs: int = 30,
+        lr0: float = 0.5,
+        radius0: float | None = None,
+    ) -> "SelfOrganizingMap":
+        """Online SOM training with exponential decay schedules."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {x.shape[1]}")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on empty data")
+        radius0 = radius0 or max(self.rows, self.cols) / 2.0
+        # Initialize codebook from data samples for faster convergence.
+        rng = np.random.default_rng(self._seed + 7)
+        init_idx = rng.integers(0, x.shape[0], self.n_cells)
+        self.codebook = x[init_idx] + rng.normal(0, 0.01, self.codebook.shape)
+
+        n = x.shape[0]
+        total_steps = epochs * n
+        step = 0
+        tau = total_steps / max(np.log(radius0), 1e-9)
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            for i in order:
+                lr = lr0 * np.exp(-step / total_steps)
+                radius = max(radius0 * np.exp(-step / tau), 0.5)
+                winner = int(self.bmu(x[i : i + 1])[0])
+                grid_d2 = ((self._coords - self._coords[winner]) ** 2).sum(axis=1)
+                influence = np.exp(-grid_d2 / (2.0 * radius * radius))
+                self.codebook += (lr * influence)[:, None] * (
+                    x[i] - self.codebook
+                )
+                step += 1
+        self.trained = True
+        return self
+
+    # -- the Fig. 10 artifacts -------------------------------------------------
+
+    def populations(self, x: np.ndarray) -> np.ndarray:
+        """Hit count per cell, shaped (rows, cols) — the grid colouring."""
+        hits = np.bincount(self.bmu(x), minlength=self.n_cells)
+        return hits.reshape(self.rows, self.cols)
+
+    def cell_prototype(self, row: int, col: int) -> np.ndarray:
+        """Codebook vector of one cell — the profile shape drawn in it."""
+        if not 0 <= row < self.rows or not 0 <= col < self.cols:
+            raise ValueError("cell out of range")
+        return self.codebook[row * self.cols + col].copy()
+
+    def quantization_error(self, x: np.ndarray) -> float:
+        """Mean distance from samples to their BMU codebook vector."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        winners = self.bmu(x)
+        return float(
+            np.linalg.norm(x - self.codebook[winners], axis=1).mean()
+        )
+
+    def topographic_error(self, x: np.ndarray) -> float:
+        """Fraction of samples whose first and second BMUs are not grid
+        neighbours — a map-quality metric."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        d = (
+            (self.codebook**2).sum(axis=1)[None, :]
+            - 2.0 * x @ self.codebook.T
+        )
+        top2 = np.argsort(d, axis=1)[:, :2]
+        c1 = self._coords[top2[:, 0]]
+        c2 = self._coords[top2[:, 1]]
+        adjacent = (np.abs(c1 - c2).max(axis=1) <= 1.0)
+        return float(1.0 - adjacent.mean())

@@ -1,0 +1,108 @@
+"""Experiment tracking (the MLflow role, Fig. 9).
+
+"tracking experiments and distributing models via an ML tracking
+service" — experiments own runs; runs record parameters, stepped
+metrics, and artifacts; queries find the best run by a metric.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Run", "ExperimentTracker"]
+
+
+@dataclass
+class Run:
+    """One training run inside an experiment."""
+
+    run_id: str
+    experiment: str
+    params: dict[str, str] = field(default_factory=dict)
+    metrics: dict[str, list[tuple[int, float]]] = field(default_factory=dict)
+    artifacts: dict[str, bytes] = field(default_factory=dict)
+    finished: bool = False
+
+    def log_param(self, key: str, value: object) -> None:
+        """Record a hyperparameter (stringified)."""
+        self._check_open()
+        self.params[key] = str(value)
+
+    def log_metric(self, key: str, value: float, step: int = 0) -> None:
+        """Append one (step, value) point of a metric series."""
+        self._check_open()
+        self.metrics.setdefault(key, []).append((step, float(value)))
+
+    def log_artifact(self, name: str, blob: bytes) -> None:
+        """Attach an artifact (model bytes, plots, reports)."""
+        self._check_open()
+        self.artifacts[name] = bytes(blob)
+
+    def latest_metric(self, key: str) -> float:
+        """Last recorded value of a metric (KeyError if absent)."""
+        series = self.metrics[key]
+        return series[-1][1]
+
+    def _check_open(self) -> None:
+        if self.finished:
+            raise RuntimeError(f"run {self.run_id} is finished (immutable)")
+
+
+class ExperimentTracker:
+    """Multi-experiment run registry."""
+
+    def __init__(self) -> None:
+        self._runs: dict[str, Run] = {}
+        self._by_experiment: dict[str, list[str]] = {}
+        self._counter = 0
+
+    def start_run(self, experiment: str, params: dict[str, object] | None = None
+                  ) -> Run:
+        """Open a new run under ``experiment``."""
+        self._counter += 1
+        run_id = hashlib.sha256(
+            f"{experiment}:{self._counter}".encode()
+        ).hexdigest()[:12]
+        run = Run(run_id=run_id, experiment=experiment)
+        for k, v in (params or {}).items():
+            run.log_param(k, v)
+        self._runs[run_id] = run
+        self._by_experiment.setdefault(experiment, []).append(run_id)
+        return run
+
+    def end_run(self, run_id: str) -> None:
+        """Seal a run; it becomes immutable."""
+        self.get_run(run_id).finished = True
+
+    def get_run(self, run_id: str) -> Run:
+        """Run by id (KeyError if unknown)."""
+        try:
+            return self._runs[run_id]
+        except KeyError:
+            raise KeyError(f"unknown run {run_id!r}") from None
+
+    def runs(self, experiment: str) -> list[Run]:
+        """All runs of an experiment, in start order."""
+        return [self._runs[r] for r in self._by_experiment.get(experiment, [])]
+
+    def best_run(
+        self, experiment: str, metric: str, mode: str = "min"
+    ) -> Run | None:
+        """Finished run with the best final value of ``metric``."""
+        if mode not in ("min", "max"):
+            raise ValueError("mode must be 'min' or 'max'")
+        candidates = [
+            r for r in self.runs(experiment)
+            if r.finished and metric in r.metrics
+        ]
+        if not candidates:
+            return None
+        key = lambda r: r.latest_metric(metric)  # noqa: E731
+        return min(candidates, key=key) if mode == "min" else max(
+            candidates, key=key
+        )
+
+    def experiments(self) -> list[str]:
+        """All experiment names, sorted."""
+        return sorted(self._by_experiment)

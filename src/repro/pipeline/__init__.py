@@ -1,0 +1,59 @@
+"""The stream-processing engine (the Spark structured-streaming role).
+
+The paper decomposes every ODA pipeline into SQL clauses (Fig. 4b):
+SELECT/WHERE over raw streams, GROUP BY time windows, PIVOT to wide
+format, JOIN against job context, then further GROUP BY aggregations for
+analysis — refining data through Bronze, Silver, and Gold states of the
+medallion architecture.  This package implements exactly those pieces:
+
+* :mod:`repro.pipeline.ops` — vectorized relational operators over
+  :class:`~repro.columnar.table.ColumnTable`,
+* :mod:`repro.pipeline.watermark` — event-time tracking and late-data
+  policy for lossy, delayed telemetry,
+* :mod:`repro.pipeline.checkpoint` — offset+state checkpointing giving
+  crash recovery with effectively-once sink semantics ("advanced failure
+  and recovery mechanisms that can be difficult to re-engineer from
+  scratch", §V-B),
+* :mod:`repro.pipeline.micro_batch` — the micro-batch driver connecting
+  broker topics to sinks,
+* :mod:`repro.pipeline.medallion` — the concrete Bronze/Silver/Gold
+  stages for the telemetry streams, with per-stage cost accounting.
+"""
+
+from repro.pipeline.ops import (
+    group_by_agg,
+    hash_join,
+    pivot,
+    resample,
+    select,
+    where,
+)
+from repro.pipeline.watermark import LateDataStats, Watermark
+from repro.pipeline.checkpoint import CheckpointStore
+from repro.pipeline.micro_batch import BatchResult, StreamingQuery
+from repro.pipeline.medallion import (
+    MedallionPipeline,
+    StageStats,
+    bronze_standardize,
+    gold_job_profiles,
+    silver_aggregate,
+)
+
+__all__ = [
+    "select",
+    "where",
+    "group_by_agg",
+    "pivot",
+    "hash_join",
+    "resample",
+    "Watermark",
+    "LateDataStats",
+    "CheckpointStore",
+    "StreamingQuery",
+    "BatchResult",
+    "MedallionPipeline",
+    "StageStats",
+    "bronze_standardize",
+    "silver_aggregate",
+    "gold_job_profiles",
+]

@@ -1,0 +1,78 @@
+"""Event-time watermarks and late-data accounting.
+
+Telemetry is "streamed, skewed, and lossy" (§VIII-A): observations arrive
+out of order and some never arrive.  A watermark bounds how long the
+engine waits: it trails the maximum event time seen by ``delay_s``; rows
+older than the watermark are *late* and are dropped (with accounting) so
+downstream aggregates stay append-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.columnar.table import ColumnTable
+
+__all__ = ["Watermark", "LateDataStats"]
+
+
+@dataclass
+class LateDataStats:
+    """Running count of rows dropped for arriving behind the watermark."""
+
+    rows_seen: int = 0
+    rows_late: int = 0
+
+    @property
+    def late_fraction(self) -> float:
+        """Fraction of rows that arrived late (0 when nothing seen)."""
+        return self.rows_late / self.rows_seen if self.rows_seen else 0.0
+
+
+@dataclass
+class Watermark:
+    """Event-time watermark with configurable allowed lateness.
+
+    Attributes
+    ----------
+    delay_s:
+        Allowed out-of-orderness: the watermark is
+        ``max_event_time - delay_s``.
+    """
+
+    delay_s: float = 60.0
+    max_event_time: float = float("-inf")
+    stats: LateDataStats = field(default_factory=LateDataStats)
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+
+    @property
+    def current(self) -> float:
+        """The watermark: rows with event time below this are late."""
+        return self.max_event_time - self.delay_s
+
+    def observe(self, event_times: np.ndarray) -> None:
+        """Advance the watermark past a batch's event times."""
+        times = np.asarray(event_times, dtype=np.float64)
+        if times.size:
+            self.max_event_time = max(self.max_event_time, float(times.max()))
+
+    def split(
+        self, table: ColumnTable, time_column: str = "timestamp"
+    ) -> tuple[ColumnTable, ColumnTable]:
+        """(on_time, late) rows of a batch, advancing the watermark.
+
+        The watermark advances *before* the split, so a batch can never
+        invalidate its own rows retroactively within a later batch.
+        """
+        ts = table[time_column]
+        threshold = self.current
+        self.observe(ts)
+        late_mask = ts < threshold
+        self.stats.rows_seen += table.num_rows
+        self.stats.rows_late += int(late_mask.sum())
+        return table.filter(~late_mask), table.filter(late_mask)

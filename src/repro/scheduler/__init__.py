@@ -1,0 +1,41 @@
+"""Resource-manager substrate: a discrete-event batch scheduler.
+
+The "Resource Manager" row of Fig. 3 is the highest-maturity (L5) stream
+in the paper's matrix because everything joins against it.  This package
+simulates a leadership-class batch system end to end:
+
+* :mod:`repro.scheduler.jobs` — submissions, states, and completion
+  records,
+* :mod:`repro.scheduler.policy` — FIFO and EASY-backfill scheduling,
+* :mod:`repro.scheduler.simulator` — the event loop producing
+  telemetry-compatible :class:`~repro.telemetry.jobs.JobSpec` traces and
+  queueing metrics,
+* :mod:`repro.scheduler.accounting` — project allocations, node-hour
+  burn rates, and per-user usage (the RATS-Report substrate, Fig. 7).
+"""
+
+from repro.scheduler.jobs import JobRecord, JobRequest, JobState
+from repro.scheduler.policy import (
+    AgingBackfillPolicy,
+    BackfillPolicy,
+    FifoPolicy,
+    SchedulingPolicy,
+)
+from repro.scheduler.simulator import SchedulerMetrics, SchedulerSimulator
+from repro.scheduler.workload import submission_stream
+from repro.scheduler.accounting import AccountingLedger, ProjectAllocation
+
+__all__ = [
+    "JobRequest",
+    "JobRecord",
+    "JobState",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "BackfillPolicy",
+    "AgingBackfillPolicy",
+    "SchedulerSimulator",
+    "SchedulerMetrics",
+    "submission_stream",
+    "ProjectAllocation",
+    "AccountingLedger",
+]

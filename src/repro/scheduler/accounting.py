@@ -1,0 +1,151 @@
+"""Project allocations and usage accounting — the RATS-Report substrate.
+
+RATS (Fig. 7) tracks "node-hours on compute resources", "project
+allocations, and user activity", including "burn rates for project
+allocations".  The ledger here ingests completed job records and answers
+exactly those questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.scheduler.jobs import JobRecord, JobState
+
+__all__ = ["ProjectAllocation", "AccountingLedger"]
+
+
+@dataclass
+class ProjectAllocation:
+    """One project's node-hour grant for an allocation period."""
+
+    project: str
+    granted_node_hours: float
+    period_start: float
+    period_end: float
+
+    def __post_init__(self) -> None:
+        if self.granted_node_hours <= 0:
+            raise ValueError("granted_node_hours must be positive")
+        if self.period_end <= self.period_start:
+            raise ValueError("allocation period must be non-empty")
+
+
+@dataclass
+class _Usage:
+    node_hours: float = 0.0
+    gpu_hours: float = 0.0
+    jobs: int = 0
+    failed_jobs: int = 0
+
+
+class AccountingLedger:
+    """Ingests job records, answers usage/burn-rate queries.
+
+    Parameters
+    ----------
+    gpus_per_node:
+        Used to convert node-hours to GPU-hours (the CPU-vs-GPU usage
+        split RATS displays in Fig. 7).
+    """
+
+    def __init__(self, gpus_per_node: int = 4) -> None:
+        self.gpus_per_node = gpus_per_node
+        self._allocations: dict[str, ProjectAllocation] = {}
+        self._by_project: dict[str, _Usage] = {}
+        self._by_user: dict[str, _Usage] = {}
+        self._job_log: list[JobRecord] = []
+
+    # -- setup ---------------------------------------------------------------
+
+    def grant(self, allocation: ProjectAllocation) -> None:
+        """Register a project allocation (one per project)."""
+        if allocation.project in self._allocations:
+            raise ValueError(f"project {allocation.project!r} already granted")
+        self._allocations[allocation.project] = allocation
+
+    # -- ingest ---------------------------------------------------------------
+
+    def ingest(self, records: list[JobRecord]) -> None:
+        """Add finished jobs to the ledger (running/queued are skipped)."""
+        for record in records:
+            if record.state not in (JobState.COMPLETED, JobState.FAILED):
+                continue
+            self._job_log.append(record)
+            nh = record.node_hours
+            gh = nh * self.gpus_per_node
+            for table, key in (
+                (self._by_project, record.request.project),
+                (self._by_user, record.request.user),
+            ):
+                usage = table.setdefault(key, _Usage())
+                usage.node_hours += nh
+                usage.gpu_hours += gh
+                usage.jobs += 1
+                if record.state is JobState.FAILED:
+                    usage.failed_jobs += 1
+
+    # -- queries ----------------------------------------------------------------
+
+    def project_node_hours(self, project: str) -> float:
+        """Consumed node-hours for a project (0 if unknown)."""
+        return self._by_project.get(project, _Usage()).node_hours
+
+    def user_node_hours(self, user: str) -> float:
+        """Consumed node-hours for a user (0 if unknown)."""
+        return self._by_user.get(user, _Usage()).node_hours
+
+    def project_job_counts(self, project: str) -> tuple[int, int]:
+        """(jobs, failed_jobs) for a project."""
+        usage = self._by_project.get(project, _Usage())
+        return usage.jobs, usage.failed_jobs
+
+    def projects(self) -> list[str]:
+        """Projects with recorded usage, sorted."""
+        return sorted(self._by_project)
+
+    def remaining_node_hours(self, project: str) -> float:
+        """Grant minus usage (KeyError if the project has no grant)."""
+        alloc = self._allocations[project]
+        return alloc.granted_node_hours - self.project_node_hours(project)
+
+    def burn_rate(self, project: str, now: float) -> dict[str, float]:
+        """Burn-rate summary: actual vs. ideal consumption at ``now``.
+
+        ``on_track_ratio`` > 1 means burning faster than a linear budget.
+        """
+        alloc = self._allocations[project]
+        used = self.project_node_hours(project)
+        span = alloc.period_end - alloc.period_start
+        elapsed = np.clip(now - alloc.period_start, 0.0, span)
+        ideal = alloc.granted_node_hours * (elapsed / span)
+        return {
+            "used_node_hours": used,
+            "ideal_node_hours": float(ideal),
+            "remaining_node_hours": alloc.granted_node_hours - used,
+            "on_track_ratio": used / ideal if ideal > 0 else float("inf"),
+        }
+
+    def usage_series(
+        self, project: str, interval_s: float, t_end: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cumulative node-hours over time (the RATS burn-rate curve)."""
+        times = np.arange(0.0, t_end + interval_s, interval_s)
+        cumulative = np.zeros_like(times)
+        for record in self._job_log:
+            if record.request.project != project:
+                continue
+            start, end = record.start_time, record.end_time
+            assert start is not None and end is not None
+            rate = record.request.n_nodes / 3600.0  # node-hours per second
+            overlap = np.clip(times - start, 0.0, end - start)
+            cumulative += rate * overlap
+        return times, cumulative
+
+    def daily_log_lines(self, lines_per_node_hour: float = 120.0) -> float:
+        """Estimated raw log lines this ledger's jobs generated (the
+        'millions of parsed log lines' figure of Fig. 7)."""
+        total_nh = sum(u.node_hours for u in self._by_project.values())
+        return total_nh * lines_per_node_hour

@@ -1,0 +1,102 @@
+"""Job submissions and lifecycle records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.telemetry.jobs import JobSpec
+from repro.telemetry.workloads import ARCHETYPES
+
+__all__ = ["JobState", "JobRequest", "JobRecord"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle state of a batch job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One submission as it enters the queue.
+
+    ``walltime_req_s`` is the user's requested limit; the actual runtime
+    (``runtime_s``) is usually shorter — the gap is what backfill
+    exploits.
+    """
+
+    job_id: int
+    user: str
+    project: str
+    archetype: str
+    n_nodes: int
+    walltime_req_s: float
+    runtime_s: float
+    submit_time: float
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError(f"job {self.job_id}: n_nodes must be positive")
+        if self.walltime_req_s <= 0 or self.runtime_s <= 0:
+            raise ValueError(f"job {self.job_id}: times must be positive")
+        if self.runtime_s > self.walltime_req_s:
+            raise ValueError(
+                f"job {self.job_id}: runtime exceeds requested walltime "
+                "(the scheduler would kill it; clamp upstream)"
+            )
+        if self.archetype not in ARCHETYPES:
+            raise ValueError(
+                f"job {self.job_id}: unknown archetype {self.archetype!r}"
+            )
+
+
+@dataclass
+class JobRecord:
+    """Mutable lifecycle record maintained by the simulator."""
+
+    request: JobRequest
+    state: JobState = JobState.QUEUED
+    start_time: float | None = None
+    end_time: float | None = None
+    nodes: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int32))
+
+    @property
+    def job_id(self) -> int:
+        """Submission id."""
+        return self.request.job_id
+
+    @property
+    def wait_time_s(self) -> float | None:
+        """Queue wait (None while queued)."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.request.submit_time
+
+    @property
+    def node_hours(self) -> float:
+        """Node-hours consumed (0 until finished)."""
+        if self.start_time is None or self.end_time is None:
+            return 0.0
+        return self.request.n_nodes * (self.end_time - self.start_time) / 3600.0
+
+    def to_spec(self) -> JobSpec:
+        """Telemetry-compatible allocation record (job must have run)."""
+        if self.start_time is None or self.end_time is None:
+            raise ValueError(f"job {self.job_id} never ran")
+        return JobSpec(
+            job_id=self.job_id,
+            user=self.request.user,
+            project=self.request.project,
+            archetype=self.request.archetype,
+            nodes=self.nodes,
+            start=self.start_time,
+            end=self.end_time,
+        )

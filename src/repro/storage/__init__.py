@@ -1,0 +1,43 @@
+"""Storage tiers of the data-service architecture (Fig. 5).
+
+Four services with class-specific retention:
+
+* **STREAM** — the broker (:mod:`repro.stream`), in-flight data only;
+* **LAKE** — :class:`~repro.storage.lake.TimeSeriesLake`, an online
+  time-indexed store for real-time dashboards and diagnostics (the
+  Druid/Elastic role);
+* **OCEAN** — :class:`~repro.storage.object_store.ObjectStore` holding
+  ever-appended compressed columnar (RCF) objects (the MinIO+Parquet
+  role);
+* **GLACIER** — :class:`~repro.storage.glacier.TapeArchive`, frozen
+  long-term archive with mount/seek retrieval latency (the tape role).
+
+:class:`~repro.storage.tiers.TieredStore` wires them together and
+enforces the per-class placement and retention policy the paper
+describes (e.g. "terabyte-scale Bronze datasets can be stored in cold
+storage in a frozen state", §VI-B).
+"""
+
+from repro.storage.object_store import ObjectMeta, ObjectStore
+from repro.storage.lake import TimeSeriesLake
+from repro.storage.glacier import TapeArchive
+from repro.storage.logstore import LogDocument, LogStore
+from repro.storage.tiers import (
+    DEFAULT_POLICIES,
+    DataClass,
+    TierPolicy,
+    TieredStore,
+)
+
+__all__ = [
+    "ObjectStore",
+    "ObjectMeta",
+    "TimeSeriesLake",
+    "TapeArchive",
+    "LogStore",
+    "LogDocument",
+    "TieredStore",
+    "TierPolicy",
+    "DataClass",
+    "DEFAULT_POLICIES",
+]

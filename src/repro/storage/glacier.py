@@ -1,0 +1,128 @@
+"""GLACIER: a tape-archive tier with modelled retrieval latency.
+
+The paper's lesson (§VI-B): unrefined Bronze data has "very little value"
+served hot, so it is frozen here until upstream pipelines exist.  The cost
+asymmetry that makes the lesson true is modelled explicitly:
+
+* writes are streamed to the end of the current tape — cheap;
+* reads pay a tape *mount*, a *seek* proportional to position, then a
+  transfer at tape bandwidth — seconds-to-minutes, not milliseconds;
+* storage cost per byte-month is an order of magnitude below disk.
+
+The tiering ablation bench uses these numbers to reproduce the
+"freeze Bronze" crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TapeArchive", "RetrievalEstimate"]
+
+#: Model constants, loosely calibrated to LTO-9-class libraries.
+MOUNT_TIME_S = 90.0
+SEEK_TIME_PER_TB_S = 40.0
+TAPE_BANDWIDTH_BPS = 400e6
+TAPE_CAPACITY_BYTES = 18e12
+
+#: Relative storage cost per byte-month (disk tier = 1.0).
+TAPE_COST_FACTOR = 0.08
+DISK_COST_FACTOR = 1.0
+
+
+@dataclass(frozen=True)
+class RetrievalEstimate:
+    """Latency breakdown of one retrieval."""
+
+    mount_s: float
+    seek_s: float
+    transfer_s: float
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end retrieval latency."""
+        return self.mount_s + self.seek_s + self.transfer_s
+
+
+@dataclass
+class _TapeObject:
+    tape_index: int
+    position: int  # byte offset on its tape
+    data: bytes
+    created_at: float
+
+
+class TapeArchive:
+    """Append-only frozen archive across a growing set of virtual tapes."""
+
+    def __init__(self, tape_capacity_bytes: float = TAPE_CAPACITY_BYTES) -> None:
+        if tape_capacity_bytes <= 0:
+            raise ValueError("tape_capacity_bytes must be positive")
+        self.tape_capacity_bytes = tape_capacity_bytes
+        self._objects: dict[str, _TapeObject] = {}
+        self._tape_fill: list[int] = [0]
+        self._mounted_tape: int | None = None
+        self.retrievals = 0
+        self.total_retrieval_s = 0.0
+
+    # -- archive ---------------------------------------------------------------
+
+    def archive(self, key: str, data: bytes, created_at: float = 0.0) -> None:
+        """Append an object to tape (immutable; duplicate keys rejected)."""
+        if key in self._objects:
+            raise ValueError(f"key {key!r} already archived (tapes are frozen)")
+        tape = len(self._tape_fill) - 1
+        if self._tape_fill[tape] + len(data) > self.tape_capacity_bytes:
+            self._tape_fill.append(0)
+            tape += 1
+        self._objects[key] = _TapeObject(
+            tape, self._tape_fill[tape], bytes(data), created_at
+        )
+        self._tape_fill[tape] += len(data)
+
+    def exists(self, key: str) -> bool:
+        """True if the key is archived."""
+        return key in self._objects
+
+    def keys(self) -> list[str]:
+        """All archived keys, sorted."""
+        return sorted(self._objects)
+
+    # -- retrieval ---------------------------------------------------------------
+
+    def estimate_retrieval(self, key: str) -> RetrievalEstimate:
+        """Latency estimate without performing the retrieval."""
+        obj = self._objects_or_raise(key)
+        mount = 0.0 if self._mounted_tape == obj.tape_index else MOUNT_TIME_S
+        seek = SEEK_TIME_PER_TB_S * (obj.position / 1e12)
+        transfer = len(obj.data) / TAPE_BANDWIDTH_BPS
+        return RetrievalEstimate(mount, seek, transfer)
+
+    def retrieve(self, key: str) -> tuple[bytes, RetrievalEstimate]:
+        """Fetch the object and the latency it would have cost."""
+        estimate = self.estimate_retrieval(key)
+        obj = self._objects_or_raise(key)
+        self._mounted_tape = obj.tape_index
+        self.retrievals += 1
+        self.total_retrieval_s += estimate.total_s
+        return obj.data, estimate
+
+    def _objects_or_raise(self, key: str) -> _TapeObject:
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise KeyError(f"no archived object {key!r}") from None
+
+    # -- accounting ----------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Archived bytes."""
+        return sum(len(o.data) for o in self._objects.values())
+
+    def n_tapes(self) -> int:
+        """Virtual tapes in use."""
+        return len(self._tape_fill)
+
+    def monthly_cost_units(self) -> float:
+        """Storage cost in arbitrary units (disk-byte-months = 1.0)."""
+        return self.total_bytes() * TAPE_COST_FACTOR

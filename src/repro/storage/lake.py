@@ -1,0 +1,158 @@
+"""LAKE: an online time-indexed columnar store.
+
+The Druid/ElasticSearch role in Fig. 5: "immediate real-time usage needs
+are catered to by the LAKE (online database access) service".  Tables are
+sequences of time-bounded in-memory segments; queries slice by time range
+first (binary search over segment bounds), then apply predicates and
+projections.  This two-level pruning is what gives dashboards their
+sub-second interactivity even as segments accumulate.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.columnar.predicate import Predicate
+from repro.columnar.table import ColumnTable
+
+__all__ = ["TimeSeriesLake"]
+
+
+@dataclass
+class _Segment:
+    t_min: float
+    t_max: float
+    table: ColumnTable
+
+
+class TimeSeriesLake:
+    """Multi-table, time-segmented in-memory store.
+
+    Every ingested table must carry the configured time column; segment
+    bounds are computed from it at ingest.
+    """
+
+    def __init__(self, time_column: str = "timestamp") -> None:
+        self.time_column = time_column
+        self._tables: dict[str, list[_Segment]] = {}
+        self.queries = 0
+        self.segments_scanned = 0
+        self.segments_pruned = 0
+
+    # -- ingest ---------------------------------------------------------------
+
+    def ingest(self, table_name: str, table: ColumnTable) -> None:
+        """Append a segment.  Segments must arrive in time order (the
+        streaming pipeline guarantees this; out-of-order data is handled
+        upstream by the watermark)."""
+        if table.num_rows == 0:
+            return
+        if self.time_column not in table:
+            raise ValueError(
+                f"table lacks time column {self.time_column!r}"
+            )
+        ts = table[self.time_column]
+        seg = _Segment(float(ts.min()), float(ts.max()), table)
+        segments = self._tables.setdefault(table_name, [])
+        if segments and seg.t_min < segments[-1].t_min:
+            raise ValueError(
+                f"segment starts at {seg.t_min} before previous segment "
+                f"start {segments[-1].t_min}; ingest in time order"
+            )
+        segments.append(seg)
+
+    # -- introspection ----------------------------------------------------------
+
+    def tables(self) -> list[str]:
+        """Names of all tables, sorted."""
+        return sorted(self._tables)
+
+    def segment_count(self, table_name: str) -> int:
+        """Number of segments in a table (0 if unknown)."""
+        return len(self._tables.get(table_name, []))
+
+    def row_count(self, table_name: str) -> int:
+        """Total rows across segments."""
+        return sum(s.table.num_rows for s in self._tables.get(table_name, []))
+
+    def nbytes(self, table_name: str | None = None) -> int:
+        """Approximate memory footprint of one table or the whole lake."""
+        names = [table_name] if table_name else self.tables()
+        return sum(
+            s.table.nbytes for n in names for s in self._tables.get(n, [])
+        )
+
+    def time_bounds(self, table_name: str) -> tuple[float, float] | None:
+        """(earliest, latest) timestamps, or None if empty."""
+        segments = self._tables.get(table_name)
+        if not segments:
+            return None
+        return segments[0].t_min, max(s.t_max for s in segments)
+
+    # -- query ------------------------------------------------------------------
+
+    def query(
+        self,
+        table_name: str,
+        t0: float | None = None,
+        t1: float | None = None,
+        predicate: Predicate | None = None,
+        columns: list[str] | None = None,
+    ) -> ColumnTable:
+        """Rows with time in ``[t0, t1)`` matching ``predicate``.
+
+        Segment-level time pruning happens before any row is touched.
+        """
+        self.queries += 1
+        segments = self._tables.get(table_name, [])
+        if not segments:
+            return ColumnTable({})
+        lo = t0 if t0 is not None else -np.inf
+        hi = t1 if t1 is not None else np.inf
+
+        # Segments are sorted by t_min: find the first that could overlap.
+        starts = [s.t_min for s in segments]
+        first = bisect.bisect_right(starts, hi)
+        pieces: list[ColumnTable] = []
+        for seg in segments[:first]:
+            if seg.t_max < lo:
+                self.segments_pruned += 1
+                continue
+            self.segments_scanned += 1
+            table = seg.table
+            ts = table[self.time_column]
+            mask = (ts >= lo) & (ts < hi)
+            if predicate is not None:
+                mask &= predicate.mask(table)
+            if not mask.any():
+                continue
+            piece = table.filter(mask)
+            if columns is not None:
+                piece = piece.select(columns)
+            pieces.append(piece)
+        if not pieces:
+            names = columns or (segments[0].table.column_names)
+            return ColumnTable({n: np.empty(0) for n in names})
+        return ColumnTable.concat(pieces)
+
+    # -- retention ----------------------------------------------------------------
+
+    def drop_before(self, table_name: str, horizon: float) -> int:
+        """Delete segments entirely older than ``horizon``; returns count.
+
+        Partial overlaps are retained whole (segment granularity, like
+        Druid's), so retention is conservative.
+        """
+        segments = self._tables.get(table_name, [])
+        keep = [s for s in segments if s.t_max >= horizon]
+        dropped = len(segments) - len(keep)
+        if dropped:
+            self._tables[table_name] = keep
+        return dropped
+
+    def drop_table(self, table_name: str) -> None:
+        """Remove a table entirely (missing tables are a no-op)."""
+        self._tables.pop(table_name, None)

@@ -1,0 +1,283 @@
+"""Tiered placement and retention across STREAM/LAKE/OCEAN/GLACIER (Fig. 5).
+
+Each medallion *data class* gets a placement-and-retention policy:
+
+==========  ==============================  ===========================
+class       placed in                        default retention
+==========  ==============================  ===========================
+bronze      OCEAN (short) -> GLACIER         7 days hot, archived forever
+silver      LAKE + OCEAN                     30 days online, years on disk
+gold        LAKE + OCEAN                     90 days online, years on disk
+==========  ==============================  ===========================
+
+matching the paper's policy of serving refined data hot while freezing
+raw Bronze ("there was very little value in serving unrefined data sets
+in hotter data tiers", §VI-B).  :meth:`TieredStore.enforce` performs the
+age-out migrations and returns a report the Fig. 5 bench prints.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.columnar.file_format import read_table, write_table
+from repro.columnar.predicate import Predicate
+from repro.columnar.table import ColumnTable
+from repro.storage.glacier import TapeArchive
+from repro.storage.lake import TimeSeriesLake
+from repro.storage.object_store import ObjectStore
+
+__all__ = ["DataClass", "TierPolicy", "TieredStore", "DEFAULT_POLICIES"]
+
+DAY_S = 86_400.0
+
+
+class DataClass(enum.Enum):
+    """Medallion refinement state of a dataset."""
+
+    BRONZE = "bronze"
+    SILVER = "silver"
+    GOLD = "gold"
+
+
+@dataclass(frozen=True)
+class TierPolicy:
+    """Placement + retention policy for one data class.
+
+    ``None`` retention means the class never enters that tier;
+    ``float('inf')`` means it is kept there forever.
+    """
+
+    lake_retention_s: float | None
+    ocean_retention_s: float | None
+    glacier: bool  # archive on ocean age-out (vs delete)
+    codec: str = "fast"
+
+    def __post_init__(self) -> None:
+        for v in (self.lake_retention_s, self.ocean_retention_s):
+            if v is not None and v <= 0:
+                raise ValueError("retention must be positive or None")
+
+
+DEFAULT_POLICIES: dict[DataClass, TierPolicy] = {
+    DataClass.BRONZE: TierPolicy(
+        lake_retention_s=None,
+        ocean_retention_s=7 * DAY_S,
+        glacier=True,
+        codec="high",
+    ),
+    DataClass.SILVER: TierPolicy(
+        lake_retention_s=30 * DAY_S,
+        ocean_retention_s=5 * 365 * DAY_S,
+        glacier=True,
+        codec="fast",
+    ),
+    DataClass.GOLD: TierPolicy(
+        lake_retention_s=90 * DAY_S,
+        ocean_retention_s=5 * 365 * DAY_S,
+        glacier=False,
+        codec="fast",
+    ),
+}
+
+
+@dataclass
+class _DatasetMeta:
+    name: str
+    data_class: DataClass
+    next_part: int = 0
+
+
+class TieredStore:
+    """One-stop data service: ingest once, placed per class policy.
+
+    Parameters
+    ----------
+    lake, ocean, glacier:
+        Backing services (constructed if omitted).
+    policies:
+        Class -> :class:`TierPolicy` (defaults to :data:`DEFAULT_POLICIES`).
+    time_column:
+        Name of the event-time column in ingested tables.
+    """
+
+    OCEAN_BUCKET = "oda"
+
+    def __init__(
+        self,
+        lake: TimeSeriesLake | None = None,
+        ocean: ObjectStore | None = None,
+        glacier: TapeArchive | None = None,
+        policies: dict[DataClass, TierPolicy] | None = None,
+        time_column: str = "timestamp",
+    ) -> None:
+        self.lake = lake or TimeSeriesLake(time_column)
+        self.ocean = ocean or ObjectStore()
+        self.glacier = glacier or TapeArchive()
+        self.policies = dict(policies or DEFAULT_POLICIES)
+        self.time_column = time_column
+        self.ocean.create_bucket(self.OCEAN_BUCKET)
+        self._datasets: dict[str, _DatasetMeta] = {}
+
+    # -- dataset registry -------------------------------------------------------
+
+    def register(self, name: str, data_class: DataClass) -> None:
+        """Declare a dataset and its medallion class."""
+        if name in self._datasets:
+            raise ValueError(f"dataset {name!r} already registered")
+        self._datasets[name] = _DatasetMeta(name, data_class)
+
+    def datasets(self) -> dict[str, DataClass]:
+        """Registered dataset -> class."""
+        return {n: m.data_class for n, m in self._datasets.items()}
+
+    def _meta(self, name: str) -> _DatasetMeta:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise KeyError(f"dataset {name!r} not registered") from None
+
+    # -- ingest -------------------------------------------------------------------
+
+    def ingest(self, name: str, table: ColumnTable, now: float) -> dict[str, bool]:
+        """Write one batch of a dataset into its tiers.
+
+        Returns which tiers received the batch.
+        """
+        meta = self._meta(name)
+        policy = self.policies[meta.data_class]
+        placed = {"lake": False, "ocean": False}
+        if table.num_rows == 0:
+            return placed
+        if policy.lake_retention_s is not None:
+            self.lake.ingest(name, table)
+            placed["lake"] = True
+        if policy.ocean_retention_s is not None:
+            key = f"{name}/part-{meta.next_part:08d}.rcf"
+            meta.next_part += 1
+            blob = write_table(table, codec=policy.codec)
+            self.ocean.put(
+                self.OCEAN_BUCKET,
+                key,
+                blob,
+                created_at=now,
+                user_meta={"dataset": name, "class": meta.data_class.value},
+            )
+            placed["ocean"] = True
+        return placed
+
+    # -- query --------------------------------------------------------------------
+
+    def query_online(
+        self,
+        name: str,
+        t0: float | None = None,
+        t1: float | None = None,
+        predicate: Predicate | None = None,
+        columns: list[str] | None = None,
+    ) -> ColumnTable:
+        """Low-latency query against the LAKE tier."""
+        return self.lake.query(name, t0, t1, predicate, columns)
+
+    def scan_ocean(
+        self,
+        name: str,
+        predicate: Predicate | None = None,
+        columns: list[str] | None = None,
+    ) -> ColumnTable:
+        """Batch scan of every OCEAN object of a dataset."""
+        pieces = []
+        for meta in self.ocean.list(self.OCEAN_BUCKET, prefix=f"{name}/"):
+            blob = self.ocean.get(self.OCEAN_BUCKET, meta.key)
+            pieces.append(read_table(blob, columns=columns, predicate=predicate))
+        if not pieces:
+            return ColumnTable({})
+        return ColumnTable.concat([p for p in pieces if p.num_rows] or pieces[:1])
+
+    # -- retention ------------------------------------------------------------------
+
+    def enforce(self, now: float) -> dict[str, int]:
+        """Apply retention: LAKE segment drops, OCEAN -> GLACIER/delete.
+
+        Returns counters: ``lake_segments_dropped``, ``ocean_archived``,
+        ``ocean_deleted``.
+        """
+        report = {"lake_segments_dropped": 0, "ocean_archived": 0, "ocean_deleted": 0}
+        for name, meta in self._datasets.items():
+            policy = self.policies[meta.data_class]
+            if policy.lake_retention_s is not None:
+                report["lake_segments_dropped"] += self.lake.drop_before(
+                    name, now - policy.lake_retention_s
+                )
+            if policy.ocean_retention_s is None:
+                continue
+            horizon = now - policy.ocean_retention_s
+            for obj in self.ocean.list(self.OCEAN_BUCKET, prefix=f"{name}/"):
+                if obj.created_at >= horizon:
+                    continue
+                if policy.glacier and not self.glacier.exists(obj.key):
+                    blob = self.ocean.get(self.OCEAN_BUCKET, obj.key)
+                    self.glacier.archive(obj.key, blob, created_at=obj.created_at)
+                    report["ocean_archived"] += 1
+                else:
+                    report["ocean_deleted"] += 1
+                self.ocean.delete(self.OCEAN_BUCKET, obj.key)
+        return report
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def compact(self, name: str, min_objects: int = 4) -> dict[str, int]:
+        """Merge a dataset's OCEAN part files into one object.
+
+        Streaming ingestion leaves many small objects per dataset; small
+        objects hurt scan throughput and metadata overhead (the §V data
+        management lesson).  Compaction reads every part, rewrites one
+        combined RCF object at the dataset's codec, and deletes the
+        parts.  No-op unless at least ``min_objects`` parts exist.
+
+        Returns ``{"merged": n_parts, "bytes_before": .., "bytes_after": ..}``.
+        """
+        meta = self._meta(name)
+        policy = self.policies[meta.data_class]
+        parts = self.ocean.list(self.OCEAN_BUCKET, prefix=f"{name}/")
+        if len(parts) < min_objects:
+            return {"merged": 0, "bytes_before": 0, "bytes_after": 0}
+        bytes_before = sum(p.size for p in parts)
+        tables = [
+            read_table(self.ocean.get(self.OCEAN_BUCKET, p.key))
+            for p in parts
+        ]
+        combined = ColumnTable.concat(tables)
+        newest = max(p.created_at for p in parts)
+        blob = write_table(combined, codec=policy.codec)
+        key = f"{name}/part-{meta.next_part:08d}.rcf"
+        meta.next_part += 1
+        self.ocean.put(
+            self.OCEAN_BUCKET,
+            key,
+            blob,
+            created_at=newest,
+            user_meta={
+                "dataset": name,
+                "class": meta.data_class.value,
+                "compacted_from": str(len(parts)),
+            },
+        )
+        for p in parts:
+            self.ocean.delete(self.OCEAN_BUCKET, p.key)
+        return {
+            "merged": len(parts),
+            "bytes_before": bytes_before,
+            "bytes_after": len(blob),
+        }
+
+    # -- accounting -------------------------------------------------------------------
+
+    def footprint(self) -> dict[str, int]:
+        """Approximate bytes held per tier."""
+        return {
+            "lake": self.lake.nbytes(),
+            "ocean": self.ocean.total_bytes(),
+            "glacier": self.glacier.total_bytes(),
+        }

@@ -1,0 +1,30 @@
+"""STREAM tier: a Kafka-style partitioned log broker.
+
+The paper's hourglass architecture puts Apache Kafka at the waist: "FIFO
+buffers for in-flight data in distributed multi-project pipelines" (§V-B).
+This package reimplements the broker semantics the framework relies on:
+
+* append-only partitioned topics with dense per-partition offsets,
+* key-hash partitioning (all of one node's telemetry stays ordered),
+* consumer groups with committed offsets, lag, and replay-from-offset,
+* time- and size-based retention (the STREAM tier's short horizon in
+  Fig. 5).
+
+Payloads are arbitrary Python objects (typically columnar telemetry
+batches); the broker tracks their serialized size for volume accounting
+but never copies them.
+"""
+
+from repro.stream.broker import Broker, Record, TopicConfig
+from repro.stream.consumer import Consumer
+from repro.stream.producer import Producer
+from repro.stream.retention import RetentionPolicy
+
+__all__ = [
+    "Broker",
+    "Record",
+    "TopicConfig",
+    "Producer",
+    "Consumer",
+    "RetentionPolicy",
+]

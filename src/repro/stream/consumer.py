@@ -1,0 +1,96 @@
+"""Consumer client with Kafka-style group semantics.
+
+Consumers in the same group split a topic's partitions between them
+(static round-robin assignment at subscribe time); each consumer polls its
+partitions in order and commits progress back to the broker.  A new
+consumer with the same group id resumes exactly where the group left off —
+the at-least-once replay behaviour the pipeline's recovery path
+(:mod:`repro.pipeline.checkpoint`) builds on.
+"""
+
+from __future__ import annotations
+
+from repro.stream.broker import Broker, Record
+
+__all__ = ["Consumer"]
+
+
+class Consumer:
+    """A group-member consumer over one topic.
+
+    Parameters
+    ----------
+    broker, topic, group:
+        Where to read and which group's offsets to share.
+    member:
+        This member's index within the group.
+    group_size:
+        Total members; partition ``p`` belongs to member ``p % group_size``.
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        topic: str,
+        group: str,
+        member: int = 0,
+        group_size: int = 1,
+    ) -> None:
+        if group_size <= 0:
+            raise ValueError("group_size must be positive")
+        if not 0 <= member < group_size:
+            raise ValueError("member must be in [0, group_size)")
+        self.broker = broker
+        self.topic = topic
+        self.group = group
+        n_parts = broker.topic_config(topic).n_partitions
+        self.partitions = [p for p in range(n_parts) if p % group_size == member]
+        # Local read positions start from the group's committed offsets.
+        self._positions = {
+            p: broker.committed(group, topic, p) for p in self.partitions
+        }
+
+    def seek(self, partition: int, offset: int) -> None:
+        """Move the local read position (does not commit)."""
+        if partition not in self._positions:
+            raise ValueError(f"partition {partition} not assigned to this member")
+        self._positions[partition] = offset
+
+    def seek_to_beginning(self) -> None:
+        """Rewind every assigned partition to its earliest retained offset."""
+        for p in self.partitions:
+            self._positions[p] = self.broker.earliest_offset(self.topic, p)
+
+    def poll(self, max_records: int = 1000) -> list[Record]:
+        """Fetch up to ``max_records`` across assigned partitions, advancing
+        local positions.  Skips over retention-trimmed gaps."""
+        out: list[Record] = []
+        budget = max_records
+        for p in self.partitions:
+            if budget <= 0:
+                break
+            pos = max(self._positions[p], self.broker.earliest_offset(self.topic, p))
+            records = self.broker.fetch(self.topic, p, pos, budget)
+            if records:
+                self._positions[p] = records[-1].offset + 1
+                out.extend(records)
+                budget -= len(records)
+            else:
+                self._positions[p] = pos
+        return out
+
+    def commit(self) -> None:
+        """Commit current local positions to the broker for the group."""
+        for p, pos in self._positions.items():
+            self.broker.commit(self.group, self.topic, p, pos)
+
+    def position(self, partition: int) -> int:
+        """Local (uncommitted) read position for a partition."""
+        return self._positions[partition]
+
+    def lag(self) -> int:
+        """Records remaining ahead of local positions on assigned partitions."""
+        return sum(
+            max(0, self.broker.latest_offset(self.topic, p) - self._positions[p])
+            for p in self.partitions
+        )

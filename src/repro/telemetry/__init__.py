@@ -1,0 +1,93 @@
+"""Synthetic HPC telemetry substrate.
+
+This package stands in for the instrumented OLCF data centre described in
+the paper (Summit/Frontier, anonymized "Mountain"/"Compass" in Fig. 3).  It
+generates the raw multi-terabyte-per-day data streams that feed the ODA
+framework:
+
+* per-component power and thermal sensors (:mod:`repro.telemetry.power`),
+* job allocation traces (:mod:`repro.telemetry.jobs`),
+* syslog/event streams (:mod:`repro.telemetry.syslog`),
+* parallel-filesystem client counters (:mod:`repro.telemetry.storage_io`),
+* interconnect counters (:mod:`repro.telemetry.interconnect`),
+* facility/cooling-plant sensors (:mod:`repro.telemetry.facility`).
+
+All sources are deterministic functions of a root seed and virtual time, so
+any window of any stream can be regenerated independently — the property
+that makes telemetry *replay* (Fig. 11) possible.
+
+The substitution rationale (DESIGN.md §2): we cannot ship OLCF telemetry,
+but the pipeline stresses reproduced here — stream volume ordering, sample
+rate heterogeneity, skew, burstiness, and sensor loss — are properties of
+the generators, not of the specific machine.
+"""
+
+from repro.telemetry.schema import (
+    EventBatch,
+    ObservationBatch,
+    SensorCatalog,
+    SensorSpec,
+)
+from repro.telemetry.machine import (
+    COMPASS,
+    MINI,
+    MOUNTAIN,
+    MachineConfig,
+)
+from repro.telemetry.workloads import (
+    ARCHETYPES,
+    WorkloadArchetype,
+    archetype_names,
+    get_archetype,
+)
+from repro.telemetry.jobs import AllocationTable, JobSpec, synthetic_job_mix
+from repro.telemetry.sources import TelemetrySource
+from repro.telemetry.collection import (
+    CollectionPath,
+    CollectionProfile,
+    IN_BAND,
+    OUT_OF_BAND,
+    plan_collection,
+)
+from repro.telemetry.darshan import DarshanCollector, DarshanRecord
+from repro.telemetry.perf import PerfCounterSource
+from repro.telemetry.power import PowerThermalSource
+from repro.telemetry.syslog import SyslogSource
+from repro.telemetry.storage_io import StorageIOSource
+from repro.telemetry.interconnect import InterconnectSource
+from repro.telemetry.facility import FacilitySource
+from repro.telemetry.fleet import FleetTelemetry, StreamVolume
+
+__all__ = [
+    "SensorSpec",
+    "SensorCatalog",
+    "ObservationBatch",
+    "EventBatch",
+    "MachineConfig",
+    "COMPASS",
+    "MOUNTAIN",
+    "MINI",
+    "WorkloadArchetype",
+    "ARCHETYPES",
+    "archetype_names",
+    "get_archetype",
+    "JobSpec",
+    "AllocationTable",
+    "synthetic_job_mix",
+    "TelemetrySource",
+    "CollectionPath",
+    "CollectionProfile",
+    "IN_BAND",
+    "OUT_OF_BAND",
+    "plan_collection",
+    "DarshanCollector",
+    "DarshanRecord",
+    "PowerThermalSource",
+    "PerfCounterSource",
+    "SyslogSource",
+    "StorageIOSource",
+    "InterconnectSource",
+    "FacilitySource",
+    "FleetTelemetry",
+    "StreamVolume",
+]

@@ -1,0 +1,148 @@
+"""Collection-path modelling: in-band vs out-of-band (§IV-B).
+
+"New approaches such as fully leveraging the out-of-band data sources
+via the management network ... ha[ve] been successfully employed" to
+collect telemetry "too invasive to the system" in-band.
+
+The trade-off modelled here:
+
+* **in-band** — an agent on the compute node samples directly: no rate
+  ceiling and low loss, but every sample steals CPU from the
+  application (overhead grows with sample rate), which is what makes
+  high-rate in-band collection unacceptable on a leadership system;
+* **out-of-band** — the BMC samples and ships via the management
+  network: zero application overhead, but the path caps the rate
+  (BMC/management-network bandwidth) and loses more samples.
+
+:func:`plan_collection` chooses the cheapest path meeting an overhead
+budget — the decision §IV-B describes SMEs making per stream.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "CollectionPath",
+    "CollectionProfile",
+    "IN_BAND",
+    "OUT_OF_BAND",
+    "plan_collection",
+]
+
+
+class CollectionPath(enum.Enum):
+    """Where the sampling agent runs."""
+
+    IN_BAND = "in-band"
+    OUT_OF_BAND = "out-of-band"
+
+
+@dataclass(frozen=True)
+class CollectionProfile:
+    """Cost/quality model of one collection path.
+
+    Attributes
+    ----------
+    path:
+        Which side samples.
+    overhead_per_hz:
+        Fraction of one node's compute stolen per (channel x Hz) of
+        sampling — zero for out-of-band.
+    max_rate_hz:
+        Ceiling on total per-node sample rate (channels x rate); None =
+        unbounded.
+    loss_rate:
+        Expected sample loss on this path.
+    """
+
+    path: CollectionPath
+    overhead_per_hz: float
+    max_rate_hz: float | None
+    loss_rate: float
+
+    def app_overhead(self, channels: int, rate_hz: float) -> float:
+        """Application slowdown fraction for a sampling plan."""
+        if channels < 0 or rate_hz < 0:
+            raise ValueError("channels and rate must be non-negative")
+        return self.overhead_per_hz * channels * rate_hz
+
+    def feasible(self, channels: int, rate_hz: float) -> bool:
+        """True if the path can carry the plan at all."""
+        if self.max_rate_hz is None:
+            return True
+        return channels * rate_hz <= self.max_rate_hz
+
+
+#: Calibrated to the behaviours §IV-B describes: in-band costs ~0.001%
+#: of a node per channel-Hz (interrupts, cache pollution, jitter) — tiny
+#: per channel, ruinous at counter-firehose rates; a BMC + management
+#: network carries ~50 channel-Hz per node.
+IN_BAND = CollectionProfile(
+    CollectionPath.IN_BAND,
+    overhead_per_hz=1e-5,
+    max_rate_hz=None,
+    loss_rate=0.002,
+)
+OUT_OF_BAND = CollectionProfile(
+    CollectionPath.OUT_OF_BAND,
+    overhead_per_hz=0.0,
+    max_rate_hz=50.0,
+    loss_rate=0.01,
+)
+
+
+@dataclass(frozen=True)
+class CollectionPlan:
+    """Outcome of planning one stream's collection."""
+
+    profile: CollectionProfile
+    channels: int
+    rate_hz: float
+    app_overhead: float
+    expected_loss: float
+
+    @property
+    def acceptable(self) -> bool:
+        """Plans that could not meet the budget are marked infeasible."""
+        return self.channels >= 0
+
+
+def plan_collection(
+    channels: int,
+    rate_hz: float,
+    overhead_budget: float = 0.01,
+    profiles: tuple[CollectionProfile, ...] = (OUT_OF_BAND, IN_BAND),
+) -> CollectionPlan:
+    """Pick the collection path for a stream.
+
+    Preference order: a path with zero app overhead that can carry the
+    plan wins; otherwise the lowest-overhead feasible path under the
+    ``overhead_budget``; raises if nothing fits (the §IV-B situation
+    that forces rate reduction or vendor engagement).
+    """
+    if channels <= 0 or rate_hz <= 0:
+        raise ValueError("channels and rate must be positive")
+    candidates = []
+    for profile in profiles:
+        if not profile.feasible(channels, rate_hz):
+            continue
+        overhead = profile.app_overhead(channels, rate_hz)
+        if overhead > overhead_budget:
+            continue
+        candidates.append((overhead, profile.loss_rate, profile))
+    if not candidates:
+        raise ValueError(
+            f"no collection path carries {channels} channels at "
+            f"{rate_hz} Hz within {overhead_budget:.2%} overhead; reduce "
+            "the rate or engage the vendor for a better OOB path"
+        )
+    overhead, loss, profile = min(candidates, key=lambda c: (c[0], c[1]))
+    return CollectionPlan(
+        profile=profile,
+        channels=channels,
+        rate_hz=rate_hz,
+        app_overhead=overhead,
+        expected_loss=loss,
+    )

@@ -1,0 +1,153 @@
+"""Machine configurations for the simulated data centre.
+
+The paper spans two supercomputer generations, anonymized as "Mountain"
+(Summit-class: IBM AC922, 2 CPUs + 6 GPUs per node, water-cooled) and
+"Compass" (Frontier-class: HPE Cray EX, 1 CPU + 4 GPUs per node, 100%
+direct liquid cooled) in Fig. 3.  A :class:`MachineConfig` carries the
+fleet geometry and electrical envelope that the telemetry generators, the
+scheduler, and the digital twin all share.
+
+``MINI`` is a deliberately tiny configuration used by tests and examples so
+that full end-to-end runs finish in milliseconds; volume benches use the
+full-scale configs for *extrapolation only* (per-node rates are measured on
+a sampled subset of nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineConfig", "COMPASS", "MOUNTAIN", "MINI"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Geometry and power envelope of one supercomputer.
+
+    Attributes
+    ----------
+    name:
+        Machine name ("compass" is the Frontier-class system).
+    n_cabinets, nodes_per_cabinet:
+        Fleet geometry; ``n_nodes = n_cabinets * nodes_per_cabinet``.
+    gpus_per_node, cpus_per_node:
+        Accelerator/CPU counts per node.
+    cpu_tdp_w, gpu_tdp_w:
+        Per-device thermal design power (watts).
+    node_idle_w:
+        Node power at idle (fans, memory, NIC, idle devices).
+    node_max_w:
+        Electrical ceiling per node.
+    power_sample_period_s:
+        Native cadence of the per-component power/thermal stream.
+    coolant_supply_c:
+        Facility coolant supply temperature (deg C) feeding the cabinets.
+    """
+
+    name: str
+    n_cabinets: int
+    nodes_per_cabinet: int
+    gpus_per_node: int
+    cpus_per_node: int
+    cpu_tdp_w: float
+    gpu_tdp_w: float
+    node_idle_w: float
+    node_max_w: float
+    power_sample_period_s: float = 1.0
+    coolant_supply_c: float = 32.0
+
+    def __post_init__(self) -> None:
+        if self.n_cabinets <= 0 or self.nodes_per_cabinet <= 0:
+            raise ValueError("fleet geometry must be positive")
+        if self.node_max_w <= self.node_idle_w:
+            raise ValueError("node_max_w must exceed node_idle_w")
+
+    @property
+    def n_nodes(self) -> int:
+        """Total compute nodes in the fleet."""
+        return self.n_cabinets * self.nodes_per_cabinet
+
+    @property
+    def n_gpus(self) -> int:
+        """Total GPUs in the fleet."""
+        return self.n_nodes * self.gpus_per_node
+
+    @property
+    def peak_it_power_w(self) -> float:
+        """Upper bound on IT (compute) power draw."""
+        return self.n_nodes * self.node_max_w
+
+    def cabinet_of(self, node_id: int) -> int:
+        """Cabinet index housing ``node_id``."""
+        if not 0 <= node_id < self.n_nodes:
+            raise ValueError(f"node_id {node_id} out of range")
+        return node_id // self.nodes_per_cabinet
+
+    def scaled(self, n_nodes: int) -> "MachineConfig":
+        """A copy of this config shrunk/grown to ``n_nodes`` total nodes.
+
+        Keeps per-node characteristics; adjusts cabinet count (one cabinet
+        minimum).  Used to run full-fidelity pipelines on laptop-sized
+        fleets while extrapolating volumes to the real machine.
+        """
+        per_cab = min(self.nodes_per_cabinet, n_nodes)
+        n_cab = max(1, -(-n_nodes // per_cab))  # ceil division
+        return MachineConfig(
+            name=self.name,
+            n_cabinets=n_cab,
+            nodes_per_cabinet=per_cab,
+            gpus_per_node=self.gpus_per_node,
+            cpus_per_node=self.cpus_per_node,
+            cpu_tdp_w=self.cpu_tdp_w,
+            gpu_tdp_w=self.gpu_tdp_w,
+            node_idle_w=self.node_idle_w,
+            node_max_w=self.node_max_w,
+            power_sample_period_s=self.power_sample_period_s,
+            coolant_supply_c=self.coolant_supply_c,
+        )
+
+
+#: Frontier-class exascale system ("Compass" in the paper's Fig. 3).
+COMPASS = MachineConfig(
+    name="compass",
+    n_cabinets=74,
+    nodes_per_cabinet=128,  # 9472 nodes
+    gpus_per_node=4,
+    cpus_per_node=1,
+    cpu_tdp_w=280.0,
+    gpu_tdp_w=560.0,
+    node_idle_w=650.0,
+    node_max_w=3400.0,
+    power_sample_period_s=1.0,
+    coolant_supply_c=32.0,
+)
+
+#: Summit-class pre-exascale system ("Mountain" in the paper's Fig. 3).
+MOUNTAIN = MachineConfig(
+    name="mountain",
+    n_cabinets=256,
+    nodes_per_cabinet=18,  # 4608 nodes
+    gpus_per_node=6,
+    cpus_per_node=2,
+    cpu_tdp_w=190.0,
+    gpu_tdp_w=300.0,
+    node_idle_w=500.0,
+    node_max_w=2700.0,
+    power_sample_period_s=1.0,
+    coolant_supply_c=21.0,
+)
+
+#: Tiny fleet for tests and examples (2 cabinets x 8 nodes = 16 nodes).
+MINI = MachineConfig(
+    name="mini",
+    n_cabinets=2,
+    nodes_per_cabinet=8,
+    gpus_per_node=4,
+    cpus_per_node=1,
+    cpu_tdp_w=280.0,
+    gpu_tdp_w=560.0,
+    node_idle_w=650.0,
+    node_max_w=3400.0,
+    power_sample_period_s=1.0,
+    coolant_supply_c=32.0,
+)

@@ -1,0 +1,146 @@
+"""GPU/CPU performance-counter stream.
+
+The "Compute: perf counters" row of Fig. 3 sits at **L0 for every
+consumer** — collected raw, not yet operationalized — and it is the
+single largest contributor to the ingest firehose: tens of counters per
+accelerator at 1 Hz across the fleet.  This is the "inundation" of the
+paper's title: most of the daily terabytes are this stream, stored
+frozen until an exploration campaign reaches it.
+
+Counters are modelled as utilization-coupled rates (occupancy, issued
+flops, memory bandwidth, cache hits, ...) with per-counter scale factors
+and deterministic noise; their information content is deliberately
+redundant with utilization — the very reason a Bronze->Silver campaign
+can compact them so hard once someone invests in it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.jobs import AllocationTable
+from repro.telemetry.machine import MachineConfig
+from repro.telemetry.schema import (
+    RAW_OBSERVATION_BYTES,
+    ObservationBatch,
+    SensorCatalog,
+    SensorSpec,
+)
+from repro.telemetry.sources import TelemetrySource
+from repro.util.noise import normal_from_index, uniform_from_index
+
+__all__ = ["PerfCounterSource", "COUNTERS_PER_GPU"]
+
+#: Counter channels collected per accelerator (occupancy, flops issued,
+#: memory bandwidth, cache hit rates, stall reasons, ...).
+COUNTERS_PER_GPU = 20
+SAMPLE_PERIOD_S = 1.0
+
+_COUNTER_NAMES = [
+    "occupancy_pct", "flops_issued", "mem_bw_bytes", "l2_hit_pct",
+    "lds_util_pct", "valu_busy_pct", "salu_busy_pct", "fetch_stall_pct",
+    "write_stall_pct", "wavefronts", "kernel_launches", "pcie_rx_bytes",
+    "pcie_tx_bytes", "xgmi_bytes", "power_violations", "clk_mhz",
+    "mem_clk_mhz", "temp_hotspot_c", "ecc_corrected", "page_faults",
+]
+
+
+class PerfCounterSource(TelemetrySource):
+    """Deterministic per-GPU performance-counter stream."""
+
+    name = "perf_counters"
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        allocation: AllocationTable,
+        seed: int = 0,
+        nodes: np.ndarray | None = None,
+        loss_rate: float = 0.002,
+    ) -> None:
+        self.machine = machine
+        self.allocation = allocation
+        self.seed = int(seed)
+        self.loss_rate = float(loss_rate)
+        if nodes is None:
+            nodes = np.arange(machine.n_nodes, dtype=np.int32)
+        self.nodes = np.asarray(nodes, dtype=np.int32)
+        specs = []
+        for g in range(machine.gpus_per_node):
+            for counter in _COUNTER_NAMES[:COUNTERS_PER_GPU]:
+                specs.append(
+                    SensorSpec(
+                        f"gpu{g}_{counter}", "count", SAMPLE_PERIOD_S, "node",
+                        f"GPU {g} perf counter: {counter}", loss_rate,
+                    )
+                )
+        self._catalog = SensorCatalog(specs)
+        # Per-counter deterministic scale factors (decades apart).
+        n_channels = len(specs)
+        exponents = normal_from_index(
+            self.seed, 400, np.arange(n_channels, dtype=np.uint64)
+        )
+        self._scales = 10.0 ** (2.0 + 2.0 * np.abs(exponents))
+
+    @property
+    def catalog(self) -> SensorCatalog:
+        return self._catalog
+
+    def sample_times(self, t0: float, t1: float) -> np.ndarray:
+        k0 = int(np.ceil(t0 / SAMPLE_PERIOD_S - 1e-9))
+        k1 = int(np.ceil(t1 / SAMPLE_PERIOD_S - 1e-9))
+        return np.arange(k0, k1, dtype=np.int64) * SAMPLE_PERIOD_S
+
+    def emit(self, t0: float, t1: float) -> ObservationBatch:
+        self._check_window(t0, t1)
+        times = self.sample_times(t0, t1)
+        if times.size == 0 or self.nodes.size == 0:
+            return ObservationBatch.empty()
+        gpu_u, _, _ = self.allocation.utilization(self.nodes, times)
+
+        k = np.round(times / SAMPLE_PERIOD_S).astype(np.int64)
+        idx = (
+            self.nodes.astype(np.uint64)[:, None] * np.uint64(1 << 40)
+            + k.astype(np.uint64)[None, :]
+        )
+        ts_grid = np.broadcast_to(times[None, :], idx.shape)
+        node_grid = np.broadcast_to(self.nodes[:, None], idx.shape)
+
+        parts: list[ObservationBatch] = []
+        n_channels = len(self._catalog)
+        for sid in range(n_channels):
+            # Counter value = scale * utilization * (1 + noise); the
+            # redundancy across channels is intentional (see module doc).
+            noise = 0.1 * normal_from_index(
+                self.seed, 500 + sid, idx
+            )
+            values = self._scales[sid] * np.maximum(gpu_u * (1.0 + noise), 0.0)
+            keep = (
+                uniform_from_index(self.seed, 4000 + sid, idx) >= self.loss_rate
+            )
+            n_keep = int(keep.sum())
+            if n_keep == 0:
+                continue
+            parts.append(
+                ObservationBatch(
+                    timestamps=ts_grid[keep],
+                    component_ids=node_grid[keep],
+                    sensor_ids=np.full(n_keep, sid, dtype=np.int16),
+                    values=values[keep],
+                )
+            )
+        return ObservationBatch.concat(parts).sorted_by_time()
+
+    def nominal_bytes_per_day(self) -> float:
+        per_node = sum(
+            s.sample_rate_hz * (1.0 - s.loss_rate) for s in self._catalog
+        )
+        return per_node * self.nodes.size * RAW_OBSERVATION_BYTES * 86_400.0
+
+    def fleet_bytes_per_day(self) -> float:
+        """Raw volume/day extrapolated to the full machine."""
+        if self.nodes.size == 0:
+            return 0.0
+        return self.nominal_bytes_per_day() * (
+            self.machine.n_nodes / self.nodes.size
+        )

@@ -1,0 +1,43 @@
+"""Base interface for telemetry sources.
+
+A source is a deterministic function from a half-open time window
+``[t0, t1)`` to a batch of records.  Two contracts matter to everything
+downstream and are enforced by the shared test suite:
+
+* **split invariance** — emitting ``[0, 60)`` equals concatenating the
+  emissions of ``[0, 15) .. [45, 60)``;
+* **volume accounting** — a source can state its nominal raw byte rate so
+  the Fig. 4a bench can extrapolate laptop-scale runs to fleet scale.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.telemetry.schema import ObservationBatch, SensorCatalog
+
+__all__ = ["TelemetrySource"]
+
+
+class TelemetrySource(abc.ABC):
+    """Abstract deterministic telemetry stream."""
+
+    #: Stream name, unique within a fleet (e.g. ``"power"``).
+    name: str
+
+    @property
+    @abc.abstractmethod
+    def catalog(self) -> SensorCatalog:
+        """The data dictionary for this stream's channels."""
+
+    @abc.abstractmethod
+    def emit(self, t0: float, t1: float) -> ObservationBatch:
+        """All observations with timestamps in ``[t0, t1)``."""
+
+    @abc.abstractmethod
+    def nominal_bytes_per_day(self) -> float:
+        """Expected raw wire volume per day at this source's scale."""
+
+    def _check_window(self, t0: float, t1: float) -> None:
+        if t1 < t0:
+            raise ValueError(f"invalid window [{t0}, {t1})")

@@ -1,0 +1,154 @@
+"""Parallel-filesystem (Lustre-style) client counters.
+
+The "Storage client" row of Fig. 3: each compute node reports read/write
+bandwidth and metadata-operation counters at a 10-second cadence.  Traffic
+is driven by the running job's archetype ``io_intensity`` with heavy-tailed
+(lognormal) burstiness — checkpoint storms are what make this stream hard
+to summarize, which is exactly the Bronze->Silver pressure the paper
+describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.jobs import AllocationTable
+from repro.telemetry.machine import MachineConfig
+from repro.telemetry.schema import (
+    RAW_OBSERVATION_BYTES,
+    ObservationBatch,
+    SensorCatalog,
+    SensorSpec,
+)
+from repro.telemetry.sources import TelemetrySource
+from repro.telemetry.workloads import get_archetype
+from repro.util.noise import normal_from_index, uniform_from_index
+
+__all__ = ["StorageIOSource"]
+
+#: Reference client link bandwidth (bytes/s) that io_intensity scales.
+CLIENT_LINK_BPS = 10e9
+SAMPLE_PERIOD_S = 10.0
+#: Lognormal burstiness of I/O bandwidth.
+BURST_SIGMA = 1.2
+#: Fraction of job I/O that is writes (checkpoint-dominated).
+WRITE_FRACTION = 0.7
+
+
+def _intensity_lookup(allocation: AllocationTable) -> np.ndarray:
+    """Dense job_id -> io_intensity array (index -1 unused; 0.0 if idle)."""
+    max_id = max((j.job_id for j in allocation.jobs), default=0)
+    table = np.zeros(max_id + 1)
+    for j in allocation.jobs:
+        table[j.job_id] = get_archetype(j.archetype).io_intensity
+    return table
+
+
+class StorageIOSource(TelemetrySource):
+    """Deterministic per-node filesystem-client counter stream."""
+
+    name = "storage_io"
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        allocation: AllocationTable,
+        seed: int = 0,
+        nodes: np.ndarray | None = None,
+        loss_rate: float = 0.005,
+    ) -> None:
+        self.machine = machine
+        self.allocation = allocation
+        self.seed = int(seed)
+        self.loss_rate = float(loss_rate)
+        if nodes is None:
+            nodes = np.arange(machine.n_nodes, dtype=np.int32)
+        self.nodes = np.asarray(nodes, dtype=np.int32)
+        self._intensity = _intensity_lookup(allocation)
+        self._catalog = SensorCatalog(
+            [
+                SensorSpec(
+                    "fs_read_bps", "B/s", SAMPLE_PERIOD_S, "node",
+                    "filesystem client read bandwidth", loss_rate,
+                ),
+                SensorSpec(
+                    "fs_write_bps", "B/s", SAMPLE_PERIOD_S, "node",
+                    "filesystem client write bandwidth", loss_rate,
+                ),
+                SensorSpec(
+                    "fs_metadata_ops", "ops/s", SAMPLE_PERIOD_S, "node",
+                    "metadata operations per second", loss_rate,
+                ),
+            ]
+        )
+
+    @property
+    def catalog(self) -> SensorCatalog:
+        return self._catalog
+
+    def sample_times(self, t0: float, t1: float) -> np.ndarray:
+        p = SAMPLE_PERIOD_S
+        k0 = int(np.ceil(t0 / p - 1e-9))
+        k1 = int(np.ceil(t1 / p - 1e-9))
+        return np.arange(k0, k1, dtype=np.int64) * p
+
+    def emit(self, t0: float, t1: float) -> ObservationBatch:
+        self._check_window(t0, t1)
+        times = self.sample_times(t0, t1)
+        if times.size == 0 or self.nodes.size == 0:
+            return ObservationBatch.empty()
+
+        _, _, jid = self.allocation.utilization(self.nodes, times)
+        intensity = np.where(jid >= 0, self._intensity[np.maximum(jid, 0)], 0.0)
+
+        k = np.round(times / SAMPLE_PERIOD_S).astype(np.int64)
+        idx = (
+            self.nodes.astype(np.uint64)[:, None] * np.uint64(1 << 40)
+            + k.astype(np.uint64)[None, :]
+        )
+        burst = np.exp(
+            BURST_SIGMA * normal_from_index(self.seed, 60, idx)
+            - 0.5 * BURST_SIGMA**2  # mean-one lognormal
+        )
+        total_bps = intensity * CLIENT_LINK_BPS * burst
+        write_bps = total_bps * WRITE_FRACTION
+        read_bps = total_bps - write_bps
+        # Metadata ops track bandwidth weakly, plus a floor of stat traffic.
+        md_ops = 2.0 + total_bps / 50e6
+
+        ts_grid = np.broadcast_to(times[None, :], idx.shape)
+        node_grid = np.broadcast_to(self.nodes[:, None], idx.shape)
+        parts: list[ObservationBatch] = []
+        for sensor_name, grid in (
+            ("fs_read_bps", read_bps),
+            ("fs_write_bps", write_bps),
+            ("fs_metadata_ops", md_ops),
+        ):
+            sid = self._catalog.id_of(sensor_name)
+            keep = uniform_from_index(self.seed, 2000 + sid, idx) >= self.loss_rate
+            n_keep = int(keep.sum())
+            if n_keep == 0:
+                continue
+            parts.append(
+                ObservationBatch(
+                    timestamps=ts_grid[keep],
+                    component_ids=node_grid[keep],
+                    sensor_ids=np.full(n_keep, sid, dtype=np.int16),
+                    values=grid[keep],
+                )
+            )
+        return ObservationBatch.concat(parts).sorted_by_time()
+
+    def nominal_bytes_per_day(self) -> float:
+        per_node = sum(
+            s.sample_rate_hz * (1.0 - s.loss_rate) for s in self._catalog
+        )
+        return per_node * self.nodes.size * RAW_OBSERVATION_BYTES * 86_400.0
+
+    def fleet_bytes_per_day(self) -> float:
+        """Raw volume/day extrapolated to the full machine."""
+        if self.nodes.size == 0:
+            return 0.0
+        return self.nominal_bytes_per_day() * (
+            self.machine.n_nodes / self.nodes.size
+        )

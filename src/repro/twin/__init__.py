@@ -1,0 +1,46 @@
+"""ExaDigiT-style digital twin of the supercomputer + energy plant (Fig. 11).
+
+The paper's twin has "(1) a resource allocator and power simulator, (2) a
+transient thermo-fluidic cooling model, and (3) a virtual reality model"
+and "replays various telemetry data ... for verification and validation
+of the power and thermo-fluidic models.  As white-box models based on
+thermodynamics, these models overcome the limitations of black-box
+data-driven machine learning models."
+
+Modules (the VR front end is out of scope for a Python library — the
+physics and replay loop are what the evaluation exercises):
+
+* :mod:`repro.twin.power` — resource allocator + white-box power model,
+* :mod:`repro.twin.losses` — rectification and voltage-conversion loss
+  models (the energy-loss prediction of Fig. 11 right),
+* :mod:`repro.twin.cooling` — lumped-parameter transient thermo-fluidic
+  model integrated with SciPy,
+* :mod:`repro.twin.replay` — telemetry replay + V&V metrics,
+* :mod:`repro.twin.scenarios` — what-if studies (power caps, warmer
+  coolant, future-system prototyping).
+"""
+
+from repro.twin.power import PowerSimulator
+from repro.twin.losses import LossModel, LossBreakdown
+from repro.twin.cooling import CoolingModel, CoolingState
+from repro.twin.replay import ReplayReport, TelemetryReplay
+from repro.twin.scenarios import (
+    ScenarioResult,
+    prototype_future_system,
+    what_if_coolant_temp,
+    what_if_power_cap,
+)
+
+__all__ = [
+    "PowerSimulator",
+    "LossModel",
+    "LossBreakdown",
+    "CoolingModel",
+    "CoolingState",
+    "TelemetryReplay",
+    "ReplayReport",
+    "ScenarioResult",
+    "what_if_power_cap",
+    "what_if_coolant_temp",
+    "prototype_future_system",
+]

@@ -1,0 +1,139 @@
+"""Electrical-loss models: rectification and voltage conversion.
+
+Fig. 11 (right): the twin "predicts energy losses due to rectification
+and voltage conversion".  Two loss stages between the utility feed and
+the devices:
+
+* **rectification** (AC -> 380 V DC at the rectifier shelves): efficiency
+  is load-dependent — poor at light load, peaking near full load — the
+  standard 80-PLUS-style curve;
+* **point-of-load conversion** (DC -> device rails): modelled at a fixed
+  efficiency matching the telemetry generator's constant.
+
+``LossModel.breakdown`` maps an IT power draw to the utility-side power
+and per-stage losses, which the Fig. 11 bench sums into energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.power import POL_EFFICIENCY
+
+__all__ = ["LossBreakdown", "LossModel"]
+
+
+@dataclass(frozen=True)
+class LossBreakdown:
+    """Power accounting at one instant (all watts)."""
+
+    it_power_w: float
+    conversion_loss_w: float
+    rectification_loss_w: float
+    utility_power_w: float
+
+    @property
+    def total_loss_w(self) -> float:
+        """Electrical losses between the utility feed and devices."""
+        return self.conversion_loss_w + self.rectification_loss_w
+
+    @property
+    def loss_fraction(self) -> float:
+        """Losses as a fraction of utility power."""
+        return self.total_loss_w / self.utility_power_w if self.utility_power_w else 0.0
+
+
+class LossModel:
+    """Load-dependent rectifier + fixed point-of-load conversion.
+
+    Parameters
+    ----------
+    rated_power_w:
+        Rectifier plant rating (the design IT envelope).
+    peak_efficiency:
+        Rectifier efficiency at optimal load (~0.975 for modern shelves).
+    light_load_efficiency:
+        Efficiency at 10% load.
+    """
+
+    def __init__(
+        self,
+        rated_power_w: float,
+        peak_efficiency: float = 0.975,
+        light_load_efficiency: float = 0.90,
+        pol_efficiency: float = POL_EFFICIENCY,
+    ) -> None:
+        if rated_power_w <= 0:
+            raise ValueError("rated_power_w must be positive")
+        if not 0 < light_load_efficiency < peak_efficiency < 1:
+            raise ValueError(
+                "need 0 < light_load_efficiency < peak_efficiency < 1"
+            )
+        if not 0 < pol_efficiency < 1:
+            raise ValueError("pol_efficiency must be in (0, 1)")
+        self.rated_power_w = rated_power_w
+        self.peak_efficiency = peak_efficiency
+        self.light_load_efficiency = light_load_efficiency
+        self.pol_efficiency = pol_efficiency
+
+    def rectifier_efficiency(self, load_fraction: np.ndarray | float) -> np.ndarray:
+        """Efficiency vs. load fraction: rises steeply, plateaus at peak.
+
+        Saturating-exponential fit through (0.1, light) and ~(0.6+, peak).
+        """
+        load = np.clip(np.asarray(load_fraction, dtype=np.float64), 1e-4, 1.2)
+        # eta(load) = peak - (peak - light) * exp(-k (load - 0.1))
+        k = 6.0
+        eta = self.peak_efficiency - (
+            self.peak_efficiency - self.light_load_efficiency
+        ) * np.exp(-k * (load - 0.1))
+        return np.clip(eta, self.light_load_efficiency * 0.9, self.peak_efficiency)
+
+    def breakdown(self, it_power_w: float) -> LossBreakdown:
+        """Loss accounting for one instant of IT (device-side) power.
+
+        ``it_power_w`` is what devices consume; conversion loss is added
+        to get DC bus power, then rectification loss to get utility power.
+        """
+        if it_power_w < 0:
+            raise ValueError("it_power_w must be non-negative")
+        dc_bus = it_power_w / self.pol_efficiency
+        conversion_loss = dc_bus - it_power_w
+        load = dc_bus / self.rated_power_w
+        eta = float(self.rectifier_efficiency(load))
+        utility = dc_bus / eta
+        rectification_loss = utility - dc_bus
+        return LossBreakdown(
+            it_power_w=it_power_w,
+            conversion_loss_w=conversion_loss,
+            rectification_loss_w=rectification_loss,
+            utility_power_w=utility,
+        )
+
+    def loss_series(self, it_power_w: np.ndarray) -> dict[str, np.ndarray]:
+        """Vectorized breakdown over a power trace."""
+        it = np.asarray(it_power_w, dtype=np.float64)
+        if (it < 0).any():
+            raise ValueError("negative power in trace")
+        dc_bus = it / self.pol_efficiency
+        eta = self.rectifier_efficiency(dc_bus / self.rated_power_w)
+        utility = dc_bus / eta
+        return {
+            "it_power_w": it,
+            "conversion_loss_w": dc_bus - it,
+            "rectification_loss_w": utility - dc_bus,
+            "utility_power_w": utility,
+        }
+
+    def energy_loss_j(self, times: np.ndarray, it_power_w: np.ndarray) -> dict[str, float]:
+        """Integrated losses over a trace (trapezoidal)."""
+        series = self.loss_series(it_power_w)
+        times = np.asarray(times, dtype=np.float64)
+        return {
+            "conversion_j": float(np.trapezoid(series["conversion_loss_w"], times)),
+            "rectification_j": float(np.trapezoid(series["rectification_loss_w"], times)),
+            "it_j": float(np.trapezoid(series["it_power_w"], times)),
+            "utility_j": float(np.trapezoid(series["utility_power_w"], times)),
+        }

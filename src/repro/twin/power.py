@@ -1,0 +1,103 @@
+"""Resource allocator + power simulator (ExaDigiT module 1).
+
+A *white-box* electrical model: given a job schedule (real replayed
+telemetry context or a synthetic what-if schedule), predict per-node and
+fleet power from first principles — device idle/TDP envelopes and
+archetype utilization shapes — with no fitted parameters.  The same
+physics as :mod:`repro.telemetry.power` but noiseless and cap-aware, so
+replay residuals measure sensor noise + model error, not RNG tricks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.jobs import AllocationTable
+from repro.telemetry.machine import MachineConfig
+from repro.telemetry.power import (
+    CPU_IDLE_W,
+    GPU_IDLE_W,
+    MEM_ACTIVE_W,
+    MEM_IDLE_W,
+    POL_EFFICIENCY,
+)
+
+__all__ = ["PowerSimulator"]
+
+
+class PowerSimulator:
+    """Noiseless per-node power prediction for a machine + schedule.
+
+    Parameters
+    ----------
+    machine:
+        Electrical envelope.
+    allocation:
+        The job schedule to simulate (replayed or synthetic).
+    power_cap_w:
+        Optional per-node cap; the simulator clips like firmware would.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        allocation: AllocationTable,
+        power_cap_w: float | None = None,
+    ) -> None:
+        if power_cap_w is not None and power_cap_w <= 0:
+            raise ValueError("power_cap_w must be positive")
+        self.machine = machine
+        self.allocation = allocation
+        self.power_cap_w = power_cap_w
+
+    def node_power(
+        self, nodes: np.ndarray, times: np.ndarray
+    ) -> np.ndarray:
+        """Predicted node input power, shape (n_nodes, n_times)."""
+        m = self.machine
+        gpu_u, cpu_u, _ = self.allocation.utilization(
+            np.asarray(nodes, dtype=np.int32), np.asarray(times, dtype=np.float64)
+        )
+        cpu_pwr = (CPU_IDLE_W + cpu_u * (m.cpu_tdp_w - CPU_IDLE_W)) * m.cpus_per_node
+        gpu_pwr = (GPU_IDLE_W + gpu_u * (m.gpu_tdp_w - GPU_IDLE_W)) * m.gpus_per_node
+        mem_pwr = MEM_IDLE_W + MEM_ACTIVE_W * gpu_u
+        overhead = max(
+            m.node_idle_w
+            - (CPU_IDLE_W * m.cpus_per_node + MEM_IDLE_W + GPU_IDLE_W * m.gpus_per_node),
+            0.0,
+        )
+        it = cpu_pwr + gpu_pwr + mem_pwr + overhead
+        input_power = it / POL_EFFICIENCY
+        cap = self.power_cap_w if self.power_cap_w is not None else m.node_max_w
+        return np.minimum(input_power, min(cap, m.node_max_w))
+
+    def fleet_power(self, times: np.ndarray, nodes: np.ndarray | None = None
+                    ) -> np.ndarray:
+        """Total IT power over time for the whole machine.
+
+        When ``nodes`` is a subset, the subset mean is extrapolated to
+        the fleet (how laptop-scale replays model the full system).
+        """
+        if nodes is None:
+            nodes = np.arange(self.machine.n_nodes, dtype=np.int32)
+        nodes = np.asarray(nodes, dtype=np.int32)
+        if nodes.size == 0:
+            return np.zeros(np.asarray(times).size)
+        per_node = self.node_power(nodes, times)
+        return per_node.mean(axis=0) * self.machine.n_nodes
+
+    def job_power(self, job_id: int, times: np.ndarray) -> np.ndarray:
+        """One job's total power over time (0 outside its lifetime)."""
+        job = self.allocation.job(job_id)
+        per_node = self.node_power(job.nodes, times)
+        times = np.asarray(times, dtype=np.float64)
+        active = (times >= job.start) & (times < job.end)
+        return per_node.sum(axis=0) * active
+
+    def energy_j(self, t0: float, t1: float, dt: float = 15.0) -> float:
+        """Fleet IT energy over a window (trapezoidal integral)."""
+        if t1 <= t0:
+            raise ValueError("t1 must be after t0")
+        times = np.arange(t0, t1 + dt, dt)
+        power = self.fleet_power(times)
+        return float(np.trapezoid(power, times))

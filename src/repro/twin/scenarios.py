@@ -1,0 +1,163 @@
+"""What-if scenario studies on the twin.
+
+"Such a twin can be used to study 'what-if' scenarios, system
+optimizations, and virtual prototyping of future systems."  Two stock
+studies: per-node power capping and warmer facility water — both
+standard energy-efficiency levers whose system-level effects only a
+coupled power+cooling model can predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.jobs import AllocationTable
+from repro.telemetry.machine import MachineConfig
+from repro.twin.cooling import CoolingModel
+from repro.twin.losses import LossModel
+from repro.twin.power import PowerSimulator
+
+__all__ = [
+    "ScenarioResult",
+    "what_if_power_cap",
+    "what_if_coolant_temp",
+    "prototype_future_system",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Baseline vs. scenario comparison over one window."""
+
+    name: str
+    baseline_energy_j: float
+    scenario_energy_j: float
+    baseline_pue: float
+    scenario_pue: float
+
+    @property
+    def energy_saving_fraction(self) -> float:
+        """Positive = the scenario saves IT energy."""
+        if self.baseline_energy_j <= 0:
+            return 0.0
+        return 1.0 - self.scenario_energy_j / self.baseline_energy_j
+
+
+def _run(
+    machine: MachineConfig,
+    allocation: AllocationTable,
+    times: np.ndarray,
+    power_cap_w: float | None,
+    coolant_supply_c: float | None,
+) -> tuple[float, float]:
+    simulator = PowerSimulator(machine, allocation, power_cap_w=power_cap_w)
+    power = simulator.fleet_power(times)
+    cooling = CoolingModel(machine)
+    if coolant_supply_c is not None:
+        cooling.supply_setpoint_c = coolant_supply_c
+    state = cooling.simulate(times, power)
+    losses = LossModel(machine.peak_it_power_w).loss_series(power)
+    pue = cooling.pue(
+        state,
+        power,
+        electrical_loss_w=losses["conversion_loss_w"]
+        + losses["rectification_loss_w"],
+    )
+    energy = float(np.trapezoid(power, times))
+    return energy, pue
+
+
+def what_if_power_cap(
+    machine: MachineConfig,
+    allocation: AllocationTable,
+    t0: float,
+    t1: float,
+    cap_fraction: float = 0.8,
+    dt: float = 30.0,
+) -> ScenarioResult:
+    """Cap every node at ``cap_fraction`` of its electrical ceiling."""
+    if not 0 < cap_fraction <= 1:
+        raise ValueError("cap_fraction must be in (0, 1]")
+    times = np.arange(t0, t1, dt)
+    base_energy, base_pue = _run(machine, allocation, times, None, None)
+    cap = machine.node_max_w * cap_fraction
+    cap_energy, cap_pue = _run(machine, allocation, times, cap, None)
+    return ScenarioResult(
+        name=f"power-cap-{cap_fraction:.0%}",
+        baseline_energy_j=base_energy,
+        scenario_energy_j=cap_energy,
+        baseline_pue=base_pue,
+        scenario_pue=cap_pue,
+    )
+
+
+def prototype_future_system(
+    machine: MachineConfig,
+    allocation: AllocationTable,
+    t0: float,
+    t1: float,
+    gpu_tdp_scale: float = 1.5,
+    efficiency_gain: float = 1.8,
+    dt: float = 30.0,
+) -> dict[str, float]:
+    """Virtual prototyping of a next-generation system (Fig. 11's
+    "virtual prototyping of future systems").
+
+    Scales the GPU power envelope by ``gpu_tdp_scale`` (denser, hotter
+    accelerators) while assuming ``efficiency_gain`` more science per
+    watt, then replays the *same* workload on the prototype to answer
+    the procurement question: what do power, cooling, and PUE look like?
+
+    Returns a comparison dict with current/future fleet power, future
+    PUE, and the science-per-joule ratio.
+    """
+    if gpu_tdp_scale <= 0 or efficiency_gain <= 0:
+        raise ValueError("scales must be positive")
+    future = MachineConfig(
+        name=f"{machine.name}-next",
+        n_cabinets=machine.n_cabinets,
+        nodes_per_cabinet=machine.nodes_per_cabinet,
+        gpus_per_node=machine.gpus_per_node,
+        cpus_per_node=machine.cpus_per_node,
+        cpu_tdp_w=machine.cpu_tdp_w,
+        gpu_tdp_w=machine.gpu_tdp_w * gpu_tdp_scale,
+        node_idle_w=machine.node_idle_w,
+        node_max_w=machine.node_max_w * gpu_tdp_scale,
+        power_sample_period_s=machine.power_sample_period_s,
+        coolant_supply_c=machine.coolant_supply_c,
+    )
+    times = np.arange(t0, t1, dt)
+    cur_energy, cur_pue = _run(machine, allocation, times, None, None)
+    fut_energy, fut_pue = _run(future, allocation, times, None, None)
+    science_per_joule_ratio = efficiency_gain * cur_energy / fut_energy
+    return {
+        "current_energy_j": cur_energy,
+        "future_energy_j": fut_energy,
+        "current_pue": cur_pue,
+        "future_pue": fut_pue,
+        "power_growth": fut_energy / cur_energy,
+        "science_per_joule_ratio": science_per_joule_ratio,
+    }
+
+
+def what_if_coolant_temp(
+    machine: MachineConfig,
+    allocation: AllocationTable,
+    t0: float,
+    t1: float,
+    supply_c: float = 37.0,
+    dt: float = 30.0,
+) -> ScenarioResult:
+    """Raise the facility supply set point (warm-water cooling study)."""
+    times = np.arange(t0, t1, dt)
+    base_energy, base_pue = _run(machine, allocation, times, None, None)
+    warm_energy, warm_pue = _run(machine, allocation, times, None, supply_c)
+    return ScenarioResult(
+        name=f"coolant-{supply_c:.0f}C",
+        baseline_energy_j=base_energy,
+        scenario_energy_j=warm_energy,
+        baseline_pue=base_pue,
+        scenario_pue=warm_pue,
+    )

@@ -1,0 +1,59 @@
+"""Shared utilities: simulation clock, deterministic RNG streams, units,
+and vectorized time-series helpers.
+
+These are the lowest-level building blocks of the ODA substrate.  Everything
+above (telemetry generators, the stream broker, the pipeline engine, the
+digital twin) consumes the :class:`~repro.util.clock.SimClock` for virtual
+time and :class:`~repro.util.rng.RngStreams` for reproducible randomness.
+"""
+
+from repro.util.clock import SimClock
+from repro.util.rng import RngStreams, derive_seed
+from repro.util.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    PB,
+    TB,
+    TIB,
+    bytes_per_day,
+    format_bytes,
+    format_rate,
+)
+from repro.util.timeseries import (
+    bucket_indices,
+    bucket_mean,
+    bucket_reduce,
+    ema,
+    fill_forward,
+    resample_mean,
+    rolling_mean,
+)
+
+__all__ = [
+    "SimClock",
+    "RngStreams",
+    "derive_seed",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "PB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "bytes_per_day",
+    "format_bytes",
+    "format_rate",
+    "bucket_indices",
+    "bucket_mean",
+    "bucket_reduce",
+    "ema",
+    "fill_forward",
+    "resample_mean",
+    "rolling_mean",
+]

@@ -1,0 +1,61 @@
+"""Counter-based deterministic noise.
+
+Telemetry generators must be *split-invariant*: emitting ``[0, 60)`` in one
+call or in four 15-second calls must produce byte-identical samples, or
+replay (Fig. 11) and recovery tests would be flaky.  Stateful RNGs cannot
+give that, so noise is derived from a stateless integer hash of
+``(seed, stream tag, absolute sample index)`` — a vectorized splitmix64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hash_u64", "uniform_from_index", "normal_from_index"]
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def hash_u64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over uint64 inputs."""
+    with np.errstate(over="ignore"):
+        z = (np.asarray(x, dtype=np.uint64) + _GOLDEN) * _MIX1
+        z ^= z >> np.uint64(30)
+        z *= _MIX1
+        z ^= z >> np.uint64(27)
+        z *= _MIX2
+        z ^= z >> np.uint64(31)
+    return z
+
+
+def _indices_to_u64(seed: int, tag: int, idx: np.ndarray) -> np.ndarray:
+    with np.errstate(over="ignore"):
+        base = np.uint64(seed & 0xFFFFFFFFFFFFFFFF) * _MIX2 + np.uint64(
+            tag & 0xFFFFFFFFFFFFFFFF
+        ) * _GOLDEN
+        return hash_u64(np.asarray(idx, dtype=np.uint64) + base)
+
+
+def uniform_from_index(seed: int, tag: int, idx: np.ndarray) -> np.ndarray:
+    """Deterministic U[0,1) draws keyed by absolute sample index.
+
+    ``tag`` distinguishes channels sharing the same index space (e.g. the
+    loss mask vs. the value noise of one sensor).
+    """
+    bits = _indices_to_u64(seed, tag, idx)
+    # 53-bit mantissa trick for uniform doubles in [0, 1).
+    return (bits >> np.uint64(11)).astype(np.float64) * (1.0 / (1 << 53))
+
+
+def normal_from_index(seed: int, tag: int, idx: np.ndarray) -> np.ndarray:
+    """Deterministic standard-normal draws keyed by absolute sample index.
+
+    Box-Muller over two decorrelated uniform channels derived from the
+    same index, clamped away from log(0).
+    """
+    u1 = uniform_from_index(seed, tag * 2 + 1, idx)
+    u2 = uniform_from_index(seed, tag * 2 + 2, idx)
+    u1 = np.maximum(u1, 1e-12)
+    return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)

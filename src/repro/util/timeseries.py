@@ -1,0 +1,201 @@
+"""Vectorized time-series primitives.
+
+These helpers implement the numerical inner loops shared by the pipeline
+operators, the LVA query engine, and the digital twin: bucketed reductions
+(the "aggregate every 15 seconds" step of the medallion Silver stage),
+rolling/exponential smoothing, and gap filling for lossy sensor streams.
+
+All functions are pure NumPy with no Python-level loops over samples, per
+the project's hpc-parallel guidelines (vectorize, avoid copies where a view
+suffices).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bucket_indices",
+    "bucket_reduce",
+    "bucket_mean",
+    "resample_mean",
+    "rolling_mean",
+    "ema",
+    "fill_forward",
+]
+
+
+def bucket_indices(
+    timestamps: np.ndarray, interval: float, origin: float = 0.0
+) -> np.ndarray:
+    """Map each timestamp to the integer index of its time bucket.
+
+    Bucket ``i`` covers ``[origin + i*interval, origin + (i+1)*interval)``.
+    """
+    ts = np.asarray(timestamps, dtype=np.float64)
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    return np.floor((ts - origin) / interval).astype(np.int64)
+
+
+def bucket_reduce(
+    keys: np.ndarray,
+    values: np.ndarray,
+    reducer: str = "mean",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Group ``values`` by integer ``keys`` and reduce each group.
+
+    Returns ``(unique_keys, reduced)`` with groups in ascending key order.
+    Supported reducers: ``mean``, ``sum``, ``min``, ``max``, ``count``,
+    ``std``, ``first``, ``last``.
+
+    Implementation: a single argsort followed by ``np.add.reduceat`` —
+    O(n log n) with no per-group Python overhead, which matters because the
+    Silver aggregation step runs this over millions of observations.
+    """
+    keys = np.asarray(keys)
+    values = np.asarray(values, dtype=np.float64)
+    if keys.shape[0] != values.shape[0]:
+        raise ValueError(
+            f"keys and values length mismatch: {keys.shape[0]} != {values.shape[0]}"
+        )
+    if keys.size == 0:
+        return keys[:0], values[:0]
+
+    order = np.argsort(keys, kind="stable")
+    sk = keys[order]
+    sv = values[order]
+    # Start offset of each group in the sorted arrays.
+    boundaries = np.flatnonzero(np.concatenate(([True], sk[1:] != sk[:-1])))
+    uniq = sk[boundaries]
+    counts = np.diff(np.concatenate((boundaries, [sk.size])))
+
+    if reducer == "count":
+        return uniq, counts.astype(np.float64)
+    if reducer == "sum":
+        return uniq, np.add.reduceat(sv, boundaries)
+    if reducer == "mean":
+        return uniq, np.add.reduceat(sv, boundaries) / counts
+    if reducer == "min":
+        return uniq, np.minimum.reduceat(sv, boundaries)
+    if reducer == "max":
+        return uniq, np.maximum.reduceat(sv, boundaries)
+    if reducer == "first":
+        return uniq, sv[boundaries]
+    if reducer == "last":
+        ends = np.concatenate((boundaries[1:], [sv.size])) - 1
+        return uniq, sv[ends]
+    if reducer == "std":
+        sums = np.add.reduceat(sv, boundaries)
+        sqsums = np.add.reduceat(sv * sv, boundaries)
+        mean = sums / counts
+        var = np.maximum(sqsums / counts - mean * mean, 0.0)
+        return uniq, np.sqrt(var)
+    raise ValueError(f"unknown reducer {reducer!r}")
+
+
+def bucket_mean(
+    timestamps: np.ndarray,
+    values: np.ndarray,
+    interval: float,
+    origin: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mean of ``values`` per time bucket; returns (bucket_start_times, means)."""
+    idx = bucket_indices(timestamps, interval, origin)
+    uniq, means = bucket_reduce(idx, values, "mean")
+    return origin + uniq * interval, means
+
+
+def resample_mean(
+    timestamps: np.ndarray,
+    values: np.ndarray,
+    interval: float,
+    t_start: float,
+    t_end: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Resample to a *dense* regular grid over ``[t_start, t_end)``.
+
+    Buckets with no samples are NaN (callers may :func:`fill_forward`).
+    """
+    n = int(np.ceil((t_end - t_start) / interval))
+    if n < 0:
+        raise ValueError("t_end must be >= t_start")
+    grid = t_start + np.arange(n, dtype=np.float64) * interval
+    out = np.full(n, np.nan)
+    ts = np.asarray(timestamps, dtype=np.float64)
+    mask = (ts >= t_start) & (ts < t_end)
+    if mask.any():
+        idx = bucket_indices(ts[mask], interval, t_start)
+        uniq, means = bucket_reduce(idx, np.asarray(values)[mask], "mean")
+        out[uniq] = means
+    return grid, out
+
+
+def rolling_mean(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing rolling mean with a ramp-up (partial windows at the start).
+
+    Output has the same length as the input; ``out[i]`` is the mean of
+    ``values[max(0, i-window+1):i+1]``.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if v.size == 0:
+        return v.copy()
+    csum = np.concatenate(([0.0], np.cumsum(v)))
+    idx = np.arange(1, v.size + 1)
+    lo = np.maximum(idx - window, 0)
+    return (csum[idx] - csum[lo]) / (idx - lo)
+
+
+def ema(values: np.ndarray, alpha: float) -> np.ndarray:
+    """Exponential moving average, ``out[0] = values[0]``.
+
+    Computed via the closed-form recurrence unrolled with cumulative
+    products so no Python loop is needed for moderate lengths; falls back
+    to an iterative scheme when the closed form would underflow.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if v.size == 0:
+        return v.copy()
+    if alpha == 1.0:
+        return v.copy()
+    decay = 1.0 - alpha
+    n = v.size
+    # out[i] = decay^i * v[0] + alpha * sum_{k=1..i} decay^(i-k) v[k]
+    # Scale trick: w[i] = out[i] / decay^i; w[i] = w[i-1] + alpha*v[i]/decay^i.
+    # decay^-i overflows for long series, so chunk the computation.
+    out = np.empty(n)
+    chunk = max(1, int(200 / max(-np.log10(decay), 1e-12)))  # keep decay^-i sane
+    prev = v[0]
+    out[0] = prev
+    i = 1
+    while i < n:
+        j = min(n, i + chunk)
+        seg = v[i:j]
+        m = j - i
+        powers = decay ** np.arange(1, m + 1)
+        inv = 1.0 / powers
+        w = np.cumsum(alpha * seg * inv)
+        out[i:j] = powers * (prev + w)
+        prev = out[j - 1]
+        i = j
+    return out
+
+
+def fill_forward(values: np.ndarray) -> np.ndarray:
+    """Replace NaNs with the most recent preceding non-NaN value.
+
+    Leading NaNs (no predecessor) are left as NaN.  Vectorized via a
+    running maximum over the indices of valid samples.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    out = v.copy()
+    valid = ~np.isnan(v)
+    idx = np.where(valid, np.arange(v.size), -1)
+    np.maximum.accumulate(idx, out=idx)
+    has_prev = idx >= 0
+    out[has_prev] = v[idx[has_prev]]
+    return out

@@ -1,0 +1,52 @@
+"""Byte/rate unit constants and human-readable formatting.
+
+The paper's headline numbers are data-volume figures (4.2-4.5 TB/day of raw
+telemetry, ~0.5 TB/day for the Frontier power stream), so the benches need a
+common vocabulary for bytes and rates.  Decimal units (KB/MB/...) follow
+storage-industry convention; binary units (KiB/MiB/...) are provided for
+memory-footprint reporting.
+"""
+
+from __future__ import annotations
+
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+PB = 10**15
+
+KIB = 2**10
+MIB = 2**20
+GIB = 2**30
+TIB = 2**40
+
+_DECIMAL_STEPS = [(PB, "PB"), (TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def bytes_per_day(n_bytes: float, duration_s: float) -> float:
+    """Extrapolate an observed volume over ``duration_s`` to bytes/day.
+
+    This is how the Fig. 4a bench turns a short simulated window into the
+    paper's TB/day framing.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    return n_bytes * (SECONDS_PER_DAY / duration_s)
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Format a byte count with a decimal unit suffix, e.g. ``'4.38 TB'``."""
+    n = float(n_bytes)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for step, suffix in _DECIMAL_STEPS:
+        if n >= step:
+            return f"{sign}{n / step:.2f} {suffix}"
+    return f"{sign}{n:.0f} B"
+
+
+def format_rate(n_bytes_per_s: float) -> str:
+    """Format a byte rate, e.g. ``'51.2 MB/s'``."""
+    return f"{format_bytes(n_bytes_per_s)}/s"

@@ -1,0 +1,65 @@
+"""Shared fixtures: a small fully-refined deployment for the apps."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.medallion import (
+    bronze_standardize,
+    gold_job_profiles,
+    silver_aggregate,
+)
+from repro.storage import DataClass, TieredStore
+from repro.telemetry import (
+    InterconnectSource,
+    MINI,
+    PowerThermalSource,
+    StorageIOSource,
+    SyslogSource,
+    synthetic_job_mix,
+)
+
+
+@pytest.fixture(scope="package")
+def deployment():
+    """Telemetry for one hour of MINI, refined into a tiered store."""
+    allocation = synthetic_job_mix(MINI, 0.0, 7200.0, np.random.default_rng(21))
+    power_src = PowerThermalSource(MINI, allocation, seed=3, loss_rate=0.01)
+    io_src = StorageIOSource(MINI, allocation, seed=3)
+    net_src = InterconnectSource(MINI, allocation, seed=3)
+    syslog_src = SyslogSource(MINI, seed=3, burst_prob=0.05)
+
+    tiers = TieredStore()
+    tiers.register("power.bronze", DataClass.BRONZE)
+    tiers.register("power.silver", DataClass.SILVER)
+    tiers.register("power.gold_profiles", DataClass.GOLD)
+    tiers.register("storage_io.silver", DataClass.SILVER)
+    tiers.register("interconnect.silver", DataClass.SILVER)
+
+    events = []
+    for t in np.arange(0.0, 3600.0, 600.0):
+        t1 = t + 600.0
+        power_batch = power_src.emit(t, t1)
+        bronze = bronze_standardize([power_batch])
+        silver = silver_aggregate(bronze, power_src.catalog, 15.0, allocation)
+        gold = gold_job_profiles(silver)
+        tiers.ingest("power.bronze", bronze, now=t1)
+        tiers.ingest("power.silver", silver, now=t1)
+        tiers.ingest("power.gold_profiles", gold, now=t1)
+
+        io_bronze = bronze_standardize([io_src.emit(t, t1)])
+        io_silver = silver_aggregate(io_bronze, io_src.catalog, 15.0)
+        tiers.ingest("storage_io.silver", io_silver, now=t1)
+
+        net_bronze = bronze_standardize([net_src.emit(t, t1)])
+        net_silver = silver_aggregate(net_bronze, net_src.catalog, 15.0)
+        tiers.ingest("interconnect.silver", net_silver, now=t1)
+
+        events.append(syslog_src.emit(t, t1))
+
+    return {
+        "allocation": allocation,
+        "tiers": tiers,
+        "power_catalog": power_src.catalog,
+        "events": events,
+        "syslog_templates": syslog_src.templates,
+    }

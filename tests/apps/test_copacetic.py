@@ -1,0 +1,106 @@
+"""Unit tests for the Copacetic correlation engine."""
+
+import numpy as np
+import pytest
+
+from repro.apps import CopaceticEngine, Rule
+from repro.apps.copacetic import (
+    auth_after_fault_rule,
+    error_burst_rule,
+    escalation_rule,
+)
+from repro.telemetry import MINI, SyslogSource
+from repro.telemetry.schema import EventBatch
+
+
+def events(node, times, severities, message_ids):
+    n = len(times)
+    return EventBatch(
+        timestamps=np.asarray(times, dtype=float),
+        component_ids=np.full(n, node, dtype=np.int32),
+        severities=np.asarray(severities, dtype=np.int8),
+        message_ids=np.asarray(message_ids, dtype=np.int16),
+    )
+
+
+class TestErrorBurst:
+    def test_burst_fires(self):
+        engine = CopaceticEngine([error_burst_rule(threshold=3)])
+        batch = events(5, [10.0, 11.0, 12.0], [3, 3, 4], [15, 16, 19])
+        alerts = engine.process(batch)
+        assert len(alerts) == 1
+        assert alerts[0].rule == "error-burst"
+        assert alerts[0].node == 5
+
+    def test_below_threshold_silent(self):
+        engine = CopaceticEngine([error_burst_rule(threshold=5)])
+        assert engine.process(events(5, [1.0, 2.0], [3, 3], [15, 15])) == []
+
+    def test_window_eviction(self):
+        engine = CopaceticEngine([error_burst_rule(threshold=3, window_s=60.0)])
+        engine.process(events(1, [0.0, 1.0], [3, 3], [15, 15]))
+        # Third error arrives long after: first two have left the window.
+        alerts = engine.process(events(1, [500.0], [3], [15]))
+        assert alerts == []
+
+    def test_dedup_within_window_slot(self):
+        engine = CopaceticEngine([error_burst_rule(threshold=2, window_s=1000.0)])
+        engine.process(events(1, [1.0, 2.0], [3, 3], [15, 15]))
+        again = engine.process(events(1, [3.0], [3], [15]))
+        assert again == []  # same (rule, node, slot)
+
+
+class TestEscalation:
+    def test_full_escalation_fires(self):
+        engine = CopaceticEngine([escalation_rule()])
+        batch = events(2, [1.0, 2.0, 3.0], [2, 3, 4], [10, 15, 19])
+        assert len(engine.process(batch)) == 1
+
+    def test_partial_escalation_silent(self):
+        engine = CopaceticEngine([escalation_rule()])
+        assert engine.process(events(2, [1.0, 2.0], [2, 3], [10, 15])) == []
+
+
+class TestAuthAfterFault:
+    def test_login_after_fault_fires(self):
+        engine = CopaceticEngine([auth_after_fault_rule()])
+        batch = events(3, [10.0, 20.0], [3, 1], [15, 4])
+        assert len(engine.process(batch)) == 1
+
+    def test_login_before_fault_silent(self):
+        engine = CopaceticEngine([auth_after_fault_rule()])
+        batch = events(3, [10.0, 20.0], [1, 3], [4, 15])
+        assert engine.process(batch) == []
+
+
+class TestEngine:
+    def test_empty_batch(self):
+        assert CopaceticEngine().process(EventBatch.empty()) == []
+
+    def test_no_rules_rejected(self):
+        with pytest.raises(ValueError):
+            CopaceticEngine([])
+
+    def test_invalid_rule_window(self):
+        with pytest.raises(ValueError):
+            Rule("x", 0.0, lambda ts, sev, msg: None)
+
+    def test_nodes_isolated(self):
+        engine = CopaceticEngine([error_burst_rule(threshold=3)])
+        # Two errors on node 1, one on node 2: neither crosses alone.
+        batch = EventBatch(
+            timestamps=np.array([1.0, 2.0, 3.0]),
+            component_ids=np.array([1, 1, 2], dtype=np.int32),
+            severities=np.array([3, 3, 3], dtype=np.int8),
+            message_ids=np.array([15, 15, 15], dtype=np.int16),
+        )
+        assert engine.process(batch) == []
+
+    def test_runs_over_synthetic_syslog(self):
+        """End-to-end over the bursty generator: some alerts, no storms."""
+        source = SyslogSource(MINI, seed=9, burst_prob=0.2, burst_factor=18.0)
+        engine = CopaceticEngine()
+        for t in np.arange(0.0, 7200.0, 600.0):
+            engine.process(source.emit(t, t + 600.0))
+        assert engine.events_processed > 500
+        assert 0 < len(engine.alerts) < engine.events_processed / 5

@@ -1,0 +1,82 @@
+"""Unit + integration tests for Live Visual Analytics (Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import LiveVisualAnalytics
+
+
+@pytest.fixture
+def lva(deployment):
+    return LiveVisualAnalytics(
+        deployment["tiers"],
+        deployment["power_catalog"],
+        deployment["allocation"],
+    )
+
+
+def early_job(deployment):
+    for job in deployment["allocation"].jobs:
+        if job.start < 1800.0 and job.end > 600.0:
+            return job
+    raise RuntimeError("no early job")
+
+
+class TestInteractiveQueries:
+    def test_job_profile_sorted_series(self, lva, deployment):
+        job = early_job(deployment)
+        profile = lva.job_power_profile(job.job_id)
+        assert profile.num_rows > 0
+        assert (np.diff(profile["timestamp"]) >= 0).all()
+        assert (profile["power_w"] > 0).all()
+
+    def test_system_power_view_resolution(self, lva):
+        view = lva.system_power_view(0.0, 1800.0, resolution_s=60.0)
+        assert view.num_rows <= 30
+        assert (view["total_power_w"] > 0).all()
+
+    def test_system_power_scales_with_fleet(self, lva, deployment):
+        from repro.telemetry import MINI
+
+        view = lva.system_power_view(0.0, 1800.0)
+        mean_node = view["mean_node_power_w"].mean()
+        assert view["total_power_w"].mean() == pytest.approx(
+            mean_node * MINI.n_nodes, rel=0.2
+        )
+
+    def test_top_jobs_ranked_by_energy(self, lva):
+        top = lva.top_jobs_by_energy(5)
+        assert top.num_rows >= 1
+        energy = top["energy_j"]
+        assert (np.diff(energy) <= 1e-6).all()
+
+    def test_empty_window(self, lva):
+        view = lva.system_power_view(1e8, 1e8 + 60.0)
+        assert view.num_rows == 0
+
+
+class TestRefinementSpeedup:
+    def test_raw_scan_matches_refined_answer(self, lva, deployment):
+        """Both paths compute the same profile (modulo float order)."""
+        job = early_job(deployment)
+        fast = lva.job_power_profile(job.job_id)
+        slow = lva.job_power_profile_from_raw(job.job_id)
+        assert fast.num_rows == slow.num_rows
+        np.testing.assert_allclose(
+            fast["power_w"], slow["power_w"], rtol=1e-9
+        )
+
+    def test_refined_path_faster(self, lva, deployment):
+        """The Fig. 8 claim: precomputed profiles make interaction cheap."""
+        job = early_job(deployment)
+        lva.job_power_profile(job.job_id)
+        lva.job_power_profile_from_raw(job.job_id)
+        fast = lva.last_latency("job_power_profile")
+        slow = lva.last_latency("job_power_profile_from_raw")
+        assert slow > 3 * fast
+
+    def test_latency_log(self, lva, deployment):
+        job = early_job(deployment)
+        lva.job_power_profile(job.job_id)
+        assert lva.last_latency("job_power_profile") is not None
+        assert lva.last_latency("never-ran") is None

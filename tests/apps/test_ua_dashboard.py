@@ -1,0 +1,132 @@
+"""Unit + integration tests for the User Assistance dashboard (Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import UserAssistanceDashboard
+
+
+@pytest.fixture
+def dashboard(deployment):
+    dash = UserAssistanceDashboard(
+        deployment["tiers"].lake, deployment["allocation"]
+    )
+    for batch in deployment["events"]:
+        dash.feed_events(batch)
+    return dash
+
+
+def job_in_first_hour(deployment):
+    for job in deployment["allocation"].jobs:
+        if job.start < 1800.0 and job.end > 900.0:
+            return job
+    raise RuntimeError("fixture produced no early job")
+
+
+class TestJobOverview:
+    def test_overview_compiles_all_streams(self, dashboard, deployment):
+        job = job_in_first_hour(deployment)
+        overview = dashboard.job_overview(job.job_id)
+        assert overview.power.num_rows > 0
+        assert overview.io.num_rows > 0
+        assert overview.fabric.num_rows > 0
+
+    def test_overview_scoped_to_job_nodes(self, dashboard, deployment):
+        job = job_in_first_hour(deployment)
+        overview = dashboard.job_overview(job.job_id)
+        assert set(np.unique(overview.power["node"])) <= set(job.nodes.tolist())
+
+    def test_overview_scoped_to_job_lifetime(self, dashboard, deployment):
+        job = job_in_first_hour(deployment)
+        overview = dashboard.job_overview(job.job_id)
+        ts = overview.power["timestamp"]
+        assert ts.min() >= job.start - 15.0
+        assert ts.max() < job.end
+
+    def test_events_scoped_to_job(self, dashboard, deployment):
+        job = job_in_first_hour(deployment)
+        overview = dashboard.job_overview(job.job_id)
+        if len(overview.events):
+            assert set(np.unique(overview.events.component_ids)) <= set(
+                job.nodes.tolist()
+            )
+
+    def test_unknown_job_raises(self, dashboard):
+        with pytest.raises(KeyError):
+            dashboard.job_overview(999_999)
+
+    def test_ticket_counter(self, dashboard, deployment):
+        job = job_in_first_hour(deployment)
+        before = dashboard.tickets_resolved
+        dashboard.job_overview(job.job_id)
+        assert dashboard.tickets_resolved == before + 1
+
+
+class TestDiagnosis:
+    def test_idle_job_flagged(self, dashboard, deployment):
+        idle_jobs = [
+            j for j in deployment["allocation"].jobs
+            if j.archetype in ("idle", "debug") and j.start < 3000.0
+        ]
+        if not idle_jobs:
+            pytest.skip("no idle jobs in mix")
+        overview = dashboard.job_overview(idle_jobs[0].job_id)
+        codes = {f.code for f in overview.findings}
+        assert "idle-gpus" in codes
+
+    def test_busy_job_not_flagged_idle(self, dashboard, deployment):
+        busy = [
+            j for j in deployment["allocation"].jobs
+            if j.archetype in ("climate", "hpl") and j.start < 1800.0
+            and j.end > 2400.0
+        ]
+        if not busy:
+            pytest.skip("no busy jobs in mix")
+        overview = dashboard.job_overview(busy[0].job_id)
+        assert "idle-gpus" not in {f.code for f in overview.findings}
+
+    def test_findings_carry_evidence(self, dashboard, deployment):
+        job = job_in_first_hour(deployment)
+        overview = dashboard.job_overview(job.job_id)
+        for finding in overview.findings:
+            assert finding.severity in ("info", "warning", "critical")
+            assert finding.message
+
+
+class TestLogSearch:
+    def test_search_job_logs(self, dashboard, deployment):
+        from repro.storage import LogStore
+        from repro.telemetry.schema import EventBatch
+
+        store = LogStore(deployment["syslog_templates"])
+        for batch in deployment["events"]:
+            store.ingest(batch)
+        dashboard.attach_log_store(store)
+        job = job_in_first_hour(deployment)
+        hits = dashboard.search_job_logs(job.job_id, "kernel")
+        for doc in hits:
+            assert doc.node in job.nodes.tolist()
+            assert job.start <= doc.timestamp < job.end
+            assert "kernel" in doc.message.lower()
+
+    def test_search_requires_store(self, dashboard, deployment):
+        job = job_in_first_hour(deployment)
+        dashboard.log_store = None
+        with pytest.raises(RuntimeError):
+            dashboard.search_job_logs(job.job_id, "kernel")
+
+
+class TestManualBaseline:
+    def test_manual_lookup_touches_more_rows(self, dashboard, deployment):
+        """The integrated dashboard reads orders of magnitude fewer rows
+        than scanning each raw system (the Fig. 6 efficiency claim)."""
+        job = job_in_first_hour(deployment)
+        bronze = {
+            "power": deployment["tiers"].scan_ocean("power.bronze"),
+        }
+        overview, rows_touched = dashboard.manual_lookup(job.job_id, bronze)
+        dashboard_rows = (
+            overview.power.num_rows + overview.io.num_rows
+            + overview.fabric.num_rows
+        )
+        assert rows_touched > 10 * dashboard_rows

@@ -1,0 +1,153 @@
+"""Unit + property tests for column encodings and codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.columnar import (
+    DELTA,
+    DICTIONARY,
+    PLAIN,
+    RLE,
+    choose_encoding,
+    compress,
+    decode_column,
+    decompress,
+    encode_column,
+)
+
+
+def roundtrip(arr, encoding):
+    return decode_column(encode_column(arr, encoding), encoding)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("encoding", [PLAIN, RLE, DELTA, DICTIONARY])
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.arange(100, dtype=np.float64),
+            np.repeat(np.array([1, 2, 3], dtype=np.int64), 30),
+            np.zeros(50, dtype=np.int32),
+            np.array([7], dtype=np.int64),
+        ],
+        ids=["ramp", "runs", "constant", "single"],
+    )
+    def test_numeric_roundtrip(self, encoding, arr):
+        out = roundtrip(arr, encoding)
+        np.testing.assert_array_equal(out, arr)
+
+    @pytest.mark.parametrize("encoding", [PLAIN, RLE, DELTA, DICTIONARY])
+    def test_empty_roundtrip(self, encoding):
+        arr = np.empty(0, dtype=np.float64)
+        assert roundtrip(arr, encoding).size == 0
+
+    def test_string_dictionary_roundtrip(self):
+        arr = np.array(["a", "bb", None, "a", "ccc"], dtype=object)
+        out = roundtrip(arr, DICTIONARY)
+        assert out.tolist() == ["a", "bb", None, "a", "ccc"]
+
+    def test_string_requires_dictionary(self):
+        arr = np.array(["a"], dtype=object)
+        with pytest.raises(ValueError):
+            encode_column(arr, PLAIN)
+
+    def test_rle_handles_nan_runs(self):
+        arr = np.array([np.nan, np.nan, 1.0, 1.0, np.nan])
+        out = roundtrip(arr, RLE)
+        np.testing.assert_array_equal(np.isnan(out), np.isnan(arr))
+        np.testing.assert_array_equal(out[~np.isnan(out)], arr[~np.isnan(arr)])
+
+    def test_unknown_encoding(self):
+        with pytest.raises(ValueError):
+            encode_column(np.zeros(1), 99)
+        with pytest.raises(ValueError):
+            decode_column(b"", 99)
+
+    @given(
+        arr=hnp.arrays(
+            np.int64, st.integers(0, 300), elements=st.integers(-(2**40), 2**40)
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_all_numeric_encodings_roundtrip(self, arr):
+        for enc in (PLAIN, RLE, DELTA, DICTIONARY):
+            np.testing.assert_array_equal(roundtrip(arr, enc), arr)
+
+    @given(
+        strings=st.lists(
+            st.one_of(st.none(), st.text(max_size=6)), max_size=100
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_string_dictionary_roundtrip(self, strings):
+        arr = np.empty(len(strings), dtype=object)
+        arr[:] = strings
+        assert roundtrip(arr, DICTIONARY).tolist() == strings
+
+
+class TestEncodingSizes:
+    def test_regular_timestamps_tiny_under_delta(self):
+        ts = np.arange(0, 100_000, 15, dtype=np.float64)  # 15 s grid
+        delta = encode_column(ts, DELTA)
+        plain = encode_column(ts, PLAIN)
+        assert len(delta) < len(plain) / 100
+
+    def test_run_heavy_ids_tiny_under_rle(self):
+        ids = np.repeat(np.arange(20, dtype=np.int32), 500)
+        rle = encode_column(ids, RLE)
+        plain = encode_column(ids, PLAIN)
+        assert len(rle) < len(plain) / 50
+
+
+class TestChooseEncoding:
+    def test_regular_grid_prefers_delta(self):
+        assert choose_encoding(np.arange(0.0, 1000.0, 15.0)) == DELTA
+
+    def test_runs_prefer_rle_or_delta(self):
+        arr = np.repeat(np.arange(5, dtype=np.int64), 100)
+        assert choose_encoding(arr) in (RLE, DELTA)
+
+    def test_noise_prefers_plain(self):
+        rng = np.random.default_rng(0)
+        assert choose_encoding(rng.random(1000)) == PLAIN
+
+    def test_strings_always_dictionary(self):
+        arr = np.array(["x"], dtype=object)
+        assert choose_encoding(arr) == DICTIONARY
+
+    def test_low_cardinality_floats_dictionary_or_rle(self):
+        rng = np.random.default_rng(1)
+        arr = rng.choice([1.5, 2.5, 3.5], size=1000)
+        assert choose_encoding(arr) in (DICTIONARY, RLE)
+
+    @given(
+        arr=hnp.arrays(
+            np.float64,
+            st.integers(0, 200),
+            elements=st.floats(-1e6, 1e6),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_chosen_encoding_roundtrips(self, arr):
+        enc = choose_encoding(arr)
+        np.testing.assert_allclose(roundtrip(arr, enc), arr, rtol=0, atol=0)
+
+
+class TestCodecs:
+    @pytest.mark.parametrize("codec", ["none", "fast", "high"])
+    def test_roundtrip(self, codec):
+        data = b"hello world " * 100
+        assert decompress(compress(data, codec), codec) == data
+
+    def test_high_compresses_harder_than_fast(self):
+        data = np.random.default_rng(0).integers(0, 4, 100_000).astype(np.uint8).tobytes()
+        assert len(compress(data, "high")) <= len(compress(data, "fast"))
+
+    def test_unknown_codec(self):
+        with pytest.raises(ValueError):
+            compress(b"x", "zstd")
+        with pytest.raises(ValueError):
+            decompress(b"x", "zstd")

@@ -1,0 +1,77 @@
+"""Unit tests for the multi-machine DataCenter facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataCenter
+from repro.telemetry import COMPASS, MINI, MOUNTAIN, synthetic_job_mix
+
+
+def small(machine, n=8):
+    """A laptop-scale stand-in keeping a machine's per-node character."""
+    return machine.scaled(n)
+
+
+@pytest.fixture(scope="module")
+def centre():
+    dc = DataCenter()
+    for preset, seed in ((small(COMPASS), 0), (small(MOUNTAIN), 1)):
+        allocation = synthetic_job_mix(
+            preset, 0.0, 1800.0, np.random.default_rng(seed)
+        )
+        dc.add_machine(preset, allocation, seed=seed)
+    dc.run(0.0, 300.0, window_s=150.0)
+    return dc
+
+
+class TestDataCenter:
+    def test_machines_listed(self, centre):
+        assert centre.machines() == ["compass", "mountain"]
+
+    def test_duplicate_machine_rejected(self, centre):
+        allocation = synthetic_job_mix(
+            small(COMPASS), 0.0, 600.0, np.random.default_rng(9)
+        )
+        with pytest.raises(ValueError):
+            centre.add_machine(small(COMPASS), allocation)
+
+    def test_unknown_machine(self, centre):
+        with pytest.raises(KeyError):
+            centre.framework("summit")
+
+    def test_both_machines_ran(self, centre):
+        for name in centre.machines():
+            assert len(centre.framework(name).windows) == 2
+
+    def test_ingest_volumes_per_machine(self, centre):
+        volumes = centre.ingest_volumes()
+        assert set(volumes) == {"compass", "mountain"}
+        assert volumes["compass"]["power"] > 0
+
+    def test_total_ingest_includes_unmodelled(self, centre):
+        base = centre.total_ingest_bytes_per_day(unmodelled_fraction=0.0)
+        padded = centre.total_ingest_bytes_per_day(unmodelled_fraction=0.1)
+        assert padded == pytest.approx(base * 1.1)
+        assert base > 0
+
+    def test_combined_tier_footprint(self, centre):
+        combined = centre.tier_footprint()
+        per_machine = [
+            centre.framework(n).tier_footprint() for n in centre.machines()
+        ]
+        for tier in combined:
+            assert combined[tier] == sum(fp[tier] for fp in per_machine)
+
+    def test_stream_comparison_is_fig4a_column(self, centre):
+        power = centre.stream_comparison("power")
+        assert set(power) == {"compass", "mountain"}
+        # Compass has fewer, hotter channels per node than Mountain's
+        # 6-GPU nodes; both must be positive.
+        assert all(v > 0 for v in power.values())
+
+    def test_governance_isolated_per_machine(self, centre):
+        """Each machine's tiers are independent stores."""
+        a = centre.framework("compass").tiers
+        b = centre.framework("mountain").tiers
+        assert a is not b
+        assert a.ocean is not b.ocean

@@ -1,0 +1,58 @@
+"""Unit tests for ODAFramework configuration validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import ODAFramework
+from repro.telemetry import MINI, synthetic_job_mix
+
+
+@pytest.fixture(scope="module")
+def allocation():
+    return synthetic_job_mix(MINI, 0.0, 1800.0, np.random.default_rng(29))
+
+
+class TestRefineStreamConfig:
+    def test_unknown_stream_rejected(self, allocation):
+        with pytest.raises(ValueError, match="unknown streams"):
+            ODAFramework(MINI, allocation, refine_streams=("power", "nope"))
+
+    def test_power_required(self, allocation):
+        with pytest.raises(ValueError, match="power"):
+            ODAFramework(MINI, allocation, refine_streams=("storage_io",))
+
+    def test_syslog_not_refinable(self, allocation):
+        with pytest.raises(ValueError, match="not refinable"):
+            ODAFramework(MINI, allocation, refine_streams=("power", "syslog"))
+
+    def test_power_only_configuration(self, allocation):
+        framework = ODAFramework(MINI, allocation, refine_streams=("power",))
+        framework.run_window(0.0, 60.0)
+        assert framework.tiers.query_online("power.silver").num_rows > 0
+        # The unrefined stream has no lake table (empty result, no rows).
+        assert framework.tiers.query_online("storage_io.silver").num_rows == 0
+        assert "storage_io.silver" not in framework.tiers.datasets()
+
+    def test_perf_counters_refinable(self, allocation):
+        framework = ODAFramework(
+            MINI, allocation, refine_streams=("power", "perf_counters")
+        )
+        framework.run_window(0.0, 30.0)
+        silver = framework.tiers.query_online("perf_counters.silver")
+        assert silver.num_rows > 0
+        assert "gpu0_occupancy_pct" in silver
+
+
+class TestStreamRetentionConfig:
+    def test_short_retention_trims_broker(self, allocation):
+        framework = ODAFramework(
+            MINI, allocation, stream_retention_s=30.0,
+            refine_streams=("power",),
+        )
+        framework.run(0.0, 300.0, window_s=60.0)
+        # Only the last retention window of records survives.
+        retained = sum(
+            framework.broker.topic_records(t)
+            for t in framework.broker.topics()
+        )
+        assert retained <= 2 * len(framework.broker.topics())

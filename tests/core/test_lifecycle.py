@@ -1,0 +1,57 @@
+"""Unit tests for control loops and the life-cycle stage model."""
+
+import pytest
+
+from repro.core import DEFAULT_CONTROL_LOOPS, ControlLoop, DataLifecycle
+from repro.core.lifecycle import LifecycleStage
+
+
+class TestControlLoop:
+    def test_default_loops_span_timescales(self):
+        scales = [loop.timescale_s for loop in DEFAULT_CONTROL_LOOPS]
+        assert scales == sorted(scales)
+        assert scales[0] <= 600.0  # minutes
+        assert scales[-1] >= 30 * 86_400.0  # months to a year
+
+    def test_latency_budget_fraction(self):
+        loop = ControlLoop("x", "d", 1000.0, "")
+        assert loop.max_pipeline_latency_s(0.1) == 100.0
+        with pytest.raises(ValueError):
+            loop.max_pipeline_latency_s(0.0)
+
+    def test_invalid_timescale(self):
+        with pytest.raises(ValueError):
+            ControlLoop("x", "d", 0.0, "")
+
+
+class TestDataLifecycle:
+    def test_discovery_is_the_bottleneck(self):
+        """§VI lessons: 'The primary bottleneck ... lies within the
+        initial stage of large-scale stream exploration.'"""
+        assert DataLifecycle().bottleneck() is LifecycleStage.DISCOVERY
+
+    def test_framework_accelerates_every_stage(self):
+        base = DataLifecycle()
+        fast = base.with_framework()
+        for stage in LifecycleStage:
+            assert fast.stage_latency_s[stage] < base.stage_latency_s[stage]
+
+    def test_framework_multiplies_iteration_rate(self):
+        base = DataLifecycle()
+        fast = base.with_framework()
+        assert (
+            fast.iteration_rate_per_year() > 2 * base.iteration_rate_per_year()
+        )
+
+    def test_end_to_end_sums_stages(self):
+        lc = DataLifecycle()
+        assert lc.end_to_end_s == sum(lc.stage_latency_s.values())
+
+    def test_serviceable_loops_exclude_fastest_only_if_budget_tight(self):
+        lc = DataLifecycle()
+        serviceable = lc.serviceable_loops()
+        names = {loop.name for loop in serviceable}
+        # A 15 s micro-batch pipeline serves everything from 5-minute
+        # incident response upward.
+        assert "incident-response" in names
+        assert len(serviceable) == len(DEFAULT_CONTROL_LOOPS)

@@ -1,0 +1,78 @@
+"""Unit tests for the L0-L5 maturity ladder."""
+
+import pytest
+
+from repro.core import MaturityLevel, MaturityTracker
+from repro.core.maturity import Milestone
+
+
+class TestMaturityLevel:
+    def test_six_levels(self):
+        assert [int(l) for l in MaturityLevel] == [0, 1, 2, 3, 4, 5]
+
+    def test_ordering(self):
+        assert MaturityLevel.L0 < MaturityLevel.L3 < MaturityLevel.L5
+
+    def test_descriptions_exist(self):
+        for level in MaturityLevel:
+            assert level.describe()
+
+
+class TestMaturityTracker:
+    def climb(self, tracker, n):
+        order = [
+            Milestone.PLANNED,
+            Milestone.COLLECTION_ENABLED,
+            Milestone.DICTIONARY_BUILT,
+            Milestone.PIPELINE_DEPLOYED,
+            Milestone.APPLICATION_LIVE,
+            Milestone.SUSTAINED_USE,
+        ]
+        for m in order[:n]:
+            tracker.advance(m)
+
+    def test_starts_at_l0(self):
+        assert MaturityTracker("power").level is MaturityLevel.L0
+
+    def test_full_climb_reaches_l5(self):
+        tracker = MaturityTracker("power")
+        self.climb(tracker, 6)
+        assert tracker.level is MaturityLevel.L5
+        assert tracker.milestones_remaining() == []
+
+    def test_skipping_rejected(self):
+        tracker = MaturityTracker("power")
+        tracker.advance(Milestone.PLANNED)
+        with pytest.raises(ValueError, match="cannot be skipped"):
+            tracker.advance(Milestone.PIPELINE_DEPLOYED)
+
+    def test_beyond_l5_rejected(self):
+        tracker = MaturityTracker("power")
+        self.climb(tracker, 6)
+        with pytest.raises(ValueError, match="already at L5"):
+            tracker.advance(Milestone.SUSTAINED_USE)
+
+    def test_new_generation_with_carryover_keeps_knowledge(self):
+        tracker = MaturityTracker("power")
+        self.climb(tracker, 6)
+        level = tracker.new_generation(knowledge_carryover=True)
+        assert level is MaturityLevel.L2  # plan + collection + dictionary
+
+    def test_new_generation_without_carryover_resets(self):
+        tracker = MaturityTracker("power")
+        self.climb(tracker, 6)
+        tracker.new_generation(knowledge_carryover=False)
+        assert tracker.level is MaturityLevel.L0
+        assert len(tracker.achieved) == 0
+
+    def test_regrowth_after_generation(self):
+        """The paper's re-work story: carryover shortens the re-climb."""
+        tracker = MaturityTracker("power")
+        self.climb(tracker, 6)
+        tracker.new_generation(knowledge_carryover=True)
+        remaining_with = len(tracker.milestones_remaining())
+        tracker2 = MaturityTracker("power2")
+        self.climb(tracker2, 6)
+        tracker2.new_generation(knowledge_carryover=False)
+        remaining_without = len(tracker2.milestones_remaining())
+        assert remaining_with < remaining_without

@@ -1,0 +1,121 @@
+"""Unit tests for the Slate-style multi-tenant platform (§V-C)."""
+
+import pytest
+
+from repro.core import ResourceQuota, SlatePlatform, Workload, WorkloadKind
+
+
+def quota(cpu=8.0, mem=32.0, disk=100.0):
+    return ResourceQuota(cpu, mem, disk)
+
+
+def workload(name, project="prj-a", cpu=2.0, mem=8.0, disk=10.0,
+             kind=WorkloadKind.DATABASE):
+    return Workload(name, project, kind, ResourceQuota(cpu, mem, disk))
+
+
+@pytest.fixture
+def platform():
+    p = SlatePlatform(capacity=ResourceQuota(32.0, 128.0, 1000.0))
+    p.grant_quota("prj-a", quota())
+    p.grant_quota("prj-b", quota(cpu=16.0))
+    return p
+
+
+class TestResourceQuota:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceQuota(-1.0, 0.0, 0.0)
+
+    def test_fits(self):
+        assert quota().fits(ResourceQuota(8.0, 32.0, 100.0))
+        assert not quota().fits(ResourceQuota(8.1, 1.0, 1.0))
+
+    def test_arithmetic(self):
+        total = quota() + quota()
+        assert total.cpu_cores == 16.0
+        diff = total - quota()
+        assert diff.memory_gb == 32.0
+
+
+class TestTenancy:
+    def test_duplicate_quota_rejected(self, platform):
+        with pytest.raises(ValueError):
+            platform.grant_quota("prj-a", quota())
+
+    def test_projects_listed(self, platform):
+        assert platform.projects() == ["prj-a", "prj-b"]
+
+    def test_deploy_without_quota_rejected(self, platform):
+        with pytest.raises(KeyError):
+            platform.deploy(workload("w", project="ghost"))
+
+
+class TestPlacement:
+    def test_deploy_within_quota(self, platform):
+        platform.deploy(workload("db-1"))
+        assert platform.project_usage("prj-a").cpu_cores == 2.0
+
+    def test_quota_enforced(self, platform):
+        platform.deploy(workload("big", cpu=8.0))
+        with pytest.raises(ValueError, match="quota"):
+            platform.deploy(workload("more", cpu=0.5))
+
+    def test_capacity_enforced(self):
+        p = SlatePlatform(capacity=ResourceQuota(4.0, 16.0, 50.0))
+        p.grant_quota("a", quota(cpu=4.0))
+        p.grant_quota("b", quota(cpu=4.0))  # oversubscribed on purpose
+        p.deploy(workload("w1", project="a", cpu=3.0))
+        with pytest.raises(ValueError, match="capacity"):
+            p.deploy(workload("w2", project="b", cpu=2.0))
+
+    def test_duplicate_name_rejected(self, platform):
+        platform.deploy(workload("db-1"))
+        with pytest.raises(ValueError):
+            platform.deploy(workload("db-1"))
+
+    def test_stop_releases_resources(self, platform):
+        platform.deploy(workload("db-1", cpu=6.0))
+        platform.stop("db-1")
+        platform.deploy(workload("db-2", cpu=6.0))  # fits again
+        assert platform.project_usage("prj-a").cpu_cores == 6.0
+
+    def test_stop_unknown(self, platform):
+        with pytest.raises(KeyError):
+            platform.stop("ghost")
+
+    def test_remove(self, platform):
+        platform.deploy(workload("db-1"))
+        platform.remove("db-1")
+        assert platform.workloads() == []
+        with pytest.raises(KeyError):
+            platform.remove("db-1")
+
+    def test_workloads_filter_by_project(self, platform):
+        platform.deploy(workload("a1", project="prj-a"))
+        platform.deploy(workload("b1", project="prj-b"))
+        assert [w.name for w in platform.workloads("prj-b")] == ["b1"]
+
+
+class TestReporting:
+    def test_utilization_fractions(self, platform):
+        platform.deploy(workload("db-1", cpu=8.0, mem=32.0, disk=100.0))
+        util = platform.utilization()
+        assert util["cpu"] == pytest.approx(8.0 / 32.0)
+        assert util["memory"] == pytest.approx(32.0 / 128.0)
+
+    def test_oversubscription_ratio(self, platform):
+        # 8 + 16 granted cores over 32 physical.
+        assert platform.oversubscription() == pytest.approx(24.0 / 32.0)
+
+    def test_multiplexing_enables_high_utilization(self):
+        """The §V-C lesson: project allocations + shared capacity let
+        many projects run where dedicated hardware would idle."""
+        p = SlatePlatform(capacity=ResourceQuota(16.0, 64.0, 500.0))
+        for i in range(8):
+            p.grant_quota(f"p{i}", quota(cpu=4.0, mem=16.0, disk=50.0))
+        assert p.oversubscription() == 2.0  # 2x oversubscribed
+        # Half the projects are active at once: fits physically.
+        for i in range(4):
+            p.deploy(workload(f"w{i}", project=f"p{i}", cpu=4.0, mem=16.0))
+        assert p.utilization()["cpu"] == 1.0

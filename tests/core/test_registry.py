@@ -1,0 +1,107 @@
+"""Unit tests for Table I areas and the Fig. 3 readiness matrix."""
+
+import pytest
+
+from repro.core import (
+    DataSourceKind,
+    DataSourceRegistry,
+    FIG3_MATRIX,
+    MaturityLevel,
+    UsageArea,
+    paper_registry,
+)
+from repro.core.registry import SOURCE_OWNERS, TABLE1_AREAS
+
+
+class TestTable1:
+    def test_eleven_usage_areas(self):
+        assert len(TABLE1_AREAS) == 11
+
+    def test_groups_match_paper(self):
+        groups = {g for g, _, _ in TABLE1_AREAS}
+        assert groups == {
+            "System Management", "Operations", "Administrative",
+            "Procurement", "R&D / Cross Cutting",
+        }
+
+    def test_every_area_described(self):
+        for _, area, desc in TABLE1_AREAS:
+            assert area and len(desc) > 10
+
+
+class TestPaperRegistry:
+    def test_every_fig3_cell_present(self):
+        reg = paper_registry()
+        for (source, area), (m, c) in FIG3_MATRIX.items():
+            assert reg.level(source, area, "mountain") == MaturityLevel(m)
+            assert reg.level(source, area, "compass") == MaturityLevel(c)
+
+    def test_blank_cells_are_none(self):
+        reg = paper_registry()
+        assert reg.level(
+            DataSourceKind.PERF_COUNTERS, UsageArea.CYBER_SEC, "compass"
+        ) is None
+
+    def test_resource_manager_is_highest_maturity_row(self):
+        """The paper's L5-everywhere stream: everything joins against it."""
+        reg = paper_registry()
+        levels = [
+            int(reg.level(DataSourceKind.RESOURCE_MANAGER, a, "mountain"))
+            for a in UsageArea
+            if reg.level(DataSourceKind.RESOURCE_MANAGER, a, "mountain")
+            is not None
+        ]
+        assert min(levels) == 5
+
+    def test_every_source_owned_by_exactly_one_area(self):
+        for source in DataSourceKind:
+            assert source in SOURCE_OWNERS
+
+    def test_coverage_gap_exists(self):
+        """Fig. 3's point: many use cases, most below sustained readiness."""
+        reg = paper_registry()
+        for system in ("mountain", "compass"):
+            coverage = reg.coverage(system, MaturityLevel.L3)
+            assert 0.1 < coverage < 0.9
+
+    def test_compass_less_mature_than_mountain(self):
+        """The newer system had less time to mature its streams."""
+        reg = paper_registry()
+        assert reg.coverage("compass") <= reg.coverage("mountain")
+
+    def test_cross_team_cells_dominate(self):
+        """Most consumption is by teams that do not own the source —
+        the producer/consumer matrix complexity of §V."""
+        reg = paper_registry()
+        used = len(reg.used_cells("compass"))
+        cross = reg.cross_team_cells("compass")
+        assert cross > used / 2
+
+    def test_readiness_gaps_listed(self):
+        reg = paper_registry()
+        gaps = reg.readiness_gaps("compass")
+        assert all(level < MaturityLevel.L3 for _, _, level in gaps)
+        assert len(gaps) > 5
+
+    def test_consumer_counts(self):
+        reg = paper_registry()
+        assert reg.consumer_count(DataSourceKind.POWER_TEMP, "compass") == 6
+
+    def test_render_contains_all_sources(self):
+        text = paper_registry().render()
+        for source in DataSourceKind:
+            assert source.value in text
+
+
+class TestRegistryMutation:
+    def test_set_level_unknown_system(self):
+        reg = DataSourceRegistry(systems=["x"])
+        with pytest.raises(ValueError):
+            reg.set_level(
+                DataSourceKind.CRM, UsageArea.APPS, "y", MaturityLevel.L1
+            )
+
+    def test_set_and_get(self):
+        reg = DataSourceRegistry(systems=["x"])
+        reg.set_level(DataSourceKind.CRM, UsageArea.APPS, "x", 4)
+        assert reg.level(DataSourceKind.CRM, UsageArea.APPS, "x") == MaturityLevel.L4

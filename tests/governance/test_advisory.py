@@ -1,0 +1,68 @@
+"""Unit tests for the advisory chain (Table II)."""
+
+import pytest
+
+from repro.governance import AdvisoryChain, AdvisoryRole, Review, Verdict
+from repro.governance.advisory import REVIEW_LATENCY_S, TABLE2
+
+
+class TestTable2:
+    def test_five_roles_documented(self):
+        assert len(TABLE2) == 5
+        for role in AdvisoryRole:
+            assert len(TABLE2[role]) > 20
+
+
+class TestRequiredRoles:
+    def setup_method(self):
+        self.chain = AdvisoryChain()
+
+    def test_internal_minimal_set(self):
+        roles = self.chain.required_roles(False, False, False)
+        assert roles == {AdvisoryRole.DATA_OWNER, AdvisoryRole.CYBER_SECURITY}
+
+    def test_external_adds_legal_and_management(self):
+        roles = self.chain.required_roles(True, False, False)
+        assert AdvisoryRole.LEGAL in roles
+        assert AdvisoryRole.MANAGEMENT in roles
+
+    def test_irb_only_for_human_subjects(self):
+        assert AdvisoryRole.IRB not in self.chain.required_roles(True, True, False)
+        assert AdvisoryRole.IRB in self.chain.required_roles(False, False, True)
+
+
+class TestVerdictLogic:
+    def setup_method(self):
+        self.chain = AdvisoryChain()
+        self.required = {AdvisoryRole.DATA_OWNER, AdvisoryRole.CYBER_SECURITY}
+
+    def review(self, role, verdict):
+        return Review(role, verdict, reviewed_at=0.0)
+
+    def test_conjunctive_approval(self):
+        reviews = [self.review(AdvisoryRole.DATA_OWNER, Verdict.APPROVE)]
+        assert not self.chain.is_approved(self.required, reviews)
+        reviews.append(self.review(AdvisoryRole.CYBER_SECURITY, Verdict.APPROVE))
+        assert self.chain.is_approved(self.required, reviews)
+
+    def test_any_veto_rejects(self):
+        reviews = [
+            self.review(AdvisoryRole.DATA_OWNER, Verdict.APPROVE),
+            self.review(AdvisoryRole.CYBER_SECURITY, Verdict.REJECT),
+        ]
+        assert self.chain.is_rejected(reviews)
+        assert not self.chain.is_approved(self.required, reviews)
+
+
+class TestLatency:
+    def test_parallel_is_max_sequential_is_sum(self):
+        chain = AdvisoryChain()
+        required = chain.required_roles(True, True, True)  # all five
+        parallel = chain.expected_latency_s(required, parallel=True)
+        sequential = chain.expected_latency_s(required, parallel=False)
+        assert parallel == max(REVIEW_LATENCY_S[r] for r in required)
+        assert sequential == sum(REVIEW_LATENCY_S[r] for r in required)
+        assert sequential > 1.5 * parallel
+
+    def test_empty_set(self):
+        assert AdvisoryChain().expected_latency_s(set()) == 0.0

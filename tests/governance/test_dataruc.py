@@ -1,0 +1,162 @@
+"""Unit tests for the DataRUC workflow state machine (Fig. 12)."""
+
+import pytest
+
+from repro.governance import (
+    AdvisoryRole,
+    DataRUC,
+    RequestState,
+    RequestType,
+    Verdict,
+)
+
+DAY = 86_400.0
+
+
+@pytest.fixture
+def ruc():
+    return DataRUC()
+
+
+def submit(ruc, request_type=RequestType.INTERNAL_PROJECT, human=False):
+    return ruc.submit(
+        "shinw", request_type, ["power.silver"], "energy analysis", now=0.0,
+        human_subjects=human,
+    )
+
+
+class TestIntake:
+    def test_submit_enters_review(self, ruc):
+        request = submit(ruc)
+        assert request.state is RequestState.UNDER_REVIEW
+        assert request in ruc.pending()
+
+    def test_empty_datasets_rejected(self, ruc):
+        with pytest.raises(ValueError):
+            ruc.submit("x", RequestType.INTERNAL_PROJECT, [], "p", 0.0)
+
+    def test_required_roles_by_type(self, ruc):
+        internal = submit(ruc)
+        release = submit(ruc, RequestType.DATASET_RELEASE)
+        assert AdvisoryRole.LEGAL not in internal.required_roles
+        assert AdvisoryRole.LEGAL in release.required_roles
+
+    def test_ids_unique(self, ruc):
+        assert submit(ruc).request_id != submit(ruc).request_id
+
+
+class TestReview:
+    def test_full_approval_flow(self, ruc):
+        request = submit(ruc)
+        ruc.record_review(
+            request.request_id, AdvisoryRole.DATA_OWNER, Verdict.APPROVE, 1 * DAY
+        )
+        assert request.state is RequestState.UNDER_REVIEW
+        ruc.record_review(
+            request.request_id, AdvisoryRole.CYBER_SECURITY, Verdict.APPROVE, 2 * DAY
+        )
+        assert request.state is RequestState.APPROVED
+
+    def test_veto_terminates(self, ruc):
+        request = submit(ruc)
+        ruc.record_review(
+            request.request_id, AdvisoryRole.DATA_OWNER, Verdict.REJECT, 1 * DAY
+        )
+        assert request.state is RequestState.REJECTED
+        with pytest.raises(ValueError):
+            ruc.record_review(
+                request.request_id, AdvisoryRole.CYBER_SECURITY,
+                Verdict.APPROVE, 2 * DAY,
+            )
+
+    def test_unrequired_role_rejected(self, ruc):
+        request = submit(ruc)  # internal: no IRB
+        with pytest.raises(ValueError, match="not a required reviewer"):
+            ruc.record_review(
+                request.request_id, AdvisoryRole.IRB, Verdict.APPROVE, 1.0
+            )
+
+    def test_double_review_rejected(self, ruc):
+        request = submit(ruc)
+        ruc.record_review(
+            request.request_id, AdvisoryRole.DATA_OWNER, Verdict.APPROVE, 1.0
+        )
+        with pytest.raises(ValueError, match="already reviewed"):
+            ruc.record_review(
+                request.request_id, AdvisoryRole.DATA_OWNER, Verdict.APPROVE, 2.0
+            )
+
+    def test_run_reviews_simulation(self, ruc):
+        request = submit(ruc, RequestType.DATASET_RELEASE)
+        ruc.run_reviews(request.request_id, now=0.0)
+        assert request.state is RequestState.APPROVED
+        assert request.latency_s() is None  # not yet terminal
+
+    def test_run_reviews_with_veto(self, ruc):
+        request = submit(ruc, RequestType.DATASET_RELEASE)
+        ruc.run_reviews(
+            request.request_id, now=0.0, reject_roles={AdvisoryRole.LEGAL}
+        )
+        assert request.state is RequestState.REJECTED
+        assert request.latency_s() is not None
+
+
+class TestPostApproval:
+    def approve(self, ruc, request):
+        ruc.run_reviews(request.request_id, now=0.0)
+        return request
+
+    def test_internal_provisioning_grants_tiers(self, ruc):
+        request = self.approve(ruc, submit(ruc))
+        access = ruc.provision(request.request_id, now=10 * DAY)
+        assert access == ("STREAM", "LAKE", "OCEAN")
+        assert request.state is RequestState.PROVISIONED
+        assert request.latency_s() == pytest.approx(10 * DAY)
+
+    def test_provision_requires_approval(self, ruc):
+        request = submit(ruc)
+        with pytest.raises(ValueError):
+            ruc.provision(request.request_id, 1.0)
+
+    def test_external_release_requires_sanitization(self, ruc):
+        request = self.approve(ruc, submit(ruc, RequestType.DATASET_RELEASE))
+        with pytest.raises(ValueError, match="sanitization"):
+            ruc.release(request.request_id, 20 * DAY)
+        ruc.mark_sanitized(request.request_id, 15 * DAY)
+        ruc.release(request.request_id, 20 * DAY)
+        assert request.state is RequestState.RELEASED
+
+    def test_internal_requests_not_sanitized(self, ruc):
+        request = self.approve(ruc, submit(ruc))
+        with pytest.raises(ValueError):
+            ruc.mark_sanitized(request.request_id, 1.0)
+
+    def test_provisioning_writes_audit_trail(self, ruc):
+        request = self.approve(ruc, submit(ruc))
+        ruc.provision(request.request_id, now=10 * DAY)
+        grants = [e for e in ruc.access_log if e[3].startswith("grant:")]
+        assert len(grants) == 3  # STREAM, LAKE, OCEAN
+        assert all(e[1] == "shinw" for e in grants)
+
+    def test_record_access_requires_grant(self, ruc):
+        request = self.approve(ruc, submit(ruc))
+        with pytest.raises(ValueError, match="no active grant"):
+            ruc.record_access(request.request_id, "LAKE", 10 * DAY)
+        ruc.provision(request.request_id, now=10 * DAY)
+        ruc.record_access(request.request_id, "LAKE", 11 * DAY)
+        with pytest.raises(ValueError, match="not granted"):
+            ruc.record_access(request.request_id, "public-repository", 11 * DAY)
+
+    def test_accesses_by_requester(self, ruc):
+        request = self.approve(ruc, submit(ruc))
+        ruc.provision(request.request_id, now=10 * DAY)
+        ruc.record_access(request.request_id, "OCEAN", 12 * DAY)
+        entries = ruc.accesses_by("shinw")
+        assert any(what == "access:OCEAN" for _, _, what in entries)
+        assert ruc.accesses_by("nobody") == []
+
+    def test_time_monotonicity_enforced(self, ruc):
+        request = self.approve(ruc, submit(ruc))
+        with pytest.raises(ValueError):
+            # Approvals landed at +3 days (cyber latency); going back fails.
+            ruc.provision(request.request_id, now=1.0)

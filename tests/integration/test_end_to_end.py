@@ -1,0 +1,172 @@
+"""Cross-package integration: the paper's whole loop in one sitting.
+
+Scheduler -> telemetry -> broker -> medallion -> tiers -> applications
+-> ML -> twin -> governance, all from one simulated facility day, with
+the consistency checks that only hold if the packages agree end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ODAFramework
+from repro.apps import LiveVisualAnalytics, RatsReport, UserAssistanceDashboard
+from repro.columnar import read_table, write_table
+from repro.core import DataDictionary, ExplorationCampaign
+from repro.governance import (
+    DataRUC,
+    ReleaseCatalog,
+    RequestType,
+    Sanitizer,
+)
+from repro.scheduler import (
+    AccountingLedger,
+    BackfillPolicy,
+    ProjectAllocation,
+    SchedulerSimulator,
+    submission_stream,
+)
+from repro.telemetry import MINI
+from repro.twin import TelemetryReplay
+
+DAY = 86_400.0
+
+
+@pytest.fixture(scope="module")
+def facility():
+    """One scheduled facility morning, fully ingested and refined."""
+    requests = submission_stream(
+        MINI, 6 * 3600.0, np.random.default_rng(31),
+        arrival_rate_per_hour=18.0, projects=3,
+    )
+    sim = SchedulerSimulator(MINI, BackfillPolicy(), failure_rate=0.05, seed=3)
+    sim.run(requests)
+    allocation = sim.allocation_table()
+
+    framework = ODAFramework(MINI, allocation, seed=3)
+    framework.run(0.0, 3600.0, window_s=300.0)
+
+    ledger = AccountingLedger(gpus_per_node=MINI.gpus_per_node)
+    for i in range(3):
+        ledger.grant(ProjectAllocation(f"PRJ{i:03d}", 50_000.0, 0.0, 30 * DAY))
+    ledger.ingest(sim.completed_records())
+    return {
+        "sim": sim,
+        "allocation": allocation,
+        "framework": framework,
+        "ledger": ledger,
+    }
+
+
+class TestSchedulerDrivesTelemetry:
+    def test_scheduled_jobs_appear_in_gold_profiles(self, facility):
+        gold = facility["framework"].tiers.query_online("power.gold_profiles")
+        profiled = set(gold["job_id"].astype(int).tolist())
+        scheduled_early = {
+            j.job_id
+            for j in facility["allocation"].jobs
+            if j.start < 3000.0
+        }
+        assert profiled
+        assert profiled <= {j.job_id for j in facility["allocation"].jobs}
+        assert profiled & scheduled_early
+
+    def test_gold_power_consistent_with_twin_prediction(self, facility):
+        """The refined pipeline's job power agrees with the white-box
+        simulator to within sensor noise — two independent code paths."""
+        from repro.twin import PowerSimulator
+
+        framework = facility["framework"]
+        gold = framework.tiers.query_online("power.gold_profiles")
+        jid = int(gold["job_id"][0])
+        rows = gold.filter(gold["job_id"] == float(jid)).sort_by("timestamp")
+        simulator = PowerSimulator(MINI, facility["allocation"])
+        predicted = simulator.job_power(jid, rows["timestamp"])
+        mask = predicted > 0
+        assert mask.any()
+        rel = np.abs(rows["power_w"][mask] - predicted[mask]) / predicted[mask]
+        assert rel.mean() < 0.05
+
+
+class TestAppsOverSharedState:
+    def test_ua_dashboard_over_framework_lake(self, facility):
+        dashboard = UserAssistanceDashboard(
+            facility["framework"].tiers.lake, facility["allocation"]
+        )
+        job = next(
+            j for j in facility["allocation"].jobs if j.start < 2400.0
+        )
+        overview = dashboard.job_overview(job.job_id)
+        assert overview.power.num_rows > 0
+        assert overview.io.num_rows > 0
+        assert overview.fabric.num_rows > 0
+
+    def test_lva_consistency_between_paths(self, facility):
+        framework = facility["framework"]
+        lva = LiveVisualAnalytics(
+            framework.tiers, framework.fleet.power.catalog,
+            facility["allocation"],
+        )
+        gold = framework.tiers.query_online("power.gold_profiles")
+        jid = int(gold["job_id"][0])
+        fast = lva.job_power_profile(jid)
+        slow = lva.job_power_profile_from_raw(jid)
+        np.testing.assert_allclose(fast["power_w"], slow["power_w"], rtol=1e-9)
+
+    def test_rats_accounts_every_finished_job(self, facility):
+        rats = RatsReport(
+            facility["ledger"], facility["sim"].completed_records()
+        )
+        usage = rats.project_usage()
+        assert usage["jobs"].sum() == len(facility["sim"].completed_records())
+
+
+class TestExplorationCampaign:
+    def test_campaign_documents_framework_sources(self, facility):
+        framework = facility["framework"]
+        dictionary = DataDictionary()
+        for src in (framework.fleet.power, framework.fleet.storage_io):
+            dictionary.register_catalog(src.name, src.catalog)
+        campaign = ExplorationCampaign(dictionary)
+        campaign.profile(framework.fleet.power, 0.0, 300.0)
+        campaign.profile(framework.fleet.storage_io, 0.0, 300.0)
+        assert dictionary.coverage() == 1.0
+
+
+class TestTwinValidatesAgainstSameTelemetry:
+    def test_replay_of_scheduled_workload(self, facility):
+        replay = TelemetryReplay(MINI, facility["allocation"], seed=3)
+        report, _ = replay.run(0.0, 1800.0, dt=15.0)
+        assert report.power_mape < 0.08
+
+
+class TestGovernedRelease:
+    def test_release_refined_usage_data(self, facility):
+        """Refined Gold data flows through DataRUC to a public DOI and
+        round-trips intact for the downstream consumer."""
+        framework = facility["framework"]
+        gold = framework.tiers.query_online("power.gold_profiles")
+        # Attach synthetic identities, then sanitize for release.
+        users = [f"user{int(j) % 5:03d}" for j in gold["job_id"]]
+        table = gold.with_column("user", users)
+        sanitizer = Sanitizer(key=b"integration-key")
+        clean = sanitizer.sanitize_table(table)
+        assert sanitizer.verify_sanitized(table, clean)
+
+        ruc = DataRUC()
+        request = ruc.submit(
+            "pi", RequestType.DATASET_RELEASE, ["power.gold_profiles"],
+            "public release", now=0.0,
+        )
+        ruc.run_reviews(request.request_id, now=0.0)
+        ruc.mark_sanitized(request.request_id, now=15 * DAY)
+        ruc.release(request.request_id, now=16 * DAY)
+
+        catalog = ReleaseCatalog()
+        record = catalog.publish(
+            request, "job power profiles", write_table(clean), 16 * DAY
+        )
+        _, blob = catalog.get(record.doi)
+        fetched = read_table(blob)
+        assert fetched.num_rows == gold.num_rows
+        assert "user" in fetched
+        assert not set(users) & set(fetched["user"].tolist())

@@ -1,0 +1,130 @@
+"""Unit tests for anomaly detection and power forecasting."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    PersistenceForecaster,
+    PowerAnomalyDetector,
+    RidgeForecaster,
+    backtest,
+    windowize,
+)
+
+
+def normal_power(n=2000, seed=0):
+    """A plausible diurnal-ish node power series."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    base = 2000 + 600 * np.sin(2 * np.pi * t / 288)
+    return base + rng.normal(0, 30, n)
+
+
+class TestWindowize:
+    def test_shapes_and_normalization(self):
+        out = windowize(np.arange(100, dtype=float), window=20, stride=10)
+        assert out.shape == (9, 20)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_flat_window_is_half(self):
+        out = windowize(np.full(40, 7.0), window=20, stride=20)
+        np.testing.assert_allclose(out, 0.5)
+
+    def test_short_series_empty(self):
+        assert windowize(np.arange(5, dtype=float), window=10).shape == (0, 10)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            windowize(np.arange(10.0), window=1)
+        with pytest.raises(ValueError):
+            windowize(np.arange(10.0), window=4, stride=0)
+
+
+class TestPowerAnomalyDetector:
+    @pytest.fixture(scope="class")
+    def detector(self):
+        return PowerAnomalyDetector(window=32, seed=0).fit(
+            normal_power(), epochs=60
+        )
+
+    def test_normal_data_mostly_clean(self, detector):
+        report = detector.score(normal_power(seed=1))
+        assert report.anomaly_fraction < 0.1
+
+    def test_stuck_sensor_detected(self, detector):
+        series = normal_power(seed=2)
+        series[800:900] = series[800]  # flatline fault
+        assert detector.is_anomalous(series)
+
+    def test_power_spike_detected(self, detector):
+        series = normal_power(seed=3)
+        series[500:540] += np.linspace(0, 4000, 40) * (np.arange(40) % 3 == 0)
+        report = detector.score(series)
+        assert report.n_anomalous > 0
+
+    def test_scores_align_with_fault_location(self, detector):
+        series = normal_power(seed=4)
+        series[960:1060] = series[960]
+        report = detector.score(series)
+        worst = int(np.argmax(report.scores)) * 16  # stride = window//2
+        assert 850 <= worst <= 1150
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PowerAnomalyDetector().score(normal_power())
+
+    def test_too_little_training_data(self):
+        with pytest.raises(ValueError):
+            PowerAnomalyDetector(window=32).fit(np.arange(50, dtype=float))
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            PowerAnomalyDetector(quantile=0.4)
+
+
+class TestForecasters:
+    def test_persistence_baseline(self):
+        pred = PersistenceForecaster().fit(normal_power()).predict(
+            np.array([1.0, 2.0, 3.0]), horizon=4
+        )
+        np.testing.assert_allclose(pred, 3.0)
+
+    def test_persistence_empty_history(self):
+        with pytest.raises(ValueError):
+            PersistenceForecaster().predict(np.array([]), 3)
+
+    def test_ridge_fits_and_predicts(self):
+        series = normal_power()
+        model = RidgeForecaster(order=24).fit(series[:1200])
+        pred = model.predict(series[:1200], horizon=10)
+        assert pred.shape == (10,)
+        assert np.isfinite(pred).all()
+        # Prediction in a plausible power range.
+        assert 800 < pred.mean() < 3500
+
+    def test_ridge_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            RidgeForecaster().predict(normal_power()[:50], 5)
+
+    def test_ridge_validates(self):
+        with pytest.raises(ValueError):
+            RidgeForecaster(order=0)
+        with pytest.raises(ValueError):
+            RidgeForecaster(alpha=-1.0)
+        with pytest.raises(ValueError):
+            RidgeForecaster(order=50).fit(np.arange(20, dtype=float))
+        model = RidgeForecaster(order=10).fit(normal_power()[:200])
+        with pytest.raises(ValueError):
+            model.predict(np.arange(5, dtype=float), 3)
+
+    def test_ridge_beats_persistence_on_periodic_load(self):
+        """The claim any forecasting pipeline must make good on."""
+        series = normal_power(seed=7)
+        ridge = backtest(RidgeForecaster(order=48), series, horizon=12)
+        persist = backtest(PersistenceForecaster(), series, horizon=12)
+        assert ridge.mape < persist.mape
+        assert ridge.n_forecasts == persist.n_forecasts > 10
+
+    def test_backtest_validates_length(self):
+        with pytest.raises(ValueError):
+            backtest(PersistenceForecaster(), np.arange(10.0), horizon=20)

@@ -1,0 +1,178 @@
+"""Integration tests for the job power-profile classifier (Fig. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import ColumnTable
+from repro.ml import JobProfileClassifier, cluster_purity, kmeans
+from repro.ml.features import profile_matrix, profile_statistics
+from repro.telemetry import get_archetype
+
+
+def synthetic_profiles(n_jobs_per_archetype=8, samples=48, seed=0):
+    """Gold-format profile rows with known archetype ground truth."""
+    rng = np.random.default_rng(seed)
+    archetypes = ["hpl", "ml_training", "io_heavy", "idle"]
+    rows_jid, rows_ts, rows_p, rows_n = [], [], [], []
+    truth = {}
+    job_id = 1
+    for name in archetypes:
+        arch = get_archetype(name)
+        for _ in range(n_jobs_per_archetype):
+            duration = float(rng.uniform(3600, 14400))
+            t_rel = np.linspace(0, duration, samples, endpoint=False)
+            util = arch.gpu_utilization(t_rel, duration)
+            n_nodes = int(rng.integers(2, 8))
+            power = n_nodes * (650 + util * 2500) * (
+                1 + rng.normal(0, 0.02, samples)
+            )
+            rows_jid.append(np.full(samples, job_id))
+            rows_ts.append(t_rel)
+            rows_p.append(power)
+            rows_n.append(np.full(samples, n_nodes, dtype=float))
+            truth[job_id] = name
+            job_id += 1
+    table = ColumnTable(
+        {
+            "job_id": np.concatenate(rows_jid).astype(float),
+            "timestamp": np.concatenate(rows_ts),
+            "power_w": np.concatenate(rows_p),
+            "n_nodes": np.concatenate(rows_n),
+        }
+    )
+    return table, truth
+
+
+class TestFeatures:
+    def test_profile_matrix_shape(self):
+        profiles, _ = synthetic_profiles()
+        job_ids, x = profile_matrix(profiles, length=32)
+        assert x.shape == (32, 32)  # 4 archetypes x 8 jobs
+        assert job_ids.size == 32
+        assert ((x >= 0) & (x <= 1)).all()
+
+    def test_short_jobs_skipped(self):
+        table = ColumnTable(
+            {
+                "job_id": [1.0, 1.0, 2.0, 2.0, 2.0, 2.0, 2.0],
+                "timestamp": [0.0, 1.0, 0.0, 1.0, 2.0, 3.0, 4.0],
+                "power_w": [1.0, 2.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+            }
+        )
+        job_ids, x = profile_matrix(table, length=8, min_samples=4)
+        assert job_ids.tolist() == [2]
+
+    def test_empty_profiles(self):
+        job_ids, x = profile_matrix(ColumnTable({}), length=16)
+        assert job_ids.size == 0 and x.shape == (0, 16)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            profile_matrix(ColumnTable({}), length=1)
+
+    def test_profile_statistics(self):
+        profiles, _ = synthetic_profiles()
+        stats = profile_statistics(profiles)
+        assert stats.num_rows == 32
+        assert (stats["burstiness"] >= 0).all()
+        assert ((stats["dynamic_range"] >= 0)
+                & (stats["dynamic_range"] <= 1)).all()
+
+
+class TestKmeansAndPurity:
+    def test_kmeans_separates_obvious_clusters(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack([rng.normal(0, 0.1, (20, 2)), rng.normal(5, 0.1, (20, 2))])
+        labels, centroids = kmeans(x, k=2, seed=0)
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_kmeans_invalid_k(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), k=0)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), k=4)
+
+    def test_purity_perfect_and_mixed(self):
+        assert cluster_purity([0, 0, 1, 1], ["a", "a", "b", "b"]) == 1.0
+        assert cluster_purity([0, 0, 0, 0], ["a", "a", "b", "b"]) == 0.5
+
+    def test_purity_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cluster_purity([0], ["a", "b"])
+
+
+class TestClassifier:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        profiles, truth = synthetic_profiles()
+        clf = JobProfileClassifier(
+            profile_length=32, latent_dim=6, grid=(5, 5), seed=0
+        )
+        clf.fit(profiles, ae_epochs=80, som_epochs=15)
+        return clf, profiles, truth
+
+    def test_requires_enough_jobs(self):
+        table = ColumnTable(
+            {
+                "job_id": [1.0] * 8,
+                "timestamp": np.arange(8, dtype=float),
+                "power_w": np.arange(8, dtype=float),
+            }
+        )
+        with pytest.raises(ValueError):
+            JobProfileClassifier().fit(table)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            JobProfileClassifier().grid_populations()
+
+    def test_grid_populations(self, fitted):
+        clf, _, _ = fitted
+        pops = clf.grid_populations()
+        assert pops.shape == (5, 5)
+        assert pops.sum() == 32
+
+    def test_purity_beats_chance_and_matches_baseline(self, fitted):
+        """The Fig. 10 claim in measurable form: shape clustering groups
+        archetypes far better than chance, competitive with k-means."""
+        clf, _, truth = fitted
+        report = clf.evaluate(truth)
+        assert report.purity > 0.6  # chance would be 0.25
+        assert report.purity >= report.baseline_purity - 0.25
+        assert 0 < report.occupied_cells <= report.total_cells
+
+    def test_assign_new_profiles(self, fitted):
+        clf, _, _ = fitted
+        new_profiles, _ = synthetic_profiles(n_jobs_per_archetype=2, seed=99)
+        job_ids, cells = clf.assign(new_profiles)
+        assert job_ids.size == 8
+        assert ((cells >= 0) & (cells < 25)).all()
+
+    def test_same_archetype_jobs_land_near_each_other(self, fitted):
+        clf, profiles, truth = fitted
+        job_ids, cells = clf.assign(profiles)
+        coords = np.column_stack([cells // 5, cells % 5]).astype(float)
+        by_arch = {}
+        for jid, c in zip(job_ids, coords):
+            by_arch.setdefault(truth[int(jid)], []).append(c)
+        # Mean within-archetype pairwise distance < global pairwise distance.
+        def mean_dist(points):
+            pts = np.array(points)
+            if len(pts) < 2:
+                return 0.0
+            d = np.linalg.norm(pts[:, None] - pts[None, :], axis=2)
+            return d[np.triu_indices(len(pts), 1)].mean()
+
+        within = np.mean([mean_dist(v) for v in by_arch.values()])
+        overall = mean_dist(list(coords))
+        assert within < overall
+
+    def test_cell_shape_has_profile_length(self, fitted):
+        clf, _, _ = fitted
+        pops = clf.grid_populations()
+        r, c = np.argwhere(pops > 0)[0]
+        shape = clf.cell_shape(int(r), int(c))
+        assert shape.shape == (32,)
+        assert np.isfinite(shape).all()

@@ -1,0 +1,102 @@
+"""Unit tests for the NumPy MLP."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MLP
+
+
+class TestConstruction:
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+        with pytest.raises(ValueError):
+            MLP([4, 0, 2])
+
+    def test_invalid_activation_loss(self):
+        with pytest.raises(ValueError):
+            MLP([2, 2], activation="gelu")
+        with pytest.raises(ValueError):
+            MLP([2, 2], loss="hinge")
+
+    def test_deterministic_init(self):
+        a, b = MLP([4, 8, 2], seed=3), MLP([4, 8, 2], seed=3)
+        for wa, wb in zip(a.weights, b.weights):
+            np.testing.assert_array_equal(wa, wb)
+
+
+class TestRegression:
+    def test_learns_linear_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, (200, 3))
+        y = x @ np.array([[1.0], [-2.0], [0.5]])
+        model = MLP([3, 16, 1], loss="mse", seed=0)
+        history = model.fit(x, y, epochs=150, lr=2e-2)
+        assert history[-1] < history[0] / 10
+        assert history[-1] < 0.01
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(100, 4))
+        y = np.sin(x.sum(axis=1, keepdims=True))
+        model = MLP([4, 32, 1], activation="tanh", seed=1)
+        history = model.fit(x, y, epochs=50)
+        assert history[-1] < history[0]
+
+
+class TestClassification:
+    def make_blobs(self):
+        rng = np.random.default_rng(2)
+        x0 = rng.normal([-2, -2], 0.5, (100, 2))
+        x1 = rng.normal([2, 2], 0.5, (100, 2))
+        x = np.vstack([x0, x1])
+        y = np.array([0] * 100 + [1] * 100)
+        return x, y
+
+    def test_separable_blobs_classified(self):
+        x, y = self.make_blobs()
+        model = MLP([2, 16, 2], loss="softmax", seed=0)
+        model.fit(x, y, epochs=60, lr=5e-2)
+        acc = (model.predict_classes(x) == y).mean()
+        assert acc > 0.95
+
+    def test_probabilities_sum_to_one(self):
+        x, y = self.make_blobs()
+        model = MLP([2, 8, 2], loss="softmax", seed=0)
+        probs = model.predict(x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_predict_classes_requires_softmax(self):
+        with pytest.raises(ValueError):
+            MLP([2, 2], loss="mse").predict_classes(np.zeros((1, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        model = MLP([2, 2], loss="softmax")
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestReproducibility:
+    """The Fig. 9 contract: same seed + data => bit-identical model."""
+
+    def train(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(50, 4))
+        y = (x[:, 0] > 0).astype(int)
+        model = MLP([4, 8, 2], loss="softmax", seed=42)
+        model.fit(x, y, epochs=10)
+        return model
+
+    def test_retrain_bit_identical(self):
+        assert self.train().to_bytes() == self.train().to_bytes()
+
+    def test_serialization_roundtrip(self):
+        model = self.train()
+        clone = MLP.from_bytes(model.to_bytes())
+        x = np.random.default_rng(0).normal(size=(10, 4))
+        np.testing.assert_array_equal(model.predict(x), clone.predict(x))
+
+    def test_different_seed_different_model(self):
+        a = MLP([4, 8, 2], seed=1).to_bytes()
+        b = MLP([4, 8, 2], seed=2).to_bytes()
+        assert a != b

@@ -1,0 +1,120 @@
+"""Unit tests for the autoencoder and self-organizing map."""
+
+import numpy as np
+import pytest
+
+from repro.ml import Autoencoder, SelfOrganizingMap
+
+
+def shape_dataset(n_per=40, length=32, seed=0):
+    """Three distinct waveform families (ramp, square, flat)."""
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 1, length)
+    families = [
+        t.copy(),                                # ramp
+        (t % 0.25 < 0.125).astype(float),        # square wave
+        np.full(length, 0.5),                    # flat
+    ]
+    x, labels = [], []
+    for i, base in enumerate(families):
+        for _ in range(n_per):
+            x.append(np.clip(base + rng.normal(0, 0.05, length), 0, 1))
+            labels.append(i)
+    return np.vstack(x), np.array(labels)
+
+
+class TestAutoencoder:
+    def test_compression_required(self):
+        with pytest.raises(ValueError):
+            Autoencoder(input_dim=8, latent_dim=8)
+
+    def test_reconstruction_improves_with_training(self):
+        x, _ = shape_dataset()
+        ae = Autoencoder(x.shape[1], latent_dim=4, seed=0)
+        before = ae.reconstruction_error(x)
+        ae.fit(x, epochs=80)
+        after = ae.reconstruction_error(x)
+        assert after < before / 2
+
+    def test_embedding_shape(self):
+        x, _ = shape_dataset()
+        ae = Autoencoder(x.shape[1], latent_dim=4, seed=0)
+        z = ae.embed(x)
+        assert z.shape == (x.shape[0], 4)
+        assert np.isfinite(z).all()
+
+    def test_embedding_separates_families(self):
+        x, labels = shape_dataset()
+        ae = Autoencoder(x.shape[1], latent_dim=4, seed=0)
+        ae.fit(x, epochs=120)
+        z = ae.embed(x)
+        centroids = np.array([z[labels == i].mean(axis=0) for i in range(3)])
+        within = np.mean(
+            [np.linalg.norm(z[labels == i] - centroids[i], axis=1).mean()
+             for i in range(3)]
+        )
+        between = np.mean(
+            [np.linalg.norm(centroids[i] - centroids[j])
+             for i in range(3) for j in range(i + 1, 3)]
+        )
+        assert between > within
+
+    def test_dimension_mismatch(self):
+        ae = Autoencoder(16, latent_dim=4)
+        with pytest.raises(ValueError):
+            ae.fit(np.zeros((5, 8)))
+
+
+class TestSelfOrganizingMap:
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SelfOrganizingMap(0, 3, 4)
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SelfOrganizingMap(3, 3, 4).fit(np.empty((0, 4)))
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            SelfOrganizingMap(3, 3, 4).fit(np.zeros((10, 5)))
+
+    def test_populations_sum_to_samples(self):
+        x, _ = shape_dataset(length=8)
+        som = SelfOrganizingMap(4, 4, 8, seed=0).fit(x, epochs=10)
+        pops = som.populations(x)
+        assert pops.shape == (4, 4)
+        assert pops.sum() == x.shape[0]
+
+    def test_distinct_families_map_to_distinct_cells(self):
+        x, labels = shape_dataset(length=8)
+        som = SelfOrganizingMap(4, 4, 8, seed=0).fit(x, epochs=20)
+        cells = som.bmu(x)
+        majority = [
+            np.bincount(cells[labels == i]).argmax() for i in range(3)
+        ]
+        assert len(set(majority)) == 3
+
+    def test_training_reduces_quantization_error(self):
+        x, _ = shape_dataset(length=8)
+        som = SelfOrganizingMap(4, 4, 8, seed=0)
+        before = som.quantization_error(x)
+        som.fit(x, epochs=20)
+        assert som.quantization_error(x) < before
+
+    def test_cell_prototype_bounds(self):
+        som = SelfOrganizingMap(3, 3, 4, seed=0)
+        assert som.cell_prototype(2, 2).shape == (4,)
+        with pytest.raises(ValueError):
+            som.cell_prototype(3, 0)
+
+    def test_topographic_error_bounded(self):
+        x, _ = shape_dataset(length=8)
+        som = SelfOrganizingMap(4, 4, 8, seed=0).fit(x, epochs=20)
+        te = som.topographic_error(x)
+        assert 0.0 <= te <= 1.0
+
+    def test_deterministic(self):
+        x, _ = shape_dataset(length=8)
+        a = SelfOrganizingMap(3, 3, 8, seed=1).fit(x, epochs=5)
+        b = SelfOrganizingMap(3, 3, 8, seed=1).fit(x, epochs=5)
+        np.testing.assert_array_equal(a.codebook, b.codebook)

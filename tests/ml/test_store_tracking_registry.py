@@ -1,0 +1,157 @@
+"""Unit tests for feature store, experiment tracking, model registry
+(the Fig. 9 reproducibility pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import ColumnTable
+from repro.ml import (
+    ExperimentTracker,
+    FeatureStore,
+    ModelRegistry,
+    ModelStage,
+)
+
+
+def table(seed=0, n=50):
+    rng = np.random.default_rng(seed)
+    return ColumnTable({"x": rng.random(n), "y": rng.random(n)})
+
+
+class TestFeatureStore:
+    def test_put_get_roundtrip(self):
+        store = FeatureStore()
+        t = table()
+        meta = store.put("profiles", t, params={"interval": "15"})
+        assert store.get("profiles") == t
+        assert store.get("profiles", meta.version) == t
+
+    def test_content_addressing_dedupes(self):
+        store = FeatureStore()
+        a = store.put("f", table(seed=1))
+        b = store.put("f", table(seed=1))
+        assert a.version == b.version
+        assert len(store.versions("f")) == 1
+
+    def test_different_content_new_version(self):
+        store = FeatureStore()
+        v1 = store.put("f", table(seed=1))
+        v2 = store.put("f", table(seed=2), parent=v1.version)
+        assert v1.version != v2.version
+        assert store.versions("f") == [v1.version, v2.version]
+
+    def test_latest_by_default(self):
+        store = FeatureStore()
+        store.put("f", table(seed=1))
+        t2 = table(seed=2)
+        store.put("f", t2)
+        assert store.get("f") == t2
+
+    def test_lineage_chain(self):
+        store = FeatureStore()
+        v1 = store.put("f", table(seed=1))
+        v2 = store.put("f", table(seed=2), parent=v1.version)
+        v3 = store.put("f", table(seed=3), parent=v2.version)
+        assert store.lineage("f", v3.version) == [
+            v3.version, v2.version, v1.version
+        ]
+
+    def test_unknown_parent_rejected(self):
+        store = FeatureStore()
+        with pytest.raises(KeyError):
+            store.put("f", table(), parent="deadbeef")
+
+    def test_unknown_lookups(self):
+        store = FeatureStore()
+        with pytest.raises(KeyError):
+            store.get("nope")
+        store.put("f", table())
+        with pytest.raises(KeyError):
+            store.get("f", "badversion")
+
+
+class TestExperimentTracker:
+    def test_run_lifecycle(self):
+        tracker = ExperimentTracker()
+        run = tracker.start_run("clf", params={"lr": 0.01})
+        run.log_metric("loss", 1.0, step=0)
+        run.log_metric("loss", 0.5, step=1)
+        run.log_artifact("model", b"bytes")
+        tracker.end_run(run.run_id)
+        back = tracker.get_run(run.run_id)
+        assert back.params["lr"] == "0.01"
+        assert back.latest_metric("loss") == 0.5
+        assert back.artifacts["model"] == b"bytes"
+
+    def test_finished_run_immutable(self):
+        tracker = ExperimentTracker()
+        run = tracker.start_run("clf")
+        tracker.end_run(run.run_id)
+        with pytest.raises(RuntimeError):
+            run.log_metric("loss", 1.0)
+
+    def test_best_run_selection(self):
+        tracker = ExperimentTracker()
+        for loss in (0.9, 0.3, 0.6):
+            run = tracker.start_run("clf")
+            run.log_metric("loss", loss)
+            tracker.end_run(run.run_id)
+        best = tracker.best_run("clf", "loss", mode="min")
+        assert best.latest_metric("loss") == 0.3
+
+    def test_best_run_ignores_unfinished(self):
+        tracker = ExperimentTracker()
+        run = tracker.start_run("clf")
+        run.log_metric("loss", 0.0)  # never ended
+        assert tracker.best_run("clf", "loss") is None
+
+    def test_best_run_mode_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentTracker().best_run("e", "m", mode="avg")
+
+    def test_unknown_run(self):
+        with pytest.raises(KeyError):
+            ExperimentTracker().get_run("nope")
+
+
+class TestModelRegistry:
+    def test_register_and_fetch_version(self):
+        registry = ModelRegistry()
+        v = registry.register("clf", b"model-v1", metrics={"purity": 0.8})
+        assert v == 1
+        assert registry.get_version("clf", 1) == b"model-v1"
+        assert registry.metrics("clf", 1)["purity"] == 0.8
+
+    def test_stage_lifecycle(self):
+        registry = ModelRegistry()
+        registry.register("clf", b"v1")
+        registry.promote("clf", 1, ModelStage.STAGING)
+        registry.promote("clf", 1, ModelStage.PRODUCTION)
+        assert registry.get("clf") == b"v1"
+
+    def test_illegal_transition(self):
+        registry = ModelRegistry()
+        registry.register("clf", b"v1")
+        with pytest.raises(ValueError):
+            registry.promote("clf", 1, ModelStage.PRODUCTION)  # skip staging
+
+    def test_single_production_version(self):
+        registry = ModelRegistry()
+        registry.register("clf", b"v1")
+        registry.register("clf", b"v2")
+        for v in (1, 2):
+            registry.promote("clf", v, ModelStage.STAGING)
+        registry.promote("clf", 1, ModelStage.PRODUCTION)
+        registry.promote("clf", 2, ModelStage.PRODUCTION)
+        assert registry.get("clf") == b"v2"
+        assert registry.stage_of("clf", 1) is ModelStage.ARCHIVED
+
+    def test_no_production_version(self):
+        registry = ModelRegistry()
+        registry.register("clf", b"v1")
+        with pytest.raises(KeyError):
+            registry.get("clf")
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            ModelRegistry().get_version("nope", 1)

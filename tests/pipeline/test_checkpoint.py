@@ -1,0 +1,71 @@
+"""Unit tests for the checkpoint store."""
+
+import pytest
+
+from repro.pipeline import CheckpointStore
+
+
+class TestInMemory:
+    def test_commit_and_read_back(self):
+        cp = CheckpointStore()
+        cp.commit("q", 0, {0: 10, 1: 5}, {"wm": 99.0})
+        assert cp.last_batch_id("q") == 0
+        assert cp.offsets("q") == {0: 10, 1: 5}
+        assert cp.state("q") == {"wm": 99.0}
+
+    def test_unknown_query(self):
+        cp = CheckpointStore()
+        assert cp.last_batch_id("q") is None
+        assert cp.offsets("q") == {}
+        assert cp.state("q") == {}
+
+    def test_contiguity_enforced(self):
+        cp = CheckpointStore()
+        cp.commit("q", 0, {0: 1})
+        with pytest.raises(ValueError):
+            cp.commit("q", 2, {0: 2})  # skipped batch 1
+        with pytest.raises(ValueError):
+            cp.commit("q", 0, {0: 2})  # duplicate
+        cp.commit("q", 1, {0: 2})
+
+    def test_first_commit_must_be_zero(self):
+        cp = CheckpointStore()
+        with pytest.raises(ValueError):
+            cp.commit("q", 5, {0: 1})
+
+    def test_reset_forgets_progress(self):
+        cp = CheckpointStore()
+        cp.commit("q", 0, {0: 1})
+        cp.reset("q")
+        assert cp.last_batch_id("q") is None
+        cp.commit("q", 0, {0: 1})  # can start over
+
+    def test_queries_listed(self):
+        cp = CheckpointStore()
+        cp.commit("b", 0, {})
+        cp.commit("a", 0, {})
+        assert cp.queries() == ["a", "b"]
+
+
+class TestDurable:
+    def test_survives_restart(self, tmp_path):
+        path = str(tmp_path / "cp")
+        cp1 = CheckpointStore(path)
+        cp1.commit("q", 0, {0: 42}, {"x": 1})
+        # Simulated crash: new store instance reads the same directory.
+        cp2 = CheckpointStore(path)
+        assert cp2.last_batch_id("q") == 0
+        assert cp2.offsets("q") == {0: 42}
+        assert cp2.state("q") == {"x": 1}
+
+    def test_contiguity_across_restart(self, tmp_path):
+        path = str(tmp_path / "cp")
+        CheckpointStore(path).commit("q", 0, {0: 1})
+        cp2 = CheckpointStore(path)
+        with pytest.raises(ValueError):
+            cp2.commit("q", 0, {0: 1})
+        cp2.commit("q", 1, {0: 2})
+
+    def test_empty_dir_fresh_state(self, tmp_path):
+        cp = CheckpointStore(str(tmp_path / "new"))
+        assert cp.queries() == []

@@ -1,0 +1,158 @@
+"""Unit + integration tests for the Bronze/Silver/Gold medallion stages."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    MedallionPipeline,
+    bronze_standardize,
+    gold_job_profiles,
+    silver_aggregate,
+)
+from repro.pipeline.medallion import gold_job_summary
+from repro.telemetry import MINI, PowerThermalSource, synthetic_job_mix
+
+
+@pytest.fixture(scope="module")
+def setting():
+    allocation = synthetic_job_mix(MINI, 0.0, 3600.0, np.random.default_rng(5))
+    source = PowerThermalSource(MINI, allocation, seed=0, loss_rate=0.02)
+    batches = [source.emit(t, t + 60.0) for t in (0.0, 60.0, 120.0)]
+    return allocation, source, batches
+
+
+class TestBronze:
+    def test_long_format_columns(self, setting):
+        _, _, batches = setting
+        bronze = bronze_standardize(batches)
+        assert bronze.column_names == [
+            "timestamp", "component_id", "sensor_id", "value"
+        ]
+        assert bronze.num_rows == sum(len(b) for b in batches)
+
+    def test_empty_input(self):
+        assert bronze_standardize([]).num_rows == 0
+
+
+class TestSilver:
+    def test_wide_format_with_sensor_columns(self, setting):
+        allocation, source, batches = setting
+        bronze = bronze_standardize(batches)
+        silver = silver_aggregate(bronze, source.catalog, 15.0, allocation)
+        assert "input_power" in silver
+        assert "gpu0_power" in silver
+        assert "job_id" in silver
+        # One row per (bucket, node): 12 buckets x 16 nodes.
+        assert silver.num_rows == 12 * MINI.n_nodes
+
+    def test_timestamps_snapped_to_buckets(self, setting):
+        allocation, source, batches = setting
+        silver = silver_aggregate(
+            bronze_standardize(batches), source.catalog, 15.0, allocation
+        )
+        assert (np.mod(silver["timestamp"], 15.0) == 0).all()
+
+    def test_silver_much_smaller_than_bronze(self, setting):
+        """The paper's headline compaction: Silver is a 'more compact and
+        computationally efficient' artifact."""
+        allocation, source, batches = setting
+        bronze = bronze_standardize(batches)
+        silver = silver_aggregate(bronze, source.catalog, 15.0, allocation)
+        assert silver.num_rows < bronze.num_rows / 5
+
+    def test_aggregation_preserves_mean_power_scale(self, setting):
+        allocation, source, batches = setting
+        bronze = bronze_standardize(batches)
+        silver = silver_aggregate(bronze, source.catalog, 15.0, allocation)
+        sid = source.catalog.id_of("input_power")
+        raw = bronze.filter(bronze["sensor_id"] == sid)["value"]
+        assert silver["input_power"][
+            ~np.isnan(silver["input_power"])
+        ].mean() == pytest.approx(raw.mean(), rel=0.05)
+
+    def test_without_allocation_no_job_column(self, setting):
+        _, source, batches = setting
+        silver = silver_aggregate(bronze_standardize(batches), source.catalog)
+        assert "job_id" not in silver
+
+    def test_empty_bronze(self, setting):
+        _, source, _ = setting
+        assert silver_aggregate(
+            bronze_standardize([]), source.catalog
+        ).num_rows == 0
+
+
+class TestGold:
+    def test_profiles_per_job_and_bucket(self, setting):
+        allocation, source, batches = setting
+        silver = silver_aggregate(
+            bronze_standardize(batches), source.catalog, 15.0, allocation
+        )
+        gold = gold_job_profiles(silver)
+        assert set(gold.column_names) == {
+            "job_id", "timestamp", "power_w", "n_nodes"
+        }
+        assert (gold["job_id"] >= 0).all()
+
+    def test_job_power_sums_node_power(self, setting):
+        allocation, source, batches = setting
+        silver = silver_aggregate(
+            bronze_standardize(batches), source.catalog, 15.0, allocation
+        )
+        gold = gold_job_profiles(silver)
+        # Node-level silver power for one (job, bucket) must sum to gold.
+        jid = int(gold["job_id"][0])
+        ts = gold["timestamp"][0]
+        rows = silver.filter(
+            (silver["job_id"] == jid) & (silver["timestamp"] == ts)
+        )
+        assert gold["power_w"][0] == pytest.approx(
+            np.nansum(rows["input_power"]), rel=1e-9
+        )
+
+    def test_summary_energy_positive(self, setting):
+        allocation, source, batches = setting
+        silver = silver_aggregate(
+            bronze_standardize(batches), source.catalog, 15.0, allocation
+        )
+        summary = gold_job_summary(gold_job_profiles(silver))
+        assert (summary["energy_j"] > 0).all()
+        assert (summary["max_power_w"] >= summary["mean_power_w"] - 1e-9).all()
+
+    def test_empty_inputs(self):
+        from repro.columnar import ColumnTable
+
+        assert gold_job_profiles(ColumnTable({})).num_rows == 0
+        assert gold_job_summary(ColumnTable({})).num_rows == 0
+
+
+class TestMedallionPipeline:
+    def test_funnel_accounting(self, setting):
+        allocation, source, batches = setting
+        pipe = MedallionPipeline(source.catalog, allocation, 15.0)
+        out = pipe.process(batches)
+        assert set(out) == {"bronze", "silver", "gold"}
+        funnel = pipe.funnel()
+        names = [s.name for s in funnel]
+        assert names == ["bronze", "silver", "gold"]
+        silver_stats = funnel[1]
+        assert silver_stats.rows_in > silver_stats.rows_out
+        assert silver_stats.row_reduction > 5
+        assert silver_stats.wall_s > 0
+
+    def test_stats_accumulate_across_batches(self, setting):
+        allocation, source, batches = setting
+        pipe = MedallionPipeline(source.catalog, allocation, 15.0)
+        pipe.process(batches[:1])
+        pipe.process(batches[1:])
+        assert pipe.stats["bronze"].invocations == 2
+
+    def test_byte_reduction_raw_to_silver(self, setting):
+        """Raw -> Silver shrinks byte volume (the paper's motivation for
+        precomputing Silver upstream)."""
+        allocation, source, batches = setting
+        pipe = MedallionPipeline(source.catalog, allocation, 15.0)
+        pipe.process(batches)
+        bronze_bytes_in = pipe.stats["bronze"].bytes_in
+        silver_bytes_out = pipe.stats["silver"].bytes_out
+        assert silver_bytes_out < bronze_bytes_in

@@ -1,0 +1,210 @@
+"""Unit + property tests for the relational operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnar import Col, ColumnTable
+from repro.pipeline import group_by_agg, hash_join, pivot, resample, select, where
+
+
+def make_table():
+    return ColumnTable(
+        {
+            "t": np.array([0.0, 5.0, 10.0, 15.0, 20.0, 25.0]),
+            "node": np.array([0, 1, 0, 1, 0, 1]),
+            "sensor": ["p", "p", "q", "q", "p", "q"],
+            "value": np.array([10.0, 20.0, 30.0, 40.0, 50.0, 60.0]),
+        }
+    )
+
+
+class TestSelectWhere:
+    def test_select(self):
+        out = select(make_table(), ["value", "node"])
+        assert out.column_names == ["value", "node"]
+
+    def test_where(self):
+        out = where(make_table(), Col("node") == 0)
+        assert out.num_rows == 3
+        assert (out["node"] == 0).all()
+
+
+class TestGroupByAgg:
+    def test_single_key_multiple_aggs(self):
+        out = group_by_agg(
+            make_table(),
+            ["node"],
+            {"total": ("value", "sum"), "n": ("value", "count")},
+        )
+        assert out.num_rows == 2
+        np.testing.assert_allclose(out["total"], [90.0, 120.0])
+        np.testing.assert_allclose(out["n"], [3, 3])
+
+    def test_multi_key_with_string(self):
+        out = group_by_agg(
+            make_table(), ["node", "sensor"], {"m": ("value", "mean")}
+        )
+        assert out.num_rows == 4
+        # Group (0, "p") -> mean(10, 50) = 30.
+        mask = (out["node"] == 0) & np.array(
+            [s == "p" for s in out["sensor"].tolist()]
+        )
+        assert out["m"][mask][0] == 30.0
+
+    def test_empty_table(self):
+        empty = make_table().filter(np.zeros(6, dtype=bool))
+        out = group_by_agg(empty, ["node"], {"m": ("value", "mean")})
+        assert out.num_rows == 0
+        assert "m" in out and "node" in out
+
+    def test_requires_keys(self):
+        with pytest.raises(ValueError):
+            group_by_agg(make_table(), [], {"m": ("value", "mean")})
+
+    @given(
+        values=st.lists(st.floats(-100, 100), min_size=1, max_size=80),
+        n_groups=st.integers(1, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_sum_conserved(self, values, n_groups):
+        """Sum of group sums equals total sum (mass conservation)."""
+        v = np.array(values)
+        table = ColumnTable(
+            {"k": np.arange(v.size) % n_groups, "v": v}
+        )
+        out = group_by_agg(table, ["k"], {"s": ("v", "sum")})
+        assert out["s"].sum() == pytest.approx(v.sum(), rel=1e-9, abs=1e-6)
+
+    @given(
+        n=st.integers(1, 60),
+        n_groups=st.integers(1, 6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_counts_partition_rows(self, n, n_groups):
+        table = ColumnTable({"k": np.arange(n) % n_groups, "v": np.ones(n)})
+        out = group_by_agg(table, ["k"], {"c": ("v", "count")})
+        assert out["c"].sum() == n
+
+
+class TestPivot:
+    def test_long_to_wide(self):
+        out = pivot(
+            make_table(),
+            index=["t"],
+            column_key="sensor",
+            value="value",
+        )
+        assert set(out.column_names) == {"t", "p", "q"}
+        assert out.num_rows == 6
+        row0 = out.filter(out["t"] == 0.0)
+        assert row0["p"][0] == 10.0
+        assert np.isnan(row0["q"][0])
+
+    def test_multi_index_pivot(self):
+        out = pivot(
+            make_table(),
+            index=["node", "t"],
+            column_key="sensor",
+            value="value",
+        )
+        assert {"node", "t", "p", "q"} == set(out.column_names)
+
+    def test_duplicate_cells_aggregated(self):
+        t = ColumnTable(
+            {
+                "g": [0, 0, 1],
+                "k": ["x", "x", "x"],
+                "v": [1.0, 3.0, 5.0],
+            }
+        )
+        out = pivot(t, ["g"], "k", "v", agg="mean")
+        np.testing.assert_allclose(out["x"], [2.0, 5.0])
+
+    def test_custom_fill_and_names(self):
+        out = pivot(
+            make_table(),
+            ["t"],
+            "sensor",
+            "value",
+            name_fn=lambda k: f"sensor_{k}",
+            fill=0.0,
+        )
+        assert "sensor_p" in out
+        assert not np.isnan(out["sensor_q"]).any()
+
+
+class TestHashJoin:
+    def left(self):
+        return ColumnTable(
+            {"node": np.array([0, 1, 2, 0]), "v": np.array([1.0, 2.0, 3.0, 4.0])}
+        )
+
+    def right(self):
+        return ColumnTable(
+            {"node": np.array([0, 1]), "rack": ["r0", "r1"],
+             "slots": np.array([4, 8])}
+        )
+
+    def test_inner_join(self):
+        out = hash_join(self.left(), self.right(), on=["node"], how="inner")
+        assert out.num_rows == 3  # node 2 unmatched
+        assert set(out.column_names) == {"node", "v", "rack", "slots"}
+
+    def test_left_join_fills_unmatched(self):
+        out = hash_join(self.left(), self.right(), on=["node"], how="left")
+        assert out.num_rows == 4
+        unmatched = out.filter(out["node"] == 2)
+        assert np.isnan(unmatched["slots"][0])
+        assert unmatched["rack"][0] is None
+
+    def test_duplicate_right_keys_rejected(self):
+        dup = ColumnTable({"node": [0, 0], "x": [1.0, 2.0]})
+        with pytest.raises(ValueError, match="duplicate"):
+            hash_join(self.left(), dup, on=["node"])
+
+    def test_multi_key_join(self):
+        left = ColumnTable(
+            {"a": [0, 0, 1], "b": ["x", "y", "x"], "v": [1.0, 2.0, 3.0]}
+        )
+        right = ColumnTable({"a": [0, 1], "b": ["x", "x"], "w": [10.0, 30.0]})
+        out = hash_join(left, right, on=["a", "b"], how="inner")
+        assert out.num_rows == 2
+        np.testing.assert_allclose(out["w"], [10.0, 30.0])
+
+    def test_name_collision_suffixed(self):
+        left = ColumnTable({"k": [0], "v": [1.0]})
+        right = ColumnTable({"k": [0], "v": [9.0]})
+        out = hash_join(left, right, on=["k"])
+        assert "v_r" in out and out["v_r"][0] == 9.0
+
+    def test_invalid_how(self):
+        with pytest.raises(ValueError):
+            hash_join(self.left(), self.right(), on=["node"], how="outer")
+
+    def test_empty_right(self):
+        right = ColumnTable({"node": np.empty(0, dtype=int),
+                             "rack": np.empty(0, dtype=object)})
+        out = hash_join(self.left(), right, on=["node"], how="left")
+        assert out.num_rows == 4
+        assert all(x is None for x in out["rack"].tolist())
+
+
+class TestResample:
+    def test_time_bucketing(self):
+        out = resample(
+            make_table(),
+            time_column="t",
+            interval=10.0,
+            keys=["node"],
+            aggs={"m": ("value", "mean")},
+        )
+        # Buckets: [0,10), [10,20), [20,30) x nodes present in each.
+        assert "bucket" in out
+        b0n0 = out.filter((out["bucket"] == 0.0) & (out["node"] == 0))
+        assert b0n0["m"][0] == 10.0
+
+    def test_aggs_required(self):
+        with pytest.raises(ValueError):
+            resample(make_table(), "t", 10.0)

@@ -1,0 +1,111 @@
+"""Property-based tests for relational-operator algebraic laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnar import Col, ColumnTable
+from repro.pipeline import group_by_agg, hash_join, pivot, where
+
+
+@st.composite
+def small_table(draw):
+    n = draw(st.integers(1, 60))
+    keys = draw(
+        st.lists(st.integers(0, 4), min_size=n, max_size=n)
+    )
+    labels = draw(
+        st.lists(st.sampled_from(["a", "b", "c"]), min_size=n, max_size=n)
+    )
+    values = draw(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=n, max_size=n
+        )
+    )
+    return ColumnTable(
+        {
+            "k": np.array(keys),
+            "label": labels,
+            "v": np.array(values),
+        }
+    )
+
+
+class TestGroupByLaws:
+    @given(table=small_table())
+    @settings(max_examples=60, deadline=None)
+    def test_groups_partition_rows(self, table):
+        out = group_by_agg(table, ["k", "label"], {"n": ("v", "count")})
+        assert out["n"].sum() == table.num_rows
+
+    @given(table=small_table())
+    @settings(max_examples=60, deadline=None)
+    def test_min_le_mean_le_max(self, table):
+        out = group_by_agg(
+            table,
+            ["k"],
+            {"lo": ("v", "min"), "m": ("v", "mean"), "hi": ("v", "max")},
+        )
+        assert ((out["lo"] <= out["m"] + 1e-6)
+                & (out["m"] <= out["hi"] + 1e-6)).all()
+
+    @given(table=small_table())
+    @settings(max_examples=60, deadline=None)
+    def test_filter_then_group_subset_of_group(self, table):
+        """WHERE before GROUP BY never creates new groups."""
+        filtered = where(table, Col("v") > 0.0)
+        if filtered.num_rows == 0:
+            return
+        groups_all = set(
+            group_by_agg(table, ["k"], {"n": ("v", "count")})["k"].tolist()
+        )
+        groups_filtered = set(
+            group_by_agg(filtered, ["k"], {"n": ("v", "count")})["k"].tolist()
+        )
+        assert groups_filtered <= groups_all
+
+
+class TestPivotLaws:
+    @given(table=small_table())
+    @settings(max_examples=60, deadline=None)
+    def test_pivot_preserves_sum(self, table):
+        """Total mass survives the long->wide reshape (agg='sum')."""
+        wide = pivot(table, ["k"], "label", "v", agg="sum", fill=0.0)
+        wide_total = sum(
+            wide[c].sum() for c in wide.column_names if c != "k"
+        )
+        assert wide_total == pytest.approx(table["v"].sum(), rel=1e-9, abs=1e-6)
+
+    @given(table=small_table())
+    @settings(max_examples=60, deadline=None)
+    def test_pivot_row_per_index(self, table):
+        wide = pivot(table, ["k"], "label", "v")
+        assert wide.num_rows == np.unique(table["k"]).size
+
+
+class TestJoinLaws:
+    @given(table=small_table())
+    @settings(max_examples=60, deadline=None)
+    def test_left_join_preserves_left_rows(self, table):
+        right = ColumnTable(
+            {"k": np.arange(3), "meta": ["x", "y", "z"]}
+        )
+        out = hash_join(table, right, on=["k"], how="left")
+        assert out.num_rows == table.num_rows
+        np.testing.assert_array_equal(out["v"], table["v"])
+
+    @given(table=small_table())
+    @settings(max_examples=60, deadline=None)
+    def test_inner_join_subset_of_left(self, table):
+        right = ColumnTable({"k": np.arange(2), "meta": ["x", "y"]})
+        out = hash_join(table, right, on=["k"], how="inner")
+        assert out.num_rows == int(np.isin(table["k"], [0, 1]).sum())
+
+    @given(table=small_table())
+    @settings(max_examples=40, deadline=None)
+    def test_join_with_universal_right_is_identity_plus_column(self, table):
+        right = ColumnTable({"k": np.arange(5), "extra": np.arange(5) * 1.0})
+        out = hash_join(table, right, on=["k"], how="inner")
+        assert out.num_rows == table.num_rows
+        np.testing.assert_array_equal(out["extra"], table["k"].astype(float))

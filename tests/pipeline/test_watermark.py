@@ -1,0 +1,58 @@
+"""Unit tests for event-time watermarks."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import ColumnTable
+from repro.pipeline import Watermark
+
+
+def batch(times):
+    times = np.asarray(times, dtype=float)
+    return ColumnTable({"timestamp": times, "v": np.zeros(times.size)})
+
+
+class TestWatermark:
+    def test_initial_watermark_accepts_everything(self):
+        wm = Watermark(delay_s=10.0)
+        on_time, late = wm.split(batch([0.0, 100.0]))
+        assert on_time.num_rows == 2 and late.num_rows == 0
+
+    def test_rows_behind_watermark_marked_late(self):
+        wm = Watermark(delay_s=10.0)
+        wm.split(batch([100.0]))
+        on_time, late = wm.split(batch([85.0, 95.0]))
+        assert late.num_rows == 1  # 85 < 100-10
+        assert on_time.num_rows == 1
+
+    def test_watermark_advances_monotonically(self):
+        wm = Watermark(delay_s=5.0)
+        wm.observe(np.array([50.0]))
+        wm.observe(np.array([20.0]))  # regression does not move it back
+        assert wm.current == 45.0
+
+    def test_batch_does_not_invalidate_itself(self):
+        """A batch's own max cannot make its other rows late."""
+        wm = Watermark(delay_s=1.0)
+        on_time, late = wm.split(batch([0.0, 1000.0]))
+        assert late.num_rows == 0
+
+    def test_stats_accumulate(self):
+        wm = Watermark(delay_s=0.0)
+        wm.split(batch([100.0]))
+        wm.split(batch([50.0, 150.0]))
+        assert wm.stats.rows_seen == 3
+        assert wm.stats.rows_late == 1
+        assert wm.stats.late_fraction == pytest.approx(1 / 3)
+
+    def test_zero_seen_late_fraction(self):
+        assert Watermark().stats.late_fraction == 0.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Watermark(delay_s=-1.0)
+
+    def test_empty_observe_noop(self):
+        wm = Watermark(delay_s=1.0)
+        wm.observe(np.array([]))
+        assert wm.max_event_time == float("-inf")

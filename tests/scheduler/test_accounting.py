@@ -1,0 +1,105 @@
+"""Unit tests for the accounting ledger (RATS substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.scheduler import (
+    AccountingLedger,
+    BackfillPolicy,
+    ProjectAllocation,
+    SchedulerSimulator,
+    submission_stream,
+)
+from repro.telemetry import MINI
+
+
+@pytest.fixture(scope="module")
+def ledger():
+    requests = submission_stream(
+        MINI, 86_400.0, np.random.default_rng(0), arrival_rate_per_hour=20.0,
+        projects=3,
+    )
+    sim = SchedulerSimulator(MINI, BackfillPolicy(), failure_rate=0.1, seed=0)
+    sim.run(requests)
+    ledger = AccountingLedger(gpus_per_node=MINI.gpus_per_node)
+    for p in ("PRJ000", "PRJ001", "PRJ002"):
+        ledger.grant(ProjectAllocation(p, 10_000.0, 0.0, 30 * 86_400.0))
+    ledger.ingest(sim.completed_records())
+    return ledger, sim
+
+
+class TestProjectAllocation:
+    def test_invalid_grant(self):
+        with pytest.raises(ValueError):
+            ProjectAllocation("p", 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            ProjectAllocation("p", 10.0, 1.0, 1.0)
+
+    def test_duplicate_grant_rejected(self, ledger):
+        led, _ = ledger
+        with pytest.raises(ValueError):
+            led.grant(ProjectAllocation("PRJ000", 1.0, 0.0, 1.0))
+
+
+class TestUsage:
+    def test_node_hours_match_job_records(self, ledger):
+        led, sim = ledger
+        total_from_jobs = sum(r.node_hours for r in sim.completed_records())
+        total_from_ledger = sum(
+            led.project_node_hours(p) for p in led.projects()
+        )
+        assert total_from_ledger == pytest.approx(total_from_jobs)
+
+    def test_gpu_hours_scale_with_gpus_per_node(self, ledger):
+        led, _ = ledger
+        p = led.projects()[0]
+        usage = led._by_project[p]
+        assert usage.gpu_hours == pytest.approx(
+            usage.node_hours * MINI.gpus_per_node
+        )
+
+    def test_failed_jobs_counted(self, ledger):
+        led, sim = ledger
+        total_failed = sum(
+            led.project_job_counts(p)[1] for p in led.projects()
+        )
+        from repro.scheduler import JobState
+
+        assert total_failed == sum(
+            1 for r in sim.completed_records() if r.state is JobState.FAILED
+        )
+
+    def test_unknown_project_zero(self, ledger):
+        led, _ = ledger
+        assert led.project_node_hours("NOPE") == 0.0
+        assert led.user_node_hours("nobody") == 0.0
+
+
+class TestBurnRate:
+    def test_burn_rate_fields(self, ledger):
+        led, _ = ledger
+        rate = led.burn_rate("PRJ000", now=15 * 86_400.0)
+        assert rate["used_node_hours"] >= 0
+        assert rate["ideal_node_hours"] == pytest.approx(5_000.0)
+        assert rate["remaining_node_hours"] == pytest.approx(
+            10_000.0 - rate["used_node_hours"]
+        )
+
+    def test_remaining_node_hours(self, ledger):
+        led, _ = ledger
+        for p in led.projects():
+            assert led.remaining_node_hours(p) == pytest.approx(
+                10_000.0 - led.project_node_hours(p)
+            )
+
+    def test_usage_series_monotone_and_matches_total(self, ledger):
+        led, sim = ledger
+        p = led.projects()[0]
+        t_end = max(r.end_time for r in sim.completed_records())
+        times, series = led.usage_series(p, 3600.0, t_end)
+        assert (np.diff(series) >= -1e-9).all()
+        assert series[-1] == pytest.approx(led.project_node_hours(p), rel=1e-6)
+
+    def test_daily_log_lines_scales(self, ledger):
+        led, _ = ledger
+        assert led.daily_log_lines() > 0

@@ -1,0 +1,75 @@
+"""Unit tests for job requests/records."""
+
+import numpy as np
+import pytest
+
+from repro.scheduler import JobRecord, JobRequest, JobState
+
+
+def make_request(**kw):
+    defaults = dict(
+        job_id=1,
+        user="user001",
+        project="PRJ001",
+        archetype="climate",
+        n_nodes=4,
+        walltime_req_s=3600.0,
+        runtime_s=1800.0,
+        submit_time=0.0,
+    )
+    defaults.update(kw)
+    return JobRequest(**defaults)
+
+
+class TestJobRequest:
+    def test_valid(self):
+        req = make_request()
+        assert req.n_nodes == 4
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            make_request(n_nodes=0)
+
+    def test_invalid_times(self):
+        with pytest.raises(ValueError):
+            make_request(runtime_s=0.0)
+        with pytest.raises(ValueError):
+            make_request(walltime_req_s=-1.0)
+
+    def test_runtime_beyond_walltime_rejected(self):
+        with pytest.raises(ValueError):
+            make_request(runtime_s=7200.0, walltime_req_s=3600.0)
+
+    def test_unknown_archetype(self):
+        with pytest.raises(ValueError):
+            make_request(archetype="quantum")
+
+
+class TestJobRecord:
+    def test_initial_state(self):
+        record = JobRecord(make_request())
+        assert record.state is JobState.QUEUED
+        assert record.wait_time_s is None
+        assert record.node_hours == 0.0
+
+    def test_wait_and_node_hours(self):
+        record = JobRecord(make_request(submit_time=100.0))
+        record.start_time = 400.0
+        record.end_time = 400.0 + 1800.0
+        record.nodes = np.arange(4, dtype=np.int32)
+        assert record.wait_time_s == 300.0
+        assert record.node_hours == pytest.approx(4 * 0.5)
+
+    def test_to_spec_roundtrip(self):
+        record = JobRecord(make_request())
+        record.start_time = 0.0
+        record.end_time = 1800.0
+        record.nodes = np.array([3, 1, 2], dtype=np.int32)
+        spec = record.to_spec()
+        assert spec.job_id == 1
+        assert spec.duration == 1800.0
+        np.testing.assert_array_equal(spec.nodes, [1, 2, 3])
+
+    def test_to_spec_requires_run(self):
+        with pytest.raises(ValueError):
+            JobRecord(make_request()).to_spec()

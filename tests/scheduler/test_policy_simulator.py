@@ -1,0 +1,157 @@
+"""Unit + integration tests for policies and the event simulator."""
+
+import numpy as np
+import pytest
+
+from repro.scheduler import (
+    BackfillPolicy,
+    FifoPolicy,
+    JobRequest,
+    JobState,
+    SchedulerSimulator,
+    submission_stream,
+)
+from repro.telemetry import MINI
+
+
+def req(job_id, n_nodes, runtime, submit=0.0, walltime=None, archetype="climate"):
+    return JobRequest(
+        job_id=job_id,
+        user=f"user{job_id:03d}",
+        project="PRJ001",
+        archetype=archetype,
+        n_nodes=n_nodes,
+        walltime_req_s=walltime or runtime,
+        runtime_s=runtime,
+        submit_time=submit,
+    )
+
+
+def run(policy, requests, machine=MINI, failure_rate=0.0):
+    sim = SchedulerSimulator(machine, policy, failure_rate=failure_rate, seed=0)
+    sim.run(requests)
+    return sim
+
+
+class TestFifo:
+    def test_serial_when_machine_full(self):
+        # Two 16-node jobs on a 16-node machine must serialize.
+        sim = run(FifoPolicy(), [req(1, 16, 100.0), req(2, 16, 100.0, submit=1.0)])
+        r1, r2 = sim.records[1], sim.records[2]
+        assert r1.start_time == 0.0
+        assert r2.start_time == pytest.approx(100.0)
+
+    def test_head_blocks_small_followers(self):
+        # Head needs 16 nodes; a 1-node job behind it must wait under FIFO.
+        requests = [
+            req(1, 12, 100.0),            # occupies most of the machine
+            req(2, 16, 50.0, submit=1.0),  # blocked head
+            req(3, 1, 10.0, submit=2.0),   # could run, FIFO says no
+        ]
+        sim = run(FifoPolicy(), requests)
+        assert sim.records[3].start_time >= sim.records[2].start_time
+
+
+class TestBackfill:
+    def test_small_job_backfills_into_hole(self):
+        requests = [
+            req(1, 12, 100.0, walltime=100.0),
+            req(2, 16, 50.0, submit=1.0, walltime=50.0),   # blocked head
+            req(3, 1, 10.0, submit=2.0, walltime=10.0),    # fits before shadow
+        ]
+        sim = run(BackfillPolicy(), requests)
+        # Job 3 ends by 12 < shadow (100), so it backfills immediately.
+        assert sim.records[3].start_time == pytest.approx(2.0)
+        # And the head still starts when job 1 releases nodes.
+        assert sim.records[2].start_time == pytest.approx(100.0)
+
+    def test_backfill_never_delays_head(self):
+        requests = [
+            req(1, 12, 100.0, walltime=100.0),
+            req(2, 16, 50.0, submit=1.0, walltime=50.0),
+            # Long walltime, needs nodes the head will use: must NOT backfill.
+            req(3, 4, 300.0, submit=2.0, walltime=300.0),
+        ]
+        sim = run(BackfillPolicy(), requests)
+        assert sim.records[2].start_time == pytest.approx(100.0)
+        assert sim.records[3].start_time >= 100.0
+
+    def test_backfill_beats_fifo_on_utilization(self):
+        requests = submission_stream(
+            MINI, 86_400.0, np.random.default_rng(3), arrival_rate_per_hour=30.0
+        )
+        fifo = run(FifoPolicy(), requests).metrics()
+        backfill = run(BackfillPolicy(), requests).metrics()
+        assert backfill.mean_wait_s <= fifo.mean_wait_s
+        assert backfill.utilization >= fifo.utilization * 0.98
+
+
+class TestSimulator:
+    def test_no_node_oversubscription(self):
+        requests = submission_stream(
+            MINI, 43_200.0, np.random.default_rng(1), arrival_rate_per_hour=20.0
+        )
+        sim = run(BackfillPolicy(), requests)
+        table = sim.allocation_table()  # construction checks conflicts
+        assert len(table) == len(sim.completed_records())
+
+    def test_all_jobs_eventually_run(self):
+        requests = submission_stream(
+            MINI, 21_600.0, np.random.default_rng(2)
+        )
+        sim = run(BackfillPolicy(), requests)
+        assert len(sim.completed_records()) == len(requests)
+
+    def test_oversized_job_rejected(self):
+        with pytest.raises(ValueError):
+            run(FifoPolicy(), [req(1, MINI.n_nodes + 1, 100.0)])
+
+    def test_failure_rate_marks_jobs(self):
+        requests = [req(i, 1, 10.0, submit=float(i)) for i in range(1, 101)]
+        sim = run(FifoPolicy(), requests, failure_rate=0.3)
+        failed = [r for r in sim.records.values() if r.state is JobState.FAILED]
+        assert 10 < len(failed) < 60
+
+    def test_invalid_failure_rate(self):
+        with pytest.raises(ValueError):
+            SchedulerSimulator(MINI, FifoPolicy(), failure_rate=1.0)
+
+    def test_metrics_sane(self):
+        requests = submission_stream(
+            MINI, 43_200.0, np.random.default_rng(4), arrival_rate_per_hour=20.0
+        )
+        metrics = run(BackfillPolicy(), requests).metrics()
+        assert metrics.n_completed == len(requests)
+        assert 0.0 < metrics.utilization <= 1.0
+        assert metrics.p95_wait_s >= metrics.mean_wait_s * 0.5
+
+    def test_empty_run(self):
+        sim = SchedulerSimulator(MINI, FifoPolicy())
+        sim.run([])
+        assert sim.metrics().n_completed == 0
+
+
+class TestSubmissionStream:
+    def test_deterministic(self):
+        a = submission_stream(MINI, 3600.0, np.random.default_rng(7))
+        b = submission_stream(MINI, 3600.0, np.random.default_rng(7))
+        assert [r.job_id for r in a] == [r.job_id for r in b]
+        assert [r.submit_time for r in a] == [r.submit_time for r in b]
+
+    def test_rate_roughly_respected(self):
+        reqs = submission_stream(
+            MINI, 36_000.0, np.random.default_rng(8), arrival_rate_per_hour=12.0
+        )
+        assert len(reqs) == pytest.approx(120, rel=0.4)
+
+    def test_walltime_always_covers_runtime(self):
+        for r in submission_stream(MINI, 7200.0, np.random.default_rng(9)):
+            assert r.walltime_req_s >= r.runtime_s
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            submission_stream(MINI, 0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            submission_stream(
+                MINI, 10.0, np.random.default_rng(0), arrival_rate_per_hour=0.0
+            )

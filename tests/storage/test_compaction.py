@@ -1,0 +1,71 @@
+"""Unit tests for OCEAN compaction."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import ColumnTable
+from repro.storage import DataClass, TieredStore
+
+
+def batch(t_start, n=50):
+    rng = np.random.default_rng(int(t_start))
+    return ColumnTable(
+        {
+            "timestamp": t_start + np.arange(n, dtype=float),
+            "node": rng.integers(0, 8, n),
+            "value": rng.normal(100.0, 10.0, n),
+        }
+    )
+
+
+@pytest.fixture
+def store():
+    ts = TieredStore()
+    ts.register("power.silver", DataClass.SILVER)
+    for i in range(6):
+        ts.ingest("power.silver", batch(i * 100.0), now=float(i))
+    return ts
+
+
+class TestCompaction:
+    def test_merges_parts_into_one(self, store):
+        before = store.scan_ocean("power.silver")
+        result = store.compact("power.silver")
+        assert result["merged"] == 6
+        parts = store.ocean.list(store.OCEAN_BUCKET, prefix="power.silver/")
+        assert len(parts) == 1
+        assert store.scan_ocean("power.silver") == before
+
+    def test_compaction_shrinks_or_holds_bytes(self, store):
+        result = store.compact("power.silver")
+        assert result["bytes_after"] <= result["bytes_before"] * 1.1
+
+    def test_min_objects_threshold(self, store):
+        store.compact("power.silver")
+        again = store.compact("power.silver", min_objects=4)
+        assert again["merged"] == 0  # only one object left
+
+    def test_compacted_object_keeps_newest_timestamp(self, store):
+        store.compact("power.silver")
+        meta = store.ocean.list(store.OCEAN_BUCKET, prefix="power.silver/")[0]
+        assert meta.created_at == 5.0
+        assert meta.user_meta["compacted_from"] == "6"
+
+    def test_unregistered_dataset_rejected(self, store):
+        with pytest.raises(KeyError):
+            store.compact("nope")
+
+    def test_retention_applies_to_compacted_object(self, store):
+        from repro.storage.tiers import DAY_S
+
+        store.compact("power.silver")
+        report = store.enforce(now=6 * 365 * DAY_S)
+        # Silver OCEAN retention is 5 years: the compacted object ages out.
+        assert report["ocean_archived"] == 1
+
+    def test_queries_after_compaction(self, store):
+        from repro.columnar import Col
+
+        store.compact("power.silver")
+        out = store.scan_ocean("power.silver", predicate=Col("node") == 3)
+        assert (out["node"] == 3).all()

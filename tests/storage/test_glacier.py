@@ -1,0 +1,99 @@
+"""Unit tests for the GLACIER tape archive."""
+
+import pytest
+
+from repro.storage import TapeArchive
+from repro.storage.glacier import (  # noqa: F401
+    MOUNT_TIME_S,
+    TAPE_BANDWIDTH_BPS,
+    TAPE_CAPACITY_BYTES,
+)
+
+
+class TestArchive:
+    def test_roundtrip(self):
+        tape = TapeArchive()
+        tape.archive("k", b"frozen")
+        data, est = tape.retrieve("k")
+        assert data == b"frozen"
+        assert est.total_s > 0
+
+    def test_frozen_keys_immutable(self):
+        tape = TapeArchive()
+        tape.archive("k", b"v1")
+        with pytest.raises(ValueError):
+            tape.archive("k", b"v2")
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError):
+            TapeArchive().retrieve("nope")
+
+    def test_keys_sorted(self):
+        tape = TapeArchive()
+        tape.archive("b", b"x")
+        tape.archive("a", b"y")
+        assert tape.keys() == ["a", "b"]
+        assert tape.exists("a") and not tape.exists("c")
+
+
+class TestLatencyModel:
+    def test_first_retrieval_pays_mount(self):
+        tape = TapeArchive()
+        tape.archive("k", b"x")
+        est = tape.estimate_retrieval("k")
+        assert est.mount_s == MOUNT_TIME_S
+
+    def test_same_tape_second_read_skips_mount(self):
+        tape = TapeArchive()
+        tape.archive("a", b"x")
+        tape.archive("b", b"y")
+        tape.retrieve("a")
+        assert tape.estimate_retrieval("b").mount_s == 0.0
+
+    def test_transfer_scales_with_size(self):
+        tape = TapeArchive()
+        tape.archive("big", b"x" * 10_000_000)
+        est = tape.estimate_retrieval("big")
+        assert est.transfer_s == pytest.approx(1e7 / TAPE_BANDWIDTH_BPS)
+
+    def test_deeper_position_seeks_longer(self):
+        tape = TapeArchive()
+        tape.archive("first", b"x" * 1_000_000)
+        tape.archive("second", b"y")
+        assert (
+            tape.estimate_retrieval("second").seek_s
+            > tape.estimate_retrieval("first").seek_s
+        )
+
+    def test_retrieval_orders_of_magnitude_slower_than_disk(self):
+        """The asymmetry behind the 'freeze Bronze' policy."""
+        tape = TapeArchive()
+        tape.archive("k", b"x" * 1_000_000)
+        _, est = tape.retrieve("k")
+        assert est.total_s > 10.0  # seconds-to-minutes, never milliseconds
+
+    def test_stats_accumulate(self):
+        tape = TapeArchive()
+        tape.archive("k", b"x")
+        tape.retrieve("k")
+        tape.retrieve("k")
+        assert tape.retrievals == 2
+        assert tape.total_retrieval_s > 0
+
+
+class TestCapacity:
+    def test_spills_to_new_tape(self):
+        tape = TapeArchive(tape_capacity_bytes=1000)
+        big = b"x" * 600
+        tape.archive("a", big)
+        tape.archive("b", big)
+        assert tape.n_tapes() == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TapeArchive(tape_capacity_bytes=0)
+
+    def test_cost_cheaper_than_disk(self):
+        tape = TapeArchive()
+        tape.archive("k", b"x" * 1000)
+        assert tape.monthly_cost_units() < 1000  # disk units would be 1000

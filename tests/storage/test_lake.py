@@ -1,0 +1,103 @@
+"""Unit tests for the LAKE time-series store."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import Col, ColumnTable
+from repro.storage import TimeSeriesLake
+
+
+def segment(t_start, n=10, node=0):
+    return ColumnTable(
+        {
+            "timestamp": t_start + np.arange(n, dtype=float),
+            "node": np.full(n, node),
+            "value": np.arange(n, dtype=float),
+        }
+    )
+
+
+@pytest.fixture
+def lake():
+    lk = TimeSeriesLake()
+    for t in (0.0, 10.0, 20.0, 30.0):
+        lk.ingest("power", segment(t))
+    return lk
+
+
+class TestIngest:
+    def test_segments_accumulate(self, lake):
+        assert lake.segment_count("power") == 4
+        assert lake.row_count("power") == 40
+
+    def test_empty_table_ignored(self, lake):
+        lake.ingest("power", ColumnTable({}))
+        assert lake.segment_count("power") == 4
+
+    def test_missing_time_column_rejected(self, lake):
+        with pytest.raises(ValueError):
+            lake.ingest("power", ColumnTable({"x": [1.0]}))
+
+    def test_out_of_order_segment_rejected(self, lake):
+        with pytest.raises(ValueError):
+            lake.ingest("power", segment(5.0))
+
+    def test_time_bounds(self, lake):
+        assert lake.time_bounds("power") == (0.0, 39.0)
+        assert lake.time_bounds("nope") is None
+
+
+class TestQuery:
+    def test_time_range_query(self, lake):
+        out = lake.query("power", 5.0, 15.0)
+        assert out.num_rows == 10
+        assert out["timestamp"].min() == 5.0
+        assert out["timestamp"].max() == 14.0
+
+    def test_half_open_interval(self, lake):
+        out = lake.query("power", 0.0, 10.0)
+        assert out.num_rows == 10
+        assert 10.0 not in out["timestamp"]
+
+    def test_unbounded_query_returns_all(self, lake):
+        assert lake.query("power").num_rows == 40
+
+    def test_predicate_and_projection(self, lake):
+        out = lake.query(
+            "power", predicate=Col("value") >= 8.0, columns=["value"]
+        )
+        assert out.column_names == ["value"]
+        assert out.num_rows == 8  # two rows per segment
+
+    def test_unknown_table_empty(self, lake):
+        assert lake.query("nope").num_rows == 0
+
+    def test_empty_result_keeps_schema(self, lake):
+        out = lake.query("power", 1e9, 2e9)
+        assert out.num_rows == 0
+
+    def test_segment_pruning_counted(self, lake):
+        before = lake.segments_pruned
+        lake.query("power", 35.0, 36.0)
+        assert lake.segments_pruned > before
+
+
+class TestRetention:
+    def test_drop_before_whole_segments_only(self, lake):
+        dropped = lake.drop_before("power", 15.0)
+        assert dropped == 1  # only segment [0,9] is entirely older
+        assert lake.segment_count("power") == 3
+
+    def test_drop_before_keeps_recent(self, lake):
+        lake.drop_before("power", 100.0)
+        assert lake.segment_count("power") == 0
+
+    def test_drop_table(self, lake):
+        lake.drop_table("power")
+        assert lake.tables() == []
+        lake.drop_table("nope")  # no-op
+
+    def test_nbytes_shrinks_after_drop(self, lake):
+        before = lake.nbytes("power")
+        lake.drop_before("power", 25.0)
+        assert lake.nbytes("power") < before

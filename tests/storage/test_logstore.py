@@ -1,0 +1,81 @@
+"""Unit tests for the inverted-index log store."""
+
+import numpy as np
+import pytest
+
+from repro.storage import LogStore
+from repro.telemetry import MINI, SyslogSource
+
+
+@pytest.fixture(scope="module")
+def store():
+    source = SyslogSource(MINI, seed=19, burst_prob=0.1)
+    log_store = LogStore(source.templates)
+    for t in np.arange(0.0, 3600.0, 600.0):
+        log_store.ingest(source.emit(t, t + 600.0))
+    return log_store
+
+
+class TestIngest:
+    def test_documents_indexed(self, store):
+        assert len(store) > 100
+
+    def test_severity_counts_sum(self, store):
+        counts = store.count_by_severity()
+        assert sum(counts.values()) == len(store)
+        assert counts["info"] + counts["debug"] > counts["critical"]
+
+    def test_top_terms(self, store):
+        top = store.top_terms(5)
+        assert len(top) == 5
+        assert top[0][1] >= top[-1][1]
+
+
+class TestSearch:
+    def test_term_search_matches_grep(self, store):
+        hits = store.search("lustre", limit=10_000)
+        assert hits
+        assert all("lustre" in d.message.lower() for d in hits)
+
+    def test_multi_term_conjunction(self, store):
+        hits = store.search("gpu bus", limit=10_000)
+        for doc in hits:
+            assert "gpu" in doc.message.lower()
+            assert "bus" in doc.message.lower()
+
+    def test_unknown_term_empty(self, store):
+        assert store.search("quantumflux") == []
+
+    def test_node_filter(self, store):
+        any_doc = store.search(limit=1)[0]
+        hits = store.search(node=any_doc.node, limit=10_000)
+        assert hits
+        assert all(d.node == any_doc.node for d in hits)
+
+    def test_severity_floor(self, store):
+        hits = store.search(min_severity="error", limit=10_000)
+        assert all(d.severity >= 3 for d in hits)
+
+    def test_time_window(self, store):
+        hits = store.search(t0=600.0, t1=1200.0, limit=10_000)
+        assert hits
+        assert all(600.0 <= d.timestamp < 1200.0 for d in hits)
+
+    def test_combined_filters(self, store):
+        hits = store.search(
+            "kernel", min_severity="warning", t0=0.0, t1=3600.0, limit=10_000
+        )
+        for doc in hits:
+            assert "kernel" in doc.message.lower()
+            assert doc.severity >= 2
+
+    def test_limit_respected(self, store):
+        assert len(store.search(limit=5)) <= 5
+
+    def test_index_avoids_full_scans(self, store):
+        """A selective term query touches far fewer docs than the corpus
+        (the point of the inverted index)."""
+        before = store.scanned_docs
+        store.search("voltage regulator", limit=10_000)
+        touched = store.scanned_docs - before
+        assert touched < len(store) / 2

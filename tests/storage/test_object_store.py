@@ -1,0 +1,87 @@
+"""Unit tests for the OCEAN object store."""
+
+import pytest
+
+from repro.storage import ObjectStore
+
+
+@pytest.fixture
+def store():
+    s = ObjectStore()
+    s.create_bucket("b")
+    return s
+
+
+class TestBuckets:
+    def test_create_idempotent(self, store):
+        store.create_bucket("b")
+        assert store.buckets() == ["b"]
+
+    def test_unknown_bucket(self, store):
+        with pytest.raises(KeyError):
+            store.get("nope", "k")
+
+
+class TestObjects:
+    def test_put_get_roundtrip(self, store):
+        store.put("b", "k", b"data")
+        assert store.get("b", "k") == b"data"
+
+    def test_objects_immutable_by_default(self, store):
+        store.put("b", "k", b"v1")
+        with pytest.raises(ValueError):
+            store.put("b", "k", b"v2")
+        assert store.get("b", "k") == b"v1"
+
+    def test_overwrite_flag(self, store):
+        store.put("b", "k", b"v1")
+        store.put("b", "k", b"v2", overwrite=True)
+        assert store.get("b", "k") == b"v2"
+
+    def test_head_returns_metadata(self, store):
+        store.put("b", "k", b"12345", created_at=9.0, user_meta={"cls": "bronze"})
+        meta = store.head("b", "k")
+        assert meta.size == 5
+        assert meta.created_at == 9.0
+        assert meta.user_meta["cls"] == "bronze"
+
+    def test_head_does_not_count_read(self, store):
+        store.put("b", "k", b"x")
+        store.head("b", "k")
+        assert store.gets == 0
+
+    def test_missing_object(self, store):
+        with pytest.raises(KeyError):
+            store.get("b", "nope")
+        with pytest.raises(KeyError):
+            store.head("b", "nope")
+
+    def test_exists(self, store):
+        assert not store.exists("b", "k")
+        store.put("b", "k", b"x")
+        assert store.exists("b", "k")
+
+    def test_list_prefix_sorted(self, store):
+        for key in ("a/2", "a/1", "z/1"):
+            store.put("b", key, b"x")
+        keys = [m.key for m in store.list("b", prefix="a/")]
+        assert keys == ["a/1", "a/2"]
+
+    def test_delete(self, store):
+        store.put("b", "k", b"x")
+        store.delete("b", "k")
+        assert not store.exists("b", "k")
+        with pytest.raises(KeyError):
+            store.delete("b", "k")
+
+
+class TestAccounting:
+    def test_byte_and_op_counters(self, store):
+        store.put("b", "k1", b"abc")
+        store.put("b", "k2", b"defg")
+        store.get("b", "k1")
+        assert store.total_bytes() == 7
+        assert store.bucket_bytes("b") == 7
+        assert store.total_objects() == 2
+        assert store.puts == 2 and store.gets == 1
+        assert store.bytes_written == 7 and store.bytes_read == 3

@@ -1,0 +1,139 @@
+"""Unit tests for the tiered store (Fig. 5 placement + retention)."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import Col, ColumnTable
+from repro.storage import DataClass, TierPolicy, TieredStore
+from repro.storage.tiers import DAY_S
+
+
+def batch(t_start, n=20):
+    return ColumnTable(
+        {
+            "timestamp": t_start + np.arange(n, dtype=float),
+            "node": np.arange(n) % 4,
+            "value": np.linspace(0, 1, n),
+        }
+    )
+
+
+@pytest.fixture
+def store():
+    ts = TieredStore()
+    ts.register("power.bronze", DataClass.BRONZE)
+    ts.register("power.silver", DataClass.SILVER)
+    ts.register("profiles.gold", DataClass.GOLD)
+    return ts
+
+
+class TestRegistry:
+    def test_register_and_list(self, store):
+        assert store.datasets()["power.bronze"] is DataClass.BRONZE
+
+    def test_duplicate_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.register("power.bronze", DataClass.SILVER)
+
+    def test_unregistered_ingest_rejected(self, store):
+        with pytest.raises(KeyError):
+            store.ingest("nope", batch(0.0), now=0.0)
+
+
+class TestPlacement:
+    def test_bronze_skips_lake(self, store):
+        placed = store.ingest("power.bronze", batch(0.0), now=0.0)
+        assert placed == {"lake": False, "ocean": True}
+        assert store.lake.row_count("power.bronze") == 0
+        assert store.ocean.total_objects() == 1
+
+    def test_silver_goes_hot_and_cold(self, store):
+        placed = store.ingest("power.silver", batch(0.0), now=0.0)
+        assert placed == {"lake": True, "ocean": True}
+        assert store.lake.row_count("power.silver") == 20
+
+    def test_empty_batch_noop(self, store):
+        placed = store.ingest("power.silver", ColumnTable({}), now=0.0)
+        assert placed == {"lake": False, "ocean": False}
+
+    def test_ocean_keys_sequential(self, store):
+        store.ingest("power.silver", batch(0.0), now=0.0)
+        store.ingest("power.silver", batch(100.0), now=0.0)
+        keys = [m.key for m in store.ocean.list(store.OCEAN_BUCKET)]
+        assert keys == [
+            "power.silver/part-00000000.rcf",
+            "power.silver/part-00000001.rcf",
+        ]
+
+
+class TestQuery:
+    def test_online_query_hits_lake(self, store):
+        store.ingest("power.silver", batch(0.0), now=0.0)
+        out = store.query_online("power.silver", 5.0, 10.0)
+        assert out.num_rows == 5
+
+    def test_ocean_scan_roundtrips(self, store):
+        t = batch(0.0)
+        store.ingest("power.silver", t, now=0.0)
+        out = store.scan_ocean("power.silver")
+        assert out == t
+
+    def test_ocean_scan_with_predicate(self, store):
+        store.ingest("power.silver", batch(0.0), now=0.0)
+        out = store.scan_ocean("power.silver", predicate=Col("node") == 0)
+        assert (out["node"] == 0).all()
+        assert out.num_rows == 5
+
+
+class TestRetention:
+    def test_bronze_frozen_to_glacier(self, store):
+        store.ingest("power.bronze", batch(0.0), now=0.0)
+        report = store.enforce(now=8 * DAY_S)
+        assert report["ocean_archived"] == 1
+        assert store.ocean.total_objects() == 0
+        assert store.glacier.total_bytes() > 0
+
+    def test_recent_bronze_stays_in_ocean(self, store):
+        store.ingest("power.bronze", batch(0.0), now=0.0)
+        report = store.enforce(now=1 * DAY_S)
+        assert report["ocean_archived"] == 0
+        assert store.ocean.total_objects() == 1
+
+    def test_silver_lake_ages_out(self, store):
+        store.ingest("power.silver", batch(0.0), now=0.0)
+        report = store.enforce(now=31 * DAY_S)
+        assert report["lake_segments_dropped"] == 1
+        assert store.lake.row_count("power.silver") == 0
+        # Still in OCEAN (5-year retention).
+        assert store.ocean.total_objects() == 1
+
+    def test_gold_never_archived_to_tape(self, store):
+        policies = dict(store.policies)
+        policies[DataClass.GOLD] = TierPolicy(
+            lake_retention_s=1.0, ocean_retention_s=2.0, glacier=False
+        )
+        store.policies = policies
+        store.ingest("profiles.gold", batch(0.0), now=0.0)
+        report = store.enforce(now=10.0)
+        assert report["ocean_deleted"] == 1
+        assert store.glacier.total_bytes() == 0
+
+    def test_glacier_retrieval_roundtrip(self, store):
+        t = batch(0.0)
+        store.ingest("power.bronze", t, now=0.0)
+        store.enforce(now=8 * DAY_S)
+        from repro.columnar import read_table
+
+        key = store.glacier.keys()[0]
+        blob, est = store.glacier.retrieve(key)
+        assert read_table(blob) == t
+        assert est.total_s > 0
+
+    def test_footprint_reports_all_tiers(self, store):
+        store.ingest("power.silver", batch(0.0), now=0.0)
+        fp = store.footprint()
+        assert fp["lake"] > 0 and fp["ocean"] > 0 and fp["glacier"] == 0
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            TierPolicy(lake_retention_s=-1.0, ocean_retention_s=None, glacier=False)

@@ -1,0 +1,66 @@
+"""Unit tests for collection-path planning (§IV-B)."""
+
+import pytest
+
+from repro.telemetry import (
+    IN_BAND,
+    OUT_OF_BAND,
+    CollectionPath,
+    plan_collection,
+)
+
+
+class TestProfiles:
+    def test_in_band_overhead_grows_with_rate(self):
+        low = IN_BAND.app_overhead(channels=10, rate_hz=1.0)
+        high = IN_BAND.app_overhead(channels=10, rate_hz=10.0)
+        assert high == pytest.approx(10 * low)
+
+    def test_out_of_band_zero_overhead(self):
+        assert OUT_OF_BAND.app_overhead(channels=100, rate_hz=10.0) == 0.0
+
+    def test_out_of_band_rate_ceiling(self):
+        assert OUT_OF_BAND.feasible(channels=26, rate_hz=1.0)
+        assert not OUT_OF_BAND.feasible(channels=80, rate_hz=1.0)
+
+    def test_in_band_unbounded_rate(self):
+        assert IN_BAND.feasible(channels=10_000, rate_hz=100.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            IN_BAND.app_overhead(-1, 1.0)
+
+
+class TestPlanCollection:
+    def test_power_stream_goes_out_of_band(self):
+        """26 channels at 1 Hz fits the BMC path: zero app overhead."""
+        plan = plan_collection(channels=26, rate_hz=1.0)
+        assert plan.profile.path is CollectionPath.OUT_OF_BAND
+        assert plan.app_overhead == 0.0
+
+    def test_perf_counters_forced_in_band(self):
+        """80 channels at 1 Hz exceeds the OOB ceiling but the in-band
+        overhead (0.08%) still fits a 1% budget."""
+        plan = plan_collection(channels=80, rate_hz=1.0)
+        assert plan.profile.path is CollectionPath.IN_BAND
+        assert 0 < plan.app_overhead <= 0.01
+
+    def test_excessive_rate_rejected_with_guidance(self):
+        with pytest.raises(ValueError, match="vendor"):
+            plan_collection(channels=80, rate_hz=100.0, overhead_budget=0.01)
+
+    def test_budget_tightening_changes_outcome(self):
+        # 80ch @ 10Hz in-band costs 0.8%: fine at 1%, rejected at 0.5%.
+        plan_collection(channels=80, rate_hz=10.0, overhead_budget=0.01)
+        with pytest.raises(ValueError):
+            plan_collection(channels=80, rate_hz=10.0, overhead_budget=0.005)
+
+    def test_invalid_plan_inputs(self):
+        with pytest.raises(ValueError):
+            plan_collection(channels=0, rate_hz=1.0)
+        with pytest.raises(ValueError):
+            plan_collection(channels=1, rate_hz=0.0)
+
+    def test_loss_expectation_reported(self):
+        plan = plan_collection(channels=26, rate_hz=1.0)
+        assert plan.expected_loss == OUT_OF_BAND.loss_rate

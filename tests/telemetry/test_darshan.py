@@ -1,0 +1,77 @@
+"""Unit tests for Darshan-style per-job I/O summaries."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import DarshanCollector, MINI, synthetic_job_mix
+
+
+@pytest.fixture(scope="module")
+def collector():
+    allocation = synthetic_job_mix(MINI, 0.0, 14_400.0,
+                                   np.random.default_rng(17))
+    return DarshanCollector(allocation, seed=0), allocation
+
+
+class TestDarshanCollector:
+    def test_records_at_job_end_only(self, collector):
+        coll, allocation = collector
+        records = coll.collect(0.0, 7200.0)
+        ended = [j for j in allocation.jobs if 0.0 <= j.end < 7200.0]
+        assert len(records) == len(ended)
+
+    def test_collect_all_covers_every_job(self, collector):
+        coll, allocation = collector
+        assert len(coll.collect_all()) == len(allocation.jobs)
+
+    def test_deterministic(self, collector):
+        coll, allocation = collector
+        again = DarshanCollector(allocation, seed=0)
+        a = coll.collect_all()
+        b = again.collect_all()
+        assert [r.bytes_read for r in a] == [r.bytes_read for r in b]
+
+    def test_io_heavy_jobs_move_more_bytes(self, collector):
+        coll, allocation = collector
+        records = {r.job_id: r for r in coll.collect_all()}
+        by_arch: dict[str, list[float]] = {}
+        for job in allocation.jobs:
+            rec = records[job.job_id]
+            by_arch.setdefault(job.archetype, []).append(
+                rec.total_bytes / (job.n_nodes * job.duration)
+            )
+        if "io_heavy" in by_arch and "molecular" in by_arch:
+            assert np.mean(by_arch["io_heavy"]) > np.mean(by_arch["molecular"])
+
+    def test_access_histogram_normalized(self, collector):
+        coll, _ = collector
+        for rec in coll.collect_all():
+            assert sum(rec.access_histogram) == pytest.approx(1.0)
+
+    def test_io_heavy_prefers_large_accesses(self, collector):
+        coll, allocation = collector
+        records = {r.job_id: r for r in coll.collect_all()}
+        for job in allocation.jobs:
+            rec = records[job.job_id]
+            if job.archetype == "io_heavy":
+                assert rec.access_histogram[3] + rec.access_histogram[4] > 0.5
+            if job.archetype == "molecular":
+                assert rec.access_histogram[0] > 0.3
+
+    def test_table_shape(self, collector):
+        coll, allocation = collector
+        table = coll.to_table(coll.collect_all())
+        assert table.num_rows == len(allocation.jobs)
+        assert "bytes_written" in table
+        assert table.is_string("archetype")
+
+    def test_empty_window(self, collector):
+        coll, _ = collector
+        assert coll.collect(1e9, 2e9) == []
+        assert coll.to_table([]).num_rows == 0
+
+    def test_write_dominated(self, collector):
+        """Checkpoint-driven HPC I/O writes more than it reads."""
+        coll, _ = collector
+        for rec in coll.collect_all():
+            assert rec.bytes_written >= rec.bytes_read

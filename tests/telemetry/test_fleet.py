@@ -1,0 +1,67 @@
+"""Unit tests for fleet assembly and volume accounting."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import COMPASS, FleetTelemetry, MINI, synthetic_job_mix
+from repro.util import TB
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    allocation = synthetic_job_mix(MINI, 0.0, 3600.0, np.random.default_rng(0))
+    f = FleetTelemetry(MINI, allocation, seed=0)
+    for t in (0.0, 60.0):
+        f.emit_window(t, t + 60.0)
+    return f
+
+
+class TestFleetTelemetry:
+    def test_emits_all_streams(self, fleet):
+        batches = fleet.emit_window(120.0, 180.0)
+        assert set(batches) == {
+            "power", "perf_counters", "syslog", "storage_io",
+            "interconnect", "facility",
+        }
+
+    def test_volume_accounting_accumulates(self, fleet):
+        vols = fleet.volumes
+        assert vols["power"].rows > 0
+        assert vols["power"].raw_bytes > 0
+        assert vols["power"].windows >= 2
+
+    def test_high_rate_streams_dominate_volume(self, fleet):
+        """Perf counters and per-component power dwarf everything else —
+        the paper's inundation ordering."""
+        daily = fleet.extrapolated_bytes_per_day()
+        assert daily["perf_counters"] > daily["power"]
+        assert daily["power"] > daily["storage_io"]
+        assert daily["power"] > daily["interconnect"]
+        assert daily["power"] > daily["facility"]
+
+    def test_total_it_power_positive_and_bounded(self, fleet):
+        p = fleet.total_it_power(np.array([100.0, 200.0]))
+        assert (p > 0).all()
+        assert (p <= MINI.peak_it_power_w).all()
+
+    def test_extrapolation_matches_nominal_order(self, fleet):
+        observed = fleet.extrapolated_bytes_per_day()
+        nominal = fleet.nominal_fleet_bytes_per_day()
+        for name in ("power", "storage_io", "interconnect"):
+            assert observed[name] == pytest.approx(nominal[name], rel=0.25)
+
+
+class TestCompassScaleExtrapolation:
+    def test_compass_power_stream_near_half_terabyte_per_day(self):
+        """Paper: ~0.5 TB/day of power profiling data for Frontier.
+
+        We emit a 16-node subset and extrapolate to the 9472-node fleet.
+        """
+        nodes = np.arange(16, dtype=np.int32)
+        allocation = synthetic_job_mix(
+            COMPASS.scaled(16), 0.0, 600.0, np.random.default_rng(1)
+        )
+        fleet = FleetTelemetry(COMPASS, allocation, seed=0, nodes=nodes)
+        fleet.emit_window(0.0, 120.0)
+        daily = fleet.extrapolated_bytes_per_day()
+        assert 0.2 * TB < daily["power"] < 1.0 * TB

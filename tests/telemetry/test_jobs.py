@@ -1,0 +1,144 @@
+"""Unit tests for job specs, allocation tables, and the job-mix generator."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import AllocationTable, JobSpec, MINI, synthetic_job_mix
+
+
+def make_job(job_id=1, nodes=(0, 1), start=0.0, end=100.0, archetype="climate"):
+    return JobSpec(
+        job_id=job_id,
+        user="user001",
+        project="PRJ001",
+        archetype=archetype,
+        nodes=np.array(nodes),
+        start=start,
+        end=end,
+    )
+
+
+class TestJobSpec:
+    def test_basic_properties(self):
+        j = make_job()
+        assert j.duration == 100.0
+        assert j.n_nodes == 2
+        assert j.node_seconds == 200.0
+
+    def test_nodes_deduplicated_and_sorted(self):
+        j = make_job(nodes=(3, 1, 3))
+        np.testing.assert_array_equal(j.nodes, [1, 3])
+
+    def test_invalid_times(self):
+        with pytest.raises(ValueError):
+            make_job(start=10.0, end=10.0)
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            make_job(nodes=())
+
+    def test_unknown_archetype_rejected(self):
+        with pytest.raises(ValueError):
+            make_job(archetype="quantum")
+
+    def test_overlaps(self):
+        j = make_job(start=10.0, end=20.0)
+        assert j.overlaps(15.0, 25.0)
+        assert j.overlaps(0.0, 11.0)
+        assert not j.overlaps(20.0, 30.0)  # half-open
+        assert not j.overlaps(0.0, 10.0)
+
+
+class TestAllocationTable:
+    def test_rejects_node_conflicts(self):
+        jobs = [make_job(1, (0, 1), 0, 100), make_job(2, (1, 2), 50, 150)]
+        with pytest.raises(ValueError, match="overlap"):
+            AllocationTable(jobs)
+
+    def test_allows_back_to_back(self):
+        jobs = [make_job(1, (0,), 0, 100), make_job(2, (0,), 100, 200)]
+        table = AllocationTable(jobs)
+        assert len(table) == 2
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            AllocationTable([make_job(1, (0,)), make_job(1, (1,))])
+
+    def test_jobs_overlapping_window(self):
+        jobs = [make_job(1, (0,), 0, 50), make_job(2, (1,), 100, 150)]
+        table = AllocationTable(jobs)
+        assert [j.job_id for j in table.jobs_overlapping(40, 110)] == [1, 2]
+        assert [j.job_id for j in table.jobs_overlapping(50, 100)] == []
+
+    def test_job_at(self):
+        table = AllocationTable([make_job(1, (0, 1), 10, 20)])
+        assert table.job_at(0, 15.0).job_id == 1
+        assert table.job_at(2, 15.0) is None
+        assert table.job_at(0, 25.0) is None
+
+    def test_utilization_grid_shape_and_idle(self):
+        table = AllocationTable([make_job(1, (0,), 0, 50, "hpl")])
+        nodes = np.array([0, 1])
+        times = np.array([10.0, 25.0, 60.0])
+        gpu, cpu, jid = table.utilization(nodes, times)
+        assert gpu.shape == (2, 3)
+        # Node 1 never allocated; node 0 idle after t=50.
+        assert (gpu[1] == 0).all()
+        assert gpu[0, 2] == 0.0
+        assert gpu[0, 1] > 0.5  # hpl plateau
+        assert jid[0, 0] == 1 and jid[1, 0] == -1
+
+    def test_utilization_empty_inputs(self):
+        table = AllocationTable([make_job()])
+        gpu, cpu, jid = table.utilization(np.array([]), np.array([1.0]))
+        assert gpu.shape == (0, 1)
+
+    def test_log_records(self):
+        recs = AllocationTable([make_job()]).log_records()
+        assert recs[0]["job_id"] == 1
+        assert recs[0]["n_nodes"] == 2
+
+
+class TestSyntheticJobMix:
+    def test_generates_conflict_free_schedule(self):
+        rng = np.random.default_rng(0)
+        table = synthetic_job_mix(MINI, 0.0, 7200.0, rng)
+        assert len(table) > 0  # construction validates conflicts
+
+    def test_deterministic_under_seed(self):
+        t1 = synthetic_job_mix(MINI, 0.0, 3600.0, np.random.default_rng(7))
+        t2 = synthetic_job_mix(MINI, 0.0, 3600.0, np.random.default_rng(7))
+        assert [j.job_id for j in t1.jobs] == [j.job_id for j in t2.jobs]
+        assert [j.start for j in t1.jobs] == [j.start for j in t2.jobs]
+
+    def test_respects_machine_size(self):
+        table = synthetic_job_mix(MINI, 0.0, 3600.0, np.random.default_rng(1))
+        for j in table.jobs:
+            assert j.nodes.max() < MINI.n_nodes
+
+    def test_achieves_reasonable_utilization(self):
+        table = synthetic_job_mix(
+            MINI, 0.0, 14400.0, np.random.default_rng(3), utilization_target=0.85
+        )
+        times = np.linspace(3600.0, 10800.0, 60)  # steady-state window
+        gpu, _, jid = table.utilization(
+            np.arange(MINI.n_nodes), times
+        )
+        allocated_frac = (jid >= 0).mean()
+        assert allocated_frac > 0.5
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            synthetic_job_mix(MINI, 10.0, 10.0, np.random.default_rng(0))
+
+    def test_invalid_mix_weights(self):
+        with pytest.raises(ValueError):
+            synthetic_job_mix(
+                MINI, 0.0, 100.0, np.random.default_rng(0), mix={"hpl": -1.0}
+            )
+
+    def test_custom_mix_restricts_archetypes(self):
+        table = synthetic_job_mix(
+            MINI, 0.0, 7200.0, np.random.default_rng(2), mix={"hpl": 1.0}
+        )
+        assert {j.archetype for j in table.jobs} == {"hpl"}

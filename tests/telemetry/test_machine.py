@@ -1,0 +1,49 @@
+"""Unit tests for machine configurations."""
+
+import pytest
+
+from repro.telemetry import COMPASS, MINI, MOUNTAIN, MachineConfig
+
+
+class TestPresets:
+    def test_compass_is_frontier_scale(self):
+        assert COMPASS.n_nodes == 74 * 128
+        assert COMPASS.gpus_per_node == 4
+
+    def test_mountain_is_summit_scale(self):
+        assert MOUNTAIN.n_nodes == 4608
+        assert MOUNTAIN.gpus_per_node == 6
+
+    def test_mini_is_small(self):
+        assert MINI.n_nodes == 16
+
+    def test_peak_power_in_plausible_range(self):
+        # Frontier's envelope is ~30 MW; our model should be same order.
+        assert 10e6 < COMPASS.peak_it_power_w < 60e6
+
+
+class TestMachineConfig:
+    def test_cabinet_of(self):
+        assert MINI.cabinet_of(0) == 0
+        assert MINI.cabinet_of(8) == 1
+
+    def test_cabinet_of_out_of_range(self):
+        with pytest.raises(ValueError):
+            MINI.cabinet_of(MINI.n_nodes)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            MachineConfig("x", 0, 1, 1, 1, 1.0, 1.0, 10.0, 100.0)
+
+    def test_invalid_power_envelope(self):
+        with pytest.raises(ValueError):
+            MachineConfig("x", 1, 1, 1, 1, 1.0, 1.0, 100.0, 100.0)
+
+    def test_scaled_preserves_per_node_characteristics(self):
+        small = COMPASS.scaled(32)
+        assert small.n_nodes >= 32
+        assert small.gpu_tdp_w == COMPASS.gpu_tdp_w
+        assert small.node_max_w == COMPASS.node_max_w
+
+    def test_scaled_handles_tiny_counts(self):
+        assert COMPASS.scaled(1).n_nodes >= 1

@@ -1,0 +1,62 @@
+"""Unit tests for the perf-counter stream (the L0 inundation source)."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import MINI, PerfCounterSource, synthetic_job_mix
+from repro.telemetry.perf import COUNTERS_PER_GPU
+
+
+@pytest.fixture(scope="module")
+def allocation():
+    return synthetic_job_mix(MINI, 0.0, 3600.0, np.random.default_rng(13))
+
+
+class TestPerfCounterSource:
+    def test_channel_count_scales_with_gpus(self, allocation):
+        src = PerfCounterSource(MINI, allocation)
+        assert len(src.catalog) == MINI.gpus_per_node * COUNTERS_PER_GPU
+
+    def test_counters_track_utilization(self, allocation):
+        """Idle nodes report ~zero; busy nodes report archetype-driven
+        counter values."""
+        src = PerfCounterSource(MINI, allocation, seed=0, loss_rate=0.0)
+        times = src.sample_times(0.0, 120.0)
+        gpu_u, _, _ = allocation.utilization(src.nodes, times)
+        batch = src.emit(0.0, 120.0)
+        sid = src.catalog.id_of("gpu0_occupancy_pct")
+        chan = batch.select_sensor(sid)
+        # Partition values by whether the node was busy on average.
+        busy_nodes = set(
+            np.asarray(src.nodes)[gpu_u.mean(axis=1) > 0.3].tolist()
+        )
+        if not busy_nodes or len(busy_nodes) == src.nodes.size:
+            pytest.skip("mix has no idle/busy contrast in this window")
+        busy_mask = np.isin(chan.component_ids, list(busy_nodes))
+        assert chan.values[busy_mask].mean() > 5 * max(
+            chan.values[~busy_mask].mean(), 1e-9
+        )
+
+    def test_counter_scales_span_decades(self, allocation):
+        src = PerfCounterSource(MINI, allocation, seed=0)
+        assert src._scales.max() / src._scales.min() > 10
+
+    def test_nonnegative(self, allocation):
+        batch = PerfCounterSource(MINI, allocation, seed=0).emit(0.0, 60.0)
+        assert (batch.values >= 0).all()
+
+    def test_dominant_volume(self, allocation):
+        """Perf counters out-emit the power stream (the inundation)."""
+        from repro.telemetry import PowerThermalSource
+
+        perf = PerfCounterSource(MINI, allocation)
+        power = PowerThermalSource(MINI, allocation)
+        assert perf.nominal_bytes_per_day() > 2 * power.nominal_bytes_per_day()
+
+    def test_low_loss_rate(self, allocation):
+        src = PerfCounterSource(MINI, allocation, seed=0)
+        lossless = PerfCounterSource(MINI, allocation, seed=0, loss_rate=0.0)
+        n = len(src.emit(0.0, 60.0))
+        n0 = len(lossless.emit(0.0, 60.0))
+        assert n <= n0
+        assert n > 0.99 * n0  # default loss is 0.2%

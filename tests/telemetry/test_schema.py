@@ -1,0 +1,130 @@
+"""Unit tests for telemetry record schemas."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import ObservationBatch, EventBatch, SensorCatalog, SensorSpec
+from repro.telemetry.schema import RAW_EVENT_BYTES, RAW_OBSERVATION_BYTES
+
+
+def make_batch(n=5):
+    return ObservationBatch(
+        timestamps=np.arange(n, dtype=float)[::-1].copy(),
+        component_ids=np.arange(n),
+        sensor_ids=np.array([0, 1, 0, 1, 0])[:n],
+        values=np.linspace(0, 1, n),
+    )
+
+
+class TestSensorSpec:
+    def test_sample_rate(self):
+        spec = SensorSpec("p", "W", 0.5, "node")
+        assert spec.sample_rate_hz == 2.0
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            SensorSpec("p", "W", 0.0, "node")
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(ValueError):
+            SensorSpec("p", "W", 1.0, "node", loss_rate=1.0)
+
+
+class TestSensorCatalog:
+    def test_ids_are_dense(self):
+        cat = SensorCatalog([SensorSpec("a", "W", 1, "node"),
+                             SensorSpec("b", "W", 1, "node")])
+        assert cat.id_of("a") == 0
+        assert cat.id_of("b") == 1
+        assert len(cat) == 2
+
+    def test_duplicate_rejected(self):
+        cat = SensorCatalog([SensorSpec("a", "W", 1, "node")])
+        with pytest.raises(ValueError):
+            cat.add(SensorSpec("a", "W", 1, "node"))
+
+    def test_roundtrip_spec(self):
+        cat = SensorCatalog([SensorSpec("a", "W", 1, "node")])
+        assert cat.spec(cat.id_of("a")).name == "a"
+        assert "a" in cat
+        assert cat.names() == ["a"]
+
+
+class TestObservationBatch:
+    def test_length_and_bytes(self):
+        b = make_batch(5)
+        assert len(b) == 5
+        assert b.nbytes_raw == 5 * RAW_OBSERVATION_BYTES
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ObservationBatch(
+                timestamps=np.zeros(2),
+                component_ids=np.zeros(3),
+                sensor_ids=np.zeros(2),
+                values=np.zeros(2),
+            )
+
+    def test_empty(self):
+        b = ObservationBatch.empty()
+        assert len(b) == 0 and b.nbytes_raw == 0
+
+    def test_concat_orders_batches(self):
+        a, b = make_batch(2), make_batch(3)
+        c = ObservationBatch.concat([a, b])
+        assert len(c) == 5
+        np.testing.assert_array_equal(c.timestamps[:2], a.timestamps)
+
+    def test_concat_empty_list(self):
+        assert len(ObservationBatch.concat([])) == 0
+
+    def test_sorted_by_time(self):
+        s = make_batch(5).sorted_by_time()
+        assert (np.diff(s.timestamps) >= 0).all()
+
+    def test_select_sensor(self):
+        sel = make_batch(5).select_sensor(1)
+        assert (sel.sensor_ids == 1).all()
+        assert len(sel) == 2
+
+    def test_columns_zero_copy(self):
+        b = make_batch(3)
+        cols = b.columns()
+        assert cols["value"] is b.values
+
+    def test_dtype_coercion(self):
+        b = make_batch(3)
+        assert b.timestamps.dtype == np.float64
+        assert b.component_ids.dtype == np.int32
+        assert b.sensor_ids.dtype == np.int16
+
+
+class TestEventBatch:
+    def make(self):
+        return EventBatch(
+            timestamps=np.array([3.0, 1.0, 2.0]),
+            component_ids=np.array([0, 1, 2]),
+            severities=np.array([0, 3, 4]),
+            message_ids=np.array([0, 15, 19]),
+        )
+
+    def test_bytes(self):
+        assert self.make().nbytes_raw == 3 * RAW_EVENT_BYTES
+
+    def test_sorted(self):
+        s = self.make().sorted_by_time()
+        assert list(s.timestamps) == [1.0, 2.0, 3.0]
+
+    def test_severity_filter(self):
+        errors = self.make().at_least("error")
+        assert len(errors) == 2
+        assert (errors.severities >= 3).all()
+
+    def test_render(self):
+        lines = self.make().render(["t%d" % i for i in range(21)], limit=2)
+        assert len(lines) == 2
+        assert "DEBUG" in lines[0]
+
+    def test_concat(self):
+        c = EventBatch.concat([self.make(), EventBatch.empty(), self.make()])
+        assert len(c) == 6

@@ -1,0 +1,66 @@
+"""Unit tests for workload archetypes."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import ARCHETYPES, archetype_names, get_archetype
+
+
+class TestRegistry:
+    def test_expected_archetypes_present(self):
+        for name in ("hpl", "ml_training", "climate", "io_heavy",
+                      "molecular", "debug", "idle"):
+            assert name in ARCHETYPES
+
+    def test_get_unknown_raises_with_candidates(self):
+        with pytest.raises(ValueError, match="hpl"):
+            get_archetype("nope")
+
+    def test_names_sorted(self):
+        names = archetype_names()
+        assert names == sorted(names)
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("name", sorted(ARCHETYPES))
+    def test_utilization_bounded(self, name):
+        arch = get_archetype(name)
+        t = np.linspace(0, 7200.0, 500)
+        g = arch.gpu_utilization(t, 7200.0)
+        c = arch.cpu_utilization(t, 7200.0)
+        assert ((g >= 0) & (g <= 1)).all()
+        assert ((c >= 0) & (c <= 1)).all()
+
+    @pytest.mark.parametrize("name", sorted(ARCHETYPES))
+    def test_profiles_deterministic(self, name):
+        arch = get_archetype(name)
+        t = np.linspace(0, 3600.0, 100)
+        np.testing.assert_array_equal(
+            arch.gpu_utilization(t, 3600.0), arch.gpu_utilization(t, 3600.0)
+        )
+
+    def test_hpl_sustains_near_peak(self):
+        arch = get_archetype("hpl")
+        t = np.linspace(0.3, 0.7, 50) * 10000.0
+        assert arch.gpu_utilization(t, 10000.0).min() > 0.9
+
+    def test_idle_is_low(self):
+        arch = get_archetype("idle")
+        t = np.linspace(0, 3600, 50)
+        assert arch.gpu_utilization(t, 3600.0).max() < 0.1
+
+    def test_ml_training_has_checkpoint_dips(self):
+        arch = get_archetype("ml_training")
+        t = np.linspace(200, 43200, 5000)
+        g = arch.gpu_utilization(t, 43200.0)
+        assert g.max() > 0.8
+        assert g.min() < 0.5  # dips exist
+
+    def test_shapes_distinguishable(self):
+        """Mean utilization separates at least the extreme archetypes."""
+        t = np.linspace(0, 7200, 1000)
+        means = {
+            name: get_archetype(name).gpu_utilization(t, 7200.0).mean()
+            for name in ARCHETYPES
+        }
+        assert means["hpl"] > means["climate"] > means["io_heavy"] > means["idle"]

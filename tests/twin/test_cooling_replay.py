@@ -1,0 +1,158 @@
+"""Unit + integration tests for the cooling model, replay, and scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import AllocationTable, JobSpec, MINI, synthetic_job_mix
+from repro.twin import (
+    CoolingModel,
+    TelemetryReplay,
+    what_if_coolant_temp,
+    what_if_power_cap,
+)
+
+
+def hpl_allocation(start=600.0, end=3000.0):
+    return AllocationTable(
+        [
+            JobSpec(
+                job_id=1, user="u", project="HPL", archetype="hpl",
+                nodes=np.arange(MINI.n_nodes), start=start, end=end,
+            )
+        ]
+    )
+
+
+class TestCoolingModel:
+    def test_steady_state_rises_with_load(self):
+        model = CoolingModel(MINI)
+        times = np.linspace(0, 7200, 200)
+        low = model.simulate(times, lambda t: 0.1 * MINI.peak_it_power_w)
+        high = model.simulate(times, lambda t: 0.9 * MINI.peak_it_power_w)
+        assert (
+            high.steady_state_return_c() > low.steady_state_return_c() + 1.0
+        )
+
+    def test_transient_response_to_step(self):
+        """An HPL-style load step produces a lagged thermal response —
+        the 'complex transient dynamics' of Fig. 11 (right)."""
+        model = CoolingModel(MINI)
+        times = np.linspace(0, 3600, 300)
+        step = lambda t: MINI.peak_it_power_w if t > 600 else 0.1 * MINI.peak_it_power_w  # noqa: E731
+        state = model.simulate(times, step)
+        at_step = np.searchsorted(times, 600.0)
+        shortly_after = np.searchsorted(times, 700.0)
+        much_later = np.searchsorted(times, 3000.0)
+        # Response continues rising well after the step (thermal lag).
+        assert state.secondary_return_c[shortly_after] < state.secondary_return_c[much_later]
+        assert (
+            state.secondary_return_c[much_later]
+            > state.secondary_return_c[at_step] + 1.0
+        )
+
+    def test_array_power_trace_accepted(self):
+        model = CoolingModel(MINI)
+        times = np.linspace(0, 1800, 100)
+        trace = np.full(100, 0.5 * MINI.peak_it_power_w)
+        state = model.simulate(times, trace)
+        assert state.times.size == 100
+
+    def test_trace_length_checked(self):
+        model = CoolingModel(MINI)
+        with pytest.raises(ValueError):
+            model.simulate(np.linspace(0, 10, 5), np.zeros(4))
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            CoolingModel(MINI).simulate(np.array([0.0]), lambda t: 1.0)
+
+    def test_pue_above_one(self):
+        model = CoolingModel(MINI)
+        times = np.linspace(0, 3600, 100)
+        power = np.full(100, 0.7 * MINI.peak_it_power_w)
+        state = model.simulate(times, power)
+        pue = model.pue(state, power)
+        assert 1.0 < pue < 1.5
+
+    def test_pue_requires_positive_energy(self):
+        model = CoolingModel(MINI)
+        times = np.linspace(0, 10, 10)
+        state = model.simulate(times, np.zeros(10))
+        with pytest.raises(ValueError):
+            model.pue(state, np.zeros(10))
+
+
+class TestTelemetryReplay:
+    @pytest.fixture(scope="class")
+    def replay_result(self):
+        replay = TelemetryReplay(MINI, hpl_allocation(), seed=0)
+        return replay.run(0.0, 3600.0, dt=15.0)
+
+    def test_power_tracks_measurement(self, replay_result):
+        """The Fig. 11 V&V claim: white-box power within a few percent."""
+        report, _ = replay_result
+        assert report.power_mape < 0.05
+        assert report.passes()
+
+    def test_bias_small(self, replay_result):
+        report, _ = replay_result
+        assert abs(report.power_bias) < 0.05
+
+    def test_cooling_rmse_bounded(self, replay_result):
+        report, _ = replay_result
+        assert report.return_temp_rmse_c < 10.0
+
+    def test_pue_and_losses_physical(self, replay_result):
+        report, _ = replay_result
+        assert 1.0 < report.pue < 1.5
+        assert 0.03 < report.loss_fraction < 0.20
+
+    def test_traces_aligned(self, replay_result):
+        _, traces = replay_result
+        n = traces["times"].size
+        assert traces["measured_power_w"].size == n
+        assert traces["predicted_power_w"].size == n
+        assert traces["cooling"].times.size == n
+
+    def test_window_validation(self):
+        replay = TelemetryReplay(MINI, hpl_allocation(), seed=0)
+        with pytest.raises(ValueError):
+            replay.run(0.0, 10.0, dt=15.0)
+
+    def test_replay_on_mixed_workload(self):
+        allocation = synthetic_job_mix(
+            MINI, 0.0, 3600.0, np.random.default_rng(3)
+        )
+        report, _ = TelemetryReplay(MINI, allocation, seed=1).run(
+            0.0, 1800.0, dt=15.0
+        )
+        assert report.power_mape < 0.08
+
+
+class TestScenarios:
+    def test_power_cap_saves_energy(self):
+        result = what_if_power_cap(
+            MINI, hpl_allocation(), 0.0, 3600.0, cap_fraction=0.7
+        )
+        assert result.energy_saving_fraction > 0.02
+        assert result.scenario_energy_j < result.baseline_energy_j
+
+    def test_cap_fraction_validated(self):
+        with pytest.raises(ValueError):
+            what_if_power_cap(MINI, hpl_allocation(), 0.0, 100.0, cap_fraction=0.0)
+
+    def test_idle_fleet_cap_changes_nothing(self):
+        result = what_if_power_cap(
+            MINI, AllocationTable([]), 0.0, 1800.0, cap_fraction=0.9
+        )
+        assert result.energy_saving_fraction == pytest.approx(0.0, abs=1e-6)
+
+    def test_warm_water_scenario_runs(self):
+        result = what_if_coolant_temp(
+            MINI, hpl_allocation(), 0.0, 3600.0, supply_c=37.0
+        )
+        # IT energy unchanged (no cap); PUE reported for both.
+        assert result.scenario_energy_j == pytest.approx(
+            result.baseline_energy_j, rel=1e-9
+        )
+        assert result.baseline_pue > 1.0 and result.scenario_pue > 1.0

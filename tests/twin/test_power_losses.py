@@ -1,0 +1,124 @@
+"""Unit tests for the twin's power simulator and loss models."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import AllocationTable, JobSpec, MINI
+from repro.twin import LossModel, PowerSimulator
+
+
+def hpl_allocation(n_nodes=16, start=300.0, end=3900.0):
+    return AllocationTable(
+        [
+            JobSpec(
+                job_id=1,
+                user="user001",
+                project="HPL",
+                archetype="hpl",
+                nodes=np.arange(n_nodes),
+                start=start,
+                end=end,
+            )
+        ]
+    )
+
+
+class TestPowerSimulator:
+    def test_idle_fleet_at_idle_power(self):
+        sim = PowerSimulator(MINI, AllocationTable([]))
+        times = np.array([0.0, 100.0])
+        fleet = sim.fleet_power(times)
+        expected = MINI.n_nodes * MINI.node_idle_w / 0.92
+        np.testing.assert_allclose(fleet, expected, rtol=0.05)
+
+    def test_hpl_plateau_near_peak(self):
+        sim = PowerSimulator(MINI, hpl_allocation())
+        times = np.linspace(1000.0, 3000.0, 20)
+        fleet = sim.fleet_power(times)
+        # HPL at ~95% utilization: fleet power far above idle.
+        assert fleet.mean() > 2.5 * MINI.n_nodes * MINI.node_idle_w
+
+    def test_power_cap_clips(self):
+        capped = PowerSimulator(MINI, hpl_allocation(), power_cap_w=2000.0)
+        times = np.linspace(1000.0, 3000.0, 10)
+        node_power = capped.node_power(np.arange(MINI.n_nodes), times)
+        assert node_power.max() <= 2000.0
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            PowerSimulator(MINI, AllocationTable([]), power_cap_w=0.0)
+
+    def test_job_power_zero_outside_lifetime(self):
+        sim = PowerSimulator(MINI, hpl_allocation(start=300.0, end=3900.0))
+        times = np.array([0.0, 2000.0, 5000.0])
+        jp = sim.job_power(1, times)
+        assert jp[0] == 0.0 and jp[2] == 0.0 and jp[1] > 0.0
+
+    def test_energy_positive_and_window_checked(self):
+        sim = PowerSimulator(MINI, hpl_allocation())
+        assert sim.energy_j(0.0, 3600.0) > 0
+        with pytest.raises(ValueError):
+            sim.energy_j(10.0, 10.0)
+
+    def test_subset_extrapolation(self):
+        sim = PowerSimulator(MINI, AllocationTable([]))
+        times = np.array([0.0])
+        full = sim.fleet_power(times)
+        subset = sim.fleet_power(times, nodes=np.arange(4))
+        np.testing.assert_allclose(full, subset, rtol=1e-9)
+
+
+class TestLossModel:
+    def make(self):
+        return LossModel(rated_power_w=MINI.peak_it_power_w)
+
+    def test_efficiency_curve_monotone_then_plateau(self):
+        model = self.make()
+        loads = np.array([0.05, 0.1, 0.3, 0.6, 1.0])
+        eta = model.rectifier_efficiency(loads)
+        assert (np.diff(eta) >= -1e-12).all()
+        assert eta[-1] <= model.peak_efficiency
+
+    def test_light_load_less_efficient(self):
+        model = self.make()
+        assert model.rectifier_efficiency(0.1) < model.rectifier_efficiency(0.8)
+
+    def test_breakdown_conserves_power(self):
+        model = self.make()
+        b = model.breakdown(it_power_w=30_000.0)
+        assert b.utility_power_w == pytest.approx(
+            b.it_power_w + b.conversion_loss_w + b.rectification_loss_w
+        )
+        assert 0.0 < b.loss_fraction < 0.25
+
+    def test_loss_fraction_few_percent_at_high_load(self):
+        """Fig. 11's loss magnitude: several percent of utility power."""
+        model = self.make()
+        b = model.breakdown(it_power_w=0.8 * MINI.peak_it_power_w)
+        assert 0.05 < b.loss_fraction < 0.15
+
+    def test_zero_power(self):
+        b = self.make().breakdown(0.0)
+        assert b.total_loss_w == 0.0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().breakdown(-1.0)
+        with pytest.raises(ValueError):
+            self.make().loss_series(np.array([-1.0]))
+
+    def test_energy_loss_integration(self):
+        model = self.make()
+        times = np.linspace(0, 3600, 100)
+        power = np.full(100, 30_000.0)
+        loss = model.energy_loss_j(times, power)
+        assert loss["utility_j"] == pytest.approx(
+            loss["it_j"] + loss["conversion_j"] + loss["rectification_j"],
+            rel=1e-9,
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LossModel(rated_power_w=0.0)
+        with pytest.raises(ValueError):
+            LossModel(1.0, peak_efficiency=0.9, light_load_efficiency=0.95)

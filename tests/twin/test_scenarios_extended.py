@@ -1,0 +1,55 @@
+"""Unit tests for future-system virtual prototyping."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import AllocationTable, JobSpec, MINI
+from repro.twin import prototype_future_system
+
+
+def busy_allocation():
+    return AllocationTable(
+        [
+            JobSpec(
+                job_id=1, user="u", project="P", archetype="climate",
+                nodes=np.arange(MINI.n_nodes), start=0.0, end=3600.0,
+            )
+        ]
+    )
+
+
+class TestPrototypeFutureSystem:
+    def test_hotter_gpus_draw_more_power(self):
+        result = prototype_future_system(
+            MINI, busy_allocation(), 0.0, 3600.0, gpu_tdp_scale=1.5
+        )
+        assert result["power_growth"] > 1.2
+        assert result["future_energy_j"] > result["current_energy_j"]
+
+    def test_efficiency_gain_can_beat_power_growth(self):
+        """The procurement question: more science per joule despite a
+        bigger power envelope."""
+        result = prototype_future_system(
+            MINI, busy_allocation(), 0.0, 3600.0,
+            gpu_tdp_scale=1.5, efficiency_gain=2.0,
+        )
+        assert result["science_per_joule_ratio"] > 1.0
+
+    def test_pue_reported_for_both(self):
+        result = prototype_future_system(MINI, busy_allocation(), 0.0, 3600.0)
+        assert result["current_pue"] > 1.0
+        assert result["future_pue"] > 1.0
+
+    def test_invalid_scales(self):
+        with pytest.raises(ValueError):
+            prototype_future_system(
+                MINI, busy_allocation(), 0.0, 100.0, gpu_tdp_scale=0.0
+            )
+
+    def test_identity_prototype_changes_nothing(self):
+        result = prototype_future_system(
+            MINI, busy_allocation(), 0.0, 3600.0,
+            gpu_tdp_scale=1.0, efficiency_gain=1.0,
+        )
+        assert result["power_growth"] == pytest.approx(1.0, rel=1e-9)
+        assert result["science_per_joule_ratio"] == pytest.approx(1.0, rel=1e-9)

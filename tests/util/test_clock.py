@@ -1,0 +1,62 @@
+"""Unit tests for the virtual simulation clock."""
+
+import pytest
+
+from repro.util import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(start=100.0).now == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+
+    def test_advance_returns_new_time(self):
+        clock = SimClock()
+        assert clock.advance(15.0) == 15.0
+        assert clock.advance(5.0) == 20.0
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock(start=3.0)
+        assert clock.advance(0.0) == 3.0
+
+    def test_advance_to_absolute(self):
+        clock = SimClock()
+        clock.advance_to(42.0)
+        assert clock.now == 42.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_observers_fire_on_advance(self):
+        clock = SimClock()
+        seen = []
+        clock.on_tick(seen.append)
+        clock.advance(1.0)
+        clock.advance(2.0)
+        assert seen == [1.0, 3.0]
+
+    def test_ticks_yields_successive_times(self):
+        clock = SimClock()
+        times = list(clock.ticks(interval=15.0, count=4))
+        assert times == [15.0, 30.0, 45.0, 60.0]
+        assert clock.now == 60.0
+
+    def test_ticks_validates_arguments(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            list(clock.ticks(interval=0.0, count=1))
+        with pytest.raises(ValueError):
+            list(clock.ticks(interval=1.0, count=-1))

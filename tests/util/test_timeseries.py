@@ -1,0 +1,199 @@
+"""Unit + property tests for vectorized time-series primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.util import (
+    bucket_indices,
+    bucket_mean,
+    bucket_reduce,
+    ema,
+    fill_forward,
+    resample_mean,
+    rolling_mean,
+)
+
+
+class TestBucketIndices:
+    def test_basic_binning(self):
+        ts = np.array([0.0, 14.9, 15.0, 29.9, 30.0])
+        np.testing.assert_array_equal(
+            bucket_indices(ts, 15.0), [0, 0, 1, 1, 2]
+        )
+
+    def test_origin_shift(self):
+        ts = np.array([10.0, 20.0])
+        np.testing.assert_array_equal(bucket_indices(ts, 15.0, origin=10.0), [0, 0])
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            bucket_indices(np.array([1.0]), 0.0)
+
+
+class TestBucketReduce:
+    def setup_method(self):
+        self.keys = np.array([2, 0, 1, 0, 2, 2])
+        self.vals = np.array([10.0, 1.0, 5.0, 3.0, 20.0, 30.0])
+
+    def test_mean(self):
+        uniq, out = bucket_reduce(self.keys, self.vals, "mean")
+        np.testing.assert_array_equal(uniq, [0, 1, 2])
+        np.testing.assert_allclose(out, [2.0, 5.0, 20.0])
+
+    def test_sum(self):
+        _, out = bucket_reduce(self.keys, self.vals, "sum")
+        np.testing.assert_allclose(out, [4.0, 5.0, 60.0])
+
+    def test_min_max(self):
+        _, mn = bucket_reduce(self.keys, self.vals, "min")
+        _, mx = bucket_reduce(self.keys, self.vals, "max")
+        np.testing.assert_allclose(mn, [1.0, 5.0, 10.0])
+        np.testing.assert_allclose(mx, [3.0, 5.0, 30.0])
+
+    def test_count(self):
+        _, out = bucket_reduce(self.keys, self.vals, "count")
+        np.testing.assert_allclose(out, [2, 1, 3])
+
+    def test_first_last_respect_input_order(self):
+        _, first = bucket_reduce(self.keys, self.vals, "first")
+        _, last = bucket_reduce(self.keys, self.vals, "last")
+        np.testing.assert_allclose(first, [1.0, 5.0, 10.0])
+        np.testing.assert_allclose(last, [3.0, 5.0, 30.0])
+
+    def test_std_single_element_group_is_zero(self):
+        _, out = bucket_reduce(np.array([7]), np.array([3.0]), "std")
+        np.testing.assert_allclose(out, [0.0])
+
+    def test_empty_input(self):
+        uniq, out = bucket_reduce(np.array([], dtype=int), np.array([]))
+        assert uniq.size == 0 and out.size == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_reduce(np.array([1, 2]), np.array([1.0]))
+
+    def test_unknown_reducer_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_reduce(self.keys, self.vals, "median")
+
+    @given(
+        keys=hnp.arrays(np.int64, st.integers(1, 200), elements=st.integers(-5, 5)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sum_matches_python_groupby(self, keys):
+        vals = np.arange(keys.size, dtype=np.float64)
+        uniq, out = bucket_reduce(keys, vals, "sum")
+        expected = {}
+        for k, v in zip(keys.tolist(), vals.tolist()):
+            expected[k] = expected.get(k, 0.0) + v
+        assert list(uniq) == sorted(expected)
+        for k, s in zip(uniq.tolist(), out.tolist()):
+            assert s == pytest.approx(expected[k])
+
+
+class TestBucketMean:
+    def test_returns_bucket_start_times(self):
+        ts = np.array([0.0, 5.0, 15.0])
+        vals = np.array([1.0, 3.0, 10.0])
+        times, means = bucket_mean(ts, vals, 15.0)
+        np.testing.assert_allclose(times, [0.0, 15.0])
+        np.testing.assert_allclose(means, [2.0, 10.0])
+
+
+class TestResampleMean:
+    def test_dense_grid_with_gaps(self):
+        ts = np.array([0.0, 30.0])
+        vals = np.array([1.0, 2.0])
+        grid, out = resample_mean(ts, vals, 15.0, 0.0, 45.0)
+        np.testing.assert_allclose(grid, [0.0, 15.0, 30.0])
+        assert out[0] == 1.0 and np.isnan(out[1]) and out[2] == 2.0
+
+    def test_excludes_out_of_range_samples(self):
+        ts = np.array([-1.0, 100.0])
+        vals = np.array([5.0, 5.0])
+        _, out = resample_mean(ts, vals, 10.0, 0.0, 20.0)
+        assert np.isnan(out).all()
+
+
+class TestRollingMean:
+    def test_ramp_up_then_window(self):
+        out = rolling_mean(np.array([1.0, 2.0, 3.0, 4.0]), window=2)
+        np.testing.assert_allclose(out, [1.0, 1.5, 2.5, 3.5])
+
+    def test_window_one_is_identity(self):
+        v = np.array([3.0, 1.0, 4.0])
+        np.testing.assert_allclose(rolling_mean(v, 1), v)
+
+    def test_empty_input(self):
+        assert rolling_mean(np.array([]), 3).size == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            rolling_mean(np.array([1.0]), 0)
+
+    @given(
+        v=hnp.arrays(
+            np.float64,
+            st.integers(1, 100),
+            elements=st.floats(-1e6, 1e6),
+        ),
+        window=st.integers(1, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive_implementation(self, v, window):
+        out = rolling_mean(v, window)
+        for i in range(v.size):
+            lo = max(0, i - window + 1)
+            assert out[i] == pytest.approx(v[lo : i + 1].mean(), rel=1e-9, abs=1e-6)
+
+
+class TestEma:
+    def test_alpha_one_is_identity(self):
+        v = np.array([1.0, 5.0, 2.0])
+        np.testing.assert_allclose(ema(v, 1.0), v)
+
+    def test_first_value_preserved(self):
+        assert ema(np.array([7.0, 0.0]), 0.5)[0] == 7.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ema(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            ema(np.array([1.0]), 1.5)
+
+    @given(
+        v=hnp.arrays(np.float64, st.integers(1, 300), elements=st.floats(-100, 100)),
+        alpha=st.floats(0.01, 0.99),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_iterative_recurrence(self, v, alpha):
+        out = ema(v, alpha)
+        acc = v[0]
+        assert out[0] == pytest.approx(acc)
+        for i in range(1, v.size):
+            acc = (1 - alpha) * acc + alpha * v[i]
+            assert out[i] == pytest.approx(acc, rel=1e-7, abs=1e-7)
+
+    def test_long_series_no_overflow(self):
+        v = np.ones(100_000)
+        out = ema(v, 0.001)
+        assert np.isfinite(out).all()
+        assert out[-1] == pytest.approx(1.0, rel=1e-6)
+
+
+class TestFillForward:
+    def test_fills_interior_gaps(self):
+        v = np.array([1.0, np.nan, np.nan, 4.0, np.nan])
+        np.testing.assert_allclose(fill_forward(v), [1.0, 1.0, 1.0, 4.0, 4.0])
+
+    def test_leading_nans_preserved(self):
+        out = fill_forward(np.array([np.nan, 2.0]))
+        assert np.isnan(out[0]) and out[1] == 2.0
+
+    def test_does_not_mutate_input(self):
+        v = np.array([1.0, np.nan])
+        fill_forward(v)
+        assert np.isnan(v[1])

@@ -1,0 +1,48 @@
+"""Unit tests for byte/rate units and formatting."""
+
+import pytest
+
+from repro.util import GB, KB, MB, PB, TB, bytes_per_day, format_bytes, format_rate
+
+
+class TestConstants:
+    def test_decimal_progression(self):
+        assert MB == 1000 * KB
+        assert GB == 1000 * MB
+        assert TB == 1000 * GB
+        assert PB == 1000 * TB
+
+
+class TestBytesPerDay:
+    def test_extrapolates_one_hour(self):
+        # 1 GB in one hour -> 24 GB/day.
+        assert bytes_per_day(GB, 3600.0) == pytest.approx(24 * GB)
+
+    def test_identity_for_full_day(self):
+        assert bytes_per_day(4.4 * TB, 86_400.0) == pytest.approx(4.4 * TB)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_per_day(1.0, 0.0)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (1500, "1.50 KB"),
+            (4.42 * TB, "4.42 TB"),
+            (2.5 * PB, "2.50 PB"),
+        ],
+    )
+    def test_format_bytes(self, n, expected):
+        assert format_bytes(n) == expected
+
+    def test_negative_bytes(self):
+        assert format_bytes(-1500) == "-1.50 KB"
+
+    def test_format_rate_suffix(self):
+        assert format_rate(51.2 * MB).endswith("/s")
+        assert format_rate(51.2 * MB) == "51.20 MB/s"
