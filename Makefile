@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-quick lint
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest -q benchmarks/
+	$(PYTHON) benchmarks/bench_e2e.py
+
+bench-quick:
+	$(PYTHON) benchmarks/bench_e2e.py --quick
+
+# No third-party linter is vendored; a full-tree bytecode compile still
+# catches syntax errors and most undefined-name typos in cold paths.
+lint:
+	$(PYTHON) -m compileall -q src benchmarks examples

@@ -1,0 +1,203 @@
+"""End-to-end data-plane benchmark: fast path vs. serial baseline.
+
+Runs the same fixed-seed multi-window :meth:`ODAFramework.run` twice —
+once with the default (batched, memoized) data plane and once with
+``DataPlaneOptions.serial_baseline()`` under
+:func:`repro.perf.baseline_mode` (every fast-path cache and the
+vectorized emitters disabled) — asserts the outputs are identical, and
+writes ``BENCH_e2e.json`` at the repo root with wall time, rows/s,
+bytes/s, the per-stage :data:`repro.perf.PERF` breakdown for both
+configurations, and the speedup.
+
+Repetitions are interleaved (baseline, fast, baseline, fast, ...) and
+summarized by medians so a noisy neighbour during one run cannot skew
+the ratio.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_e2e.py            # full shape
+    PYTHONPATH=src python benchmarks/bench_e2e.py --quick    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import DataPlaneOptions, ODAFramework
+from repro.perf import PERF, baseline_mode, reset_fast_path_caches
+from repro.telemetry import COMPASS, synthetic_job_mix
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Per-stage timers worth reporting (everything else is still in the
+#: snapshot; these are the headline hops of the ingest path).
+HEADLINE_TIMERS = (
+    "window.total",
+    "telemetry.emit",
+    "stream.produce",
+    "stream.fetch",
+    "refine.bronze",
+    "refine.silver",
+    "refine.gold",
+    "tier.ingest",
+    "columnar.encode_group",
+)
+
+
+def run_once(machine, allocation, n_windows, window_s, *, baseline):
+    """One full multi-window run; returns (wall_s, summaries, footprint,
+    perf snapshot)."""
+    options = (
+        DataPlaneOptions.serial_baseline() if baseline else DataPlaneOptions()
+    )
+    reset_fast_path_caches()
+    PERF.reset()
+    with ODAFramework(machine, allocation, seed=7, options=options) as fw:
+        t0 = time.perf_counter()
+        if baseline:
+            with baseline_mode():
+                summaries = fw.run(0.0, n_windows * window_s, window_s)
+        else:
+            summaries = fw.run(0.0, n_windows * window_s, window_s)
+        wall_s = time.perf_counter() - t0
+        footprint = fw.tier_footprint()
+    return wall_s, summaries, footprint, PERF.snapshot()
+
+
+def summarize(walls, summaries, footprint, snapshot, label):
+    rows = sum(s.bronze_rows for s in summaries)
+    raw_bytes = sum(s.raw_bytes for s in summaries)
+    wall = statistics.median(walls)
+    return {
+        "config": label,
+        "repeats": len(walls),
+        "wall_s_median": wall,
+        "wall_s_all": walls,
+        "bronze_rows": rows,
+        "raw_bytes": raw_bytes,
+        "rows_per_s": rows / wall if wall else 0.0,
+        "bytes_per_s": raw_bytes / wall if wall else 0.0,
+        "tier_footprint": footprint,
+        "stages": {
+            name: snapshot["timers"][name]
+            for name in HEADLINE_TIMERS
+            if name in snapshot["timers"]
+        },
+        "perf": snapshot,
+    }
+
+
+def check_identical(base, fast):
+    base_summaries, base_footprint = base
+    fast_summaries, fast_footprint = fast
+    if base_summaries != fast_summaries:
+        raise AssertionError("fast path diverged from baseline summaries")
+    if base_footprint != fast_footprint:
+        raise AssertionError(
+            "fast path diverged from baseline tier footprint: "
+            f"{base_footprint} != {fast_footprint}"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--windows", type=int, default=None,
+                        help="number of ingest windows (default 40; 4 quick)")
+    parser.add_argument("--window-s", type=float, default=15.0)
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="fleet size (default 32; 16 quick)")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="interleaved repetitions (default 5; 1 quick)")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized defaults: 4 windows, 16 nodes, 1 repetition "
+        "(explicit flags still win)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_e2e.json",
+        help="output JSON path (default: repo-root BENCH_e2e.json)",
+    )
+    args = parser.parse_args(argv)
+    defaults = (4, 16, 1) if args.quick else (40, 32, 5)
+    args.windows = defaults[0] if args.windows is None else args.windows
+    args.nodes = defaults[1] if args.nodes is None else args.nodes
+    args.repeat = defaults[2] if args.repeat is None else args.repeat
+    for name in ("windows", "nodes", "repeat"):
+        if getattr(args, name) < 1:
+            parser.error(f"--{name} must be >= 1")
+    if args.window_s <= 0:
+        parser.error("--window-s must be positive")
+
+    machine = COMPASS.scaled(args.nodes)
+    horizon = args.windows * args.window_s
+    allocation = synthetic_job_mix(
+        machine, 0.0, horizon, np.random.default_rng(42)
+    )
+
+    walls = {"baseline": [], "fast": []}
+    last = {}
+    for rep in range(args.repeat):
+        for label, is_base in (("baseline", True), ("fast", False)):
+            wall, summaries, footprint, snap = run_once(
+                machine, allocation, args.windows, args.window_s,
+                baseline=is_base,
+            )
+            walls[label].append(wall)
+            last[label] = (summaries, footprint, snap)
+            print(f"rep {rep + 1}/{args.repeat}  {label:8s} {wall:7.3f}s")
+
+    check_identical(
+        (last["baseline"][0], last["baseline"][1]),
+        (last["fast"][0], last["fast"][1]),
+    )
+
+    configs = {
+        label: summarize(
+            walls[label], last[label][0], last[label][1], last[label][2], label
+        )
+        for label in ("baseline", "fast")
+    }
+    # Pair each repetition's baseline with the fast run that immediately
+    # followed it: the box's slow drift (thermal state, cache pressure)
+    # cancels within a pair, so the median of per-pair ratios is steadier
+    # than the ratio of medians.  Both raw medians stay in the report.
+    per_rep = [
+        b / f if f else float("inf")
+        for b, f in zip(walls["baseline"], walls["fast"])
+    ]
+    speedup = statistics.median(per_rep)
+    report = {
+        "bench": "e2e_data_plane",
+        "shape": {
+            "machine": machine.name,
+            "nodes": args.nodes,
+            "windows": args.windows,
+            "window_s": args.window_s,
+            "repeat": args.repeat,
+            "seed_allocation": 42,
+            "seed_framework": 7,
+        },
+        "outputs_identical": True,
+        "speedup": speedup,
+        "speedup_per_rep": per_rep,
+        "baseline": configs["baseline"],
+        "fast": configs["fast"],
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"\nbaseline {configs['baseline']['wall_s_median']:.3f}s  "
+        f"fast {configs['fast']['wall_s_median']:.3f}s  "
+        f"speedup {speedup:.2f}x  -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

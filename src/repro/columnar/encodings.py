@@ -15,7 +15,11 @@ cost-based selection Parquet writers perform.
 
 from __future__ import annotations
 
+import hashlib
 import struct
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -27,6 +31,11 @@ __all__ = [
     "encode_column",
     "decode_column",
     "choose_encoding",
+    "choose_encoding_reference",
+    "encoding_memo_stats",
+    "clear_encoding_memo",
+    "encoding_memo_disabled",
+    "encoding_reference_mode",
 ]
 
 PLAIN = 0
@@ -216,12 +225,173 @@ def decode_column(buf: bytes, encoding: int) -> np.ndarray:
         raise ValueError(f"unknown encoding {encoding}") from None
 
 
+# -- choose_encoding memo -----------------------------------------------------
+#
+# Candidate-size estimation walks the column three times (run lengths,
+# delta run lengths, unique count).  Stable columns — identical bytes
+# re-encoded when tables migrate between tiers, or re-written across
+# windows — can skip that: the choice is memoized under a stats
+# signature (dtype, length, content digest).  A digest hit always yields
+# the exact choice the estimator would have made, so the memo can never
+# change what gets written.
+
+_memo_lock = threading.Lock()
+_memo: "OrderedDict[tuple, int]" = OrderedDict()
+_memo_max = 1024
+_memo_enabled = True
+_memo_hits = 0
+_memo_misses = 0
+_reference_mode = False
+
+
+def encoding_memo_stats() -> dict:
+    """Occupancy and hit/miss counters of the choose_encoding memo."""
+    with _memo_lock:
+        return {
+            "entries": len(_memo),
+            "max_entries": _memo_max,
+            "hits": _memo_hits,
+            "misses": _memo_misses,
+        }
+
+
+def clear_encoding_memo() -> None:
+    """Drop all memoized encoding choices and reset counters."""
+    global _memo_hits, _memo_misses
+    with _memo_lock:
+        _memo.clear()
+        _memo_hits = 0
+        _memo_misses = 0
+
+
+@contextmanager
+def encoding_memo_disabled():
+    """Context manager that bypasses the memo (for baseline benches)."""
+    global _memo_enabled
+    prev = _memo_enabled
+    _memo_enabled = False
+    try:
+        yield
+    finally:
+        _memo_enabled = prev
+
+
+@contextmanager
+def encoding_reference_mode():
+    """Route ``choose_encoding`` through the original walk-the-column
+    estimator with no memo — the pre-optimization behaviour the e2e
+    benchmark measures as its baseline.  Choices are identical either
+    way (``tests/columnar/test_encoding_memo.py``)."""
+    global _reference_mode
+    prev = _reference_mode
+    _reference_mode = True
+    try:
+        yield
+    finally:
+        _reference_mode = prev
+
+
 def choose_encoding(arr: np.ndarray) -> int:
-    """Pick the cheapest encoding for ``arr`` via cheap size estimates."""
+    """Pick the cheapest encoding for ``arr`` via cheap size estimates.
+
+    Results are memoized by content signature; see the memo note above.
+    """
+    global _memo_hits, _memo_misses
+    if _reference_mode:
+        return choose_encoding_reference(arr)
     if arr.dtype == object:
         return DICTIONARY
     if arr.size == 0:
         return PLAIN
+    if _memo_enabled:
+        contig = np.ascontiguousarray(arr)
+        key = (
+            arr.dtype.str,
+            arr.size,
+            hashlib.blake2b(contig, digest_size=16).digest(),
+        )
+        with _memo_lock:
+            hit = _memo.get(key)
+            if hit is not None:
+                _memo_hits += 1
+                _memo.move_to_end(key)
+                return hit
+            _memo_misses += 1
+        enc = _choose_encoding_impl(contig)
+        with _memo_lock:
+            _memo[key] = enc
+            _memo.move_to_end(key)
+            while len(_memo) > _memo_max:
+                _memo.popitem(last=False)
+        return enc
+    return _choose_encoding_impl(arr)
+
+
+def _run_count(arr: np.ndarray) -> int:
+    """Number of consecutive-equal runs, without materializing them.
+
+    Counts exactly ``_run_lengths(arr)[0].size`` (NaN==NaN, as there)
+    but only ever allocates one boolean mask.
+    """
+    if arr.size == 0:
+        return 0
+    if arr.dtype.kind == "f":
+        same = (arr[1:] == arr[:-1]) | (np.isnan(arr[1:]) & np.isnan(arr[:-1]))
+    else:
+        same = arr[1:] == arr[:-1]
+    return int(arr.size - np.count_nonzero(same))
+
+
+def _choose_encoding_impl(arr: np.ndarray) -> int:
+    """Fast estimator: identical choices to the reference estimator.
+
+    The candidate costs depend only on *counts* (runs, delta runs,
+    uniques), so runs are counted rather than materialized, and the
+    unique scan — the priciest probe — is skipped whenever DICTIONARY's
+    best-case cost (a single vocab entry) already loses.  On a tie the
+    reference prefers the lower encoding id, so an equal-cost skip can
+    never change the outcome.
+    """
+    n = arr.size
+    item = arr.dtype.itemsize
+    plain_cost = n * item
+    rle_cost = _run_count(arr) * (item + 8) + 24
+
+    costs = {PLAIN: plain_cost, RLE: rle_cost}
+
+    if arr.dtype.kind in "if":
+        if n > 1:
+            # _encode_delta widens to float64/int64 before differencing;
+            # np.diff's result is identical without the copy when the
+            # dtype is already the wide one.
+            wide = np.float64 if arr.dtype.kind == "f" else np.int64
+            work = arr if arr.dtype == wide else arr.astype(wide)
+            d_runs = _run_count(np.diff(work))
+        else:
+            d_runs = 0
+        costs[DELTA] = d_runs * 16 + 48
+
+    best = min(costs, key=lambda k: (costs[k], k))
+    if item + n * 4 + 24 < costs[best]:
+        n_uniq = np.unique(arr).size
+        if n_uniq <= max(n // 4, 1):
+            costs[DICTIONARY] = n_uniq * item + n * 4 + 24
+            best = min(costs, key=lambda k: (costs[k], k))
+    return best
+
+
+def choose_encoding_reference(arr: np.ndarray) -> int:
+    """The original walk-the-column estimator, kept as the equivalence
+    oracle and benchmark baseline for :func:`choose_encoding`.
+
+    Materializes run values via :func:`_run_lengths` and always runs the
+    unique scan, exactly as the pre-optimization implementation did.
+    """
+    if arr.dtype == object:
+        return DICTIONARY
+    if arr.size == 0:
+        return PLAIN
+
     n = arr.size
     item = arr.dtype.itemsize
     plain_cost = n * item

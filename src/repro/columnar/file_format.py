@@ -26,12 +26,23 @@ I/O savings the paper attributes to the Parquet/OCEAN design.
 
 from __future__ import annotations
 
+import hashlib
 import struct
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.columnar.compression import CODECS, codec_name, compress, decompress
+from repro.columnar import encodings as _enc
+from repro.columnar.compression import (
+    CODECS,
+    _compress_raw,
+    codec_name,
+    compress,
+    decompress,
+)
 from repro.columnar.encodings import (
     choose_encoding,
     decode_column,
@@ -40,9 +51,74 @@ from repro.columnar.encodings import (
 from repro.columnar.predicate import Predicate
 from repro.columnar.table import ColumnTable
 
-__all__ = ["RcfWriter", "RcfReader", "write_table", "read_table"]
+__all__ = [
+    "RcfWriter",
+    "RcfReader",
+    "write_table",
+    "read_table",
+    "chunk_memo_stats",
+    "clear_chunk_memo",
+    "chunk_memo_disabled",
+]
 
 _MAGIC = b"RCF1"
+
+
+# -- serialized-chunk memo ----------------------------------------------------
+#
+# The writer's per-column work — encoding choice, encode, compress,
+# stats, framing — is a pure function of (column content, dtype, codec).
+# Stable columns recur across windows and tiers (id columns, constant
+# gauges), so the fully serialized chunk is memoized under one content
+# digest; a hit skips the entire per-column path, including zlib.
+#
+# Columns above _chunk_memo_col_max_bytes bypass the memo entirely (no
+# digest, no store): digest cost grows with size while recurrence odds
+# shrink — large measurement columns carry fresh noise every window, so
+# hashing them is pure overhead on a guaranteed miss.
+
+_chunk_lock = threading.Lock()
+_chunk_memo: "OrderedDict[tuple, bytes]" = OrderedDict()
+_chunk_memo_bytes = 0
+_chunk_memo_max_bytes = 32 << 20
+_chunk_memo_col_max_bytes = 1 << 15
+_chunk_memo_enabled = True
+_chunk_hits = 0
+_chunk_misses = 0
+
+
+def chunk_memo_stats() -> dict:
+    """Occupancy and hit/miss counters of the writer's chunk memo."""
+    with _chunk_lock:
+        return {
+            "entries": len(_chunk_memo),
+            "bytes": _chunk_memo_bytes,
+            "max_bytes": _chunk_memo_max_bytes,
+            "hits": _chunk_hits,
+            "misses": _chunk_misses,
+        }
+
+
+def clear_chunk_memo() -> None:
+    """Drop all memoized serialized chunks and reset counters."""
+    global _chunk_memo_bytes, _chunk_hits, _chunk_misses
+    with _chunk_lock:
+        _chunk_memo.clear()
+        _chunk_memo_bytes = 0
+        _chunk_hits = 0
+        _chunk_misses = 0
+
+
+@contextmanager
+def chunk_memo_disabled():
+    """Context manager that bypasses the chunk memo (for baselines)."""
+    global _chunk_memo_enabled
+    prev = _chunk_memo_enabled
+    _chunk_memo_enabled = False
+    try:
+        yield
+    finally:
+        _chunk_memo_enabled = prev
 
 
 def _column_stats(arr: np.ndarray) -> tuple[object, object] | None:
@@ -96,32 +172,87 @@ class RcfWriter:
             self._n_rows += chunk.num_rows
 
     def _encode_group(self, chunk: ColumnTable) -> bytes:
+        from repro.perf import PERF
+
+        with PERF.timer("columnar.encode_group"):
+            return self._encode_group_impl(chunk)
+
+    def _encode_group_impl(self, chunk: ColumnTable) -> bytes:
+        global _chunk_memo_bytes, _chunk_hits, _chunk_misses
         parts = [struct.pack("<Q", chunk.num_rows)]
         for name, is_string in self._schema or []:
             col = chunk[name]
-            encoding = choose_encoding(col)
-            raw = encode_column(col, encoding)
-            payload = compress(raw, self.codec)
+            key = None
+            if (
+                _chunk_memo_enabled
+                and not _enc._reference_mode
+                and col.dtype != object
+                and col.size
+            ):
+                contig = np.ascontiguousarray(col)
+                if col.nbytes <= _chunk_memo_col_max_bytes:
+                    key = (
+                        self.codec,
+                        is_string,
+                        col.dtype.str,
+                        col.size,
+                        hashlib.blake2b(contig, digest_size=16).digest(),
+                    )
+                    with _chunk_lock:
+                        hit = _chunk_memo.get(key)
+                        if hit is not None:
+                            _chunk_hits += 1
+                            _chunk_memo.move_to_end(key)
+                            parts.append(hit)
+                            continue
+                        _chunk_misses += 1
+                # The chunk digest subsumes the inner memos' keys, so the
+                # cold path calls the un-memoized implementations directly
+                # rather than digesting the same bytes twice more.  (Over
+                # the size gate, key stays None: same direct path, no
+                # digest or store at all.)
+                encoding = _enc._choose_encoding_impl(contig)
+                raw = encode_column(col, encoding)
+                payload = _compress_raw(raw, self.codec)
+            else:
+                encoding = choose_encoding(col)
+                raw = encode_column(col, encoding)
+                payload = compress(raw, self.codec)
             # Keep whichever is smaller; record the codec actually used.
             codec = self.codec
             if len(payload) >= len(raw):
                 payload, codec = raw, "none"
             stats = _column_stats(col)
-            head = struct.pack(
-                "<BBB", encoding, CODECS[codec], 1 if stats is not None else 0
-            )
-            parts.append(head)
+            sub = [
+                struct.pack(
+                    "<BBB", encoding, CODECS[codec], 1 if stats is not None else 0
+                )
+            ]
             if stats is not None:
                 lo, hi = stats
                 if is_string:
                     lo_b = str(lo).encode("utf-8")
                     hi_b = str(hi).encode("utf-8")
-                    parts.append(struct.pack("<I", len(lo_b)) + lo_b)
-                    parts.append(struct.pack("<I", len(hi_b)) + hi_b)
+                    sub.append(struct.pack("<I", len(lo_b)) + lo_b)
+                    sub.append(struct.pack("<I", len(hi_b)) + hi_b)
                 else:
-                    parts.append(struct.pack("<dd", float(lo), float(hi)))
-            parts.append(struct.pack("<Q", len(payload)))
-            parts.append(payload)
+                    sub.append(struct.pack("<dd", float(lo), float(hi)))
+            sub.append(struct.pack("<Q", len(payload)))
+            sub.append(payload)
+            blob = b"".join(sub)
+            if key is not None:
+                with _chunk_lock:
+                    if key not in _chunk_memo:
+                        _chunk_memo[key] = blob
+                        _chunk_memo_bytes += len(blob)
+                    _chunk_memo.move_to_end(key)
+                    while (
+                        _chunk_memo_bytes > _chunk_memo_max_bytes
+                        and len(_chunk_memo) > 1
+                    ):
+                        _, dropped = _chunk_memo.popitem(last=False)
+                        _chunk_memo_bytes -= len(dropped)
+            parts.append(blob)
         return b"".join(parts)
 
     @property

@@ -28,7 +28,7 @@ from repro.core.lifecycle import (
     DataLifecycle,
     LifecycleStage,
 )
-from repro.core.framework import ODAFramework, WindowSummary
+from repro.core.framework import DataPlaneOptions, ODAFramework, WindowSummary
 from repro.core.datacenter import DataCenter
 from repro.core.dictionary import (
     DataDictionary,
@@ -56,6 +56,7 @@ __all__ = [
     "DataLifecycle",
     "ODAFramework",
     "WindowSummary",
+    "DataPlaneOptions",
     "DataCenter",
     "DataDictionary",
     "DictionaryEntry",

@@ -8,10 +8,14 @@ several benches drive the system exclusively through this facade.
 
 from __future__ import annotations
 
+import os
+import weakref
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.perf import PERF
 from repro.pipeline.medallion import MedallionPipeline
 from repro.storage.tiers import DataClass, TieredStore
 from repro.stream.broker import Broker, TopicConfig
@@ -22,7 +26,13 @@ from repro.telemetry.fleet import FleetTelemetry
 from repro.telemetry.jobs import AllocationTable
 from repro.telemetry.machine import MachineConfig
 
-__all__ = ["ODAFramework", "WindowSummary"]
+__all__ = ["ODAFramework", "WindowSummary", "DataPlaneOptions"]
+
+def _shutdown_executor(executor: ThreadPoolExecutor | None) -> None:
+    """Finalizer target: must not hold a reference to the framework."""
+    if executor is not None:
+        executor.shutdown(wait=False, cancel_futures=True)
+
 
 #: Topics created per machine; the broker is the hourglass waist.
 STREAM_TOPICS = (
@@ -33,6 +43,64 @@ STREAM_TOPICS = (
     "interconnect",
     "facility",
 )
+
+
+@dataclass(frozen=True)
+class DataPlaneOptions:
+    """How the framework moves and refines a window's data.
+
+    The default configuration is the fast path: batched telemetry
+    emission, zero-copy consumer slices, and per-topic refineries running
+    concurrently on a worker pool.  :meth:`serial_baseline` reproduces
+    the pre-optimization data plane — the benchmark's reference point —
+    with byte-identical outputs (``tests/core/test_parallel_equivalence``
+    holds both configurations to the same results).
+
+    Parameters
+    ----------
+    batched:
+        Use zero-copy ``poll_slices`` on the consume side (the produce
+        side always stamps one record per topic per window).
+    executor:
+        ``"threads"`` runs the per-topic refineries concurrently;
+        ``"serial"`` runs them inline in insertion order; ``"auto"``
+        (the default) picks ``"threads"`` when the host has more than
+        one CPU and ``"serial"`` otherwise — on a single core the pool
+        only adds contention.  Either way, commits and tier writes
+        happen serially in insertion order, so results are deterministic
+        and identical across executors.
+    max_workers:
+        Worker-pool size for the threaded executor (default: one per
+        concurrent task, capped at 8).
+    reference_emit:
+        Emit telemetry through the loop-per-channel reference path
+        instead of the batched one (same bytes, slower).
+    """
+
+    batched: bool = True
+    executor: str = "auto"
+    max_workers: int | None = None
+    reference_emit: bool = False
+
+    def __post_init__(self) -> None:
+        if self.executor not in ("auto", "serial", "threads"):
+            raise ValueError(
+                "executor must be 'auto', 'serial' or 'threads', "
+                f"got {self.executor!r}"
+            )
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+
+    def resolve_executor(self) -> str:
+        """The concrete executor: ``"auto"`` resolved against the host."""
+        if self.executor == "auto":
+            return "threads" if (os.cpu_count() or 1) >= 2 else "serial"
+        return self.executor
+
+    @classmethod
+    def serial_baseline(cls) -> "DataPlaneOptions":
+        """The pre-optimization data plane (benchmark reference)."""
+        return cls(batched=False, executor="serial", reference_emit=True)
 
 
 @dataclass(frozen=True)
@@ -80,10 +148,18 @@ class ODAFramework:
         stream_retention_s: float = 3 * 86_400.0,
         silver_interval_s: float = 15.0,
         refine_streams: tuple[str, ...] | None = None,
+        options: DataPlaneOptions | None = None,
     ) -> None:
         self.machine = machine
         self.allocation = allocation
-        self.fleet = FleetTelemetry(machine, allocation, seed, nodes)
+        self.options = options if options is not None else DataPlaneOptions()
+        self.fleet = FleetTelemetry(
+            machine,
+            allocation,
+            seed,
+            nodes,
+            reference_emit=self.options.reference_emit,
+        )
 
         self.broker = Broker()
         for topic in STREAM_TOPICS:
@@ -153,10 +229,68 @@ class ODAFramework:
         self._sec_consumer = Consumer(self.broker, "syslog", group="copacetic")
 
         self.windows: list[WindowSummary] = []
+        self._executor: ThreadPoolExecutor | None = None
+        self._finalizer = weakref.finalize(self, _shutdown_executor, None)
+
+    # -- execution ------------------------------------------------------------
+
+    def _get_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            workers = self.options.max_workers
+            if workers is None:
+                # Refineries + facility + two syslog consumers.
+                workers = min(len(self._refineries) + 3, 8)
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="oda-refine"
+            )
+            self._finalizer.detach()
+            self._finalizer = weakref.finalize(
+                self, _shutdown_executor, self._executor
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the framework remains
+        usable — a later window lazily recreates the pool)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ODAFramework":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _run_tasks(self, tasks):
+        """Run zero-arg callables, returning results in task order.
+
+        ``executor="threads"`` overlaps the independent per-topic
+        refinements; results come back in submission order so downstream
+        serial steps (commits, tier writes) are deterministic either way.
+        """
+        if self.options.resolve_executor() == "serial" or len(tasks) <= 1:
+            return [task() for task in tasks]
+        pool = self._get_executor()
+        return [f.result() for f in [pool.submit(task) for task in tasks]]
 
     def run_window(self, t0: float, t1: float) -> WindowSummary:
-        """Ingest and refine one time window end to end."""
-        batches = self.fleet.emit_window(t0, t1)
+        """Ingest and refine one time window end to end.
+
+        Phase 1 (parallelizable): each refinery polls its topic and runs
+        the medallion chain; facility pivots; syslog fans out to the log
+        index and Copacetic.  These touch disjoint state, so they run on
+        the worker pool under ``executor="threads"``.  Phase 2 (serial,
+        insertion order): offset commits, tier writes, retention — the
+        steps whose order the on-disk artifacts depend on.
+        """
+        with PERF.timer("window.total"):
+            return self._run_window_impl(t0, t1)
+
+    def _run_window_impl(self, t0: float, t1: float) -> WindowSummary:
+        batched = self.options.batched
+        with PERF.timer("telemetry.emit"):
+            batches = self.fleet.emit_window(t0, t1)
 
         # Hop 1: everything lands on the STREAM tier, keyed for ordering.
         produced = 0
@@ -170,12 +304,53 @@ class ODAFramework:
             produced += 1
             raw_bytes += batch.nbytes_raw
 
-        # Hop 2+3: each refinery consumes its topic, refines, and places
-        # the artifacts per medallion class.
+        # Hop 2+3 phase 1: refine every stream (parallelizable compute).
+        from repro.pipeline.medallion import bronze_standardize, silver_aggregate
+
+        def poll_values(consumer: Consumer) -> list:
+            if batched:
+                return [
+                    r.value
+                    for _, recs in consumer.poll_slices(max_records=1_000)
+                    for r in recs
+                ]
+            return [r.value for r in consumer.poll(max_records=1_000)]
+
+        def refine_task(consumer: Consumer, pipeline: MedallionPipeline):
+            return lambda: pipeline.process(poll_values(consumer))
+
+        def facility_task():
+            fac_batches = poll_values(self._facility_consumer)
+            if not fac_batches:
+                return None
+            return silver_aggregate(
+                bronze_standardize(fac_batches),
+                self.fleet.facility.catalog,
+                self.medallion.interval,
+            )
+
+        def log_task():
+            for value in poll_values(self._log_consumer):
+                self.logs.ingest(value)
+
+        def sec_task():
+            for value in poll_values(self._sec_consumer):
+                self.copacetic.process(value)
+
+        names = list(self._refineries)
+        tasks = [
+            refine_task(consumer, pipeline)
+            for consumer, pipeline in self._refineries.values()
+        ]
+        tasks += [facility_task, log_task, sec_task]
+        results = self._run_tasks(tasks)
+        refined = dict(zip(names, results))
+        fac_silver = results[len(names)]
+
+        # Phase 2: commits and tier placement, serial in insertion order.
         tables = {"bronze": None, "silver": None, "gold": None}
-        for name, (consumer, pipeline) in self._refineries.items():
-            records = consumer.poll(max_records=1_000)
-            out = pipeline.process([r.value for r in records])
+        for name, (consumer, _) in self._refineries.items():
+            out = refined[name]
             consumer.commit()
             self.tiers.ingest(f"{name}.silver", out["silver"], now=t1)
             if name == "power":
@@ -183,27 +358,10 @@ class ODAFramework:
                 self.tiers.ingest("power.bronze", out["bronze"], now=t1)
                 self.tiers.ingest("power.gold_profiles", out["gold"], now=t1)
 
-        # Facility refinement: pivot the plant observations wide.
-        from repro.pipeline.medallion import bronze_standardize, silver_aggregate
-
-        fac_batches = [
-            r.value for r in self._facility_consumer.poll(max_records=1_000)
-        ]
-        if fac_batches:
-            fac_silver = silver_aggregate(
-                bronze_standardize(fac_batches),
-                self.fleet.facility.catalog,
-                self.medallion.interval,
-            )
+        if fac_silver is not None:
             self.tiers.ingest("facility.silver", fac_silver, now=t1)
         self._facility_consumer.commit()
-
-        # Syslog fan-out: index for search, correlate for security.
-        for rec in self._log_consumer.poll(max_records=1_000):
-            self.logs.ingest(rec.value)
         self._log_consumer.commit()
-        for rec in self._sec_consumer.poll(max_records=1_000):
-            self.copacetic.process(rec.value)
         self._sec_consumer.commit()
 
         # STREAM retention runs continuously.

@@ -1,0 +1,49 @@
+"""One switch for the pre-optimization data plane.
+
+The fast path is a collection of independently toggleable pieces —
+content-addressed memos, the fast encoding estimator, batched emission.
+Benchmarks and equivalence tests need to flip *all* of them at once to
+reproduce the reference behaviour; :func:`baseline_mode` is that switch.
+
+It covers the global toggles only.  Per-framework choices (serial
+executor, reference emit, unbatched polling) live in
+:class:`repro.core.DataPlaneOptions.serial_baseline`.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack, contextmanager
+
+__all__ = ["baseline_mode", "reset_fast_path_caches"]
+
+
+@contextmanager
+def baseline_mode():
+    """Disable every fast-path memo and route estimators through their
+    reference implementations for the duration of the block."""
+    # Imported lazily: repro.perf must stay import-light because the
+    # instrumented modules import it at call time.
+    from repro.columnar import compression, encodings, file_format
+    from repro.pipeline import factorize
+    from repro.telemetry import jobs
+
+    with ExitStack() as stack:
+        stack.enter_context(factorize.cache_disabled())
+        stack.enter_context(factorize.factorize_reference_mode())
+        stack.enter_context(encodings.encoding_memo_disabled())
+        stack.enter_context(encodings.encoding_reference_mode())
+        stack.enter_context(compression.compress_memo_disabled())
+        stack.enter_context(file_format.chunk_memo_disabled())
+        stack.enter_context(jobs.utilization_memo_disabled())
+        yield
+
+
+def reset_fast_path_caches() -> None:
+    """Empty every fast-path memo (for benchmark isolation)."""
+    from repro.columnar import compression, encodings, file_format
+    from repro.pipeline import factorize
+
+    factorize.clear_cache()
+    encodings.clear_encoding_memo()
+    compression.clear_compress_memo()
+    file_format.clear_chunk_memo()

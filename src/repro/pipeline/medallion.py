@@ -205,12 +205,15 @@ class MedallionPipeline:
     def _timed(
         self, name: str, table_in_rows: int, bytes_in: int, fn
     ) -> ColumnTable:
+        from repro.perf import PERF
+
         t0 = time.perf_counter()
         out = fn()
+        wall = time.perf_counter() - t0
         self.stats[name].record(
-            table_in_rows, out.num_rows, bytes_in, out.nbytes,
-            time.perf_counter() - t0,
+            table_in_rows, out.num_rows, bytes_in, out.nbytes, wall,
         )
+        PERF.add_time(f"refine.{name}", wall)
         return out
 
     def process(

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.columnar.predicate import Predicate
 from repro.columnar.table import ColumnTable
+from repro.pipeline.factorize import factorize
 from repro.util.timeseries import bucket_indices, bucket_reduce
 
 __all__ = ["select", "where", "group_by_agg", "pivot", "hash_join", "resample"]
@@ -30,24 +31,13 @@ def where(table: ColumnTable, predicate: Predicate) -> ColumnTable:
 
 
 def _factorize(col: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """(codes int64, uniques) for any supported column dtype."""
-    if col.dtype == object:
-        items = col.tolist()
-        seen: dict[object, int] = {}
-        codes = np.empty(len(items), dtype=np.int64)
-        for i, x in enumerate(items):
-            key = "" if x is None else x
-            code = seen.get(key)
-            if code is None:
-                code = len(seen)
-                seen[key] = code
-            codes[i] = code
-        uniq = np.empty(len(seen), dtype=object)
-        for value, code in seen.items():
-            uniq[code] = value
-        return codes, uniq
-    uniq, codes = np.unique(col, return_inverse=True)
-    return codes.astype(np.int64), uniq
+    """(codes int64, uniques) for any supported column dtype.
+
+    Delegates to the vectorized, window-memoizing implementation in
+    :mod:`repro.pipeline.factorize`; returned arrays may be shared
+    read-only cache entries.
+    """
+    return factorize(col)
 
 
 def _composite_codes(

@@ -145,6 +145,12 @@ class TieredStore:
 
         Returns which tiers received the batch.
         """
+        from repro.perf import PERF
+
+        with PERF.timer("tier.ingest"):
+            return self._ingest_impl(name, table, now)
+
+    def _ingest_impl(self, name: str, table: ColumnTable, now: float) -> dict[str, bool]:
         meta = self._meta(name)
         policy = self.policies[meta.data_class]
         placed = {"lake": False, "ocean": False}

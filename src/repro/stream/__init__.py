@@ -15,7 +15,13 @@ batches); the broker tracks their serialized size for volume accounting
 but never copies them.
 """
 
-from repro.stream.broker import Broker, Record, TopicConfig
+from repro.stream.broker import (
+    Broker,
+    Record,
+    TopicConfig,
+    UnknownPartitionError,
+    UnknownTopicError,
+)
 from repro.stream.consumer import Consumer
 from repro.stream.producer import Producer
 from repro.stream.retention import RetentionPolicy
@@ -27,4 +33,6 @@ __all__ = [
     "Producer",
     "Consumer",
     "RetentionPolicy",
+    "UnknownTopicError",
+    "UnknownPartitionError",
 ]

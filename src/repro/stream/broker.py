@@ -11,11 +11,49 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 from repro.stream.retention import RetentionPolicy
 
-__all__ = ["Record", "TopicConfig", "Broker"]
+__all__ = [
+    "Record",
+    "TopicConfig",
+    "Broker",
+    "UnknownTopicError",
+    "UnknownPartitionError",
+]
+
+
+class UnknownTopicError(KeyError):
+    """Raised for operations against a topic that was never created.
+
+    Subclasses ``KeyError`` so pre-existing ``except KeyError`` handlers
+    (and tests) keep working, but carries an actionable message instead
+    of a bare topic name.
+    """
+
+    def __init__(self, topic: str) -> None:
+        super().__init__(topic)
+        self.topic = topic
+
+    def __str__(self) -> str:
+        return (
+            f"unknown topic {self.topic!r}: create it with "
+            "Broker.create_topic(TopicConfig(...)) before producing/fetching"
+        )
+
+
+class UnknownPartitionError(IndexError):
+    """Raised when a partition index is out of range for a topic."""
+
+    def __init__(self, topic: str, partition: int, n_partitions: int) -> None:
+        super().__init__(
+            f"partition {partition} out of range for topic {topic!r} "
+            f"with {n_partitions} partitions"
+        )
+        self.topic = topic
+        self.partition = partition
+        self.n_partitions = n_partitions
 
 
 @dataclass(frozen=True)
@@ -66,10 +104,29 @@ class _Partition:
         self.next_offset += 1
         self.total_bytes += record.nbytes
 
-    def read(self, from_offset: int, max_records: int) -> list[Record]:
+    def append_many(self, records: list[Record], nbytes_total: int) -> None:
+        self.records.extend(records)
+        self.next_offset += len(records)
+        self.total_bytes += nbytes_total
+
+    def read(
+        self, from_offset: int, max_records: int | None = None
+    ) -> list[Record]:
+        """Records from ``from_offset``, capped at ``max_records``.
+
+        When the requested range covers the whole retained log the
+        internal list is returned without copying — callers must treat
+        the result as read-only; ``trim`` never mutates handed-out lists
+        (it rebinds), but appends after a whole-log read do extend it.
+        """
         start = max(from_offset, self.base_offset) - self.base_offset
-        if start >= len(self.records):
+        n = len(self.records)
+        if start >= n:
             return []
+        if start == 0 and (max_records is None or max_records >= n):
+            return self.records
+        if max_records is None:
+            return self.records[start:]
         return self.records[start : start + max_records]
 
     def trim(self, policy: RetentionPolicy, now: float) -> int:
@@ -90,7 +147,9 @@ class _Partition:
                 cut += 1
         if cut:
             self.total_bytes -= sum(r.nbytes for r in self.records[:cut])
-            del self.records[:cut]
+            # Rebind rather than `del records[:cut]` so zero-copy lists
+            # handed out by `read` stay valid for their holders.
+            self.records = self.records[cut:]
             self.base_offset += cut
         return cut
 
@@ -116,6 +175,9 @@ class Broker:
         self._partitions: dict[str, list[_Partition]] = {}
         self._group_offsets: dict[tuple[str, str, int], int] = {}
         self._keyless_rr: dict[str, int] = {}
+        # Key -> CRC32 memo shared by the batch producer path; telemetry
+        # keys (hostnames, stream names) recur every window.
+        self._key_crc: dict[str, int] = {}
 
     # -- topic management ---------------------------------------------------
 
@@ -134,14 +196,23 @@ class Broker:
         return sorted(self._topics)
 
     def topic_config(self, topic: str) -> TopicConfig:
-        """Configuration of ``topic`` (KeyError if unknown)."""
-        return self._topics[topic]
+        """Configuration of ``topic`` (UnknownTopicError if unknown)."""
+        try:
+            return self._topics[topic]
+        except KeyError:
+            raise UnknownTopicError(topic) from None
 
     def _parts(self, topic: str) -> list[_Partition]:
         try:
             return self._partitions[topic]
         except KeyError:
-            raise KeyError(f"unknown topic {topic!r}") from None
+            raise UnknownTopicError(topic) from None
+
+    def _part(self, topic: str, partition: int) -> _Partition:
+        parts = self._parts(topic)
+        if not 0 <= partition < len(parts):
+            raise UnknownPartitionError(topic, partition, len(parts))
+        return parts[partition]
 
     # -- produce / fetch ----------------------------------------------------
 
@@ -174,21 +245,116 @@ class Broker:
         parts[p].append(record)
         return record
 
-    def fetch(
-        self, topic: str, partition: int, from_offset: int, max_records: int = 1000
+    def produce_many(
+        self,
+        topic: str,
+        values: Sequence[Any],
+        *,
+        keys: Sequence[str | None] | None = None,
+        key: str | None = None,
+        timestamps: Sequence[float] | None = None,
+        timestamp: float = 0.0,
+        nbytes: Sequence[int] | int = 0,
     ) -> list[Record]:
-        """Read up to ``max_records`` from ``from_offset`` (may be trimmed)."""
-        return self._parts(topic)[partition].read(from_offset, max_records)
+        """Append a batch of records in one call.
+
+        Equivalent to calling :meth:`produce` once per value in order —
+        same partition assignment (including the keyless round-robin
+        cursor), same offsets — but with the per-call bookkeeping done
+        once per (partition, batch) instead of once per record.  ``keys``
+        / ``timestamps`` / ``nbytes`` may be scalars (broadcast) or
+        per-value sequences.
+        """
+        parts = self._parts(topic)
+        n = len(values)
+        if n == 0:
+            return []
+        n_parts = len(parts)
+        if keys is not None and key is not None:
+            raise ValueError("pass either key or keys, not both")
+        if keys is not None and len(keys) != n:
+            raise ValueError("keys must match values in length")
+        if timestamps is not None and len(timestamps) != n:
+            raise ValueError("timestamps must match values in length")
+        sizes: Sequence[int]
+        if isinstance(nbytes, (int, float)):
+            sizes = [int(nbytes)] * n
+        else:
+            if len(nbytes) != n:
+                raise ValueError("nbytes must match values in length")
+            sizes = nbytes
+
+        crc = self._key_crc
+        if keys is not None:
+            assigned = []
+            for k in keys:
+                if k is None:
+                    rr = self._keyless_rr[topic]
+                    self._keyless_rr[topic] = rr + 1
+                    assigned.append(rr % n_parts)
+                else:
+                    h = crc.get(k)
+                    if h is None:
+                        h = crc[k] = zlib.crc32(k.encode("utf-8"))
+                    assigned.append(h % n_parts)
+        elif key is not None:
+            h = crc.get(key)
+            if h is None:
+                h = crc[key] = zlib.crc32(key.encode("utf-8"))
+            assigned = [h % n_parts] * n
+        else:
+            rr = self._keyless_rr[topic]
+            self._keyless_rr[topic] = rr + n
+            assigned = [(rr + i) % n_parts for i in range(n)]
+
+        next_offsets = [part.next_offset for part in parts]
+        batches: list[list[Record]] = [[] for _ in range(n_parts)]
+        batch_bytes = [0] * n_parts
+        out: list[Record] = []
+        for i, value in enumerate(values):
+            p = assigned[i]
+            record = Record(
+                topic=topic,
+                partition=p,
+                offset=next_offsets[p],
+                timestamp=timestamp if timestamps is None else timestamps[i],
+                key=key if keys is None else keys[i],
+                value=value,
+                nbytes=sizes[i],
+            )
+            next_offsets[p] += 1
+            batches[p].append(record)
+            batch_bytes[p] += sizes[i]
+            out.append(record)
+        for p, batch in enumerate(batches):
+            if batch:
+                parts[p].append_many(batch, batch_bytes[p])
+        return out
+
+    def fetch(
+        self,
+        topic: str,
+        partition: int,
+        from_offset: int,
+        max_records: int | None = 1000,
+    ) -> list[Record]:
+        """Read up to ``max_records`` from ``from_offset`` (may be trimmed).
+
+        ``max_records=None`` reads to the high watermark; a whole-log
+        read returns the partition's internal list without copying (treat
+        it as read-only — see :meth:`_Partition.read`).
+        """
+        return self._part(topic, partition).read(from_offset, max_records)
 
     # -- offsets and lag ----------------------------------------------------
 
     def earliest_offset(self, topic: str, partition: int) -> int:
         """First retained offset."""
-        return self._parts(topic)[partition].base_offset
+        return self._part(topic, partition).base_offset
 
     def latest_offset(self, topic: str, partition: int) -> int:
         """Offset the next produced record will get (= high watermark)."""
-        return self._parts(topic)[partition].next_offset
+        return self._part(topic, partition).next_offset
 
     def commit(self, group: str, topic: str, partition: int, offset: int) -> None:
         """Record ``group``'s progress: next offset it wants to read."""

@@ -10,6 +10,7 @@ the at-least-once replay behaviour the pipeline's recovery path
 
 from __future__ import annotations
 
+from repro.perf import PERF
 from repro.stream.broker import Broker, Record
 
 __all__ = ["Consumer"]
@@ -49,40 +50,75 @@ class Consumer:
         self._positions = {
             p: broker.committed(group, topic, p) for p in self.partitions
         }
+        # Partitions whose position this consumer has actually moved
+        # (poll/seek).  commit() only writes these back: committing on a
+        # fresh consumer must be a no-op, not a reset of the group's
+        # offsets to whatever was committed at construction time.
+        self._touched: set[int] = set()
 
     def seek(self, partition: int, offset: int) -> None:
         """Move the local read position (does not commit)."""
         if partition not in self._positions:
             raise ValueError(f"partition {partition} not assigned to this member")
         self._positions[partition] = offset
+        self._touched.add(partition)
 
     def seek_to_beginning(self) -> None:
         """Rewind every assigned partition to its earliest retained offset."""
         for p in self.partitions:
             self._positions[p] = self.broker.earliest_offset(self.topic, p)
+            self._touched.add(p)
 
-    def poll(self, max_records: int = 1000) -> list[Record]:
+    def poll(self, max_records: int | None = 1000) -> list[Record]:
         """Fetch up to ``max_records`` across assigned partitions, advancing
-        local positions.  Skips over retention-trimmed gaps."""
+        local positions.  ``None`` means no cap.  Skips over
+        retention-trimmed gaps.  The returned list is always a fresh copy;
+        use :meth:`poll_slices` for the zero-copy per-partition form."""
         out: list[Record] = []
+        for _, records in self.poll_slices(max_records):
+            out.extend(records)
+        return out
+
+    def poll_slices(
+        self, max_records: int | None = None
+    ) -> list[tuple[int, list[Record]]]:
+        """Fetch as ``(partition, records)`` pairs without flattening.
+
+        Whole-backlog reads return the broker's internal per-partition
+        lists without copying — treat them as read-only snapshots and
+        consume them before producing more to the same topic.  Local
+        positions advance exactly as :meth:`poll`.
+        """
+        out: list[tuple[int, list[Record]]] = []
         budget = max_records
-        for p in self.partitions:
-            if budget <= 0:
-                break
-            pos = max(self._positions[p], self.broker.earliest_offset(self.topic, p))
-            records = self.broker.fetch(self.topic, p, pos, budget)
-            if records:
-                self._positions[p] = records[-1].offset + 1
-                out.extend(records)
-                budget -= len(records)
-            else:
-                self._positions[p] = pos
+        n_fetched = 0
+        with PERF.timer("stream.fetch"):
+            for p in self.partitions:
+                if budget is not None and budget <= 0:
+                    break
+                pos = max(
+                    self._positions[p],
+                    self.broker.earliest_offset(self.topic, p),
+                )
+                records = self.broker.fetch(self.topic, p, pos, budget)
+                self._touched.add(p)
+                if records:
+                    self._positions[p] = records[-1].offset + 1
+                    out.append((p, records))
+                    n_fetched += len(records)
+                    if budget is not None:
+                        budget -= len(records)
+                else:
+                    self._positions[p] = pos
+        if n_fetched:
+            PERF.count("stream.fetch.records", n_fetched)
         return out
 
     def commit(self) -> None:
-        """Commit current local positions to the broker for the group."""
-        for p, pos in self._positions.items():
-            self.broker.commit(self.group, self.topic, p, pos)
+        """Commit local positions for partitions this consumer has read or
+        seeked.  A commit with no prior poll/seek is a no-op."""
+        for p in self._touched:
+            self.broker.commit(self.group, self.topic, p, self._positions[p])
 
     def position(self, partition: int) -> int:
         """Local (uncommitted) read position for a partition."""

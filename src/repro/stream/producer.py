@@ -8,17 +8,27 @@ numbers behind the Fig. 4a ingest-rate bench.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
+from repro.perf import PERF
 from repro.stream.broker import Broker, Record
 
 __all__ = ["Producer"]
 
 
 def _estimate_nbytes(value: Any) -> int:
-    """Best-effort payload size: telemetry batches know their raw size;
-    strings/bytes use their length; everything else gets a flat estimate."""
+    """Best-effort payload size, computed once per send.
+
+    Priority: ``nbytes_raw`` (telemetry batches), ``nbytes`` (numpy
+    arrays, columnar tables), byte/str length, flat 64-byte fallback.
+    The estimate is stamped onto the produced :class:`Record`, so all
+    downstream accounting (``topic_bytes``, retention, volume stats)
+    reads the cached number instead of re-walking the value.
+    """
     raw = getattr(value, "nbytes_raw", None)
+    if raw is not None:
+        return int(raw)
+    raw = getattr(value, "nbytes", None)
     if raw is not None:
         return int(raw)
     if isinstance(value, (bytes, bytearray)):
@@ -53,13 +63,52 @@ class Producer:
     ) -> Record:
         """Produce one record; ``nbytes`` defaults to an estimate."""
         size = _estimate_nbytes(value) if nbytes is None else nbytes
-        record = self.broker.produce(
-            topic, value, key=key, timestamp=timestamp, nbytes=size
-        )
+        with PERF.timer("stream.produce"):
+            record = self.broker.produce(
+                topic, value, key=key, timestamp=timestamp, nbytes=size
+            )
         stats = self._stats.setdefault(topic, _TopicStats())
         stats.records += 1
         stats.nbytes += size
+        PERF.count("stream.produce.records")
+        PERF.count("stream.produce.bytes", size)
         return record
+
+    def send_many(
+        self,
+        topic: str,
+        values: Sequence[Any],
+        *,
+        keys: Sequence[str | None] | None = None,
+        key: str | None = None,
+        timestamps: Sequence[float] | None = None,
+        timestamp: float = 0.0,
+        nbytes: Sequence[int] | None = None,
+    ) -> list[Record]:
+        """Produce a batch in one broker call (same semantics as a loop
+        of :meth:`send`, including per-value size estimation)."""
+        if not values:
+            return []
+        sizes = (
+            [_estimate_nbytes(v) for v in values] if nbytes is None else nbytes
+        )
+        with PERF.timer("stream.produce"):
+            records = self.broker.produce_many(
+                topic,
+                values,
+                keys=keys,
+                key=key,
+                timestamps=timestamps,
+                timestamp=timestamp,
+                nbytes=sizes,
+            )
+        total = sum(sizes)
+        stats = self._stats.setdefault(topic, _TopicStats())
+        stats.records += len(records)
+        stats.nbytes += total
+        PERF.count("stream.produce.records", len(records))
+        PERF.count("stream.produce.bytes", total)
+        return records
 
     def records_sent(self, topic: str) -> int:
         """Records this producer has sent to ``topic``."""

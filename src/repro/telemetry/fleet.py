@@ -66,6 +66,11 @@ class FleetTelemetry:
         Root seed shared by all sources.
     nodes:
         Node subset to emit at full fidelity (default: whole fleet).
+    reference_emit:
+        When true, ``emit_window`` uses each source's loop-based
+        ``emit_reference`` path instead of the batched ``emit``.  The two
+        are byte-identical; the flag exists so benchmarks can measure the
+        pre-optimization baseline.
     """
 
     def __init__(
@@ -74,10 +79,12 @@ class FleetTelemetry:
         allocation: AllocationTable,
         seed: int = 0,
         nodes: np.ndarray | None = None,
+        reference_emit: bool = False,
     ) -> None:
         self.machine = machine
         self.allocation = allocation
         self.seed = int(seed)
+        self.reference_emit = bool(reference_emit)
         if nodes is None:
             nodes = np.arange(machine.n_nodes, dtype=np.int32)
         self.nodes = np.asarray(nodes, dtype=np.int32)
@@ -123,7 +130,10 @@ class FleetTelemetry:
         """Emit every stream for ``[t0, t1)`` and record volumes."""
         out: dict[str, ObservationBatch | EventBatch] = {}
         for source in self._sources:
-            batch = source.emit(t0, t1)
+            if self.reference_emit:
+                batch = source.emit_reference(t0, t1)
+            else:
+                batch = source.emit(t0, t1)
             out[source.name] = batch
             self._volumes[source.name].record(
                 len(batch), batch.nbytes_raw, t1 - t0

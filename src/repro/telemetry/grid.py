@@ -1,0 +1,88 @@
+"""Batch assembly of grid-shaped telemetry into time-sorted batches.
+
+Every numeric source follows the same shape: each channel is computed on
+one ``(component x time)`` grid, a loss mask drops samples, and the
+channels are merged into one time-ordered long-format batch.  The
+reference implementations do this with one :class:`ObservationBatch` per
+channel followed by a concat and a full stable ``argsort`` over the
+window — an O(n log n) sort re-deriving an order that is already implied
+by the grid.
+
+:func:`assemble_sorted_batch` builds the sorted batch directly: stack
+the channel grids into a ``(channel, component, time)`` cube, transpose
+to ``(time, channel, component)``, and apply the loss mask once.  Row
+order is then time-major with ties broken by channel insertion order and
+component order — exactly the order a stable timestamp sort of the
+concatenated per-channel batches produces, so the result is
+byte-identical to the reference path at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.schema import ObservationBatch
+
+__all__ = ["assemble_sorted_batch"]
+
+
+def assemble_sorted_batch(
+    times: np.ndarray,
+    components: np.ndarray,
+    sensor_ids: np.ndarray,
+    values: np.ndarray,
+    keep: np.ndarray,
+) -> ObservationBatch:
+    """Merge per-channel grids into one time-sorted long-format batch.
+
+    Parameters
+    ----------
+    times:
+        Sample grid, shape ``(T,)`` (float64 seconds).
+    components:
+        Component ids, shape ``(N,)`` (int32).
+    sensor_ids:
+        One sensor id per channel, shape ``(C,)``, in the channel order
+        the reference path would emit its per-channel parts.
+    values:
+        Channel value grids, shape ``(C, N, T)``.
+    keep:
+        Boolean loss mask, shape ``(C, N, T)``; dropped cells are omitted.
+
+    Returns
+    -------
+    ObservationBatch
+        Rows ordered (time, channel, component) — identical to
+        concatenating the per-channel masked batches in ``sensor_ids``
+        order and stable-sorting by timestamp.
+    """
+    values = np.asarray(values)
+    keep = np.asarray(keep, dtype=bool)
+    if values.shape != keep.shape or values.ndim != 3:
+        raise ValueError(
+            f"values/keep must share a (C, N, T) shape, got "
+            f"{values.shape} vs {keep.shape}"
+        )
+    n_channels, n_components, n_times = values.shape
+    if n_channels == 0 or n_components == 0 or n_times == 0:
+        return ObservationBatch.empty()
+
+    # (C, N, T) -> (T, C, N): C-order iteration of the transposed cube is
+    # the target row order, so one boolean index yields sorted columns.
+    mask = keep.transpose(2, 0, 1)
+    shape = (n_times, n_channels, n_components)
+    ts = np.broadcast_to(
+        np.asarray(times, dtype=np.float64)[:, None, None], shape
+    )
+    comp = np.broadcast_to(
+        np.asarray(components, dtype=np.int32)[None, None, :], shape
+    )
+    sid = np.broadcast_to(
+        np.asarray(sensor_ids, dtype=np.int16)[None, :, None], shape
+    )
+    return ObservationBatch(
+        timestamps=ts[mask],
+        component_ids=comp[mask],
+        sensor_ids=sid[mask],
+        values=values.transpose(2, 0, 1)[mask],
+    )

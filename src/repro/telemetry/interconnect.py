@@ -20,9 +20,14 @@ from repro.telemetry.schema import (
     SensorCatalog,
     SensorSpec,
 )
+from repro.telemetry.grid import assemble_sorted_batch
 from repro.telemetry.sources import TelemetrySource
 from repro.telemetry.workloads import get_archetype
-from repro.util.noise import normal_from_index, uniform_from_index
+from repro.util.noise import (
+    normal_from_index,
+    uniform_from_index,
+    uniform_from_index_tags,
+)
 
 __all__ = ["InterconnectSource"]
 
@@ -87,12 +92,10 @@ class InterconnectSource(TelemetrySource):
         k1 = int(np.ceil(t1 / p - 1e-9))
         return np.arange(k0, k1, dtype=np.int64) * p
 
-    def emit(self, t0: float, t1: float) -> ObservationBatch:
-        self._check_window(t0, t1)
-        times = self.sample_times(t0, t1)
-        if times.size == 0 or self.nodes.size == 0:
-            return ObservationBatch.empty()
-
+    def _channel_grids(
+        self, times: np.ndarray
+    ) -> tuple[np.ndarray, list[tuple[str, np.ndarray]]]:
+        """(noise index, [(channel name, value grid), ...]) for a window."""
         gpu_u, _, jid = self.allocation.utilization(self.nodes, times)
         net = np.where(jid >= 0, self._net[np.maximum(jid, 0)], 0.0)
         # Offered load tracks compute phase (communication and compute
@@ -108,6 +111,38 @@ class InterconnectSource(TelemetrySource):
         rx = np.clip(offered * (1.0 + 0.1 * normal_from_index(self.seed, 71, idx)), 0, 1) * NIC_BPS
         # Congestion stalls grow super-linearly with offered load.
         stall = np.clip(offered**3 * 0.5, 0.0, 1.0)
+        return idx, [
+            ("nic_tx_bps", tx),
+            ("nic_rx_bps", rx),
+            ("nic_stall_frac", stall),
+        ]
+
+    def emit(self, t0: float, t1: float) -> ObservationBatch:
+        """Batched emission: one loss-mask pass over all channels, no sort."""
+        self._check_window(t0, t1)
+        times = self.sample_times(t0, t1)
+        if times.size == 0 or self.nodes.size == 0:
+            return ObservationBatch.empty()
+        idx, channels = self._channel_grids(times)
+        sids = np.array(
+            [self._catalog.id_of(name) for name, _ in channels], dtype=np.int64
+        )
+        values = np.stack([grid for _, grid in channels])
+        keep = (
+            uniform_from_index_tags(
+                self.seed, (3000 + sids).astype(np.uint64), idx
+            )
+            >= self.loss_rate
+        )
+        return assemble_sorted_batch(times, self.nodes, sids, values, keep)
+
+    def emit_reference(self, t0: float, t1: float) -> ObservationBatch:
+        self._check_window(t0, t1)
+        times = self.sample_times(t0, t1)
+        if times.size == 0 or self.nodes.size == 0:
+            return ObservationBatch.empty()
+        idx, channels = self._channel_grids(times)
+        (_, tx), (_, rx), (_, stall) = channels
 
         ts_grid = np.broadcast_to(times[None, :], idx.shape)
         node_grid = np.broadcast_to(self.nodes[:, None], idx.shape)

@@ -15,6 +15,9 @@ allocation logs) for contextualization", §V-A).  This module provides
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,7 +25,31 @@ import numpy as np
 from repro.telemetry.machine import MachineConfig
 from repro.telemetry.workloads import ARCHETYPES, get_archetype
 
-__all__ = ["JobSpec", "AllocationTable", "synthetic_job_mix"]
+__all__ = [
+    "JobSpec",
+    "AllocationTable",
+    "synthetic_job_mix",
+    "utilization_memo_disabled",
+]
+
+# Within one ingest window the same (nodes, times) utilization grid is
+# requested several times — by each emitting source sharing a sample
+# period and by each refinery's Silver join on the same bucket grid.
+# The oracle is a pure function of its (immutable) job set, so repeated
+# grids are served from a small per-table LRU of read-only arrays.
+_util_memo_enabled = True
+
+
+@contextmanager
+def utilization_memo_disabled():
+    """Context manager that bypasses the utilization memo (baselines)."""
+    global _util_memo_enabled
+    prev = _util_memo_enabled
+    _util_memo_enabled = False
+    try:
+        yield
+    finally:
+        _util_memo_enabled = prev
 
 
 @dataclass(frozen=True)
@@ -87,6 +114,10 @@ class AllocationTable:
         self._starts = np.array([j.start for j in self._jobs])
         self._ends = np.array([j.end for j in self._jobs])
         self._check_no_node_conflicts()
+        self._util_memo: OrderedDict[
+            tuple, tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = OrderedDict()
+        self._util_memo_max = 16
 
     def _check_no_node_conflicts(self) -> None:
         per_node: dict[int, list[tuple[float, float, int]]] = {}
@@ -136,6 +167,20 @@ class AllocationTable:
         """
         node_ids = np.asarray(node_ids, dtype=np.int32)
         times = np.asarray(times, dtype=np.float64)
+        key = None
+        if _util_memo_enabled and node_ids.size and times.size:
+            key = (
+                hashlib.blake2b(
+                    np.ascontiguousarray(node_ids), digest_size=16
+                ).digest(),
+                hashlib.blake2b(
+                    np.ascontiguousarray(times), digest_size=16
+                ).digest(),
+            )
+            hit = self._util_memo.get(key)
+            if hit is not None:
+                self._util_memo.move_to_end(key)
+                return hit
         gpu = np.zeros((node_ids.size, times.size))
         cpu = np.zeros_like(gpu)
         jid = np.full(gpu.shape, -1, dtype=np.int64)
@@ -158,6 +203,12 @@ class AllocationTable:
             gpu[rows, cols] = g[None, :]
             cpu[rows, cols] = c[None, :]
             jid[rows, cols] = job.job_id
+        if key is not None:
+            for a in (gpu, cpu, jid):
+                a.setflags(write=False)
+            self._util_memo[key] = (gpu, cpu, jid)
+            while len(self._util_memo) > self._util_memo_max:
+                self._util_memo.popitem(last=False)
         return gpu, cpu, jid
 
     def log_records(self) -> list[dict]:

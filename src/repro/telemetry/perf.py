@@ -26,8 +26,14 @@ from repro.telemetry.schema import (
     SensorCatalog,
     SensorSpec,
 )
+from repro.telemetry.grid import assemble_sorted_batch
 from repro.telemetry.sources import TelemetrySource
-from repro.util.noise import normal_from_index, uniform_from_index
+from repro.util.noise import (
+    normal_from_index,
+    normal_from_index_tags,
+    uniform_from_index,
+    uniform_from_index_tags,
+)
 
 __all__ = ["PerfCounterSource", "COUNTERS_PER_GPU"]
 
@@ -91,18 +97,55 @@ class PerfCounterSource(TelemetrySource):
         k1 = int(np.ceil(t1 / SAMPLE_PERIOD_S - 1e-9))
         return np.arange(k0, k1, dtype=np.int64) * SAMPLE_PERIOD_S
 
+    def _sample_index(self, times: np.ndarray) -> np.ndarray:
+        k = np.round(times / SAMPLE_PERIOD_S).astype(np.int64)
+        return (
+            self.nodes.astype(np.uint64)[:, None] * np.uint64(1 << 40)
+            + k.astype(np.uint64)[None, :]
+        )
+
     def emit(self, t0: float, t1: float) -> ObservationBatch:
+        """Batched emission: all channels in one noise pass, no sort."""
+        self._check_window(t0, t1)
+        times = self.sample_times(t0, t1)
+        if times.size == 0 or self.nodes.size == 0:
+            return ObservationBatch.empty()
+        gpu_u, _, _ = self.allocation.utilization(self.nodes, times)
+        idx = self._sample_index(times)
+
+        sids = np.arange(len(self._catalog), dtype=np.uint64)
+        active = gpu_u > 0.0
+        if active.all():
+            noise = 0.1 * normal_from_index_tags(self.seed, 500 + sids, idx)
+            values = self._scales[:, None, None] * np.maximum(
+                gpu_u[None, :, :] * (1.0 + noise), 0.0
+            )
+        else:
+            # Idle cells are exactly 0.0 regardless of noise (|noise| < 1,
+            # so gpu_u * (1 + noise) is +0.0 there) — draw noise only on
+            # the active cells and leave the rest zero-filled.
+            values = np.zeros((sids.size,) + gpu_u.shape)
+            if active.any():
+                noise = 0.1 * normal_from_index_tags(
+                    self.seed, 500 + sids, idx[active]
+                )
+                values[:, active] = self._scales[:, None] * np.maximum(
+                    gpu_u[active][None, :] * (1.0 + noise), 0.0
+                )
+        keep = (
+            uniform_from_index_tags(self.seed, 4000 + sids, idx)
+            >= self.loss_rate
+        )
+        return assemble_sorted_batch(times, self.nodes, sids, values, keep)
+
+    def emit_reference(self, t0: float, t1: float) -> ObservationBatch:
         self._check_window(t0, t1)
         times = self.sample_times(t0, t1)
         if times.size == 0 or self.nodes.size == 0:
             return ObservationBatch.empty()
         gpu_u, _, _ = self.allocation.utilization(self.nodes, times)
 
-        k = np.round(times / SAMPLE_PERIOD_S).astype(np.int64)
-        idx = (
-            self.nodes.astype(np.uint64)[:, None] * np.uint64(1 << 40)
-            + k.astype(np.uint64)[None, :]
-        )
+        idx = self._sample_index(times)
         ts_grid = np.broadcast_to(times[None, :], idx.shape)
         node_grid = np.broadcast_to(self.nodes[:, None], idx.shape)
 

@@ -33,8 +33,14 @@ from repro.telemetry.schema import (
     SensorCatalog,
     SensorSpec,
 )
+from repro.telemetry.grid import assemble_sorted_batch
 from repro.telemetry.sources import TelemetrySource
-from repro.util.noise import normal_from_index, uniform_from_index
+from repro.util.noise import (
+    normal_from_index,
+    normal_from_index_tags,
+    uniform_from_index,
+    uniform_from_index_tags,
+)
 
 __all__ = ["PowerThermalSource"]
 
@@ -192,15 +198,25 @@ class PowerThermalSource(TelemetrySource):
             + k.astype(np.uint64)[None, :]
         )
 
+        # One batched hash pass for every grid-shaped noise channel; row i
+        # is bit-identical to normal_from_index(seed, tags[i], idx).
+        tags = [1, 2, 3, 4, 5, 6, 7, 8, 9]
+        for g in range(m.gpus_per_node):
+            tags.extend((10 + g, 30 + g, 50 + g, 60 + g))
+        noise_rows = normal_from_index_tags(
+            self.seed, np.asarray(tags, dtype=np.uint64), idx
+        )
+        noise = {tag: noise_rows[i] for i, tag in enumerate(tags)}
+
         out: dict[str, np.ndarray] = {}
         cpu_pwr = (
             CPU_IDLE_W + cpu_u * (m.cpu_tdp_w - CPU_IDLE_W)
         ) * self._cpu_spread[:, None] * m.cpus_per_node
-        cpu_pwr += MEASUREMENT_NOISE_W * normal_from_index(self.seed, 1, idx)
+        cpu_pwr += MEASUREMENT_NOISE_W * noise[1]
         out["cpu_power"] = np.maximum(cpu_pwr, 0.0)
 
         mem_pwr = MEM_IDLE_W + MEM_ACTIVE_W * gpu_u
-        mem_pwr += 0.5 * MEASUREMENT_NOISE_W * normal_from_index(self.seed, 2, idx)
+        mem_pwr += 0.5 * MEASUREMENT_NOISE_W * noise[2]
         out["mem_power"] = np.maximum(mem_pwr, 0.0)
 
         gpu_total = np.zeros_like(gpu_u)
@@ -214,14 +230,14 @@ class PowerThermalSource(TelemetrySource):
                 )[:, None]
             )
             pwr = (GPU_IDLE_W + gpu_u * (m.gpu_tdp_w - GPU_IDLE_W)) * spread
-            pwr += MEASUREMENT_NOISE_W * normal_from_index(self.seed, 10 + g, idx)
+            pwr += MEASUREMENT_NOISE_W * noise[10 + g]
             pwr = np.maximum(pwr, 0.0)
             out[f"gpu{g}_power"] = pwr
             gpu_total += pwr
             gpu_temp = (
                 m.coolant_supply_c
                 + GPU_THERMAL_R * pwr
-                + TEMP_NOISE_C * normal_from_index(self.seed, 30 + g, idx)
+                + TEMP_NOISE_C * noise[30 + g]
             )
             out[f"gpu{g}_temp"] = gpu_temp
             # HBM runs hotter than the die under memory-bound load.
@@ -229,10 +245,10 @@ class PowerThermalSource(TelemetrySource):
                 gpu_temp
                 + 6.0
                 + 4.0 * gpu_u
-                + TEMP_NOISE_C * normal_from_index(self.seed, 50 + g, idx)
+                + TEMP_NOISE_C * noise[50 + g]
             )
             out[f"gpu{g}_util"] = np.clip(
-                gpu_u + 0.01 * normal_from_index(self.seed, 60 + g, idx),
+                gpu_u + 0.01 * noise[60 + g],
                 0.0,
                 1.0,
             )
@@ -245,34 +261,61 @@ class PowerThermalSource(TelemetrySource):
         overhead = max(overhead, 0.0)
         it_power = out["cpu_power"] + out["mem_power"] + gpu_total + overhead
         input_power = it_power / POL_EFFICIENCY
-        input_power += MEASUREMENT_NOISE_W * normal_from_index(self.seed, 3, idx)
+        input_power += MEASUREMENT_NOISE_W * noise[3]
         out["input_power"] = np.minimum(np.maximum(input_power, 0.0), m.node_max_w)
 
         out["cpu_temp"] = (
             m.coolant_supply_c
             + CPU_THERMAL_R * out["cpu_power"] / max(m.cpus_per_node, 1)
-            + TEMP_NOISE_C * normal_from_index(self.seed, 4, idx)
+            + TEMP_NOISE_C * noise[4]
         )
         out["coolant_return_temp"] = (
             m.coolant_supply_c
             + NODE_THERMAL_R * out["input_power"]
-            + TEMP_NOISE_C * normal_from_index(self.seed, 5, idx)
+            + TEMP_NOISE_C * noise[5]
         )
         out["node_energy"] = out["input_power"] * m.power_sample_period_s
         fan_base = 4000.0 + 3000.0 * np.clip(
             out["input_power"] / m.node_max_w, 0.0, 1.0
         )
-        out["fan0_speed"] = fan_base * (
-            1.0 + 0.02 * normal_from_index(self.seed, 6, idx)
-        )
-        out["fan1_speed"] = fan_base * (
-            1.0 + 0.02 * normal_from_index(self.seed, 7, idx)
-        )
-        out["ps0_voltage"] = 380.0 + 1.5 * normal_from_index(self.seed, 8, idx)
-        out["ps1_voltage"] = 380.0 + 1.5 * normal_from_index(self.seed, 9, idx)
+        out["fan0_speed"] = fan_base * (1.0 + 0.02 * noise[6])
+        out["fan1_speed"] = fan_base * (1.0 + 0.02 * noise[7])
+        out["ps0_voltage"] = 380.0 + 1.5 * noise[8]
+        out["ps1_voltage"] = 380.0 + 1.5 * noise[9]
         return out
 
+    def _sample_index(self, times: np.ndarray) -> np.ndarray:
+        p = self.machine.power_sample_period_s
+        k = np.round(times / p).astype(np.int64)
+        return (
+            self.nodes.astype(np.uint64)[:, None] * np.uint64(1 << 40)
+            + k.astype(np.uint64)[None, :]
+        )
+
     def emit(self, t0: float, t1: float) -> ObservationBatch:
+        """Batched emission: one loss-mask pass over all channels, no sort."""
+        self._check_window(t0, t1)
+        times = self.sample_times(t0, t1)
+        if times.size == 0 or self.nodes.size == 0:
+            return ObservationBatch.empty()
+        comp = self._components(times)
+        idx = self._sample_index(times)
+
+        # Channel order must match the reference path's part order (the
+        # _components insertion order), not ascending sensor id.
+        sids = np.array(
+            [self._catalog.id_of(name) for name in comp], dtype=np.int64
+        )
+        values = np.stack(list(comp.values()))
+        keep = (
+            uniform_from_index_tags(
+                self.seed, (1000 + sids).astype(np.uint64), idx
+            )
+            >= self.loss_rate
+        )
+        return assemble_sorted_batch(times, self.nodes, sids, values, keep)
+
+    def emit_reference(self, t0: float, t1: float) -> ObservationBatch:
         self._check_window(t0, t1)
         times = self.sample_times(t0, t1)
         if times.size == 0 or self.nodes.size == 0:
@@ -282,12 +325,7 @@ class PowerThermalSource(TelemetrySource):
 
         ts_grid = np.broadcast_to(times[None, :], (n_nodes, n_times))
         node_grid = np.broadcast_to(self.nodes[:, None], (n_nodes, n_times))
-        p = self.machine.power_sample_period_s
-        k = np.round(times / p).astype(np.int64)
-        idx = (
-            self.nodes.astype(np.uint64)[:, None] * np.uint64(1 << 40)
-            + k.astype(np.uint64)[None, :]
-        )
+        idx = self._sample_index(times)
 
         parts: list[ObservationBatch] = []
         for sensor_name, grid in comp.items():

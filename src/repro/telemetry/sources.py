@@ -34,6 +34,16 @@ class TelemetrySource(abc.ABC):
     def emit(self, t0: float, t1: float) -> ObservationBatch:
         """All observations with timestamps in ``[t0, t1)``."""
 
+    def emit_reference(self, t0: float, t1: float) -> ObservationBatch:
+        """Reference (unoptimized) emission path.
+
+        Sources with a batched fast :meth:`emit` keep their original
+        per-channel implementation here; the two must be byte-identical
+        (enforced by the telemetry equivalence tests) so ``emit`` stays
+        free to be rewritten for speed.  The default is simply ``emit``.
+        """
+        return self.emit(t0, t1)
+
     @abc.abstractmethod
     def nominal_bytes_per_day(self) -> float:
         """Expected raw wire volume per day at this source's scale."""

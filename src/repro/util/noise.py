@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["hash_u64", "uniform_from_index", "normal_from_index"]
+__all__ = [
+    "hash_u64",
+    "uniform_from_index",
+    "normal_from_index",
+    "uniform_from_index_tags",
+    "normal_from_index_tags",
+]
 
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
@@ -57,5 +63,40 @@ def normal_from_index(seed: int, tag: int, idx: np.ndarray) -> np.ndarray:
     """
     u1 = uniform_from_index(seed, tag * 2 + 1, idx)
     u2 = uniform_from_index(seed, tag * 2 + 2, idx)
+    u1 = np.maximum(u1, 1e-12)
+    return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+
+
+def uniform_from_index_tags(
+    seed: int, tags: np.ndarray, idx: np.ndarray
+) -> np.ndarray:
+    """Batched :func:`uniform_from_index` over many channel tags at once.
+
+    ``tags`` has shape ``(m,)``; the result has shape ``(m, *idx.shape)``
+    and row ``i`` is bit-identical to ``uniform_from_index(seed, tags[i],
+    idx)``.  Sources with tens of channels over one (component x time)
+    grid draw all their noise in a single hash pass this way.
+    """
+    tags = np.asarray(tags, dtype=np.uint64)
+    idx = np.asarray(idx, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        base = np.uint64(seed & 0xFFFFFFFFFFFFFFFF) * _MIX2 + tags * _GOLDEN
+        keyed = idx[None, ...] + base.reshape((-1,) + (1,) * idx.ndim)
+    bits = hash_u64(keyed)
+    return (bits >> np.uint64(11)).astype(np.float64) * (1.0 / (1 << 53))
+
+
+def normal_from_index_tags(
+    seed: int, tags: np.ndarray, idx: np.ndarray
+) -> np.ndarray:
+    """Batched :func:`normal_from_index` over many channel tags at once.
+
+    Row ``i`` is bit-identical to ``normal_from_index(seed, tags[i], idx)``.
+    """
+    tags = np.asarray(tags, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        doubled = tags * np.uint64(2)
+        u1 = uniform_from_index_tags(seed, doubled + np.uint64(1), idx)
+        u2 = uniform_from_index_tags(seed, doubled + np.uint64(2), idx)
     u1 = np.maximum(u1, 1e-12)
     return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)

@@ -1,0 +1,128 @@
+"""PerfRegistry: the always-on meter the benchmark snapshots."""
+
+import threading
+
+import pytest
+
+from repro.perf import PERF, PerfRegistry, baseline_mode, reset_fast_path_caches
+
+
+@pytest.fixture()
+def reg():
+    return PerfRegistry()
+
+
+def test_timer_accumulates(reg):
+    for _ in range(3):
+        with reg.timer("stage.a"):
+            pass
+    snap = reg.snapshot()["timers"]["stage.a"]
+    assert snap["calls"] == 3
+    assert snap["total_s"] >= 0.0
+    assert snap["max_s"] <= snap["total_s"]
+    assert reg.total_s("stage.a") == snap["total_s"]
+    assert reg.total_s("never.recorded") == 0.0
+
+
+def test_timer_records_on_exception(reg):
+    with pytest.raises(RuntimeError):
+        with reg.timer("stage.boom"):
+            raise RuntimeError("boom")
+    assert reg.snapshot()["timers"]["stage.boom"]["calls"] == 1
+
+
+def test_counters(reg):
+    reg.count("rows")
+    reg.count("rows", 41)
+    reg.count("bytes", 2.5)
+    assert reg.counter("rows") == 42
+    assert reg.counter("bytes") == 2.5
+    assert reg.counter("never") == 0
+
+
+def test_reset_and_snapshot_shape(reg):
+    with reg.timer("t"):
+        pass
+    reg.count("c")
+    snap = reg.snapshot()
+    assert set(snap) == {"timers", "counters"}
+    reg.reset()
+    assert reg.snapshot() == {"timers": {}, "counters": {}}
+
+
+def test_disabled_context(reg):
+    with reg.disabled():
+        with reg.timer("t"):
+            pass
+        reg.count("c")
+    assert reg.snapshot() == {"timers": {}, "counters": {}}
+    assert reg.enabled  # restored
+
+
+def test_snapshot_is_sorted_and_detached(reg):
+    reg.count("b")
+    reg.count("a")
+    snap = reg.snapshot()
+    assert list(snap["counters"]) == ["a", "b"]
+    snap["counters"]["a"] = 99  # mutating the snapshot ...
+    assert reg.counter("a") == 1  # ... must not touch the registry
+
+
+def test_thread_safety(reg):
+    def work():
+        for _ in range(500):
+            reg.count("n")
+            with reg.timer("t"):
+                pass
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert reg.counter("n") == 2000
+    assert reg.snapshot()["timers"]["t"]["calls"] == 2000
+
+
+def test_global_registry_is_wired():
+    """The data plane records into PERF under its documented names."""
+    import numpy as np
+
+    from repro.core import ODAFramework
+    from repro.telemetry import MINI, synthetic_job_mix
+
+    rng = np.random.default_rng(2)
+    allocation = synthetic_job_mix(MINI, 0.0, 30.0, rng)
+    PERF.reset()
+    with ODAFramework(MINI, allocation, seed=1) as fw:
+        fw.run_window(0.0, 30.0)
+    timers = PERF.snapshot()["timers"]
+    for name in ("window.total", "telemetry.emit", "tier.ingest"):
+        assert name in timers, f"missing {name}: have {sorted(timers)}"
+    assert timers["window.total"]["total_s"] >= timers["telemetry.emit"]["total_s"]
+
+
+def test_baseline_mode_restores_fast_path():
+    """baseline_mode() must disable every fast-path toggle and restore
+    them all on exit, even on error."""
+    from repro.columnar import compression, encodings, file_format
+    from repro.pipeline import factorize
+
+    reset_fast_path_caches()
+    with baseline_mode():
+        assert not factorize._cache_enabled
+        assert factorize._reference_mode
+        assert not encodings._memo_enabled
+        assert encodings._reference_mode
+        assert not compression._memo_enabled
+        assert not file_format._chunk_memo_enabled
+    assert factorize._cache_enabled
+    assert encodings._memo_enabled
+    assert not encodings._reference_mode
+    assert compression._memo_enabled
+    assert file_format._chunk_memo_enabled
+
+    with pytest.raises(RuntimeError):
+        with baseline_mode():
+            raise RuntimeError("boom")
+    assert factorize._cache_enabled and not encodings._reference_mode

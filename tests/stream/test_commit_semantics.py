@@ -1,0 +1,80 @@
+"""Regression tests for consumer commit semantics.
+
+A consumer that has never polled must not rewrite its group's offsets:
+commit() only writes partitions the consumer actually read or seeked.
+"""
+
+from repro.stream import Broker, Consumer, RetentionPolicy, TopicConfig
+
+
+def make_broker(n_partitions=2) -> Broker:
+    broker = Broker()
+    broker.create_topic(TopicConfig("t", n_partitions, RetentionPolicy()))
+    return broker
+
+
+def test_commit_without_poll_is_noop():
+    broker = make_broker()
+    for i in range(10):
+        broker.produce("t", i)
+    worker = Consumer(broker, "t", group="g")
+    assert len(worker.poll(None)) == 10
+    worker.commit()
+    committed = [broker.committed("g", "t", p) for p in range(2)]
+
+    # A fresh group member that commits without polling must not move
+    # the group's offsets back to its stale construction-time snapshot.
+    for i in range(10, 14):
+        broker.produce("t", i)
+    bystander = Consumer(broker, "t", group="g")
+    first_seen = [broker.committed("g", "t", p) for p in range(2)]
+    for i in range(14, 18):
+        broker.produce("t", i)
+    resumed = Consumer(broker, "t", group="g")
+    resumed.poll(None)
+    resumed.commit()
+    advanced = [broker.committed("g", "t", p) for p in range(2)]
+    assert advanced != committed  # the group moved on
+
+    bystander.commit()  # never polled: must change nothing
+    assert [broker.committed("g", "t", p) for p in range(2)] == advanced
+    assert first_seen == committed
+
+
+def test_commit_after_seek_writes_only_seeked_partition():
+    broker = make_broker()
+    for i in range(8):
+        broker.produce("t", i)
+    reader = Consumer(broker, "t", group="g")
+    reader.poll(None)
+    reader.commit()
+    before = [broker.committed("g", "t", p) for p in range(2)]
+
+    seeker = Consumer(broker, "t", group="g")
+    seeker.seek(0, 1)
+    seeker.commit()
+    after = [broker.committed("g", "t", p) for p in range(2)]
+    assert after[0] == 1  # the seeked partition moved
+    assert after[1] == before[1]  # the untouched one did not
+
+
+def test_empty_poll_marks_touched():
+    """Polling an empty topic is still an observation worth committing."""
+    broker = make_broker()
+    consumer = Consumer(broker, "t", group="g")
+    assert consumer.poll() == []
+    consumer.commit()
+    assert [broker.committed("g", "t", p) for p in range(2)] == [0, 0]
+
+
+def test_poll_slices_matches_poll():
+    b1, b2 = make_broker(), make_broker()
+    for i in range(20):
+        b1.produce("t", i)
+        b2.produce("t", i)
+    flat = Consumer(b1, "t", group="g").poll(None)
+    sliced = Consumer(b2, "t", group="g").poll_slices(None)
+    merged = [r for _, records in sliced for r in records]
+    assert [(r.partition, r.offset, r.value) for r in flat] == [
+        (r.partition, r.offset, r.value) for r in merged
+    ]
