@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick lint
+.PHONY: test bench bench-quick lint lint-json
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -13,7 +13,12 @@ bench:
 bench-quick:
 	$(PYTHON) benchmarks/bench_e2e.py --quick
 
-# No third-party linter is vendored; a full-tree bytecode compile still
-# catches syntax errors and most undefined-name typos in cold paths.
+# Bytecode compile catches syntax errors in cold paths; repro.analysis
+# then enforces the repo invariants (determinism, locking, fast-path
+# oracles, exception hygiene, layering) — see DESIGN.md §9.
 lint:
 	$(PYTHON) -m compileall -q src benchmarks examples
+	$(PYTHON) -m repro.analysis src
+
+lint-json:
+	$(PYTHON) -m repro.analysis --format json src

@@ -1,0 +1,34 @@
+"""`repro.analysis` — AST-based invariant checker for this repo.
+
+Five rule families enforce the contracts the PR-1 data plane introduced
+by convention (see DESIGN.md §9):
+
+* **DET** — no wall clock / unseeded RNG in data-plane packages;
+* **CONC** — module-level mutable state only touched under a lock;
+* **ORACLE** — every fast path keeps a reference oracle wired into
+  ``repro.perf.baseline``;
+* **EXC** — no silent exception swallows; typed stream errors;
+* **IMP** — hourglass layering between packages.
+
+Findings are suppressible in place with
+``# repro: ignore[RULE-ID] -- justification``.
+
+Run as ``python -m repro.analysis src`` or via ``make lint``.
+"""
+
+from repro.analysis.engine import Checker, ModuleContext, Rule
+from repro.analysis.findings import ERROR, WARNING, Finding, rule_family
+from repro.analysis.rules import ALL_RULE_CLASSES, make_rules, select_rules
+
+__all__ = [
+    "ALL_RULE_CLASSES",
+    "Checker",
+    "ERROR",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "WARNING",
+    "make_rules",
+    "rule_family",
+    "select_rules",
+]

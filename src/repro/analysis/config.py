@@ -1,0 +1,96 @@
+"""Repo-specific policy shared by the rule families.
+
+The rules themselves are generic AST machinery; everything that encodes
+*this* codebase's architecture — which packages form the deterministic
+data plane, which layer may import which, where seeded RNG helpers live
+— is collected here so a policy change is a one-file diff.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DATA_PLANE_PACKAGES",
+    "RNG_ALLOWLIST_MODULES",
+    "ALWAYS_ALLOWED_IMPORTS",
+    "LAYER_ALLOWED_IMPORTS",
+    "BASELINE_MODULE",
+    "STREAM_PACKAGE",
+]
+
+#: Packages whose outputs must be bit-reproducible across runs and
+#: executors (the PR-1 parallel data plane).  DET rules apply here.
+DATA_PLANE_PACKAGES = frozenset(
+    {
+        "repro.stream",
+        "repro.pipeline",
+        "repro.columnar",
+        "repro.core",
+    }
+)
+
+#: Modules exempt from DET rules even when nested in a checked package:
+#: the seeded-stream factory itself, and the perf harness (timers are
+#: wall-clock by design).
+RNG_ALLOWLIST_MODULES = ("repro.util.rng", "repro.perf")
+
+#: Module that must register every fast-path reference toggle
+#: (ORACLE003).
+BASELINE_MODULE = "repro.perf.baseline"
+
+#: Package whose error paths must raise the typed broker errors
+#: (EXC003).
+STREAM_PACKAGE = "repro.stream"
+
+#: Packages every layer may import: itself, the ``repro`` root facade,
+#: pure helpers (``util``) and the cross-cutting instrumentation spine
+#: (``perf`` — its registry imports nothing of the data plane eagerly).
+ALWAYS_ALLOWED_IMPORTS = frozenset({"repro", "repro.util", "repro.perf"})
+
+#: The hourglass layering.  ``package -> packages it may import`` (plus
+#: ``ALWAYS_ALLOWED_IMPORTS`` and itself).  ``repro.core`` is the
+#: orchestration waist and may import everything, as may root modules.
+#: Notable prohibitions the paper's trust model demands: ``telemetry``
+#: (raw producers) must not reach up into ``storage``/``apps``, and
+#: ``columnar`` (pure kernels) must not know about ``stream`` transport.
+LAYER_ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
+    "repro.util": frozenset(),
+    "repro.telemetry": frozenset({"repro.columnar"}),
+    "repro.stream": frozenset(),
+    "repro.analysis": frozenset(),
+    "repro.columnar": frozenset(),
+    "repro.perf": frozenset(
+        {"repro.columnar", "repro.pipeline", "repro.telemetry"}
+    ),
+    "repro.pipeline": frozenset(
+        {"repro.columnar", "repro.telemetry", "repro.stream"}
+    ),
+    "repro.storage": frozenset({"repro.columnar", "repro.telemetry"}),
+    "repro.scheduler": frozenset({"repro.telemetry"}),
+    "repro.ml": frozenset({"repro.columnar", "repro.pipeline"}),
+    "repro.governance": frozenset({"repro.columnar"}),
+    "repro.twin": frozenset({"repro.telemetry"}),
+    "repro.apps": frozenset(
+        {
+            "repro.columnar",
+            "repro.pipeline",
+            "repro.storage",
+            "repro.scheduler",
+            "repro.telemetry",
+        }
+    ),
+    "repro.core": frozenset(
+        {
+            "repro.apps",
+            "repro.columnar",
+            "repro.governance",
+            "repro.ml",
+            "repro.perf",
+            "repro.pipeline",
+            "repro.scheduler",
+            "repro.storage",
+            "repro.stream",
+            "repro.telemetry",
+            "repro.twin",
+        }
+    ),
+}

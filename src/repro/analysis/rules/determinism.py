@@ -1,0 +1,137 @@
+"""DET — determinism rules for the data plane.
+
+The PR-1 parallel data plane is only trustworthy because serial and
+threaded runs are byte-identical; that guarantee dies the moment a
+kernel consults the wall clock or an unseeded RNG.  These rules ban
+both inside the data-plane packages (``stream``, ``pipeline``,
+``columnar``, ``core``).  Monotonic duration timers
+(``time.perf_counter``/``time.monotonic``) stay legal — they feed the
+perf registry, never data.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import DATA_PLANE_PACKAGES, RNG_ALLOWLIST_MODULES
+from repro.analysis.engine import ModuleContext, Rule
+
+__all__ = ["WallClock", "UnseededRandom"]
+
+#: Wall-clock reads that leak real time into data.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: numpy.random entry points that are fine *with an explicit seed/bit
+#: generator argument* (flagged only when called with no arguments).
+_NP_SEEDABLE = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.MT19937",
+        "numpy.random.SFC64",
+        "numpy.random.RandomState",
+    }
+)
+
+
+def _applies(ctx: ModuleContext) -> bool:
+    if ctx.top_package() not in DATA_PLANE_PACKAGES:
+        return False
+    return not any(
+        ctx.module == m or ctx.module.startswith(m + ".")
+        for m in RNG_ALLOWLIST_MODULES
+    )
+
+
+class WallClock(Rule):
+    id = "DET001"
+    name = "wall-clock-in-data-plane"
+    description = (
+        "data-plane code must not read the wall clock (time.time, "
+        "datetime.now, ...); use the SimClock or monotonic timers"
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx: ModuleContext) -> None:
+        if not _applies(ctx):
+            return
+        qual = ctx.qualified_name(node.func)
+        if qual in _WALL_CLOCK:
+            ctx.report(
+                self,
+                node,
+                f"wall-clock call {qual}() in data-plane module "
+                f"{ctx.module}; results become run-dependent",
+            )
+
+
+class UnseededRandom(Rule):
+    id = "DET002"
+    name = "unseeded-rng-in-data-plane"
+    description = (
+        "data-plane code must draw randomness from an explicitly seeded "
+        "numpy Generator (repro.util.rng), never global random state"
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx: ModuleContext) -> None:
+        if not _applies(ctx):
+            return
+        qual = ctx.qualified_name(node.func)
+        if qual is None:
+            return
+        if qual in _NP_SEEDABLE:
+            if not node.args and not node.keywords:
+                ctx.report(
+                    self,
+                    node,
+                    f"{qual}() without an explicit seed in {ctx.module}; "
+                    "derive one via repro.util.rng",
+                )
+            return
+        if qual.startswith("numpy.random."):
+            # Any other numpy.random attribute call is the legacy
+            # global-state API (np.random.rand, np.random.seed, ...).
+            ctx.report(
+                self,
+                node,
+                f"global-state RNG call {qual}() in {ctx.module}; "
+                "use a seeded numpy Generator from repro.util.rng",
+            )
+            return
+        if qual == "random.Random":
+            if not node.args and not node.keywords:
+                ctx.report(
+                    self,
+                    node,
+                    "random.Random() without a seed in data-plane code",
+                )
+            return
+        if qual == "random.SystemRandom":
+            ctx.report(
+                self, node, "random.SystemRandom is never reproducible"
+            )
+            return
+        if qual.startswith("random."):
+            ctx.report(
+                self,
+                node,
+                f"stdlib global-state RNG call {qual}() in {ctx.module}; "
+                "use a seeded numpy Generator from repro.util.rng",
+            )

@@ -1,0 +1,118 @@
+"""EXC — exception-hygiene rules.
+
+Silent swallows are how terabyte-scale corruption goes unnoticed until
+the Gold tables are wrong: the OLCF medallion lifecycle in the paper
+promotes data *because* each stage either succeeds or fails loudly.
+
+* **EXC001** — bare ``except:`` (catches ``KeyboardInterrupt`` and
+  ``SystemExit`` too; always a bug here).
+* **EXC002** — ``except Exception:`` / ``except BaseException:`` whose
+  body is only ``pass``/``...`` — an error path that destroys the
+  evidence.
+* **EXC003** — inside ``repro.stream``, ``raise`` of a generic builtin
+  lookup/runtime error (``KeyError``, ``IndexError``, ``RuntimeError``,
+  ``Exception``).  PR 1 introduced typed broker errors
+  (``UnknownTopicError``, ``UnknownPartitionError``) precisely so
+  consumers can tell "topic missing" from an arbitrary bug; new
+  transport code must keep using them.  ``ValueError`` for argument
+  validation stays legal.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import STREAM_PACKAGE
+from repro.analysis.engine import ModuleContext, Rule
+
+__all__ = ["BareExcept", "SwallowedException", "StreamUntypedRaise"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+_STREAM_BANNED_RAISES = frozenset(
+    {"KeyError", "IndexError", "RuntimeError", "Exception", "BaseException"}
+)
+
+
+class BareExcept(Rule):
+    id = "EXC001"
+    name = "bare-except"
+    description = "bare `except:` also traps SystemExit/KeyboardInterrupt"
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.ExceptHandler, ctx: ModuleContext) -> None:
+        if node.type is None:
+            ctx.report(
+                self,
+                node,
+                "bare `except:`; name the exceptions this path expects",
+            )
+
+
+class SwallowedException(Rule):
+    id = "EXC002"
+    name = "swallowed-broad-except"
+    description = (
+        "`except Exception: pass` hides failures; log, re-raise or "
+        "narrow the type"
+    )
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.ExceptHandler, ctx: ModuleContext) -> None:
+        if node.type is None:
+            return  # EXC001's finding; don't double-report
+        if not self._is_broad(node.type) or not self._body_is_noop(node.body):
+            return
+        ctx.report(
+            self,
+            node,
+            "broad except whose body is only pass/...; the failure "
+            "vanishes without a trace",
+        )
+
+    @staticmethod
+    def _is_broad(type_node: ast.AST) -> bool:
+        if isinstance(type_node, ast.Name):
+            return type_node.id in _BROAD
+        if isinstance(type_node, ast.Tuple):
+            return any(
+                isinstance(el, ast.Name) and el.id in _BROAD
+                for el in type_node.elts
+            )
+        return False
+
+    @staticmethod
+    def _body_is_noop(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ):
+                continue  # docstring or `...`
+            return False
+        return True
+
+
+class StreamUntypedRaise(Rule):
+    id = "EXC003"
+    name = "stream-untyped-raise"
+    description = (
+        "repro.stream error paths must raise the typed broker errors "
+        "(UnknownTopicError/UnknownPartitionError subclasses), not "
+        "generic KeyError/IndexError/RuntimeError"
+    )
+    node_types = (ast.Raise,)
+
+    def visit(self, node: ast.Raise, ctx: ModuleContext) -> None:
+        if ctx.top_package() != STREAM_PACKAGE:
+            return
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) and exc.id in _STREAM_BANNED_RAISES:
+            ctx.report(
+                self,
+                node,
+                f"raise {exc.id} in {ctx.module}; use the typed stream "
+                "errors so consumers can distinguish transport faults",
+            )

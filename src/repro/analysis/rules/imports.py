@@ -1,0 +1,103 @@
+"""IMP — hourglass-layering rules.
+
+The architecture is an hourglass: raw telemetry producers at the top,
+pure columnar/pipeline kernels in the waist, orchestration (``core``)
+and consumers (``apps``) at the bottom.  ``config.LAYER_ALLOWED_IMPORTS``
+is the whole policy; this rule just resolves every ``import``/``from``
+(absolute or relative) to a ``repro.<package>`` target and checks the
+edge.  Unlisted packages are conservatively denied so a brand-new
+package must declare its place in the hourglass before anything may
+import it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import (
+    ALWAYS_ALLOWED_IMPORTS,
+    LAYER_ALLOWED_IMPORTS,
+)
+from repro.analysis.engine import ModuleContext, Rule
+
+__all__ = ["LayerViolation"]
+
+
+class LayerViolation(Rule):
+    id = "IMP001"
+    name = "layering-violation"
+    description = (
+        "packages may only import the layers beneath them "
+        "(see repro.analysis.config.LAYER_ALLOWED_IMPORTS)"
+    )
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        source = ctx.top_package()
+        if not source or not source.startswith("repro"):
+            return
+        if source == "repro":
+            return  # root modules are the public facade; anything goes
+        for target in self._targets(node, ctx):
+            self._check_edge(source, target, node, ctx)
+
+    # -- resolution ----------------------------------------------------------
+
+    def _targets(self, node: ast.AST, ctx: ModuleContext) -> list[str]:
+        """Dotted repro modules this statement imports."""
+        if isinstance(node, ast.Import):
+            return [
+                alias.name
+                for alias in node.names
+                if alias.name == "repro" or alias.name.startswith("repro.")
+            ]
+        assert isinstance(node, ast.ImportFrom)
+        base = node.module or ""
+        if node.level:
+            anchor = ctx.module.split(".")
+            # level=1 is the current package.  ctx.module already names
+            # the package for __init__ files, so they climb one less.
+            if not anchor:
+                return []
+            drop = node.level - 1 if self._is_package(ctx) else node.level
+            anchor = anchor[: len(anchor) - drop] if drop else anchor
+            base = ".".join(anchor + ([base] if base else []))
+        if not (base == "repro" or base.startswith("repro.")):
+            return []
+        if base == "repro":
+            # `from repro import columnar` imports subpackages; map each
+            # imported name that is a known package to that package.
+            out = []
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                candidate = f"repro.{alias.name}"
+                out.append(
+                    candidate
+                    if candidate in LAYER_ALLOWED_IMPORTS
+                    else "repro"
+                )
+            return out
+        return [base]
+
+    @staticmethod
+    def _is_package(ctx: ModuleContext) -> bool:
+        return ctx.path.endswith("__init__.py")
+
+    # -- policy --------------------------------------------------------------
+
+    def _check_edge(
+        self, source: str, target: str, node: ast.AST, ctx: ModuleContext
+    ) -> None:
+        target_pkg = ".".join(target.split(".")[:2])
+        if target_pkg in ALWAYS_ALLOWED_IMPORTS or target_pkg == source:
+            return
+        allowed = LAYER_ALLOWED_IMPORTS.get(source)
+        if allowed is not None and target_pkg in allowed:
+            return
+        ctx.report(
+            self,
+            node,
+            f"{source} must not import {target_pkg} (allowed: "
+            f"{sorted(allowed or ()) or 'only util/perf'})",
+        )

@@ -1,0 +1,73 @@
+"""Suppression pragmas: ``# repro: ignore[RULE-ID] -- justification``.
+
+A pragma on any physical line spanned by the offending statement waives
+matching findings on that statement.  The bracket accepts a comma-
+separated list of rule ids or whole families (``DET``), and everything
+after the bracket is the (expected) one-line justification.  Pragmas are
+read from real COMMENT tokens — a pragma-shaped substring inside a
+string literal does not suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["SuppressionMap", "collect_suppressions"]
+
+_PRAGMA = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s-]+)\]")
+
+
+class SuppressionMap:
+    """Per-file map of physical line -> suppressed rule ids/families."""
+
+    def __init__(self) -> None:
+        self._by_line: dict[int, frozenset[str]] = {}
+
+    def add(self, line: int, ids: frozenset[str]) -> None:
+        self._by_line[line] = self._by_line.get(line, frozenset()) | ids
+
+    def matches(self, rule_id: str, family: str, start: int, end: int) -> bool:
+        """True if any line in ``[start, end]`` suppresses ``rule_id``.
+
+        ``end`` is clamped to ``start`` when the node has no end line.
+        """
+        for line in range(start, max(start, end) + 1):
+            ids = self._by_line.get(line)
+            if ids and (rule_id in ids or family in ids):
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def collect_suppressions(source: str) -> SuppressionMap:
+    """Extract every suppression pragma from ``source``.
+
+    The source is assumed to already be valid Python (the caller parsed
+    it); a tokenizer error therefore means an encoding oddity, and we
+    fall back to a line-regex scan rather than losing all pragmas.
+    """
+    smap = SuppressionMap()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA.search(tok.string)
+            if match:
+                smap.add(tok.start[0], _parse_ids(match.group(1)))
+    except (tokenize.TokenError, IndentationError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA.search(line)
+            if match:
+                smap.add(lineno, _parse_ids(match.group(1)))
+    return smap
+
+
+def _parse_ids(raw: str) -> frozenset[str]:
+    return frozenset(
+        token.strip().upper() for token in raw.split(",") if token.strip()
+    )

@@ -1,0 +1,39 @@
+"""Smoke tests for the packaging surface of the analyzer."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tomllib
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def test_console_entry_point_imports():
+    from repro.analysis.__main__ import main, run
+
+    assert callable(main) and callable(run)
+
+
+def test_pyproject_declares_repro_lint_script():
+    with open(os.path.join(REPO_ROOT, "pyproject.toml"), "rb") as fh:
+        pyproject = tomllib.load(fh)
+    scripts = pyproject["project"]["scripts"]
+    assert scripts["repro-lint"] == "repro.analysis.__main__:main"
+
+
+def test_module_is_runnable_via_dash_m(tmp_path):
+    # `python -m repro.analysis --list-rules` must work from anywhere.
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--list-rules"],
+        capture_output=True,
+        text=True,
+        cwd=tmp_path,
+        env=env,
+    )
+    assert proc.returncode == 0
+    assert "DET001" in proc.stdout

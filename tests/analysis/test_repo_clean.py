@@ -1,0 +1,28 @@
+"""Tier-1 self-check: the repo's own source tree has zero unsuppressed
+findings.  Any rule regression — or any new code that breaks a
+determinism/concurrency/oracle/exception/layering invariant — fails
+pytest directly, not just `make lint`."""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis import Checker, make_rules
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def test_src_tree_is_finding_free():
+    checker = Checker(make_rules())
+    findings = checker.run([SRC])
+    active = [f for f in findings if not f.suppressed]
+    assert active == [], "unsuppressed findings:\n" + "\n".join(
+        f.render() for f in active
+    )
+
+
+def test_every_rule_family_ran():
+    # Guard against the self-check passing because rules were dropped.
+    families = {rule.id.rstrip("0123456789") for rule in make_rules()}
+    assert {"DET", "CONC", "ORACLE", "EXC", "IMP"} <= families

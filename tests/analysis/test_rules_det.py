@@ -1,0 +1,98 @@
+"""DET rules: wall clock and unseeded RNG are banned in the data plane."""
+
+
+class TestWallClock:
+    def test_time_time_flagged(self, rule_ids):
+        assert "DET001" in rule_ids(
+            """
+            import time
+            def stamp():
+                return time.time()
+            """
+        )
+
+    def test_datetime_now_flagged_via_from_import(self, rule_ids):
+        assert "DET001" in rule_ids(
+            """
+            from datetime import datetime
+            def stamp():
+                return datetime.now()
+            """
+        )
+
+    def test_perf_counter_allowed(self, rule_ids):
+        # Monotonic duration timers feed the perf registry, never data.
+        assert rule_ids(
+            """
+            import time
+            def timed():
+                t0 = time.perf_counter()
+                return time.perf_counter() - t0
+            """
+        ) == []
+
+    def test_only_data_plane_packages_checked(self, rule_ids):
+        source = """
+            import time
+            def stamp():
+                return time.time()
+            """
+        assert rule_ids(source, module="repro.telemetry.fixture") == []
+        assert "DET001" in rule_ids(source, module="repro.stream.fixture")
+        assert "DET001" in rule_ids(source, module="repro.core.fixture")
+
+
+class TestUnseededRandom:
+    def test_np_random_legacy_api_flagged(self, rule_ids):
+        assert "DET002" in rule_ids(
+            """
+            import numpy as np
+            def draw():
+                return np.random.rand(4)
+            """
+        )
+
+    def test_default_rng_without_seed_flagged(self, rule_ids):
+        assert "DET002" in rule_ids(
+            """
+            import numpy as np
+            def draw():
+                return np.random.default_rng().random()
+            """
+        )
+
+    def test_default_rng_with_seed_allowed(self, rule_ids):
+        assert rule_ids(
+            """
+            import numpy as np
+            def draw():
+                return np.random.default_rng(42).random()
+            """
+        ) == []
+
+    def test_stdlib_random_flagged(self, rule_ids):
+        assert "DET002" in rule_ids(
+            """
+            import random
+            def draw():
+                return random.random()
+            """
+        )
+
+    def test_seeded_random_instance_allowed(self, rule_ids):
+        assert rule_ids(
+            """
+            import random
+            def draw():
+                return random.Random(7).random()
+            """
+        ) == []
+
+    def test_rng_allowlist_module_exempt(self, rule_ids):
+        # repro.util.rng and repro.perf may touch RNG/clock machinery.
+        source = """
+            import numpy as np
+            def draw():
+                return np.random.default_rng()
+            """
+        assert rule_ids(source, module="repro.perf.fixture") == []

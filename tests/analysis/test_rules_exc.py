@@ -1,0 +1,109 @@
+"""EXC rules: no bare excepts, no silent swallows, typed stream errors."""
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self, rule_ids):
+        assert "EXC001" in rule_ids(
+            """
+            def f():
+                try:
+                    return 1
+                except:
+                    return 0
+            """
+        )
+
+    def test_typed_except_passes(self, rule_ids):
+        assert rule_ids(
+            """
+            def f(d):
+                try:
+                    return d["k"]
+                except KeyError:
+                    return None
+            """
+        ) == []
+
+
+class TestSwallowedException:
+    def test_except_exception_pass_flagged(self, rule_ids):
+        assert "EXC002" in rule_ids(
+            """
+            def f():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """
+        )
+
+    def test_broad_except_that_reraises_passes(self, rule_ids):
+        # The checkpoint-store pattern: clean up, then re-raise.
+        assert rule_ids(
+            """
+            def f(tmp):
+                try:
+                    work()
+                except BaseException:
+                    cleanup(tmp)
+                    raise
+            """
+        ) == []
+
+    def test_narrow_except_pass_allowed(self, rule_ids):
+        # Swallowing a *specific* exception is a legitimate pattern
+        # (e.g. FileNotFoundError on a best-effort cleanup).
+        assert rule_ids(
+            """
+            def f(path):
+                try:
+                    remove(path)
+                except FileNotFoundError:
+                    pass
+            """
+        ) == []
+
+
+class TestStreamUntypedRaise:
+    def test_keyerror_in_stream_flagged(self, rule_ids):
+        assert "EXC003" in rule_ids(
+            """
+            def fetch(topics, topic):
+                if topic not in topics:
+                    raise KeyError(topic)
+            """,
+            module="repro.stream.fixture",
+        )
+
+    def test_typed_error_in_stream_passes(self, rule_ids):
+        assert rule_ids(
+            """
+            class UnknownTopicError(KeyError):
+                pass
+
+            def fetch(topics, topic):
+                if topic not in topics:
+                    raise UnknownTopicError(topic)
+            """,
+            module="repro.stream.fixture",
+        ) == []
+
+    def test_valueerror_validation_in_stream_passes(self, rule_ids):
+        assert rule_ids(
+            """
+            def configure(n):
+                if n <= 0:
+                    raise ValueError("n must be positive")
+            """,
+            module="repro.stream.fixture",
+        ) == []
+
+    def test_keyerror_outside_stream_ignored(self, rule_ids):
+        assert "EXC003" not in rule_ids(
+            """
+            def get(d, k):
+                if k not in d:
+                    raise KeyError(k)
+            """,
+            module="repro.storage.fixture",
+        )
