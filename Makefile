@@ -1,10 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick lint lint-json
+.PHONY: test bench bench-quick chaos lint lint-json
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Fault-injection suite: deterministic chaos plans (repro.faults) plus
+# the crash/restart harness asserting Gold output is byte-identical to
+# a fault-free run — see DESIGN.md §10.
+chaos:
+	$(PYTHON) -m pytest -x -q tests/faults tests/integration/test_crash_recovery.py
 
 bench:
 	$(PYTHON) -m pytest -q benchmarks/

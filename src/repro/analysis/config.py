@@ -15,16 +15,21 @@ __all__ = [
     "LAYER_ALLOWED_IMPORTS",
     "BASELINE_MODULE",
     "STREAM_PACKAGE",
+    "RETRY_MODULE",
+    "TRANSIENT_ERROR_NAMES",
 ]
 
 #: Packages whose outputs must be bit-reproducible across runs and
 #: executors (the PR-1 parallel data plane).  DET rules apply here.
+#: ``repro.faults`` is included on purpose: a fault run that consults
+#: the wall clock or global RNG is not replayable, defeating the point.
 DATA_PLANE_PACKAGES = frozenset(
     {
         "repro.stream",
         "repro.pipeline",
         "repro.columnar",
         "repro.core",
+        "repro.faults",
     }
 )
 
@@ -41,6 +46,23 @@ BASELINE_MODULE = "repro.perf.baseline"
 #: (EXC003).
 STREAM_PACKAGE = "repro.stream"
 
+#: The only module allowed to catch the broker's transient error types
+#: (EXC004).  Everything else must go through its ``call_with_retry``
+#: so retries and give-ups are policy-driven and counted, never ad-hoc.
+RETRY_MODULE = "repro.faults.retry"
+
+#: The transient (retry-safe) error types, by class name.  Matching is
+#: by final name component so both ``except FetchTimeoutError`` and
+#: ``except errors.FetchTimeoutError`` are caught.
+TRANSIENT_ERROR_NAMES = frozenset(
+    {
+        "TransientStreamError",
+        "FetchTimeoutError",
+        "ProduceUnavailableError",
+        "TransientTierError",
+    }
+)
+
 #: Packages every layer may import: itself, the ``repro`` root facade,
 #: pure helpers (``util``) and the cross-cutting instrumentation spine
 #: (``perf`` — its registry imports nothing of the data plane eagerly).
@@ -55,16 +77,25 @@ ALWAYS_ALLOWED_IMPORTS = frozenset({"repro", "repro.util", "repro.perf"})
 LAYER_ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "repro.util": frozenset(),
     "repro.telemetry": frozenset({"repro.columnar"}),
-    "repro.stream": frozenset(),
+    "repro.stream": frozenset({"repro.faults"}),
     "repro.analysis": frozenset(),
     "repro.columnar": frozenset(),
     "repro.perf": frozenset(
         {"repro.columnar", "repro.pipeline", "repro.telemetry"}
     ),
     "repro.pipeline": frozenset(
-        {"repro.columnar", "repro.telemetry", "repro.stream"}
+        {"repro.columnar", "repro.telemetry", "repro.stream", "repro.faults"}
     ),
-    "repro.storage": frozenset({"repro.columnar", "repro.telemetry"}),
+    "repro.storage": frozenset(
+        {"repro.columnar", "repro.telemetry", "repro.faults"}
+    ),
+    # The fault layer wraps the data plane (broker, checkpoints, tiers)
+    # and its retry module is imported back by stream/pipeline/storage —
+    # a deliberate, narrow cycle confined to repro.faults.retry, which
+    # itself only needs repro.stream.errors.
+    "repro.faults": frozenset(
+        {"repro.stream", "repro.pipeline", "repro.storage", "repro.columnar"}
+    ),
     "repro.scheduler": frozenset({"repro.telemetry"}),
     "repro.ml": frozenset({"repro.columnar", "repro.pipeline"}),
     "repro.governance": frozenset({"repro.columnar"}),
@@ -82,6 +113,7 @@ LAYER_ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
         {
             "repro.apps",
             "repro.columnar",
+            "repro.faults",
             "repro.governance",
             "repro.ml",
             "repro.perf",

@@ -13,6 +13,7 @@ from repro.analysis.rules.exceptions import (
     BareExcept,
     StreamUntypedRaise,
     SwallowedException,
+    TransientCatchOutsideRetry,
 )
 from repro.analysis.rules.imports import LayerViolation
 from repro.analysis.rules.oracle import (
@@ -35,6 +36,7 @@ ALL_RULE_CLASSES: tuple[type[Rule], ...] = (
     BareExcept,
     SwallowedException,
     StreamUntypedRaise,
+    TransientCatchOutsideRetry,
     LayerViolation,
 )
 

@@ -16,16 +16,30 @@ promotes data *because* each stage either succeeds or fails loudly.
   consumers can tell "topic missing" from an arbitrary bug; new
   transport code must keep using them.  ``ValueError`` for argument
   validation stays legal.
+* **EXC004** — ``except`` over one of the broker's *transient* error
+  types (``TransientStreamError`` and subclasses) anywhere except the
+  retry wrappers in ``repro.faults.retry``.  An ad-hoc catch turns a
+  counted, policy-driven retry into an invisible swallow; route the
+  call through ``call_with_retry`` instead.
 """
 
 from __future__ import annotations
 
 import ast
 
-from repro.analysis.config import STREAM_PACKAGE
+from repro.analysis.config import (
+    RETRY_MODULE,
+    STREAM_PACKAGE,
+    TRANSIENT_ERROR_NAMES,
+)
 from repro.analysis.engine import ModuleContext, Rule
 
-__all__ = ["BareExcept", "SwallowedException", "StreamUntypedRaise"]
+__all__ = [
+    "BareExcept",
+    "SwallowedException",
+    "StreamUntypedRaise",
+    "TransientCatchOutsideRetry",
+]
 
 _BROAD = frozenset({"Exception", "BaseException"})
 _STREAM_BANNED_RAISES = frozenset(
@@ -116,3 +130,43 @@ class StreamUntypedRaise(Rule):
                 f"raise {exc.id} in {ctx.module}; use the typed stream "
                 "errors so consumers can distinguish transport faults",
             )
+
+
+class TransientCatchOutsideRetry(Rule):
+    id = "EXC004"
+    name = "transient-catch-outside-retry"
+    description = (
+        "the broker's transient error types may only be caught by the "
+        "retry wrappers in repro.faults.retry; everywhere else, route "
+        "the call through call_with_retry so retries are counted"
+    )
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.ExceptHandler, ctx: ModuleContext) -> None:
+        if not ctx.module or ctx.module == RETRY_MODULE:
+            return
+        if node.type is None:
+            return
+        for caught in self._caught_names(node.type, ctx):
+            leaf = caught.rsplit(".", 1)[-1]
+            if leaf in TRANSIENT_ERROR_NAMES:
+                ctx.report(
+                    self,
+                    node,
+                    f"except {leaf} in {ctx.module}; transient stream "
+                    f"faults must go through {RETRY_MODULE}.call_with_retry",
+                )
+
+    @staticmethod
+    def _caught_names(type_node: ast.AST, ctx: ModuleContext) -> list[str]:
+        nodes = (
+            type_node.elts
+            if isinstance(type_node, ast.Tuple)
+            else [type_node]
+        )
+        out = []
+        for el in nodes:
+            qual = ctx.qualified_name(el)
+            if qual is not None:
+                out.append(qual)
+        return out

@@ -1,0 +1,38 @@
+"""Error types raised by the fault-injection layer.
+
+Two families, mirroring :mod:`repro.stream.errors`:
+
+* transient faults (:class:`TransientTierError` plus the stream's own
+  :class:`~repro.stream.errors.TransientStreamError` subclasses) — the
+  retry wrappers absorb these;
+* :class:`SimulatedCrash` — a modelled process kill.  It subclasses
+  ``BaseException`` exactly like ``KeyboardInterrupt`` so that no
+  ``except Exception`` on the data path can accidentally survive a
+  "kill"; only the crash/restart harness catches it.
+"""
+
+from __future__ import annotations
+
+from repro.stream.errors import TransientStreamError
+
+__all__ = ["TransientTierError", "SimulatedCrash"]
+
+
+class TransientTierError(TransientStreamError):
+    """A storage-tier write transiently failed (lake or object store);
+    safe to retry because the write either did not land or is
+    idempotent per key."""
+
+
+class SimulatedCrash(BaseException):
+    """The fault plan killed the process at ``site``.
+
+    Deliberately *not* an :class:`Exception` subclass: a real ``kill -9``
+    cannot be caught, so neither can this — except by the restart
+    harness, which models the supervisor that restarts the query.
+    """
+
+    def __init__(self, site: str, call_index: int) -> None:
+        super().__init__(f"simulated crash at {site} (call {call_index})")
+        self.site = site
+        self.call_index = call_index

@@ -1,0 +1,120 @@
+"""Crash/restart harness: supervise a streaming query under a fault plan.
+
+The effectively-once contract (§V-B) says: an at-least-once source plus
+a checkpointed driver plus an idempotent sink yields output identical to
+a fault-free run, no matter where crashes land.  This module is the
+machinery that *proves* it for a given plan:
+
+* :class:`IdempotentTableSink` — the canonical idempotent sink (last
+  write per ``batch_id`` wins) with a byte-stable serialization of the
+  final output for oracle comparison.
+* :func:`run_with_restarts` — the supervisor loop: build the query,
+  drive it, and on a :class:`~repro.faults.errors.SimulatedCrash` or a
+  retry give-up, rebuild it from the checkpoint and carry on.
+
+Kept out of ``repro.faults.__init__``'s eager imports: the data plane
+imports ``repro.faults.retry`` at module scope, and this module imports
+the data plane back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.columnar.file_format import write_table
+from repro.columnar.table import ColumnTable
+from repro.faults.errors import SimulatedCrash
+from repro.faults.retry import RetryExhaustedError
+from repro.pipeline.micro_batch import StreamingQuery
+
+__all__ = ["IdempotentTableSink", "ChaosResult", "run_with_restarts"]
+
+
+class IdempotentTableSink:
+    """A sink where the last write per ``batch_id`` wins.
+
+    Re-delivering a batch overwrites its previous output, so replays
+    after a crash are absorbed instead of duplicated — the contract
+    :class:`~repro.pipeline.micro_batch.StreamingQuery` requires of its
+    sink.  In production this role is played by a keyed table write
+    (e.g. an object-store part file named by batch id); a dict models it
+    exactly and survives "process death" the way durable storage does.
+    """
+
+    def __init__(self) -> None:
+        self.batches: dict[int, ColumnTable] = {}
+        self.writes = 0
+
+    def __call__(self, batch_id: int, table: ColumnTable) -> None:
+        self.writes += 1
+        self.batches[batch_id] = table
+
+    def result_table(self) -> ColumnTable:
+        """All batch outputs concatenated in batch-id order."""
+        tables = [
+            self.batches[b] for b in sorted(self.batches)
+            if self.batches[b].num_rows
+        ]
+        if not tables:
+            return ColumnTable({})
+        return ColumnTable.concat(tables)
+
+    def result_bytes(self) -> bytes:
+        """Byte-stable serialization of :meth:`result_table` — the value
+        two runs must agree on for the effectively-once check."""
+        table = self.result_table()
+        if table.num_rows == 0:
+            return b""
+        return write_table(table)
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """Outcome of one supervised run."""
+
+    crashes: int
+    giveups: int
+    restarts: int
+    batches: int
+
+    @property
+    def clean(self) -> bool:
+        """True when the run needed no restart at all."""
+        return self.restarts == 0
+
+
+def run_with_restarts(
+    make_query: Callable[[], StreamingQuery],
+    max_restarts: int = 50,
+    max_batches_per_run: int = 1000,
+) -> ChaosResult:
+    """Drive a query to completion across crashes.
+
+    ``make_query`` must rebuild the query *from its checkpoint store* —
+    the supervisor calls it after every simulated death, exactly like a
+    process manager restarting a worker.  Raises ``RuntimeError`` if the
+    query cannot drain within ``max_restarts`` restarts (a plan that
+    faults every invocation of a site forever is unrecoverable by
+    design).
+    """
+    crashes = 0
+    giveups = 0
+    batches = 0
+    for restarts in range(max_restarts + 1):
+        query = make_query()
+        try:
+            results = query.run_until_caught_up(max_batches=max_batches_per_run)
+            batches += len(results)
+            if query.lag() == 0:
+                return ChaosResult(crashes, giveups, restarts, batches)
+        except SimulatedCrash:
+            crashes += 1
+            batches += len(query.history)
+        except RetryExhaustedError:
+            giveups += 1
+            batches += len(query.history)
+    raise RuntimeError(
+        f"query did not drain within {max_restarts} restarts "
+        f"({crashes} crashes, {giveups} retry give-ups)"
+    )

@@ -1,0 +1,143 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is pure data: "the Nth invocation of site S fails
+with kind K".  Nothing about it consults the wall clock or global RNG,
+so a failure run is replayable byte-for-byte — rerunning the same plan
+against the same input injects the same faults at the same points.
+
+Plans are written by hand for targeted tests or drawn from a seed via
+:meth:`FaultPlan.seeded`, which derives an independent named RNG stream
+per site (the :mod:`repro.util.rng` discipline), so adding a site to a
+plan never perturbs the draws of the others.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.util.rng import derive_seed
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan"]
+
+
+class FaultKind(enum.Enum):
+    """Taxonomy of injectable faults (see DESIGN.md §10)."""
+
+    #: Fetch fails with :class:`~repro.stream.errors.FetchTimeoutError`.
+    FETCH_ERROR = "fetch_error"
+    #: Produce fails with
+    #: :class:`~repro.stream.errors.ProduceUnavailableError`.
+    PRODUCE_ERROR = "produce_error"
+    #: A tier write fails with
+    #: :class:`~repro.faults.errors.TransientTierError`.
+    TIER_ERROR = "tier_error"
+    #: A checkpoint commit dies mid-write, leaving truncated JSON on
+    #: disk (then raises :class:`~repro.faults.errors.SimulatedCrash`).
+    TORN_CHECKPOINT = "torn_checkpoint"
+    #: The process dies at the site (``SimulatedCrash``), no side effect.
+    CRASH = "crash"
+    #: The operation succeeds but takes ``arg`` extra virtual seconds.
+    SLOW_READ = "slow_read"
+    #: Retention runs concurrently: the broker trims as of time ``arg``
+    #: immediately before the fetch, racing the consumer.
+    RETENTION_RACE = "retention_race"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: ``site`` fails at its ``at_call``-th
+    invocation (1-based), for ``repeat`` consecutive invocations.
+
+    ``arg`` is the kind's payload: virtual seconds for ``SLOW_READ``,
+    the retention ``now`` for ``RETENTION_RACE``.
+    """
+
+    site: str
+    kind: FaultKind
+    at_call: int
+    repeat: int = 1
+    arg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ValueError("site must be non-empty")
+        if self.at_call < 1:
+            raise ValueError("at_call is 1-based and must be >= 1")
+        if self.repeat < 1:
+            raise ValueError("repeat must be >= 1")
+
+
+class FaultPlan:
+    """An immutable schedule of :class:`FaultSpec` entries.
+
+    Lookup is by ``(site, invocation index)``; two specs covering the
+    same invocation of the same site are rejected at construction so a
+    plan is always unambiguous.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()) -> None:
+        self.specs: tuple[FaultSpec, ...] = tuple(specs)
+        by_site: dict[str, dict[int, FaultSpec]] = {}
+        for spec in self.specs:
+            calls = by_site.setdefault(spec.site, {})
+            for i in range(spec.repeat):
+                call = spec.at_call + i
+                if call in calls:
+                    raise ValueError(
+                        f"overlapping fault specs for {spec.site!r} "
+                        f"call {call}"
+                    )
+                calls[call] = spec
+        self._by_site = by_site
+
+    def lookup(self, site: str, call_index: int) -> FaultSpec | None:
+        """The spec scheduled for the ``call_index``-th invocation of
+        ``site`` (1-based), or None."""
+        calls = self._by_site.get(site)
+        return None if calls is None else calls.get(call_index)
+
+    def sites(self) -> list[str]:
+        """Sites the plan touches, sorted."""
+        return sorted(self._by_site)
+
+    def fault_points(self) -> int:
+        """Total (site, invocation) pairs that will fault."""
+        return sum(len(calls) for calls in self._by_site.values())
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        site_kinds: Mapping[str, FaultKind],
+        rate: float = 0.05,
+        horizon: int = 200,
+        arg: float = 0.0,
+    ) -> "FaultPlan":
+        """Draw a reproducible plan: each of the first ``horizon``
+        invocations of each site faults independently with probability
+        ``rate``.
+
+        Each site draws from its own stream derived from ``(seed,
+        site)``, so the schedule for one site is stable no matter which
+        other sites are in the plan.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        specs: list[FaultSpec] = []
+        for site in sorted(site_kinds):
+            rng = np.random.default_rng(derive_seed(seed, f"faults.{site}"))
+            hits = np.flatnonzero(rng.random(horizon) < rate)
+            specs.extend(
+                FaultSpec(site, site_kinds[site], int(call) + 1, arg=arg)
+                for call in hits
+            )
+        return cls(specs)

@@ -29,7 +29,11 @@ from repro.pipeline.ops import (
     where,
 )
 from repro.pipeline.watermark import LateDataStats, Watermark
-from repro.pipeline.checkpoint import CheckpointStore
+from repro.pipeline.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointCorruptWarning,
+    CheckpointStore,
+)
 from repro.pipeline.micro_batch import BatchResult, StreamingQuery
 from repro.pipeline.medallion import (
     MedallionPipeline,
@@ -49,6 +53,8 @@ __all__ = [
     "Watermark",
     "LateDataStats",
     "CheckpointStore",
+    "CheckpointCorruptError",
+    "CheckpointCorruptWarning",
     "StreamingQuery",
     "BatchResult",
     "MedallionPipeline",

@@ -11,7 +11,12 @@ invoked with the batch id, an idempotent sink yields effectively-once
 output even though delivery is at-least-once.
 
 The store is JSON-serializable so it can live on disk; atomicity on disk
-is provided by write-to-temp + rename.
+is provided by write-to-temp + rename.  A crash can still leave a
+truncated ``checkpoints.json`` behind (died mid-``os.replace`` on
+filesystems without atomic rename, or a torn direct write); restart must
+survive that file, not brick on it — the corrupt file is quarantined
+(renamed ``checkpoints.json.corrupt-N``) and the query replays from
+scratch, which the idempotent-sink contract absorbs.
 """
 
 from __future__ import annotations
@@ -19,9 +24,39 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from typing import Any
 
-__all__ = ["CheckpointStore"]
+from repro.perf import PERF
+
+__all__ = [
+    "CheckpointStore",
+    "CheckpointCorruptError",
+    "CheckpointCorruptWarning",
+]
+
+
+class CheckpointCorruptError(RuntimeError):
+    """A checkpoint file failed to parse and was quarantined.
+
+    Not raised during load — recovery must proceed — but recorded on
+    the store (:attr:`CheckpointStore.last_corruption`) and carried by
+    the :class:`CheckpointCorruptWarning` so operators see exactly what
+    was moved where.
+    """
+
+    def __init__(self, path: str, quarantined_to: str, reason: str) -> None:
+        super().__init__(
+            f"corrupt checkpoint file {path}: {reason}; "
+            f"quarantined to {quarantined_to}, starting from empty state"
+        )
+        self.path = path
+        self.quarantined_to = quarantined_to
+        self.reason = reason
+
+
+class CheckpointCorruptWarning(UserWarning):
+    """Warning category for quarantined checkpoint files."""
 
 
 class CheckpointStore:
@@ -37,6 +72,8 @@ class CheckpointStore:
     def __init__(self, path: str | None = None) -> None:
         self.path = path
         self._state: dict[str, dict[str, Any]] = {}
+        #: Set when the last load found a corrupt file and quarantined it.
+        self.last_corruption: CheckpointCorruptError | None = None
         if path is not None:
             os.makedirs(path, exist_ok=True)
             self._load()
@@ -48,9 +85,40 @@ class CheckpointStore:
     def _load(self) -> None:
         try:
             with open(self._file(), "r", encoding="utf-8") as fh:
-                self._state = json.load(fh)
+                loaded = json.load(fh)
         except FileNotFoundError:
             self._state = {}
+            return
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._quarantine(str(exc))
+            return
+        if not isinstance(loaded, dict):
+            self._quarantine(
+                f"expected a JSON object, got {type(loaded).__name__}"
+            )
+            return
+        self._state = loaded
+
+    def _quarantine(self, reason: str) -> None:
+        """Move a corrupt checkpoint file aside and start empty.
+
+        A truncated file is exactly what a crash mid-write leaves
+        behind; refusing to start (the old behaviour) turns one torn
+        write into a permanently bricked query.  The file is preserved
+        as ``checkpoints.json.corrupt-N`` for forensics.
+        """
+        src = self._file()
+        n = 0
+        while os.path.exists(f"{src}.corrupt-{n}"):
+            n += 1
+        dst = f"{src}.corrupt-{n}"
+        os.replace(src, dst)
+        self._state = {}
+        self.last_corruption = CheckpointCorruptError(src, dst, reason)
+        PERF.count("checkpoint.corrupt_quarantined")
+        warnings.warn(
+            CheckpointCorruptWarning(str(self.last_corruption)), stacklevel=4
+        )
 
     def _persist(self) -> None:
         if self.path is None:

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.columnar.table import ColumnTable
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy, call_with_retry
 from repro.pipeline.checkpoint import CheckpointStore
 from repro.pipeline.watermark import Watermark
 from repro.stream.broker import Broker, Record
@@ -66,6 +67,9 @@ class StreamingQuery:
         Event-time column used by the watermark.
     max_records_per_batch:
         Input bound per trigger (backpressure).
+    retry_policy:
+        Backoff policy for transient fetch faults (defaults to
+        :data:`repro.faults.retry.DEFAULT_RETRY_POLICY`).
     """
 
     def __init__(
@@ -79,6 +83,7 @@ class StreamingQuery:
         watermark: Watermark | None = None,
         time_column: str = "timestamp",
         max_records_per_batch: int = 10_000,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if max_records_per_batch <= 0:
             raise ValueError("max_records_per_batch must be positive")
@@ -91,6 +96,7 @@ class StreamingQuery:
         self.watermark = watermark
         self.time_column = time_column
         self.max_records_per_batch = max_records_per_batch
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
 
         n_parts = broker.topic_config(topic).n_partitions
         saved = checkpoint.offsets(query_id)
@@ -113,7 +119,11 @@ class StreamingQuery:
             if budget <= 0:
                 break
             pos = max(self._positions[p], self.broker.earliest_offset(self.topic, p))
-            got = self.broker.fetch(self.topic, p, pos, budget)
+            got = call_with_retry(
+                lambda: self.broker.fetch(self.topic, p, pos, budget),
+                policy=self.retry_policy,
+                site="query.fetch",
+            )
             records.extend(got)
             budget -= len(got)
         return records

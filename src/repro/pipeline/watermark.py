@@ -66,13 +66,14 @@ class Watermark:
     ) -> tuple[ColumnTable, ColumnTable]:
         """(on_time, late) rows of a batch, advancing the watermark.
 
-        The watermark advances *before* the split, so a batch can never
-        invalidate its own rows retroactively within a later batch.
+        The watermark advances *before* the split: a batch's own
+        maximum event time can mark its stragglers late, and the
+        classification of a row depends only on the data seen so far —
+        never on how arrivals happened to be chunked into batches.
         """
         ts = table[time_column]
-        threshold = self.current
         self.observe(ts)
-        late_mask = ts < threshold
+        late_mask = ts < self.current
         self.stats.rows_seen += table.num_rows
         self.stats.rows_late += int(late_mask.sum())
         return table.filter(~late_mask), table.filter(late_mask)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from repro.columnar.file_format import read_table, write_table
 from repro.columnar.predicate import Predicate
 from repro.columnar.table import ColumnTable
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy, call_with_retry
 from repro.storage.glacier import TapeArchive
 from repro.storage.lake import TimeSeriesLake
 from repro.storage.object_store import ObjectStore
@@ -100,6 +101,9 @@ class TieredStore:
         Class -> :class:`TierPolicy` (defaults to :data:`DEFAULT_POLICIES`).
     time_column:
         Name of the event-time column in ingested tables.
+    retry_policy:
+        Backoff policy for transient tier-write faults (defaults to
+        :data:`repro.faults.retry.DEFAULT_RETRY_POLICY`).
     """
 
     OCEAN_BUCKET = "oda"
@@ -111,12 +115,14 @@ class TieredStore:
         glacier: TapeArchive | None = None,
         policies: dict[DataClass, TierPolicy] | None = None,
         time_column: str = "timestamp",
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.lake = lake or TimeSeriesLake(time_column)
         self.ocean = ocean or ObjectStore()
         self.glacier = glacier or TapeArchive()
         self.policies = dict(policies or DEFAULT_POLICIES)
         self.time_column = time_column
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self.ocean.create_bucket(self.OCEAN_BUCKET)
         self._datasets: dict[str, _DatasetMeta] = {}
 
@@ -157,18 +163,26 @@ class TieredStore:
         if table.num_rows == 0:
             return placed
         if policy.lake_retention_s is not None:
-            self.lake.ingest(name, table)
+            call_with_retry(
+                lambda: self.lake.ingest(name, table),
+                policy=self.retry_policy,
+                site="tier.lake.ingest",
+            )
             placed["lake"] = True
         if policy.ocean_retention_s is not None:
             key = f"{name}/part-{meta.next_part:08d}.rcf"
             meta.next_part += 1
             blob = write_table(table, codec=policy.codec)
-            self.ocean.put(
-                self.OCEAN_BUCKET,
-                key,
-                blob,
-                created_at=now,
-                user_meta={"dataset": name, "class": meta.data_class.value},
+            call_with_retry(
+                lambda: self.ocean.put(
+                    self.OCEAN_BUCKET,
+                    key,
+                    blob,
+                    created_at=now,
+                    user_meta={"dataset": name, "class": meta.data_class.value},
+                ),
+                policy=self.retry_policy,
+                site="tier.ocean.put",
             )
             placed["ocean"] = True
         return placed

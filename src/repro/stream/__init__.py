@@ -23,6 +23,11 @@ from repro.stream.broker import (
     UnknownTopicError,
 )
 from repro.stream.consumer import Consumer
+from repro.stream.errors import (
+    FetchTimeoutError,
+    ProduceUnavailableError,
+    TransientStreamError,
+)
 from repro.stream.producer import Producer
 from repro.stream.retention import RetentionPolicy
 
@@ -35,4 +40,7 @@ __all__ = [
     "RetentionPolicy",
     "UnknownTopicError",
     "UnknownPartitionError",
+    "TransientStreamError",
+    "FetchTimeoutError",
+    "ProduceUnavailableError",
 ]

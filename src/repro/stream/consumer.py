@@ -10,6 +10,7 @@ the at-least-once replay behaviour the pipeline's recovery path
 
 from __future__ import annotations
 
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy, call_with_retry
 from repro.perf import PERF
 from repro.stream.broker import Broker, Record
 
@@ -27,6 +28,9 @@ class Consumer:
         This member's index within the group.
     group_size:
         Total members; partition ``p`` belongs to member ``p % group_size``.
+    retry_policy:
+        Backoff policy for transient fetch faults (defaults to
+        :data:`repro.faults.retry.DEFAULT_RETRY_POLICY`).
     """
 
     def __init__(
@@ -36,6 +40,7 @@ class Consumer:
         group: str,
         member: int = 0,
         group_size: int = 1,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if group_size <= 0:
             raise ValueError("group_size must be positive")
@@ -44,6 +49,7 @@ class Consumer:
         self.broker = broker
         self.topic = topic
         self.group = group
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         n_parts = broker.topic_config(topic).n_partitions
         self.partitions = [p for p in range(n_parts) if p % group_size == member]
         # Local read positions start from the group's committed offsets.
@@ -55,6 +61,10 @@ class Consumer:
         # fresh consumer must be a no-op, not a reset of the group's
         # offsets to whatever was committed at construction time.
         self._touched: set[int] = set()
+        #: Records this consumer jumped over because retention trimmed
+        #: them before they were read (also counted process-wide under
+        #: ``stream.skipped_by_retention`` in the perf registry).
+        self.skipped_by_retention = 0
 
     def seek(self, partition: int, offset: int) -> None:
         """Move the local read position (does not commit)."""
@@ -88,6 +98,15 @@ class Consumer:
         lists without copying — treat them as read-only snapshots and
         consume them before producing more to the same topic.  Local
         positions advance exactly as :meth:`poll`.
+
+        Skipping over a retention-trimmed gap is documented behaviour
+        (the records are gone; waiting cannot bring them back) but never
+        silent: the skipped count accumulates on
+        :attr:`skipped_by_retention` and the process-wide
+        ``stream.skipped_by_retention`` counter.  A partition where
+        nothing moved — no records, no gap — is not marked touched, so a
+        subsequent :meth:`commit` cannot rewrite the group's offset for
+        it from a stale construction-time snapshot.
         """
         out: list[tuple[int, list[Record]]] = []
         budget = max_records
@@ -96,20 +115,30 @@ class Consumer:
             for p in self.partitions:
                 if budget is not None and budget <= 0:
                     break
-                pos = max(
-                    self._positions[p],
-                    self.broker.earliest_offset(self.topic, p),
+                pos = self._positions[p]
+                earliest = self.broker.earliest_offset(self.topic, p)
+                if earliest > pos:
+                    skipped = earliest - pos
+                    self.skipped_by_retention += skipped
+                    PERF.count("stream.skipped_by_retention", skipped)
+                    pos = earliest
+                records = call_with_retry(
+                    lambda: self.broker.fetch(self.topic, p, pos, budget),
+                    policy=self.retry_policy,
+                    site="consumer.fetch",
                 )
-                records = self.broker.fetch(self.topic, p, pos, budget)
-                self._touched.add(p)
                 if records:
                     self._positions[p] = records[-1].offset + 1
+                    self._touched.add(p)
                     out.append((p, records))
                     n_fetched += len(records)
                     if budget is not None:
                         budget -= len(records)
-                else:
+                elif pos != self._positions[p]:
+                    # Moved past a trimmed gap with nothing beyond it
+                    # yet: real (accounted) progress, worth committing.
                     self._positions[p] = pos
+                    self._touched.add(p)
         if n_fetched:
             PERF.count("stream.fetch.records", n_fetched)
         return out

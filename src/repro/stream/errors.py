@@ -1,0 +1,53 @@
+"""Typed transport errors for the broker clients.
+
+The broker distinguishes two failure families, and everything the
+recovery machinery does hangs on that distinction:
+
+* **Permanent** errors — :class:`~repro.stream.broker.UnknownTopicError`
+  and :class:`~repro.stream.broker.UnknownPartitionError` — mean the
+  request itself is wrong; retrying can never help and callers must
+  fail fast.
+* **Transient** errors — subclasses of :class:`TransientStreamError`
+  defined here — model the lossy, bursty transport of a production
+  deployment (fetch timeouts, temporarily unreachable brokers).  They
+  are safe to retry because the underlying operation either did not
+  happen or is idempotent.
+
+Policy (enforced by rule EXC004 in :mod:`repro.analysis`): the *only*
+code allowed to catch these transient types is the retry wrapper in
+:mod:`repro.faults.retry`.  Everyone else routes calls through
+:func:`repro.faults.retry.call_with_retry` so that every retry and
+give-up is counted in the perf registry instead of vanishing into an
+ad-hoc ``except``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TransientStreamError",
+    "FetchTimeoutError",
+    "ProduceUnavailableError",
+]
+
+
+class TransientStreamError(Exception):
+    """Base class of retry-safe broker transport failures.
+
+    Carries the fault site (e.g. ``"broker.fetch"``) so retry counters
+    and give-up reports name the hop that failed.
+    """
+
+    def __init__(self, site: str, detail: str = "") -> None:
+        message = f"transient fault at {site}" + (f": {detail}" if detail else "")
+        super().__init__(message)
+        self.site = site
+        self.detail = detail
+
+
+class FetchTimeoutError(TransientStreamError):
+    """A fetch did not complete in time; the read may be retried."""
+
+
+class ProduceUnavailableError(TransientStreamError):
+    """The broker refused an append (leader election, backpressure);
+    the produce may be retried."""

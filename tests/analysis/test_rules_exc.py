@@ -107,3 +107,81 @@ class TestStreamUntypedRaise:
             """,
             module="repro.storage.fixture",
         )
+
+
+class TestTransientCatchOutsideRetry:
+    SNIPPET = """
+        from repro.stream.errors import FetchTimeoutError
+
+        def f(broker):
+            try:
+                return broker.fetch("t", 0, 0)
+            except FetchTimeoutError:
+                return []
+        """
+
+    def test_transient_catch_flagged_outside_retry(self, rule_ids):
+        assert "EXC004" in rule_ids(
+            self.SNIPPET, module="repro.pipeline.fixture"
+        )
+
+    def test_retry_module_is_sanctioned(self, rule_ids):
+        assert "EXC004" not in rule_ids(
+            self.SNIPPET, module="repro.faults.retry"
+        )
+
+    def test_base_class_catch_flagged(self, rule_ids):
+        assert "EXC004" in rule_ids(
+            """
+            from repro.stream.errors import TransientStreamError
+
+            def f(broker):
+                try:
+                    return broker.fetch("t", 0, 0)
+                except TransientStreamError:
+                    return []
+            """,
+            module="repro.stream.fixture",
+        )
+
+    def test_tuple_catch_flagged(self, rule_ids):
+        assert "EXC004" in rule_ids(
+            """
+            from repro.stream.errors import ProduceUnavailableError
+
+            def f(broker, v):
+                try:
+                    broker.produce("t", v)
+                except (ValueError, ProduceUnavailableError):
+                    pass
+            """,
+            module="repro.storage.fixture",
+        )
+
+    def test_qualified_catch_flagged(self, rule_ids):
+        assert "EXC004" in rule_ids(
+            """
+            from repro.stream import errors
+
+            def f(broker):
+                try:
+                    return broker.fetch("t", 0, 0)
+                except errors.FetchTimeoutError:
+                    return []
+            """,
+            module="repro.apps.fixture",
+        )
+
+    def test_permanent_error_catch_passes(self, rule_ids):
+        assert "EXC004" not in rule_ids(
+            """
+            from repro.stream.broker import UnknownTopicError
+
+            def f(broker):
+                try:
+                    return broker.fetch("t", 0, 0)
+                except UnknownTopicError:
+                    return None
+            """,
+            module="repro.pipeline.fixture",
+        )

@@ -1,0 +1,114 @@
+"""Unit tests for deterministic fault plans."""
+
+import pytest
+
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("", FaultKind.CRASH, 1)
+        with pytest.raises(ValueError):
+            FaultSpec("s", FaultKind.CRASH, 0)  # at_call is 1-based
+        with pytest.raises(ValueError):
+            FaultSpec("s", FaultKind.CRASH, 1, repeat=0)
+
+    def test_defaults(self):
+        spec = FaultSpec("s", FaultKind.SLOW_READ, 3)
+        assert spec.repeat == 1 and spec.arg == 0.0
+
+
+class TestFaultPlan:
+    def test_lookup_by_site_and_call(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("a", FaultKind.FETCH_ERROR, 2),
+                FaultSpec("b", FaultKind.CRASH, 1),
+            ]
+        )
+        assert plan.lookup("a", 2).kind is FaultKind.FETCH_ERROR
+        assert plan.lookup("a", 1) is None
+        assert plan.lookup("b", 1).kind is FaultKind.CRASH
+        assert plan.lookup("unknown", 1) is None
+        assert plan.sites() == ["a", "b"]
+        assert plan.fault_points() == 2
+        assert len(plan) == 2
+
+    def test_repeat_expands_consecutive_calls(self):
+        plan = FaultPlan([FaultSpec("a", FaultKind.FETCH_ERROR, 3, repeat=2)])
+        assert plan.lookup("a", 2) is None
+        assert plan.lookup("a", 3) is not None
+        assert plan.lookup("a", 4) is not None
+        assert plan.lookup("a", 5) is None
+        assert plan.fault_points() == 2
+
+    def test_overlapping_specs_rejected(self):
+        with pytest.raises(ValueError, match="overlapping"):
+            FaultPlan(
+                [
+                    FaultSpec("a", FaultKind.FETCH_ERROR, 1, repeat=3),
+                    FaultSpec("a", FaultKind.CRASH, 3),
+                ]
+            )
+
+    def test_same_call_different_sites_ok(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("a", FaultKind.CRASH, 1),
+                FaultSpec("b", FaultKind.CRASH, 1),
+            ]
+        )
+        assert plan.fault_points() == 2
+
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.sites() == []
+        assert plan.lookup("a", 1) is None
+        assert len(plan) == 0
+
+
+class TestSeededPlan:
+    SITES = {
+        "broker.fetch": FaultKind.FETCH_ERROR,
+        "tier.put": FaultKind.TIER_ERROR,
+    }
+
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.seeded(7, self.SITES, rate=0.1, horizon=100)
+        b = FaultPlan.seeded(7, self.SITES, rate=0.1, horizon=100)
+        assert a.specs == b.specs
+
+    def test_different_seed_different_plan(self):
+        a = FaultPlan.seeded(7, self.SITES, rate=0.1, horizon=500)
+        b = FaultPlan.seeded(8, self.SITES, rate=0.1, horizon=500)
+        assert a.specs != b.specs
+
+    def test_site_stream_independent_of_other_sites(self):
+        """Adding a site to a plan must not move another site's faults."""
+        alone = FaultPlan.seeded(
+            7, {"broker.fetch": FaultKind.FETCH_ERROR}, rate=0.1
+        )
+        both = FaultPlan.seeded(7, self.SITES, rate=0.1)
+        fetch_alone = [s for s in alone.specs if s.site == "broker.fetch"]
+        fetch_both = [s for s in both.specs if s.site == "broker.fetch"]
+        assert fetch_alone == fetch_both
+
+    def test_rate_bounds(self):
+        assert FaultPlan.seeded(1, self.SITES, rate=0.0).fault_points() == 0
+        dense = FaultPlan.seeded(1, self.SITES, rate=1.0, horizon=10)
+        assert dense.fault_points() == 20  # every call of both sites
+        with pytest.raises(ValueError):
+            FaultPlan.seeded(1, self.SITES, rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan.seeded(1, self.SITES, horizon=-1)
+
+    def test_arg_propagates(self):
+        plan = FaultPlan.seeded(
+            3,
+            {"broker.fetch": FaultKind.SLOW_READ},
+            rate=1.0,
+            horizon=2,
+            arg=0.25,
+        )
+        assert all(s.arg == 0.25 for s in plan.specs)

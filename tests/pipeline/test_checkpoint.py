@@ -1,8 +1,15 @@
 """Unit tests for the checkpoint store."""
 
+import os
+
 import pytest
 
-from repro.pipeline import CheckpointStore
+from repro.perf import PERF
+from repro.pipeline import (
+    CheckpointCorruptError,
+    CheckpointCorruptWarning,
+    CheckpointStore,
+)
 
 
 class TestInMemory:
@@ -69,3 +76,75 @@ class TestDurable:
     def test_empty_dir_fresh_state(self, tmp_path):
         cp = CheckpointStore(str(tmp_path / "new"))
         assert cp.queries() == []
+
+
+class TestCorruptQuarantine:
+    """Regression: a torn ``checkpoints.json`` used to brick restart
+    with an unhandled ``JSONDecodeError``.  Now it is quarantined and
+    the query replays from scratch."""
+
+    @staticmethod
+    def _tear(path: str) -> str:
+        """Truncate the checkpoint file mid-payload, like a torn write."""
+        file = os.path.join(path, "checkpoints.json")
+        with open(file, "r", encoding="utf-8") as fh:
+            whole = fh.read()
+        with open(file, "w", encoding="utf-8") as fh:
+            fh.write(whole[: len(whole) // 2])
+        return file
+
+    def test_truncated_json_quarantined(self, tmp_path):
+        path = str(tmp_path / "cp")
+        CheckpointStore(path).commit("q", 0, {0: 42}, {"wm": 9.0})
+        file = self._tear(path)
+
+        before = PERF.counter("checkpoint.corrupt_quarantined")
+        with pytest.warns(CheckpointCorruptWarning):
+            cp = CheckpointStore(path)
+
+        # Fresh state, not a crash.
+        assert cp.queries() == []
+        assert cp.last_batch_id("q") is None
+        # Forensic evidence preserved, live file gone.
+        assert not os.path.exists(file)
+        quarantined = file + ".corrupt-0"
+        assert os.path.exists(quarantined)
+        assert cp.last_corruption is not None
+        assert isinstance(cp.last_corruption, CheckpointCorruptError)
+        assert cp.last_corruption.quarantined_to == quarantined
+        assert PERF.counter("checkpoint.corrupt_quarantined") - before == 1
+        # The query can start over from batch 0.
+        cp.commit("q", 0, {0: 0})
+
+    def test_non_dict_payload_quarantined(self, tmp_path):
+        path = str(tmp_path / "cp")
+        os.makedirs(path)
+        file = os.path.join(path, "checkpoints.json")
+        with open(file, "w", encoding="utf-8") as fh:
+            fh.write("[1, 2, 3]")  # valid JSON, wrong shape
+        with pytest.warns(CheckpointCorruptWarning):
+            cp = CheckpointStore(path)
+        assert cp.queries() == []
+        assert os.path.exists(file + ".corrupt-0")
+        assert "expected a JSON object" in cp.last_corruption.reason
+
+    def test_repeated_corruption_numbers_files(self, tmp_path):
+        path = str(tmp_path / "cp")
+        CheckpointStore(path).commit("q", 0, {0: 1})
+        self._tear(path)
+        with pytest.warns(CheckpointCorruptWarning):
+            CheckpointStore(path).commit("q", 0, {0: 1})
+        self._tear(path)
+        with pytest.warns(CheckpointCorruptWarning):
+            cp = CheckpointStore(path)
+        file = os.path.join(path, "checkpoints.json")
+        assert os.path.exists(file + ".corrupt-0")
+        assert os.path.exists(file + ".corrupt-1")
+        assert cp.last_corruption.quarantined_to == file + ".corrupt-1"
+
+    def test_clean_load_leaves_no_corruption_record(self, tmp_path):
+        path = str(tmp_path / "cp")
+        CheckpointStore(path).commit("q", 0, {0: 1})
+        cp = CheckpointStore(path)
+        assert cp.last_corruption is None
+        assert cp.last_batch_id("q") == 0

@@ -13,9 +13,9 @@ def batch(times):
 
 
 class TestWatermark:
-    def test_initial_watermark_accepts_everything(self):
+    def test_initial_batch_within_delay_accepted(self):
         wm = Watermark(delay_s=10.0)
-        on_time, late = wm.split(batch([0.0, 100.0]))
+        on_time, late = wm.split(batch([95.0, 100.0]))
         assert on_time.num_rows == 2 and late.num_rows == 0
 
     def test_rows_behind_watermark_marked_late(self):
@@ -31,11 +31,18 @@ class TestWatermark:
         wm.observe(np.array([20.0]))  # regression does not move it back
         assert wm.current == 45.0
 
-    def test_batch_does_not_invalidate_itself(self):
-        """A batch's own max cannot make its other rows late."""
+    def test_batch_own_max_marks_its_stragglers_late(self):
+        """Regression: the watermark advances *before* the split (the
+        documented contract), so a batch whose own max moves the
+        watermark past some of its rows drops those rows as late.  The
+        old code captured the threshold before observing the batch and
+        silently admitted them."""
         wm = Watermark(delay_s=1.0)
         on_time, late = wm.split(batch([0.0, 1000.0]))
-        assert late.num_rows == 0
+        assert wm.current == 999.0  # advanced by this very batch
+        assert late.num_rows == 1  # 0.0 < 999.0
+        assert on_time.num_rows == 1
+        assert wm.stats.rows_late == 1
 
     def test_stats_accumulate(self):
         wm = Watermark(delay_s=0.0)

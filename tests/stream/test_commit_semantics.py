@@ -58,13 +58,75 @@ def test_commit_after_seek_writes_only_seeked_partition():
     assert after[1] == before[1]  # the untouched one did not
 
 
-def test_empty_poll_marks_touched():
-    """Polling an empty topic is still an observation worth committing."""
+def test_empty_poll_leaves_partition_untouched():
+    """A poll that moves nothing must not make commit() rewrite offsets.
+
+    Regression: the old poll path added every assigned partition to the
+    touched set even when no records arrived and no gap was crossed, so
+    a stale member's empty poll + commit dragged the group's offset back
+    to its construction-time snapshot.
+    """
     broker = make_broker()
+    stale = Consumer(broker, "t", group="g")  # snapshots offsets [0, 0]
+    # Another member advances the group while `stale` sits idle.
+    for i in range(6):
+        broker.produce("t", i)
+    mover = Consumer(broker, "t", group="g")
+    mover.poll(None)
+    mover.commit()
+    advanced = [broker.committed("g", "t", p) for p in range(2)]
+    assert advanced == [3, 3]
+
+    # Drain the log so the stale member's poll genuinely moves nothing.
+    broker.enforce_retention(0.0)  # KEEP_ALL policy: trims nothing
+    stale._positions = dict.fromkeys(stale.partitions, 3)  # caught up,
+    stale._touched.clear()  # but has never polled/seeked itself
+    assert stale.poll() == []
+    stale.commit()
+    assert [broker.committed("g", "t", p) for p in range(2)] == advanced
+
+
+def test_retention_skip_counted_and_committable():
+    """Skipping a retention-trimmed gap is accounted, not silent."""
+    from repro.perf import PERF
+
+    broker = Broker()
+    broker.create_topic(
+        TopicConfig("t", 1, RetentionPolicy(max_age_s=10.0))
+    )
+    for i in range(8):
+        broker.produce("t", i, timestamp=float(i))
     consumer = Consumer(broker, "t", group="g")
-    assert consumer.poll() == []
+    # Age out the first 5 records (ts < 15 - 10) before the first poll.
+    broker.enforce_retention(now=15.0)
+    assert broker.earliest_offset("t", 0) == 5
+
+    before = PERF.counter("stream.skipped_by_retention")
+    records = consumer.poll(None)
+    assert [r.value for r in records] == [5, 6, 7]
+    assert consumer.skipped_by_retention == 5
+    assert PERF.counter("stream.skipped_by_retention") - before == 5
     consumer.commit()
-    assert [broker.committed("g", "t", p) for p in range(2)] == [0, 0]
+    assert broker.committed("g", "t", 0) == 8
+
+
+def test_gap_skip_with_empty_tail_still_commits_progress():
+    """Crossing a trimmed gap into an empty tail is real progress: the
+    new position must be committable even though no records came back."""
+    broker = Broker()
+    broker.create_topic(
+        TopicConfig("t", 1, RetentionPolicy(max_age_s=10.0))
+    )
+    for i in range(4):
+        broker.produce("t", i, timestamp=float(i))
+    consumer = Consumer(broker, "t", group="g")
+    broker.enforce_retention(now=100.0)  # everything aged out
+    assert consumer.poll(None) == []
+    assert consumer.skipped_by_retention == 4
+    consumer.commit()
+    # Committed past the gap: a restart will not re-skip (and re-count)
+    # the same trimmed records.
+    assert broker.committed("g", "t", 0) == 4
 
 
 def test_poll_slices_matches_poll():
