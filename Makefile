@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick chaos lint lint-json
+.PHONY: test bench bench-quick bench-query chaos lint lint-json
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,6 +18,12 @@ bench:
 
 bench-quick:
 	$(PYTHON) benchmarks/bench_e2e.py --quick
+
+# Read-plane benchmark: planned scans (manifest + row-group pruning,
+# dict pushdown, row-group cache, parallel units) vs. the
+# decode-everything baseline — see DESIGN.md §11.
+bench-query:
+	$(PYTHON) benchmarks/bench_query.py
 
 # Bytecode compile catches syntax errors in cold paths; repro.analysis
 # then enforces the repo invariants (determinism, locking, fast-path

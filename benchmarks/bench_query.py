@@ -1,0 +1,279 @@
+"""Read-plane benchmark: planned scans vs. decode-everything baseline.
+
+Builds a tiered store with months of synthetic power telemetry split
+across many OCEAN parts (plus the LAKE's online window), then times a
+panel of dashboard-style selective queries three ways:
+
+* ``baseline`` — :func:`repro.perf.baseline_mode`: every part fetched,
+  every row group decoded in full, predicate applied at the end (the
+  pre-planner behaviour),
+* ``serial`` — the scan planner (manifest + row-group pruning, dict-code
+  pushdown, late materialization, row-group cache) on one thread,
+* ``threads`` — the same plan executed over the shared scan pool.
+
+Every query's output must be identical across all three configurations;
+repetitions are interleaved and summarized by the median of per-rep
+ratios, as in ``bench_e2e.py``.  Writes ``BENCH_query.json``::
+
+    PYTHONPATH=src python benchmarks/bench_query.py            # full shape
+    PYTHONPATH=src python benchmarks/bench_query.py --quick    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.columnar import ColumnTable
+from repro.columnar.predicate import Col, IsIn
+from repro.perf import PERF, baseline_mode, reset_fast_path_caches
+from repro.query import ScanOptions
+from repro.storage import DataClass, TierPolicy, TieredStore
+from repro.storage.tiers import DAY_S
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DATASET = "power.silver"
+PROJECTS = np.array(["PRJA", "PRJB", "PRJC", "PRJD", "PRJE"], dtype=object)
+
+#: Scan counters worth reporting per configuration.
+HEADLINE_COUNTERS = (
+    "ocean.parts_pruned",
+    "query.parts_scanned",
+    "query.groups_pruned",
+    "query.groups_decoded",
+    "query.cache_hits",
+    "query.cache_misses",
+    "query.dict_pushdowns",
+)
+
+
+def build_store(n_parts, rows_per_part, row_group_size, rng):
+    """A silver dataset: ``n_parts`` hourly OCEAN parts + LAKE copies."""
+    store = TieredStore(
+        policies={
+            DataClass.SILVER: TierPolicy(
+                lake_retention_s=365 * DAY_S,
+                ocean_retention_s=5 * 365 * DAY_S,
+                glacier=True,
+                row_group_size=row_group_size,
+            )
+        }
+    )
+    store.register(DATASET, DataClass.SILVER)
+    part_span = 3600.0
+    for i in range(n_parts):
+        t0 = i * part_span
+        n = rows_per_part
+        power = rng.normal(320.0, 60.0, n)
+        power[rng.random(n) < 0.02] = np.nan  # sensor dropouts
+        table = ColumnTable(
+            {
+                "timestamp": np.sort(rng.uniform(t0, t0 + part_span, n)),
+                "node": rng.integers(0, 64, n).astype(float),
+                "input_power": power,
+                "project": PROJECTS[rng.integers(0, len(PROJECTS), n)],
+            }
+        )
+        store.ingest(DATASET, table, now=t0)
+    return store, n_parts * part_span
+
+
+def query_panel(horizon_s):
+    """(name, callable(store, options)) — the dashboard-style workload."""
+    mid = horizon_s / 2.0
+
+    def narrow_window(store, options):
+        # One hour out of the whole archive: manifests exclude all but
+        # one or two parts without a fetch.
+        return store.query_archive(
+            DATASET, mid, mid + 3600.0, options=options
+        )
+
+    def project_slice(store, options):
+        # Selective string predicate + projection: dict-code pushdown
+        # and late materialization carry this one.
+        return store.query_archive(
+            DATASET,
+            predicate=Col("project") == "PRJC",
+            columns=["timestamp", "input_power"],
+            options=options,
+        )
+
+    def node_window(store, options):
+        # Window + numeric predicate + projection combined.
+        return store.query_archive(
+            DATASET,
+            mid,
+            mid + 4 * 3600.0,
+            predicate=IsIn("node", (3.0, 7.0)),
+            columns=["timestamp", "node", "input_power"],
+            options=options,
+        )
+
+    def repeat_window(store, options):
+        # The interactive case: the same window twice in a row — the
+        # second pass should ride the decoded-row-group cache.
+        store.query_archive(DATASET, mid, mid + 3600.0, options=options)
+        return store.query_archive(DATASET, mid, mid + 3600.0, options=options)
+
+    def lake_window(store, options):
+        # Online path: the LAKE query now runs through the same planner.
+        store.lake.scan_options = options
+        return store.query_online(
+            DATASET,
+            mid,
+            mid + 1800.0,
+            predicate=Col("input_power") > 400.0,
+            columns=["timestamp", "node", "input_power"],
+        )
+
+    return [
+        ("narrow_window", narrow_window),
+        ("project_slice", project_slice),
+        ("node_window", node_window),
+        ("repeat_window", repeat_window),
+        ("lake_window", lake_window),
+    ]
+
+
+def run_config(store, panel, label, options):
+    """Time every query once under one configuration."""
+    reset_fast_path_caches()
+    PERF.reset()
+    walls, outputs = {}, {}
+    for name, fn in panel:
+        if label == "baseline":
+            with baseline_mode():
+                t0 = time.perf_counter()
+                out = fn(store, options)
+                walls[name] = time.perf_counter() - t0
+        else:
+            t0 = time.perf_counter()
+            out = fn(store, options)
+            walls[name] = time.perf_counter() - t0
+        outputs[name] = out
+    counters = {
+        n: PERF.counter(n)
+        for n in HEADLINE_COUNTERS
+        if PERF.counter(n)
+    }
+    return walls, outputs, counters
+
+
+def check_identical(panel, base_outputs, outputs, label):
+    for name, _ in panel:
+        if outputs[name] != base_outputs[name]:
+            raise AssertionError(
+                f"{label} output for {name!r} diverged from baseline"
+            )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--parts", type=int, default=None,
+                        help="OCEAN parts to ingest (default 24; 8 quick)")
+    parser.add_argument("--rows", type=int, default=None,
+                        help="rows per part (default 40000; 4000 quick)")
+    parser.add_argument("--row-group", type=int, default=4096,
+                        help="row-group size for archived parts")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="interleaved repetitions (default 5; 2 quick)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized defaults (explicit flags still win)")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_query.json",
+        help="output JSON path (default: repo-root BENCH_query.json)",
+    )
+    args = parser.parse_args(argv)
+    defaults = (8, 4000, 2) if args.quick else (24, 40_000, 5)
+    args.parts = defaults[0] if args.parts is None else args.parts
+    args.rows = defaults[1] if args.rows is None else args.rows
+    args.repeat = defaults[2] if args.repeat is None else args.repeat
+    for name in ("parts", "rows", "repeat"):
+        if getattr(args, name) < 1:
+            parser.error(f"--{name} must be >= 1")
+    if args.row_group < 1:
+        parser.error("--row-group must be >= 1")
+
+    rng = np.random.default_rng(1234)
+    store, horizon_s = build_store(args.parts, args.rows, args.row_group, rng)
+    panel = query_panel(horizon_s)
+    configs = {
+        "baseline": ScanOptions(executor="serial"),
+        "serial": ScanOptions(executor="serial"),
+        "threads": ScanOptions(executor="threads"),
+    }
+
+    walls = {label: {name: [] for name, _ in panel} for label in configs}
+    last_counters = {}
+    for rep in range(args.repeat):
+        rep_outputs = {}
+        for label, options in configs.items():
+            w, outputs, counters = run_config(store, panel, label, options)
+            for name, wall in w.items():
+                walls[label][name].append(wall)
+            rep_outputs[label] = outputs
+            last_counters[label] = counters
+            total = sum(w.values())
+            print(f"rep {rep + 1}/{args.repeat}  {label:9s} {total:7.3f}s")
+        for label in ("serial", "threads"):
+            check_identical(
+                panel, rep_outputs["baseline"], rep_outputs[label], label
+            )
+
+    queries = {}
+    for name, _ in panel:
+        per_rep = {
+            label: [
+                b / f if f else float("inf")
+                for b, f in zip(walls["baseline"][name], walls[label][name])
+            ]
+            for label in ("serial", "threads")
+        }
+        queries[name] = {
+            "wall_s_median": {
+                label: statistics.median(walls[label][name])
+                for label in configs
+            },
+            "speedup_serial": statistics.median(per_rep["serial"]),
+            "speedup_threads": statistics.median(per_rep["threads"]),
+            "outputs_identical": True,
+        }
+    overall = statistics.median(
+        [q["speedup_serial"] for q in queries.values()]
+    )
+    report = {
+        "bench": "query_read_plane",
+        "shape": {
+            "dataset": DATASET,
+            "parts": args.parts,
+            "rows_per_part": args.rows,
+            "row_group_size": args.row_group,
+            "repeat": args.repeat,
+            "seed": 1234,
+        },
+        "outputs_identical": True,
+        "speedup_median": overall,
+        "queries": queries,
+        "scan_counters": last_counters,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nmedian speedup {overall:.2f}x  -> {args.out}")
+    for name, q in queries.items():
+        print(
+            f"  {name:15s} serial {q['speedup_serial']:6.2f}x  "
+            f"threads {q['speedup_threads']:6.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

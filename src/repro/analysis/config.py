@@ -30,6 +30,7 @@ DATA_PLANE_PACKAGES = frozenset(
         "repro.columnar",
         "repro.core",
         "repro.faults",
+        "repro.query",
     }
 )
 
@@ -80,14 +81,18 @@ LAYER_ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "repro.stream": frozenset({"repro.faults"}),
     "repro.analysis": frozenset(),
     "repro.columnar": frozenset(),
+    # The read plane is pure kernels over columnar data: it may not know
+    # about storage topology (plans arrive as metadata, bytes are fed in
+    # by the caller), which is what lets LAKE and OCEAN share it.
+    "repro.query": frozenset({"repro.columnar"}),
     "repro.perf": frozenset(
-        {"repro.columnar", "repro.pipeline", "repro.telemetry"}
+        {"repro.columnar", "repro.pipeline", "repro.query", "repro.telemetry"}
     ),
     "repro.pipeline": frozenset(
         {"repro.columnar", "repro.telemetry", "repro.stream", "repro.faults"}
     ),
     "repro.storage": frozenset(
-        {"repro.columnar", "repro.telemetry", "repro.faults"}
+        {"repro.columnar", "repro.query", "repro.telemetry", "repro.faults"}
     ),
     # The fault layer wraps the data plane (broker, checkpoints, tiers)
     # and its retry module is imported back by stream/pipeline/storage —

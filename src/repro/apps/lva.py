@@ -137,6 +137,23 @@ class LiveVisualAnalytics:
 
     # -- raw-scan baseline -------------------------------------------------------------
 
+    def archive_power_window(
+        self, t0: float, t1: float, columns: list[str] | None = None
+    ) -> ColumnTable:
+        """Raw Bronze samples in ``[t0, t1)`` straight from OCEAN.
+
+        Goes through the planned archive path: parts outside the window
+        are excluded by their manifests without a single fetch, and only
+        surviving row groups are decoded — the "years of accumulated
+        power profiling data" case where the read plane matters most.
+        """
+        return self._timed(
+            "archive_power_window",
+            lambda: self.tiers.query_archive(
+                self.bronze_dataset, t0, t1, columns=columns
+            ),
+        )
+
     def job_power_profile_from_raw(self, job_id: int) -> ColumnTable:
         """Same answer as :meth:`job_power_profile`, derived by scanning
         Bronze objects and re-running the refinement inline — the cost

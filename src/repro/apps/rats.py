@@ -133,6 +133,39 @@ class RatsReport:
             }
         )
 
+    def archived_power_usage(
+        self,
+        tiers,
+        dataset: str,
+        t0: float | None = None,
+        t1: float | None = None,
+    ) -> ColumnTable:
+        """Per-node power summary over *archived* (OCEAN) telemetry.
+
+        Usage reports routinely reach past the LAKE's online retention;
+        this pulls the window from the archive through the planned read
+        path (``tiers.query_archive``), so a month-long report over
+        years of parts only fetches and decodes what the manifests and
+        row-group stats cannot exclude.
+        """
+        from repro.pipeline.ops import group_by_agg
+
+        window = tiers.query_archive(
+            dataset, t0, t1, columns=["timestamp", "node", "input_power"]
+        )
+        if window.num_rows == 0:
+            return ColumnTable(
+                {"node": [], "mean_power_w": [], "samples": []}
+            )
+        return group_by_agg(
+            window,
+            ["node"],
+            {
+                "mean_power_w": ("input_power", "mean"),
+                "samples": ("input_power", "count"),
+            },
+        )
+
     def ingest_stats(self) -> dict[str, float]:
         """Daily ingest summary (the 'millions of parsed log lines')."""
         makespan = 0.0

@@ -46,6 +46,10 @@ class JobOverview:
     io: ColumnTable             # storage-client silver rows
     fabric: ColumnTable         # interconnect silver rows
     findings: list[Finding] = field(default_factory=list)
+    #: What the compile actually cost on the read plane (segment/group
+    #: counts, cache hits, wall seconds) — the Fig. 6 "old method vs
+    #: dashboard" comparison reports these real scan numbers.
+    scan_stats: dict = field(default_factory=dict)
 
 
 class UserAssistanceDashboard:
@@ -120,14 +124,34 @@ class UserAssistanceDashboard:
         )
         return out
 
+    #: Read-plane counters snapshotted around each overview compile.
+    _SCAN_COUNTERS = (
+        "query.segments_scanned",
+        "query.segments_pruned",
+        "query.groups_pruned",
+        "query.groups_decoded",
+        "query.cache_hits",
+        "query.cache_misses",
+    )
+
     def job_overview(self, job_id: int) -> JobOverview:
         """Compile the integrated per-job view and diagnose it."""
+        from repro.perf import PERF
+
         job = self.allocation.job(job_id)
+        before = {n: PERF.counter(n) for n in self._SCAN_COUNTERS}
+        t_before = PERF.total_s("query.scan")
         power = self._job_slice(self.power_table, job)
         io = self._job_slice(self.io_table, job)
         fabric = self._job_slice(self.fabric_table, job)
+        scan_stats = {
+            n: PERF.counter(n) - before[n] for n in self._SCAN_COUNTERS
+        }
+        scan_stats["scan_wall_s"] = PERF.total_s("query.scan") - t_before
         events = self._events_for(job)
-        overview = JobOverview(job, power, events, io, fabric)
+        overview = JobOverview(
+            job, power, events, io, fabric, scan_stats=scan_stats
+        )
         overview.findings = self._diagnose(overview)
         self.tickets_resolved += 1
         return overview

@@ -28,8 +28,14 @@ from repro.columnar.encodings import (
     encode_column,
 )
 from repro.columnar.compression import CODECS, compress, decompress
-from repro.columnar.file_format import RcfReader, RcfWriter, read_table, write_table
-from repro.columnar.predicate import And, Col, Not, Or, Predicate
+from repro.columnar.file_format import (
+    RcfReader,
+    RcfWriter,
+    column_stats,
+    read_table,
+    write_table,
+)
+from repro.columnar.predicate import And, Col, Not, Or, Predicate, stats_bounds
 
 __all__ = [
     "ColumnTable",
@@ -47,6 +53,8 @@ __all__ = [
     "RcfReader",
     "write_table",
     "read_table",
+    "column_stats",
+    "stats_bounds",
     "Col",
     "And",
     "Or",

@@ -11,8 +11,11 @@ Layout (all integers little-endian)::
         per column (schema order):
             u8  encoding id      (encodings.py)
             u8  codec id         (compression.py)
-            u8  has_stats
-            if has_stats:
+            u8  stats flags      (bit0: stats present; bit1: inexact —
+                                  NaN rows were skipped when computing
+                                  the float min/max, so prunes that
+                                  NaN rows could defeat must not fire)
+            if stats present:
                 if string column: u32 len, min utf-8, u32 len, max utf-8
                 else:             f64 min, f64 max
             u64 payload_len
@@ -56,6 +59,7 @@ __all__ = [
     "RcfReader",
     "write_table",
     "read_table",
+    "column_stats",
     "chunk_memo_stats",
     "clear_chunk_memo",
     "chunk_memo_disabled",
@@ -121,21 +125,31 @@ def chunk_memo_disabled():
         _chunk_memo_enabled = prev
 
 
-def _column_stats(arr: np.ndarray) -> tuple[object, object] | None:
-    """(min, max) of a column, or None when undefined (empty/all-null)."""
+def column_stats(arr: np.ndarray) -> tuple[object, object, bool] | None:
+    """``(min, max, exact)`` of a column, or None when undefined.
+
+    ``exact`` means the bounds cover *every* row.  Float NaNs are
+    skipped (one NaN sample must not disable pruning for the whole
+    chunk) and flagged ``exact=False`` so predicates NaN rows can
+    satisfy (``!=``, ``NOT(==)``) stay conservative; infinities are
+    legitimate bounds and are kept.  Null strings participate as ``""``
+    — exactly how :meth:`Compare.mask` evaluates them — so string
+    bounds are always exact.
+    """
     if arr.size == 0:
         return None
     if arr.dtype == object:
-        present = [x for x in arr.tolist() if x is not None]
-        if not present:
-            return None
-        return min(present), max(present)
+        present = ["" if x is None else x for x in arr.tolist()]
+        return min(present), max(present), True
     if arr.dtype.kind == "f":
-        finite = arr[np.isfinite(arr)]
-        if finite.size == 0:
-            return None
-        return float(finite.min()), float(finite.max())
-    return float(arr.min()), float(arr.max())
+        nan = np.isnan(arr)
+        if nan.any():
+            valid = arr[~nan]
+            if valid.size == 0:
+                return None
+            return float(valid.min()), float(valid.max()), False
+        return float(arr.min()), float(arr.max()), True
+    return float(arr.min()), float(arr.max()), True
 
 
 class RcfWriter:
@@ -222,14 +236,13 @@ class RcfWriter:
             codec = self.codec
             if len(payload) >= len(raw):
                 payload, codec = raw, "none"
-            stats = _column_stats(col)
-            sub = [
-                struct.pack(
-                    "<BBB", encoding, CODECS[codec], 1 if stats is not None else 0
-                )
-            ]
+            stats = column_stats(col)
+            flags = 0
             if stats is not None:
-                lo, hi = stats
+                flags = 1 if stats[2] else 3  # bit0 present, bit1 inexact
+            sub = [struct.pack("<BBB", encoding, CODECS[codec], flags)]
+            if stats is not None:
+                lo, hi, _exact = stats
                 if is_string:
                     lo_b = str(lo).encode("utf-8")
                     hi_b = str(hi).encode("utf-8")
@@ -313,6 +326,7 @@ class RcfReader:
         for _ in range(n_groups):
             off = self._parse_group(off)
         self._is_string = dict(self.schema)
+        self._digest: str | None = None
 
     def _parse_group(self, off: int) -> int:
         buf = self._buf
@@ -320,10 +334,10 @@ class RcfReader:
         off += 8
         chunks: dict[str, _ChunkMeta] = {}
         for name, is_string in self.schema:
-            encoding, codec_id, has_stats = struct.unpack_from("<BBB", buf, off)
+            encoding, codec_id, flags = struct.unpack_from("<BBB", buf, off)
             off += 3
             stats = None
-            if has_stats:
+            if flags & 1:
                 if is_string:
                     (lo_len,) = struct.unpack_from("<I", buf, off)
                     off += 4
@@ -338,6 +352,8 @@ class RcfReader:
                     lo, hi = struct.unpack_from("<dd", buf, off)
                     off += 16
                     stats = (lo, hi)
+                if flags & 2:
+                    stats = (*stats, False)  # inexact: NaN rows excluded
             (payload_len,) = struct.unpack_from("<Q", buf, off)
             off += 8
             chunks[name] = _ChunkMeta(
@@ -364,6 +380,44 @@ class RcfReader:
     def group_stats(self, group: int) -> dict[str, tuple[object, object] | None]:
         """Per-column (min, max) stats of one row group."""
         return {n: c.stats for n, c in self._groups[group].chunks.items()}
+
+    def group_row_count(self, group: int) -> int:
+        """Rows in one row group."""
+        return self._groups[group].n_rows
+
+    def group_encoding(self, group: int, name: str) -> int:
+        """Encoding id of one chunk (see :mod:`repro.columnar.encodings`)."""
+        return self._groups[group].chunks[name].encoding
+
+    def decode_group_column(self, group: int, name: str) -> np.ndarray:
+        """Decode exactly one chunk — the late-materialization entry
+        point: the scan executor decodes predicate columns first and
+        calls back here only for groups that survive."""
+        return self._decode_chunk(self._groups[group].chunks[name])
+
+    def group_dictionary_parts(
+        self, group: int, name: str
+    ) -> tuple[np.ndarray, np.ndarray, bool] | None:
+        """``(values, codes, is_string)`` of a DICTIONARY chunk without
+        materializing ``values[codes]``, or None for other encodings.
+        Enables evaluating ``Compare``/``IsIn`` on the (tiny) vocabulary
+        and mapping the verdicts through the codes."""
+        meta = self._groups[group].chunks[name]
+        if meta.encoding != _enc.DICTIONARY:
+            return None
+        payload = self._buf[
+            meta.payload_offset : meta.payload_offset + meta.payload_len
+        ]
+        return _enc.decode_dictionary_parts(decompress(payload, meta.codec))
+
+    def digest(self) -> str:
+        """Stable content digest of the whole buffer — the cache token
+        the decoded-row-group cache keys on (computed once, lazily)."""
+        if self._digest is None:
+            self._digest = hashlib.blake2b(
+                self._buf, digest_size=16
+            ).hexdigest()
+        return self._digest
 
     def _decode_chunk(self, meta: _ChunkMeta) -> np.ndarray:
         payload = self._buf[meta.payload_offset : meta.payload_offset + meta.payload_len]

@@ -24,10 +24,39 @@ import numpy as np
 
 from repro.columnar.table import ColumnTable
 
-__all__ = ["Predicate", "Col", "Compare", "IsIn", "And", "Or", "Not"]
+__all__ = [
+    "Predicate",
+    "Col",
+    "Compare",
+    "IsIn",
+    "And",
+    "Or",
+    "Not",
+    "stats_bounds",
+]
 
-#: Per-column chunk statistics: (min, max) or None when unavailable.
+#: Per-column chunk statistics: ``(min, max)``, ``(min, max, exact)``, or
+#: None when unavailable.  ``exact=False`` marks bounds that skip rows
+#: the mask can still match (float NaN rows are excluded from min/max
+#: but satisfy ``!=``), so only prunes that are sound for *excluded*
+#: rows may fire on inexact stats.
 Stats = dict[str, tuple[Any, Any] | None]
+
+
+def stats_bounds(s) -> tuple[Any, Any, bool] | None:
+    """Normalize a stats entry to ``(lo, hi, exact)``.
+
+    Accepts the legacy 2-tuple form (implicitly exact), the 3-tuple
+    form written for NaN-bearing float chunks, and plain lists (the
+    manifest's JSON round trip).  Returns None when no stats exist.
+    """
+    if s is None:
+        return None
+    if len(s) == 3:
+        lo, hi, exact = s
+        return lo, hi, bool(exact)
+    lo, hi = s
+    return lo, hi, True
 
 
 class Predicate(abc.ABC):
@@ -70,7 +99,11 @@ class Compare(Predicate):
             raise ValueError(f"unknown op {self.op!r}")
 
     def mask(self, table: ColumnTable) -> np.ndarray:
-        col = table[self.column]
+        return self.mask_array(table[self.column])
+
+    def mask_array(self, col: np.ndarray) -> np.ndarray:
+        """Boolean mask over one column array (the leaf evaluator the
+        scan executor calls directly for late materialization)."""
         if col.dtype == object:
             vals = np.array(
                 ["" if x is None else x for x in col.tolist()], dtype="U"
@@ -90,16 +123,18 @@ class Compare(Predicate):
         return col >= v
 
     def might_match(self, stats: Stats) -> bool:
-        s = stats.get(self.column)
+        s = stats_bounds(stats.get(self.column))
         if s is None:
             return True  # no stats — cannot prune
-        lo, hi = s
+        lo, hi, exact = s
         v = self.value
         try:
             if self.op == "==":
                 return lo <= v <= hi
             if self.op == "!=":
-                return not (lo == hi == v)
+                # Rows excluded from inexact bounds (NaN) always satisfy
+                # "!=", so the constant-chunk prune needs exact stats.
+                return not exact or not (lo == hi == v)
             if self.op == "<":
                 return lo < v
             if self.op == "<=":
@@ -122,17 +157,20 @@ class IsIn(Predicate):
     values: tuple
 
     def mask(self, table: ColumnTable) -> np.ndarray:
-        col = table[self.column]
+        return self.mask_array(table[self.column])
+
+    def mask_array(self, col: np.ndarray) -> np.ndarray:
+        """Boolean mask over one column array (see :meth:`Compare.mask_array`)."""
         if col.dtype == object:
             vals = set(self.values)
-            return np.array([x in vals for x in col.tolist()])
+            return np.array([x in vals for x in col.tolist()], dtype=bool)
         return np.isin(col, np.asarray(self.values))
 
     def might_match(self, stats: Stats) -> bool:
-        s = stats.get(self.column)
+        s = stats_bounds(stats.get(self.column))
         if s is None:
             return True
-        lo, hi = s
+        lo, hi, _exact = s
         try:
             return any(lo <= v <= hi for v in self.values)
         except TypeError:
@@ -188,9 +226,14 @@ class Not(Predicate):
 
     def might_match(self, stats: Stats) -> bool:
         if isinstance(self.inner, Compare) and self.inner.op == "==":
-            s = stats.get(self.inner.column)
+            s = stats_bounds(stats.get(self.inner.column))
             if s is not None:
-                lo, hi = s
+                lo, hi, exact = s
+                if not exact:
+                    # NaN rows fall outside the bounds yet satisfy
+                    # NOT(col == v); the constant-chunk prune is only
+                    # sound when the bounds cover every row.
+                    return True
                 try:
                     return not (lo == hi == self.inner.value)
                 except TypeError:

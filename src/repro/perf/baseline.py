@@ -25,6 +25,8 @@ def baseline_mode():
     # instrumented modules import it at call time.
     from repro.columnar import compression, encodings, file_format
     from repro.pipeline import factorize
+    from repro.query import cache as query_cache
+    from repro.query import executor as query_executor
     from repro.telemetry import jobs
 
     with ExitStack() as stack:
@@ -35,6 +37,8 @@ def baseline_mode():
         stack.enter_context(compression.compress_memo_disabled())
         stack.enter_context(file_format.chunk_memo_disabled())
         stack.enter_context(jobs.utilization_memo_disabled())
+        stack.enter_context(query_executor.scan_reference_mode())
+        stack.enter_context(query_cache.row_group_cache_disabled())
         yield
 
 
@@ -42,8 +46,10 @@ def reset_fast_path_caches() -> None:
     """Empty every fast-path memo (for benchmark isolation)."""
     from repro.columnar import compression, encodings, file_format
     from repro.pipeline import factorize
+    from repro.query import cache as query_cache
 
     factorize.clear_cache()
     encodings.clear_encoding_memo()
     compression.clear_compress_memo()
     file_format.clear_chunk_memo()
+    query_cache.clear_row_group_cache()

@@ -1,0 +1,235 @@
+"""Plan execution — the fast path and its decode-everything oracle.
+
+:func:`execute_plan` is the production path: pruned units are skipped,
+live units run through the late-materializing scan kernels, and
+independent units execute concurrently on a shared worker pool (results
+are collected in submission order, so serial and threaded execution are
+byte-identical — the PR-1 determinism contract).
+
+:func:`execute_plan_reference` is the oracle: every unit is scanned —
+pruned flags ignored — by fully decoding the data and applying the
+exact masks serially.  Equality between the two paths therefore
+validates the planner's pruning decisions, the dictionary pushdown, and
+the cache in one assertion.  :func:`scan_reference_mode` routes
+:func:`execute_plan` through the oracle (entered, with every other
+fast-path toggle, by ``repro.perf.baseline.baseline_mode``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.columnar.file_format import read_table
+from repro.columnar.table import ColumnTable
+from repro.perf import PERF
+from repro.query.plan import ScanPlan, SegmentUnit
+from repro.query.scan import scan_part, scan_segment
+
+__all__ = [
+    "ScanOptions",
+    "execute_plan",
+    "execute_plan_reference",
+    "scan_reference_mode",
+    "scan_reference_active",
+    "shutdown_scan_pool",
+]
+
+_scan_reference = False
+
+
+@contextmanager
+def scan_reference_mode():
+    """Route :func:`execute_plan` through the decode-everything oracle."""
+    global _scan_reference
+    prev = _scan_reference
+    _scan_reference = True
+    try:
+        yield
+    finally:
+        _scan_reference = prev
+
+
+def scan_reference_active() -> bool:
+    """True while :func:`scan_reference_mode` is entered.  Storage uses
+    this to fetch *every* part (manifest pruning off) so the oracle has
+    bytes to scan."""
+    return _scan_reference
+
+
+@dataclass(frozen=True)
+class ScanOptions:
+    """How a plan executes (mirrors ``DataPlaneOptions``'s executor
+    knobs; defined here because ``repro.query`` sits below the core
+    orchestration layer).
+
+    ``"auto"`` picks threads on multi-core hosts and serial otherwise;
+    outputs are identical either way.
+    """
+
+    executor: str = "auto"
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.executor not in ("auto", "serial", "threads"):
+            raise ValueError(
+                "executor must be 'auto', 'serial' or 'threads', "
+                f"got {self.executor!r}"
+            )
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+
+    def resolve_executor(self) -> str:
+        """The concrete executor: ``"auto"`` resolved against the host."""
+        if self.executor == "auto":
+            return "threads" if (os.cpu_count() or 1) >= 2 else "serial"
+        return self.executor
+
+
+# One process-wide pool for query scans: queries are frequent and short,
+# so per-query pool construction would dominate.  Sized like the PR-1
+# refinery pool; created lazily under a lock.
+_pool_lock = threading.Lock()
+_scan_pool: ThreadPoolExecutor | None = None
+
+
+def _shared_pool() -> ThreadPoolExecutor:
+    global _scan_pool
+    with _pool_lock:
+        if _scan_pool is None:
+            _scan_pool = ThreadPoolExecutor(
+                max_workers=min(8, os.cpu_count() or 1),
+                thread_name_prefix="oda-scan",
+            )
+        return _scan_pool
+
+
+def shutdown_scan_pool() -> None:
+    """Tear down the shared scan pool (tests / interpreter exit)."""
+    global _scan_pool
+    with _pool_lock:
+        pool, _scan_pool = _scan_pool, None
+    if pool is not None:
+        pool.shutdown(wait=True)
+
+
+def execute_plan(
+    plan: ScanPlan, options: ScanOptions | None = None
+) -> ColumnTable:
+    """Execute a plan on the fast path (oracle when the reference
+    toggle is active); returns the concatenated surviving rows."""
+    if _scan_reference:
+        return execute_plan_reference(plan)
+    opts = options or ScanOptions()
+    with PERF.timer("query.scan"):
+        return _execute_plan_impl(plan, opts)
+
+
+def _execute_plan_impl(plan: ScanPlan, opts: ScanOptions) -> ColumnTable:
+    tasks = []
+    for unit in plan.units:
+        if unit.pruned:
+            if isinstance(unit, SegmentUnit):
+                PERF.count("query.segments_pruned")
+            continue
+        if isinstance(unit, SegmentUnit):
+            PERF.count("query.segments_scanned")
+            tasks.append(
+                lambda u=unit: scan_segment(
+                    u.table,
+                    plan.time_column,
+                    plan.t0,
+                    plan.t1,
+                    plan.predicate,
+                    plan.columns,
+                )
+            )
+        else:
+            PERF.count("query.parts_scanned")
+            tasks.append(
+                lambda u=unit: scan_part(
+                    u.blob,
+                    plan.time_column,
+                    plan.t0,
+                    plan.t1,
+                    plan.predicate,
+                    plan.columns,
+                )
+            )
+    results = _run_tasks(tasks, opts)
+    pieces = [r for r in results if r is not None and r.num_rows]
+    if not pieces:
+        return _empty_result(plan)
+    return ColumnTable.concat(pieces)
+
+
+def _run_tasks(tasks: list, opts: ScanOptions) -> list:
+    """Run thunks, returning results in submission order (the
+    determinism invariant shared with the PR-1 refinery executor)."""
+    if opts.resolve_executor() == "serial" or len(tasks) <= 1:
+        return [t() for t in tasks]
+    if opts.max_workers is not None:
+        with ThreadPoolExecutor(
+            max_workers=opts.max_workers, thread_name_prefix="oda-scan"
+        ) as pool:
+            futures = [pool.submit(t) for t in tasks]
+            return [f.result() for f in futures]
+    pool = _shared_pool()
+    futures = [pool.submit(t) for t in tasks]
+    return [f.result() for f in futures]
+
+
+def execute_plan_reference(plan: ScanPlan) -> ColumnTable:
+    """Scan every unit — pruned flags ignored — with full decode and
+    exact masks, serially.  Part units must carry fetched blobs (the
+    storage layer fetches everything while the reference toggle is
+    active); a missing blob raises rather than silently trusting the
+    pruning decision under test.
+    """
+    pieces: list[ColumnTable] = []
+    for unit in plan.units:
+        if isinstance(unit, SegmentUnit):
+            table = unit.table
+            apply_time = True
+        else:
+            if unit.blob is None:
+                raise ValueError(
+                    f"reference scan of {unit.key!r} requires its blob; "
+                    "pruned parts are not fetched outside reference mode"
+                )
+            table = read_table(unit.blob)
+            apply_time = plan.t0 is not None or plan.t1 is not None
+        mask = None
+        if apply_time:
+            ts = table[plan.time_column]
+            lo = -np.inf if plan.t0 is None else plan.t0
+            hi = np.inf if plan.t1 is None else plan.t1
+            mask = (ts >= lo) & (ts < hi)
+        if plan.predicate is not None:
+            pm = plan.predicate.mask(table)
+            mask = pm if mask is None else mask & pm
+        if mask is not None:
+            if not mask.any():
+                continue
+            table = table.filter(mask)
+        if plan.columns is not None:
+            table = table.select(plan.columns)
+        if table.num_rows:
+            pieces.append(table)
+    if not pieces:
+        return _empty_result(plan)
+    return ColumnTable.concat(pieces)
+
+
+def _empty_result(plan: ScanPlan) -> ColumnTable:
+    """The canonical zero-row result both executors share: requested
+    columns as empty arrays when the projection is known, else an empty
+    schema-less table."""
+    if plan.columns is not None:
+        return ColumnTable({n: np.empty(0) for n in plan.columns})
+    return ColumnTable({})

@@ -1,0 +1,92 @@
+"""Scan plans: the explicit middle step between a query and its I/O.
+
+A :class:`ScanPlan` is the planner's answer to "what would this query
+touch?" — every LAKE segment or OCEAN part the request *could* read,
+each flagged ``pruned`` when statistics prove no row can match.  Keeping
+pruned units in the plan (rather than dropping them) buys two things:
+
+* the reference executor can ignore the flags and scan everything, so a
+  fast/reference equality test validates the pruning decisions
+  themselves, and
+* per-query telemetry (how many units were skipped, and why) falls out
+  of the plan instead of being threaded through the scan loops.
+
+Plans hold data by reference (in-memory segment tables, fetched part
+blobs); they are cheap to build and single-use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.columnar.predicate import Predicate
+from repro.columnar.table import ColumnTable
+
+__all__ = ["SegmentUnit", "PartUnit", "ScanPlan"]
+
+
+@dataclass
+class SegmentUnit:
+    """One LAKE segment a query may touch."""
+
+    index: int
+    t_min: float
+    t_max: float
+    table: ColumnTable
+    pruned: bool = False
+    reason: str = ""
+
+
+@dataclass
+class PartUnit:
+    """One OCEAN part file a query may touch.
+
+    ``stats`` are the part-level manifest bounds (JSON-decoded, possibly
+    None for pre-manifest objects).  ``blob`` starts None; the caller
+    fetches bytes for the units it intends to scan — a unit pruned from
+    manifest stats is *never* fetched, which is the whole point.
+    """
+
+    key: str
+    size: int
+    stats: dict | None
+    pruned: bool = False
+    reason: str = ""
+    blob: bytes | None = None
+
+
+@dataclass
+class ScanPlan:
+    """What one query will read, unit by unit."""
+
+    table: str
+    source: str  # "lake" | "ocean"
+    t0: float | None
+    t1: float | None
+    predicate: Predicate | None
+    columns: list[str] | None
+    time_column: str
+    units: list = field(default_factory=list)
+
+    @property
+    def pruned_units(self) -> int:
+        """Units statistics excluded from the scan."""
+        return sum(1 for u in self.units if u.pruned)
+
+    @property
+    def live_units(self) -> int:
+        """Units the fast executor will actually scan."""
+        return sum(1 for u in self.units if not u.pruned)
+
+    def summary(self) -> dict:
+        """JSON-ready description (for benches and the dashboard)."""
+        return {
+            "table": self.table,
+            "source": self.source,
+            "t0": self.t0,
+            "t1": self.t1,
+            "columns": self.columns,
+            "units": len(self.units),
+            "pruned": self.pruned_units,
+            "live": self.live_units,
+        }

@@ -1,0 +1,112 @@
+"""The scan planner: request in, :class:`ScanPlan` out.
+
+Planning is pure metadata work — no blob is fetched and no chunk is
+decoded here.  Two entry points mirror the two storage shapes:
+
+* :func:`plan_segments` — LAKE segments carry (t_min, t_max) bounds, so
+  pruning is a time-interval test.  Segment start times are sorted
+  (ingest enforces it), so segments past the window's upper edge are
+  cut by binary search before any unit is even considered — identical
+  to the pre-planner ``TimeSeriesLake.query`` walk, which keeps the
+  lake's scanned/pruned accounting stable.
+* :func:`plan_parts` — OCEAN parts carry per-column min/max manifests;
+  the time window folds into the predicate
+  (:func:`~repro.query.scan.fold_time_predicate`) and
+  ``might_match`` decides.  A part planned out here is never fetched
+  from the object store.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Sequence
+
+from repro.columnar.predicate import Predicate
+from repro.columnar.table import ColumnTable
+from repro.query.plan import PartUnit, ScanPlan, SegmentUnit
+from repro.query.scan import fold_time_predicate
+
+__all__ = ["plan_segments", "plan_parts"]
+
+
+def plan_segments(
+    table: str,
+    segments: Sequence[tuple[float, float, ColumnTable]],
+    t0: float | None = None,
+    t1: float | None = None,
+    predicate: Predicate | None = None,
+    columns: list[str] | None = None,
+    time_column: str = "timestamp",
+) -> ScanPlan:
+    """Plan a LAKE query over ``(t_min, t_max, table)`` segments
+    (ordered by ``t_min``)."""
+    plan = ScanPlan(
+        table=table,
+        source="lake",
+        t0=t0,
+        t1=t1,
+        predicate=predicate,
+        columns=columns,
+        time_column=time_column,
+    )
+    lo = t0 if t0 is not None else float("-inf")
+    hi = t1 if t1 is not None else float("inf")
+    starts = [t_min for t_min, _, _ in segments]
+    first = bisect.bisect_right(starts, hi)
+    for index, (t_min, t_max, seg_table) in enumerate(segments[:first]):
+        pruned = t_max < lo
+        plan.units.append(
+            SegmentUnit(
+                index=index,
+                t_min=t_min,
+                t_max=t_max,
+                table=seg_table,
+                pruned=pruned,
+                reason="time" if pruned else "",
+            )
+        )
+    return plan
+
+
+def plan_parts(
+    table: str,
+    parts: Iterable[tuple[str, int, dict | None]],
+    t0: float | None = None,
+    t1: float | None = None,
+    predicate: Predicate | None = None,
+    columns: list[str] | None = None,
+    time_column: str = "timestamp",
+) -> ScanPlan:
+    """Plan an OCEAN query over ``(key, size, manifest_stats)`` parts.
+
+    ``manifest_stats`` is the per-part column -> (min, max[, exact])
+    mapping persisted at write time, or None for parts that predate the
+    manifest (those are always scanned — pruning must stay sound for
+    old data).
+    """
+    plan = ScanPlan(
+        table=table,
+        source="ocean",
+        t0=t0,
+        t1=t1,
+        predicate=predicate,
+        columns=columns,
+        time_column=time_column,
+    )
+    combined = fold_time_predicate(predicate, time_column, t0, t1)
+    for key, size, stats in parts:
+        pruned = (
+            combined is not None
+            and stats is not None
+            and not combined.might_match(stats)
+        )
+        plan.units.append(
+            PartUnit(
+                key=key,
+                size=size,
+                stats=stats,
+                pruned=pruned,
+                reason="stats" if pruned else "",
+            )
+        )
+    return plan

@@ -1,0 +1,191 @@
+"""Per-unit scan kernels: late materialization over segments and parts.
+
+The part scanner is where the read plane earns its speedup: for each
+row group it (1) tests the predicate against the group's min/max stats
+— a pruned group costs nothing; (2) evaluates the predicate on *only*
+the predicate's own columns, pushing ``Compare``/``IsIn`` down to
+dictionary codes so a dict-encoded column is judged on its (tiny)
+vocabulary instead of its rows; (3) decodes the remaining projected
+columns only for groups with surviving rows.  Decoded columns flow
+through the bounded row-group cache, so repeated dashboard queries over
+the same parts skip the decode entirely.
+
+Soundness contract: every mask computed here must equal the brute-force
+``predicate.mask`` over the fully decoded data — the property tests in
+``tests/query`` hold the two paths to byte equality, NaN floats and
+null strings included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.columnar.file_format import RcfReader
+from repro.columnar.predicate import And, Compare, IsIn, Not, Or, Predicate
+from repro.columnar.table import ColumnTable
+from repro.perf import PERF
+from repro.query.cache import cached_column
+
+__all__ = ["fold_time_predicate", "scan_segment", "scan_part"]
+
+
+def fold_time_predicate(
+    predicate: Predicate | None,
+    time_column: str,
+    t0: float | None,
+    t1: float | None,
+) -> Predicate | None:
+    """Fold a ``[t0, t1)`` window into the predicate tree.
+
+    The half-open window becomes ordinary ``Compare`` nodes, so time
+    pruning rides the same ``might_match`` machinery as every other
+    column — one pruning code path instead of two.
+    """
+    pred = predicate
+    if t1 is not None:
+        upper = Compare(time_column, "<", float(t1))
+        pred = upper if pred is None else And(upper, pred)
+    if t0 is not None:
+        lower = Compare(time_column, ">=", float(t0))
+        pred = lower if pred is None else And(lower, pred)
+    return pred
+
+
+def scan_segment(
+    table: ColumnTable,
+    time_column: str,
+    t0: float | None,
+    t1: float | None,
+    predicate: Predicate | None,
+    columns: list[str] | None,
+) -> ColumnTable | None:
+    """Scan one in-memory LAKE segment; None when no row survives.
+
+    Segments are already decoded, so "late materialization" reduces to
+    mask-then-project; the mask math matches the pre-planner
+    ``TimeSeriesLake.query`` loop exactly (NaN timestamps fail the
+    always-applied time mask on both paths).
+    """
+    ts = table[time_column]
+    lo = -np.inf if t0 is None else t0
+    hi = np.inf if t1 is None else t1
+    mask = (ts >= lo) & (ts < hi)
+    if predicate is not None:
+        mask &= predicate.mask(table)
+    if not mask.any():
+        return None
+    piece = table.filter(mask)
+    if columns is not None:
+        piece = piece.select(columns)
+    return piece
+
+
+def scan_part(
+    blob: bytes,
+    time_column: str,
+    t0: float | None,
+    t1: float | None,
+    predicate: Predicate | None,
+    columns: list[str] | None,
+) -> ColumnTable | None:
+    """Late-materializing scan of one OCEAN part; None when empty.
+
+    Arrays in the result may be views of the read-only row-group cache;
+    callers that mutate query output must copy first (the same contract
+    the zero-copy broker slices established in PR 1).
+    """
+    reader = RcfReader(blob)
+    names = reader.column_names()
+    out_cols = list(columns) if columns is not None else names
+    unknown = set(out_cols) - set(names)
+    if unknown:
+        raise KeyError(f"unknown columns {sorted(unknown)}")
+    combined = fold_time_predicate(predicate, time_column, t0, t1)
+    token = reader.digest()
+    pieces: list[ColumnTable] = []
+    for g in range(reader.num_row_groups):
+        mask: np.ndarray | None = None
+        if combined is not None:
+            if not combined.might_match(reader.group_stats(g)):
+                PERF.count("query.groups_pruned")
+                continue
+            mask = _group_mask(reader, g, combined, token)
+            if not mask.any():
+                PERF.count("query.groups_empty")
+                continue
+            if mask.all():
+                mask = None  # keep whole-group columns as cache views
+        data = {}
+        for n in out_cols:
+            arr = cached_column(
+                token, g, n, lambda col=n: reader.decode_group_column(g, col)
+            )
+            data[n] = arr if mask is None else arr[mask]
+        PERF.count("query.groups_decoded")
+        pieces.append(ColumnTable(data))
+    if not pieces:
+        return None
+    return ColumnTable.concat(pieces) if len(pieces) > 1 else pieces[0]
+
+
+def _group_mask(
+    reader: RcfReader, group: int, pred: Predicate, token: str
+) -> np.ndarray:
+    """Evaluate ``pred`` over one row group, decoding as little as
+    possible: boolean algebra recurses, leaves go through the dictionary
+    pushdown when the chunk is dict-encoded."""
+    if isinstance(pred, And):
+        return _group_mask(reader, group, pred.left, token) & _group_mask(
+            reader, group, pred.right, token
+        )
+    if isinstance(pred, Or):
+        return _group_mask(reader, group, pred.left, token) | _group_mask(
+            reader, group, pred.right, token
+        )
+    if isinstance(pred, Not):
+        return ~_group_mask(reader, group, pred.inner, token)
+    if isinstance(pred, (Compare, IsIn)):
+        return _leaf_mask(reader, group, pred, token)
+    # Unknown node type: decode its columns and fall back to exact mask.
+    data = {
+        n: cached_column(
+            token, group, n, lambda col=n: reader.decode_group_column(group, col)
+        )
+        for n in pred.columns()
+    }
+    return pred.mask(ColumnTable(data))
+
+
+def _leaf_mask(
+    reader: RcfReader, group: int, pred, token: str
+) -> np.ndarray:
+    """One-column leaf evaluation, dictionary codes first.
+
+    For a dict-encoded chunk the leaf is evaluated on the vocabulary
+    (via the same ``mask_array`` that defines exact semantics) and the
+    verdicts are gathered through the codes — O(|vocab| + rows) with no
+    string materialization.  Null string rows carry code -1; their
+    verdict comes from ``mask_array([None])``, which is exactly how a
+    decoded null (None) would have been judged.
+    """
+    name = pred.column
+    parts = reader.group_dictionary_parts(group, name)
+    if parts is not None:
+        values, codes, is_string = parts
+        PERF.count("query.dict_pushdowns")
+        if is_string:
+            none_match = bool(
+                pred.mask_array(np.array([None], dtype=object))[0]
+            )
+            if values.size == 0:
+                return np.full(codes.size, none_match, dtype=bool)
+            lut = np.asarray(pred.mask_array(values), dtype=bool)
+            return np.where(
+                codes >= 0, lut[np.maximum(codes, 0)], none_match
+            )
+        lut = np.asarray(pred.mask_array(values), dtype=bool)
+        return lut[codes]
+    arr = cached_column(
+        token, group, name, lambda: reader.decode_group_column(group, name)
+    )
+    return np.asarray(pred.mask_array(arr), dtype=bool)

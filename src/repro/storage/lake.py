@@ -10,13 +10,11 @@ sub-second interactivity even as segments accumulate.
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
-
-import numpy as np
 
 from repro.columnar.predicate import Predicate
 from repro.columnar.table import ColumnTable
+from repro.query import ScanOptions, execute_plan, plan_segments
 
 __all__ = ["TimeSeriesLake"]
 
@@ -35,8 +33,13 @@ class TimeSeriesLake:
     bounds are computed from it at ingest.
     """
 
-    def __init__(self, time_column: str = "timestamp") -> None:
+    def __init__(
+        self,
+        time_column: str = "timestamp",
+        scan_options: ScanOptions | None = None,
+    ) -> None:
         self.time_column = time_column
+        self.scan_options = scan_options or ScanOptions()
         self._tables: dict[str, list[_Segment]] = {}
         self.queries = 0
         self.segments_scanned = 0
@@ -104,39 +107,33 @@ class TimeSeriesLake:
     ) -> ColumnTable:
         """Rows with time in ``[t0, t1)`` matching ``predicate``.
 
-        Segment-level time pruning happens before any row is touched.
+        The request is planned (:func:`repro.query.plan_segments` —
+        segment-level time pruning before any row is touched) and
+        executed by the shared read-plane executor, so independent
+        segment scans run concurrently with byte-identical output.
         """
         self.queries += 1
         segments = self._tables.get(table_name, [])
         if not segments:
             return ColumnTable({})
-        lo = t0 if t0 is not None else -np.inf
-        hi = t1 if t1 is not None else np.inf
-
-        # Segments are sorted by t_min: find the first that could overlap.
-        starts = [s.t_min for s in segments]
-        first = bisect.bisect_right(starts, hi)
-        pieces: list[ColumnTable] = []
-        for seg in segments[:first]:
-            if seg.t_max < lo:
-                self.segments_pruned += 1
-                continue
-            self.segments_scanned += 1
-            table = seg.table
-            ts = table[self.time_column]
-            mask = (ts >= lo) & (ts < hi)
-            if predicate is not None:
-                mask &= predicate.mask(table)
-            if not mask.any():
-                continue
-            piece = table.filter(mask)
-            if columns is not None:
-                piece = piece.select(columns)
-            pieces.append(piece)
-        if not pieces:
-            names = columns or (segments[0].table.column_names)
-            return ColumnTable({n: np.empty(0) for n in names})
-        return ColumnTable.concat(pieces)
+        cols = (
+            list(columns)
+            if columns is not None
+            else list(segments[0].table.column_names)
+        )
+        plan = plan_segments(
+            table_name,
+            [(s.t_min, s.t_max, s.table) for s in segments],
+            t0,
+            t1,
+            predicate,
+            cols,
+            self.time_column,
+        )
+        result = execute_plan(plan, self.scan_options)
+        self.segments_scanned += plan.live_units
+        self.segments_pruned += plan.pruned_units
+        return result
 
     # -- retention ----------------------------------------------------------------
 

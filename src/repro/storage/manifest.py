@@ -1,0 +1,123 @@
+"""Per-part manifests: column stats riding on object metadata.
+
+The object store is deliberately dumb bytes; what makes OCEAN queries
+cost-proportional-to-results is a little metadata written *beside* each
+part at put time (the S3-tags idiom):
+
+* ``stats`` — per-column (min, max[, exact]) bounds of the whole part,
+  JSON-encoded.  The planner tests predicates against these, so a part
+  that cannot match is never fetched at all — pruning level zero,
+  before the row-group stats inside the file even come into play.
+* ``columns`` — the part's schema names, so a query can resolve its
+  projection (and return schema-shaped empty results) without fetching
+  a single blob.
+* ``digest`` — the part's content digest (the row-group cache token),
+  letting compaction and retention release cache memory for deleted
+  parts without re-reading them.
+
+Parts written before this manifest existed simply lack the keys; every
+reader here degrades to None and the planner treats None as
+"unprunable", so old data stays correct, just slower.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.columnar.file_format import column_stats
+from repro.columnar.table import ColumnTable
+
+__all__ = [
+    "STATS_META_KEY",
+    "COLUMNS_META_KEY",
+    "DIGEST_META_KEY",
+    "table_stats",
+    "stats_to_meta",
+    "stats_from_meta",
+    "columns_to_meta",
+    "columns_from_meta",
+    "blob_token",
+    "part_meta",
+]
+
+STATS_META_KEY = "stats"
+COLUMNS_META_KEY = "columns"
+DIGEST_META_KEY = "digest"
+
+
+def table_stats(table: ColumnTable) -> dict:
+    """Part-level column -> (min, max[, exact]) bounds of one table."""
+    return {n: column_stats(table[n]) for n in table.column_names}
+
+
+def stats_to_meta(stats: dict) -> str:
+    """JSON-encode stats for a ``user_meta`` value.  Exact bounds
+    serialize as 2-element lists, inexact as ``[lo, hi, false]`` —
+    the same shapes :func:`repro.columnar.predicate.stats_bounds`
+    normalizes."""
+    enc: dict[str, list | None] = {}
+    for name, s in stats.items():
+        if s is None:
+            enc[name] = None
+        else:
+            lo, hi, exact = s
+            enc[name] = [lo, hi] if exact else [lo, hi, False]
+    return json.dumps(enc, separators=(",", ":"))
+
+
+def stats_from_meta(raw: str | None) -> dict | None:
+    """Decode a ``stats`` metadata value; None for absent or mangled
+    manifests (an unreadable manifest must never make a part
+    unscannable — it only loses the prune)."""
+    if not raw:
+        return None
+    try:
+        dec = json.loads(raw)
+    except ValueError:
+        return None
+    if not isinstance(dec, dict):
+        return None
+    out: dict[str, tuple | None] = {}
+    for name, v in dec.items():
+        if v is None:
+            out[name] = None
+        elif len(v) == 3:
+            out[name] = (v[0], v[1], bool(v[2]))
+        else:
+            out[name] = (v[0], v[1])
+    return out
+
+
+def columns_to_meta(table: ColumnTable) -> str:
+    """JSON-encode a table's schema names for ``user_meta``."""
+    return json.dumps(list(table.column_names), separators=(",", ":"))
+
+
+def columns_from_meta(raw: str | None) -> list[str] | None:
+    """Decode a ``columns`` metadata value (None when absent/mangled)."""
+    if not raw:
+        return None
+    try:
+        dec = json.loads(raw)
+    except ValueError:
+        return None
+    if not isinstance(dec, list):
+        return None
+    return [str(n) for n in dec]
+
+
+def blob_token(blob: bytes) -> str:
+    """Content digest of a part blob — identical to
+    :meth:`repro.columnar.file_format.RcfReader.digest`, so metadata
+    written at put time keys the same cache entries the scanner fills."""
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+def part_meta(table: ColumnTable, blob: bytes) -> dict[str, str]:
+    """The manifest triple for one freshly written part."""
+    return {
+        STATS_META_KEY: stats_to_meta(table_stats(table)),
+        COLUMNS_META_KEY: columns_to_meta(table),
+        DIGEST_META_KEY: blob_token(blob),
+    }

@@ -21,13 +21,21 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.columnar.file_format import read_table, write_table
+from repro.columnar.file_format import RcfReader, read_table, write_table
 from repro.columnar.predicate import Predicate
 from repro.columnar.table import ColumnTable
 from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy, call_with_retry
+from repro.query import (
+    ScanOptions,
+    execute_plan,
+    invalidate_token,
+    plan_parts,
+    scan_reference_active,
+)
+from repro.storage import manifest
 from repro.storage.glacier import TapeArchive
 from repro.storage.lake import TimeSeriesLake
-from repro.storage.object_store import ObjectStore
+from repro.storage.object_store import ObjectMeta, ObjectStore
 
 __all__ = ["DataClass", "TierPolicy", "TieredStore", "DEFAULT_POLICIES"]
 
@@ -54,11 +62,14 @@ class TierPolicy:
     ocean_retention_s: float | None
     glacier: bool  # archive on ocean age-out (vs delete)
     codec: str = "fast"
+    row_group_size: int = 65_536
 
     def __post_init__(self) -> None:
         for v in (self.lake_retention_s, self.ocean_retention_s):
             if v is not None and v <= 0:
                 raise ValueError("retention must be positive or None")
+        if self.row_group_size <= 0:
+            raise ValueError("row_group_size must be positive")
 
 
 DEFAULT_POLICIES: dict[DataClass, TierPolicy] = {
@@ -172,14 +183,18 @@ class TieredStore:
         if policy.ocean_retention_s is not None:
             key = f"{name}/part-{meta.next_part:08d}.rcf"
             meta.next_part += 1
-            blob = write_table(table, codec=policy.codec)
+            blob = write_table(
+                table, codec=policy.codec, row_group_size=policy.row_group_size
+            )
+            user_meta = {"dataset": name, "class": meta.data_class.value}
+            user_meta.update(manifest.part_meta(table, blob))
             call_with_retry(
                 lambda: self.ocean.put(
                     self.OCEAN_BUCKET,
                     key,
                     blob,
                     created_at=now,
-                    user_meta={"dataset": name, "class": meta.data_class.value},
+                    user_meta=user_meta,
                 ),
                 policy=self.retry_policy,
                 site="tier.ocean.put",
@@ -206,14 +221,92 @@ class TieredStore:
         predicate: Predicate | None = None,
         columns: list[str] | None = None,
     ) -> ColumnTable:
-        """Batch scan of every OCEAN object of a dataset."""
-        pieces = []
-        for meta in self.ocean.list(self.OCEAN_BUCKET, prefix=f"{name}/"):
-            blob = self.ocean.get(self.OCEAN_BUCKET, meta.key)
-            pieces.append(read_table(blob, columns=columns, predicate=predicate))
-        if not pieces:
+        """Batch scan of a dataset's OCEAN objects (unbounded-time
+        archive query; parts the manifest excludes are never fetched)."""
+        return self.query_archive(name, predicate=predicate, columns=columns)
+
+    def query_archive(
+        self,
+        name: str,
+        t0: float | None = None,
+        t1: float | None = None,
+        predicate: Predicate | None = None,
+        columns: list[str] | None = None,
+        options: ScanOptions | None = None,
+    ) -> ColumnTable:
+        """Planned scan of a dataset's OCEAN parts in ``[t0, t1)``.
+
+        Pruning level zero happens *here*: parts whose persisted
+        manifest stats exclude the folded predicate are planned out and
+        never fetched from the object store (counted as
+        ``ocean.parts_pruned``).  Surviving parts are fetched serially
+        — the object store's accounting is not thread-safe — and then
+        scanned through :func:`repro.query.execute_plan` (row-group
+        pruning, late materialization, cache, parallel units).  Under
+        ``baseline_mode`` every part is fetched and the reference
+        executor decodes everything.
+        """
+        from repro.perf import PERF
+
+        with PERF.timer("tier.query_archive"):
+            return self._query_archive_impl(
+                name, t0, t1, predicate, columns, options
+            )
+
+    def _query_archive_impl(
+        self,
+        name: str,
+        t0: float | None,
+        t1: float | None,
+        predicate: Predicate | None,
+        columns: list[str] | None,
+        options: ScanOptions | None,
+    ) -> ColumnTable:
+        from repro.perf import PERF
+
+        metas = self.ocean.list(self.OCEAN_BUCKET, prefix=f"{name}/")
+        if not metas:
             return ColumnTable({})
-        return ColumnTable.concat([p for p in pieces if p.num_rows] or pieces[:1])
+        if columns is None:
+            columns = manifest.columns_from_meta(
+                metas[0].user_meta.get(manifest.COLUMNS_META_KEY)
+            )
+        plan = plan_parts(
+            name,
+            [
+                (
+                    m.key,
+                    m.size,
+                    manifest.stats_from_meta(
+                        m.user_meta.get(manifest.STATS_META_KEY)
+                    ),
+                )
+                for m in metas
+            ],
+            t0,
+            t1,
+            predicate,
+            columns,
+            self.time_column,
+        )
+        fetch_all = scan_reference_active()
+        pruned = 0
+        for unit in plan.units:
+            if unit.pruned and not fetch_all:
+                pruned += 1
+                continue
+            unit.blob = self.ocean.get(self.OCEAN_BUCKET, unit.key)
+        if pruned:
+            PERF.count("ocean.parts_pruned", pruned)
+        if plan.columns is None:
+            # Pre-manifest parts: recover the projection from the first
+            # fetched header so empty results still carry the schema.
+            first = next(
+                (u.blob for u in plan.units if u.blob is not None), None
+            )
+            if first is not None:
+                plan.columns = RcfReader(first).column_names()
+        return execute_plan(plan, options)
 
     # -- retention ------------------------------------------------------------------
 
@@ -243,7 +336,19 @@ class TieredStore:
                 else:
                     report["ocean_deleted"] += 1
                 self.ocean.delete(self.OCEAN_BUCKET, obj.key)
+                invalidate_token(self._part_token(obj))
         return report
+
+    def _part_token(self, obj: ObjectMeta, blob: bytes | None = None) -> str:
+        """A part's row-group cache token: the persisted digest, or one
+        computed from ``blob`` for pre-manifest parts (empty string —
+        invalidating nothing — when neither is available)."""
+        token = obj.user_meta.get(manifest.DIGEST_META_KEY)
+        if token:
+            return token
+        if blob is not None:
+            return manifest.blob_token(blob)
+        return ""
 
     # -- maintenance ------------------------------------------------------------------
 
@@ -264,28 +369,30 @@ class TieredStore:
         if len(parts) < min_objects:
             return {"merged": 0, "bytes_before": 0, "bytes_after": 0}
         bytes_before = sum(p.size for p in parts)
-        tables = [
-            read_table(self.ocean.get(self.OCEAN_BUCKET, p.key))
-            for p in parts
-        ]
-        combined = ColumnTable.concat(tables)
+        blobs = [self.ocean.get(self.OCEAN_BUCKET, p.key) for p in parts]
+        combined = ColumnTable.concat([read_table(b) for b in blobs])
         newest = max(p.created_at for p in parts)
-        blob = write_table(combined, codec=policy.codec)
+        blob = write_table(
+            combined, codec=policy.codec, row_group_size=policy.row_group_size
+        )
         key = f"{name}/part-{meta.next_part:08d}.rcf"
         meta.next_part += 1
+        user_meta = {
+            "dataset": name,
+            "class": meta.data_class.value,
+            "compacted_from": str(len(parts)),
+        }
+        user_meta.update(manifest.part_meta(combined, blob))
         self.ocean.put(
             self.OCEAN_BUCKET,
             key,
             blob,
             created_at=newest,
-            user_meta={
-                "dataset": name,
-                "class": meta.data_class.value,
-                "compacted_from": str(len(parts)),
-            },
+            user_meta=user_meta,
         )
-        for p in parts:
+        for p, old_blob in zip(parts, blobs):
             self.ocean.delete(self.OCEAN_BUCKET, p.key)
+            invalidate_token(self._part_token(p, old_blob))
         return {
             "merged": len(parts),
             "bytes_before": bytes_before,

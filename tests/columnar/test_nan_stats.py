@@ -1,0 +1,78 @@
+"""Regression: NaN rows must not poison chunk stats into uselessness.
+
+The old ``_column_stats`` propagated NaN through ``min``/``max``, which
+made every NaN-bearing telemetry chunk un-prunable (``might_match``
+treats NaN bounds as unknown).  Stats now skip NaNs and carry an
+``exact`` flag so pruning works again without becoming unsound for the
+predicates NaN rows can satisfy.
+"""
+
+import numpy as np
+
+from repro.columnar import (
+    Col,
+    ColumnTable,
+    RcfReader,
+    column_stats,
+    stats_bounds,
+    write_table,
+)
+from repro.columnar.predicate import Compare, Not
+
+
+def test_nan_rows_no_longer_poison_bounds():
+    stats = column_stats(np.array([1.0, np.nan, 5.0]))
+    lo, hi, exact = stats_bounds(stats)
+    assert (lo, hi) == (1.0, 5.0)
+    assert exact is False  # inexact: a NaN row was excluded
+
+
+def test_all_nan_column_has_no_stats():
+    assert column_stats(np.array([np.nan, np.nan])) is None
+
+
+def test_clean_float_column_is_exact():
+    assert column_stats(np.array([2.0, 7.0])) == (2.0, 7.0, True)
+
+
+def test_infinities_are_legitimate_bounds():
+    stats = column_stats(np.array([-np.inf, 0.0, np.inf]))
+    assert stats == (-np.inf, np.inf, True)
+
+
+def test_null_strings_participate_as_empty_string():
+    stats = column_stats(np.array(["b", None, "a"], dtype=object))
+    assert stats == ("", "b", True)
+
+
+def test_exactness_survives_file_round_trip():
+    t = ColumnTable(
+        {
+            "clean": np.array([1.0, 2.0, 3.0, 4.0]),
+            "dirty": np.array([1.0, np.nan, 3.0, 4.0]),
+        }
+    )
+    reader = RcfReader(write_table(t, row_group_size=4))
+    clean = reader.group_stats(0)["clean"]
+    dirty = reader.group_stats(0)["dirty"]
+    assert stats_bounds(clean) == (1.0, 4.0, True) and len(clean) == 2
+    assert stats_bounds(dirty) == (1.0, 4.0, False)
+
+
+def test_nan_bearing_chunk_prunes_again():
+    # The regression in one assertion: a single NaN used to make this
+    # chunk match *every* predicate.  Out-of-range comparisons must
+    # exclude it now.
+    stats = {"power": column_stats(np.array([100.0, np.nan, 140.0]))}
+    assert not (Col("power") > 500.0).might_match(stats)
+    assert (Col("power") > 120.0).might_match(stats)
+
+
+def test_inexact_stats_block_unsound_not_equal_prune():
+    # Constant chunk plus a NaN: `!=` is satisfied by the NaN row, so
+    # the constant-chunk shortcut may only fire on exact stats.
+    exact = {"x": (5.0, 5.0, True)}
+    inexact = {"x": (5.0, 5.0, False)}
+    for pred in (Compare("x", "!=", 5.0), Not(Compare("x", "==", 5.0))):
+        assert not pred.might_match(exact)
+        assert pred.might_match(inexact)

@@ -1,0 +1,237 @@
+"""Property-style soundness: planner output == brute-force mask path.
+
+Random tables (NaN floats, null strings, dict-friendly low-cardinality
+columns) and random predicate trees, executed four ways — fast serial,
+fast threaded, cache-disabled, and the decode-everything reference —
+must all agree with the plain ``predicate.mask`` filter over the
+concatenated data.  This is the one assertion that covers row-group
+pruning, dictionary-code pushdown, late materialization, and the cache
+at once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.columnar import Col, ColumnTable, write_table
+from repro.columnar.predicate import Compare, IsIn, Not, Or
+from repro.query import (
+    ScanOptions,
+    clear_row_group_cache,
+    execute_plan,
+    execute_plan_reference,
+    plan_parts,
+    row_group_cache_disabled,
+)
+from repro.query.scan import fold_time_predicate
+from repro.storage.manifest import stats_from_meta, stats_to_meta, table_stats
+
+PROJECTS = ["PRJA", "PRJB", "PRJC", "PRJD"]
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_row_group_cache()
+    yield
+    clear_row_group_cache()
+
+
+def random_table(rng, n):
+    power = rng.normal(200.0, 40.0, n)
+    power[rng.random(n) < 0.1] = np.nan  # NaN-bearing telemetry column
+    project = np.array(
+        [PROJECTS[i] for i in rng.integers(0, len(PROJECTS), n)],
+        dtype=object,
+    )
+    project[rng.random(n) < 0.1] = None  # null strings
+    return ColumnTable(
+        {
+            "timestamp": np.sort(rng.uniform(0.0, 1000.0, n)),
+            "node": rng.integers(0, 8, n).astype(float),
+            "power": power,
+            "project": project,
+        }
+    )
+
+
+def random_predicate(rng, depth=2):
+    if depth > 0 and rng.random() < 0.5:
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            return random_predicate(rng, depth - 1) & random_predicate(
+                rng, depth - 1
+            )
+        if kind == 1:
+            return Or(
+                random_predicate(rng, depth - 1),
+                random_predicate(rng, depth - 1),
+            )
+        return Not(random_predicate(rng, depth - 1))
+    leaf = rng.integers(0, 4)
+    if leaf == 0:
+        op = ["==", "!=", "<", "<=", ">", ">="][rng.integers(0, 6)]
+        return Compare("power", op, float(rng.uniform(120.0, 280.0)))
+    if leaf == 1:
+        op = ["==", "!=", "<", ">="][rng.integers(0, 4)]
+        return Compare("project", op, PROJECTS[rng.integers(0, 4)])
+    if leaf == 2:
+        return IsIn(
+            "project",
+            tuple(
+                PROJECTS[i]
+                for i in rng.choice(4, size=rng.integers(1, 3), replace=False)
+            ),
+        )
+    return Compare("node", "==", float(rng.integers(0, 8)))
+
+
+def brute_force(tables, t0, t1, predicate, columns):
+    whole = ColumnTable.concat(tables)
+    pred = fold_time_predicate(predicate, "timestamp", t0, t1)
+    if pred is not None:
+        whole = whole.filter(pred.mask(whole))
+    if columns is not None:
+        whole = whole.select(columns)
+    return whole
+
+
+def build_plan(tables, blobs, t0, t1, predicate, columns, with_stats=True):
+    parts = []
+    for i, (t, b) in enumerate(zip(tables, blobs)):
+        stats = (
+            stats_from_meta(stats_to_meta(table_stats(t)))
+            if with_stats
+            else None
+        )
+        parts.append((f"p{i}", len(b), stats))
+    plan = plan_parts(
+        "d", parts, t0, t1, predicate, columns, time_column="timestamp"
+    )
+    for unit, b in zip(plan.units, blobs):
+        unit.blob = b  # all blobs attached so the reference can scan
+    return plan
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_queries_match_brute_force(seed):
+    rng = np.random.default_rng(seed)
+    tables = [random_table(rng, int(rng.integers(50, 200))) for _ in range(3)]
+    blobs = [write_table(t, row_group_size=32) for t in tables]
+    predicate = random_predicate(rng)
+    t0, t1 = (
+        (None, None)
+        if rng.random() < 0.3
+        else tuple(sorted(rng.uniform(0.0, 1000.0, 2)))
+    )
+    columns = (
+        None
+        if rng.random() < 0.5
+        else ["timestamp", "power", "project"]
+    )
+    expected = brute_force(tables, t0, t1, predicate, columns)
+    plan = build_plan(tables, blobs, t0, t1, predicate, columns)
+
+    serial = execute_plan(plan, ScanOptions(executor="serial"))
+    threaded = execute_plan(plan, ScanOptions(executor="threads", max_workers=4))
+    reference = execute_plan_reference(plan)
+    with row_group_cache_disabled():
+        uncached = execute_plan(plan, ScanOptions(executor="serial"))
+    # A second run exercises warm-cache hits.
+    warm = execute_plan(plan, ScanOptions(executor="serial"))
+
+    for out in (serial, threaded, reference, uncached, warm):
+        assert out.num_rows == expected.num_rows
+        assert list(out.column_names) == list(expected.column_names)
+        for c in expected.column_names:
+            a, b = out[c], expected[c]
+            if a.dtype == object or b.dtype == object:
+                assert [x for x in a.tolist()] == [x for x in b.tolist()]
+            else:
+                assert np.array_equal(a, b, equal_nan=True)
+
+
+def test_nan_chunk_not_equal_stays_conservative():
+    # One chunk is constant-plus-NaN: `!=` and `NOT(==)` are satisfied
+    # by the NaN row even though min == max == value, so the inexact
+    # stats must block the constant-chunk prune.
+    t = ColumnTable(
+        {
+            "timestamp": np.arange(4, dtype=float),
+            "power": np.array([5.0, 5.0, np.nan, 5.0]),
+        }
+    )
+    blob = write_table(t, row_group_size=4)
+    for predicate in (Col("power") != 5.0, Not(Compare("power", "==", 5.0))):
+        plan = build_plan([t], [blob], None, None, predicate, None)
+        fast = execute_plan(plan, ScanOptions(executor="serial"))
+        ref = execute_plan_reference(plan)
+        assert fast.num_rows == ref.num_rows == 1
+        assert np.isnan(fast["power"]).all()
+
+
+def test_or_keeps_group_either_side_might_match():
+    # Group stats exclude the left branch but not the right: Or must
+    # keep the group (conservative), and the final rows must match.
+    t = ColumnTable(
+        {
+            "timestamp": np.arange(10, dtype=float),
+            "power": np.linspace(100.0, 109.0, 10),
+        }
+    )
+    blob = write_table(t, row_group_size=10)
+    predicate = Or(Col("power") > 1000.0, Col("power") <= 101.0)
+    plan = build_plan([t], [blob], None, None, predicate, None)
+    fast = execute_plan(plan, ScanOptions(executor="serial"))
+    assert fast.num_rows == 2
+    assert fast == execute_plan_reference(plan)
+
+
+def test_null_string_rows_follow_mask_semantics():
+    # Compare treats None as "" (so `< "B"` matches); IsIn matches None
+    # only when None is listed.  Pushdown on dict codes must agree.
+    t = ColumnTable(
+        {
+            "timestamp": np.arange(6, dtype=float),
+            "project": np.array(
+                ["PRJA", None, "PRJB", None, "PRJC", "PRJA"], dtype=object
+            ),
+        }
+    )
+    blob = write_table(t, row_group_size=3)
+    cases = [
+        (Col("project") < "PRJB", 4),        # "" sorts first: 2 None + 2 PRJA
+        (Col("project") == "PRJA", 2),
+        (IsIn("project", ("PRJB",)), 1),
+        (IsIn("project", (None, "PRJB")), 3),
+        (Not(Compare("project", "==", "PRJA")), 4),
+    ]
+    for predicate, expected_rows in cases:
+        plan = build_plan([t], [blob], None, None, predicate, None)
+        fast = execute_plan(plan, ScanOptions(executor="serial"))
+        ref = execute_plan_reference(plan)
+        assert fast.num_rows == expected_rows, predicate
+        assert fast == ref
+
+
+def test_unknown_projection_column_raises():
+    t = random_table(np.random.default_rng(0), 20)
+    blob = write_table(t)
+    plan = build_plan([t], [blob], None, None, None, ["nope"])
+    with pytest.raises(KeyError):
+        execute_plan(plan, ScanOptions(executor="serial"))
+
+
+def test_pruned_parts_counted_and_skipped():
+    from repro.perf import PERF
+
+    rng = np.random.default_rng(1)
+    tables = [random_table(rng, 64) for _ in range(4)]
+    blobs = [write_table(t) for t in tables]
+    # Window beyond all data: every part prunes via manifest stats.
+    plan = build_plan(tables, blobs, 5000.0, 6000.0, None, None)
+    assert plan.pruned_units == 4
+    before = PERF.counter("query.parts_scanned")
+    out = execute_plan(plan, ScanOptions(executor="serial"))
+    assert out.num_rows == 0
+    assert PERF.counter("query.parts_scanned") == before
+    # The reference scans everything and still agrees.
+    assert out.num_rows == execute_plan_reference(plan).num_rows
