@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-query chaos lint lint-json
+.PHONY: test bench bench-quick bench-query chaos lint lint-json obs-report
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,3 +34,10 @@ lint:
 
 lint-json:
 	$(PYTHON) -m repro.analysis --format json src
+
+# Self-observability: run a seeded end-to-end window sequence with
+# tracing + self-telemetry on, dump the trace/metric JSONL, and render
+# it as a span-tree report — see DESIGN.md §12.
+obs-report:
+	$(PYTHON) examples/self_observability.py
+	$(PYTHON) -m repro.obs report obs_trace.jsonl

@@ -9,7 +9,11 @@ writes ``BENCH_e2e.json`` at the repo root with wall time, rows/s,
 bytes/s, the per-stage :data:`repro.perf.PERF` breakdown for both
 configurations, and the speedup.
 
-Repetitions are interleaved (baseline, fast, baseline, fast, ...) and
+A third interleaved configuration — the fast path with the obs tracer
+and metrics switched off — yields the observability overhead ratio
+(``obs_overhead``), and its outputs are asserted identical too.
+
+Repetitions are interleaved (baseline, fast, fast_noobs, ...) and
 summarized by medians so a noisy neighbour during one run cannot skew
 the ratio.  Usage::
 
@@ -28,7 +32,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.core import DataPlaneOptions, ODAFramework
-from repro.perf import PERF, baseline_mode, reset_fast_path_caches
+from repro.obs import METRICS, TRACER
+from repro.perf import PERF, baseline_mode, reset_all
 from repro.telemetry import COMPASS, synthetic_job_mix
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -48,23 +53,30 @@ HEADLINE_TIMERS = (
 )
 
 
-def run_once(machine, allocation, n_windows, window_s, *, baseline):
+def run_once(machine, allocation, n_windows, window_s, *, baseline, obs=True):
     """One full multi-window run; returns (wall_s, summaries, footprint,
-    perf snapshot)."""
+    perf snapshot).  ``obs=False`` switches the tracer and metrics off
+    for the run — the no-observability control the overhead ratio is
+    measured against."""
     options = (
         DataPlaneOptions.serial_baseline() if baseline else DataPlaneOptions()
     )
-    reset_fast_path_caches()
-    PERF.reset()
-    with ODAFramework(machine, allocation, seed=7, options=options) as fw:
-        t0 = time.perf_counter()
-        if baseline:
-            with baseline_mode():
+    reset_all()
+    TRACER.enabled = obs
+    METRICS.enabled = obs
+    try:
+        with ODAFramework(machine, allocation, seed=7, options=options) as fw:
+            t0 = time.perf_counter()
+            if baseline:
+                with baseline_mode():
+                    summaries = fw.run(0.0, n_windows * window_s, window_s)
+            else:
                 summaries = fw.run(0.0, n_windows * window_s, window_s)
-        else:
-            summaries = fw.run(0.0, n_windows * window_s, window_s)
-        wall_s = time.perf_counter() - t0
-        footprint = fw.tier_footprint()
+            wall_s = time.perf_counter() - t0
+            footprint = fw.tier_footprint()
+    finally:
+        TRACER.enabled = True
+        METRICS.enabled = True
     return wall_s, summaries, footprint, PERF.snapshot()
 
 
@@ -141,28 +153,37 @@ def main(argv=None) -> int:
         machine, 0.0, horizon, np.random.default_rng(42)
     )
 
-    walls = {"baseline": [], "fast": []}
+    walls = {"baseline": [], "fast": [], "fast_noobs": []}
     last = {}
     for rep in range(args.repeat):
-        for label, is_base in (("baseline", True), ("fast", False)):
+        for label, is_base, obs in (
+            ("baseline", True, True),
+            ("fast", False, True),
+            ("fast_noobs", False, False),
+        ):
             wall, summaries, footprint, snap = run_once(
                 machine, allocation, args.windows, args.window_s,
-                baseline=is_base,
+                baseline=is_base, obs=obs,
             )
             walls[label].append(wall)
             last[label] = (summaries, footprint, snap)
-            print(f"rep {rep + 1}/{args.repeat}  {label:8s} {wall:7.3f}s")
+            print(f"rep {rep + 1}/{args.repeat}  {label:10s} {wall:7.3f}s")
 
     check_identical(
         (last["baseline"][0], last["baseline"][1]),
         (last["fast"][0], last["fast"][1]),
+    )
+    # Observability must be output-invariant, not only cheap.
+    check_identical(
+        (last["fast"][0], last["fast"][1]),
+        (last["fast_noobs"][0], last["fast_noobs"][1]),
     )
 
     configs = {
         label: summarize(
             walls[label], last[label][0], last[label][1], last[label][2], label
         )
-        for label in ("baseline", "fast")
+        for label in ("baseline", "fast", "fast_noobs")
     }
     # Pair each repetition's baseline with the fast run that immediately
     # followed it: the box's slow drift (thermal state, cache pressure)
@@ -173,6 +194,12 @@ def main(argv=None) -> int:
         for b, f in zip(walls["baseline"], walls["fast"])
     ]
     speedup = statistics.median(per_rep)
+    # Obs overhead, same pairing logic: tracing+metrics on vs. off.
+    obs_per_rep = [
+        w / n - 1.0 if n else float("inf")
+        for w, n in zip(walls["fast"], walls["fast_noobs"])
+    ]
+    obs_overhead = statistics.median(obs_per_rep)
     report = {
         "bench": "e2e_data_plane",
         "shape": {
@@ -187,14 +214,18 @@ def main(argv=None) -> int:
         "outputs_identical": True,
         "speedup": speedup,
         "speedup_per_rep": per_rep,
+        "obs_overhead": obs_overhead,
+        "obs_overhead_per_rep": obs_per_rep,
         "baseline": configs["baseline"],
         "fast": configs["fast"],
+        "fast_noobs": configs["fast_noobs"],
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(
         f"\nbaseline {configs['baseline']['wall_s_median']:.3f}s  "
         f"fast {configs['fast']['wall_s_median']:.3f}s  "
-        f"speedup {speedup:.2f}x  -> {args.out}"
+        f"speedup {speedup:.2f}x  "
+        f"obs overhead {obs_overhead * 100:+.1f}%  -> {args.out}"
     )
     return 0
 

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.columnar import ColumnTable
 from repro.columnar.predicate import Col, IsIn
-from repro.perf import PERF, baseline_mode, reset_fast_path_caches
+from repro.perf import PERF, baseline_mode, reset_all
 from repro.query import ScanOptions
 from repro.storage import DataClass, TierPolicy, TieredStore
 from repro.storage.tiers import DAY_S
@@ -144,8 +144,7 @@ def query_panel(horizon_s):
 
 def run_config(store, panel, label, options):
     """Time every query once under one configuration."""
-    reset_fast_path_caches()
-    PERF.reset()
+    reset_all()
     walls, outputs = {}, {}
     for name, fn in panel:
         if label == "baseline":

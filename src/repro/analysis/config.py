@@ -31,6 +31,11 @@ DATA_PLANE_PACKAGES = frozenset(
         "repro.core",
         "repro.faults",
         "repro.query",
+        # Observability must be held to the same bar as what it observes:
+        # span/trace IDs are derived from seeds and logical indices, so a
+        # wall-clock or global-RNG call in repro.obs would silently break
+        # trace replayability.  Durations use perf_counter (legal).
+        "repro.obs",
     }
 )
 
@@ -65,9 +70,12 @@ TRANSIENT_ERROR_NAMES = frozenset(
 )
 
 #: Packages every layer may import: itself, the ``repro`` root facade,
-#: pure helpers (``util``) and the cross-cutting instrumentation spine
-#: (``perf`` — its registry imports nothing of the data plane eagerly).
-ALWAYS_ALLOWED_IMPORTS = frozenset({"repro", "repro.util", "repro.perf"})
+#: pure helpers (``util``) and the cross-cutting instrumentation spines
+#: (``perf`` and ``obs`` — their registries import nothing of the data
+#: plane eagerly; exporters reach telemetry/perf lazily, at call time).
+ALWAYS_ALLOWED_IMPORTS = frozenset(
+    {"repro", "repro.util", "repro.perf", "repro.obs"}
+)
 
 #: The hourglass layering.  ``package -> packages it may import`` (plus
 #: ``ALWAYS_ALLOWED_IMPORTS`` and itself).  ``repro.core`` is the
@@ -88,6 +96,11 @@ LAYER_ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "repro.perf": frozenset(
         {"repro.columnar", "repro.pipeline", "repro.query", "repro.telemetry"}
     ),
+    # The obs spine mirrors perf: import-light at module level, with
+    # lazy call-time imports of telemetry (self-telemetry batches) and
+    # perf (merged snapshots).  The import rule counts function-level
+    # imports too, so both must be listed.
+    "repro.obs": frozenset({"repro.telemetry", "repro.perf"}),
     "repro.pipeline": frozenset(
         {"repro.columnar", "repro.telemetry", "repro.stream", "repro.faults"}
     ),

@@ -265,6 +265,77 @@ class UserAssistanceDashboard:
             ]
         return []
 
+    # -- the ODA's own health ("ODA for the ODA") --------------------------------------
+
+    def framework_health(
+        self,
+        t0: float | None = None,
+        t1: float | None = None,
+        health_table: str = "oda_health.silver",
+    ) -> list[Finding]:
+        """Diagnose the framework itself from its self-telemetry stream.
+
+        Reads the ``oda_health.silver`` dataset that
+        ``DataPlaneOptions.self_telemetry`` refines through the normal
+        medallion chain, and applies the same rule style the dashboard
+        uses on jobs — so the operator's "is the ODA healthy?" question
+        is answered by the ODA's own pipeline.
+        """
+        health = self.lake.query(health_table, t0, t1)
+        if health.num_rows == 0:
+            return [
+                Finding(
+                    "obs-no-telemetry",
+                    "warning",
+                    "no self-telemetry rows in the window: enable "
+                    "DataPlaneOptions.self_telemetry or check the "
+                    "oda_health refinement loop",
+                    {"rows": 0.0},
+                )
+            ]
+        findings: list[Finding] = []
+        if "oda.skipped_by_retention" in health:
+            skipped = float(np.nanmax(health["oda.skipped_by_retention"]))
+            if skipped > 0:
+                findings.append(
+                    Finding(
+                        "obs-data-loss",
+                        "critical",
+                        "consumers skipped retention-trimmed records: the "
+                        "pipeline is falling behind the STREAM horizon",
+                        {"skipped_records": skipped},
+                    )
+                )
+        if "oda.gold_rows" in health:
+            gold = health["oda.gold_rows"]
+            if float(np.nanmax(gold)) == 0.0:
+                findings.append(
+                    Finding(
+                        "refinement-stalled",
+                        "warning",
+                        "no Gold rows in any observed window: the power "
+                        "refinement chain is producing nothing",
+                        {"windows_observed": float(health.num_rows)},
+                    )
+                )
+        if not findings:
+            last = health.num_rows - 1
+            evidence = {"windows_observed": float(health.num_rows)}
+            if "oda.silver_rows" in health:
+                evidence["last_silver_rows"] = float(
+                    health["oda.silver_rows"][last]
+                )
+            findings.append(
+                Finding(
+                    "pipeline-healthy",
+                    "info",
+                    "self-telemetry shows refinement progressing with no "
+                    "retention loss",
+                    evidence,
+                )
+            )
+        return findings
+
     # -- the "old method" baseline ----------------------------------------------------
 
     def manual_lookup(self, job_id: int, bronze_tables: dict[str, ColumnTable]

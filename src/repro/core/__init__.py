@@ -28,7 +28,14 @@ from repro.core.lifecycle import (
     DataLifecycle,
     LifecycleStage,
 )
-from repro.core.framework import DataPlaneOptions, ODAFramework, WindowSummary
+from repro.core.framework import (
+    HEALTH_DATASET,
+    HEALTH_SENSORS,
+    HEALTH_TOPIC,
+    DataPlaneOptions,
+    ODAFramework,
+    WindowSummary,
+)
 from repro.core.datacenter import DataCenter
 from repro.core.dictionary import (
     DataDictionary,
@@ -57,6 +64,9 @@ __all__ = [
     "ODAFramework",
     "WindowSummary",
     "DataPlaneOptions",
+    "HEALTH_SENSORS",
+    "HEALTH_TOPIC",
+    "HEALTH_DATASET",
     "DataCenter",
     "DataDictionary",
     "DictionaryEntry",

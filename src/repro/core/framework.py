@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import METRICS, TRACER
 from repro.perf import PERF
 from repro.pipeline.medallion import MedallionPipeline
 from repro.storage.tiers import DataClass, TieredStore
@@ -26,7 +27,14 @@ from repro.telemetry.fleet import FleetTelemetry
 from repro.telemetry.jobs import AllocationTable
 from repro.telemetry.machine import MachineConfig
 
-__all__ = ["ODAFramework", "WindowSummary", "DataPlaneOptions"]
+__all__ = [
+    "ODAFramework",
+    "WindowSummary",
+    "DataPlaneOptions",
+    "HEALTH_SENSORS",
+    "HEALTH_TOPIC",
+    "HEALTH_DATASET",
+]
 
 def _shutdown_executor(executor: ThreadPoolExecutor | None) -> None:
     """Finalizer target: must not hold a reference to the framework."""
@@ -43,6 +51,26 @@ STREAM_TOPICS = (
     "interconnect",
     "facility",
 )
+
+#: The framework's own health signals, re-published as a synthetic
+#: telemetry topic when ``DataPlaneOptions.self_telemetry`` is on ("ODA
+#: for the ODA").  Deliberately restricted to deterministic quantities —
+#: row counts and byte volumes, never wall time — so a self-observed run
+#: stays byte-for-byte replayable.
+HEALTH_SENSORS = (
+    "oda.records_produced",
+    "oda.raw_bytes",
+    "oda.bronze_rows",
+    "oda.silver_rows",
+    "oda.gold_rows",
+    "oda.stream_retained_bytes",
+    "oda.skipped_by_retention",
+    "oda.windows_total",
+)
+
+#: Topic + dataset names of the self-telemetry loop.
+HEALTH_TOPIC = "oda_health"
+HEALTH_DATASET = "oda_health.silver"
 
 
 @dataclass(frozen=True)
@@ -75,12 +103,20 @@ class DataPlaneOptions:
     reference_emit:
         Emit telemetry through the loop-per-channel reference path
         instead of the batched one (same bytes, slower).
+    self_telemetry:
+        Re-publish the framework's own health gauges (row counts, byte
+        volumes — see :data:`HEALTH_SENSORS`) as a synthetic telemetry
+        topic after every window, refined through the normal medallion
+        chain into the ``oda_health.silver`` dataset.  Off by default:
+        the loop adds a dataset to the tier footprint, which strict
+        footprint comparisons against non-observed runs would notice.
     """
 
     batched: bool = True
     executor: str = "auto"
     max_workers: int | None = None
     reference_emit: bool = False
+    self_telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.executor not in ("auto", "serial", "threads"):
@@ -152,6 +188,7 @@ class ODAFramework:
     ) -> None:
         self.machine = machine
         self.allocation = allocation
+        self.seed = seed
         self.options = options if options is not None else DataPlaneOptions()
         self.fleet = FleetTelemetry(
             machine,
@@ -228,6 +265,30 @@ class ODAFramework:
         self._log_consumer = Consumer(self.broker, "syslog", group="log-index")
         self._sec_consumer = Consumer(self.broker, "syslog", group="copacetic")
 
+        # Self-telemetry: the framework's own health metrics become one
+        # more topic flowing through the same broker, refinement and
+        # tiers it observes — so the UA dashboard can diagnose the ODA
+        # with the ODA's own machinery.
+        self._health_consumer: Consumer | None = None
+        self._health_catalog = None
+        if self.options.self_telemetry:
+            from repro.obs import health_catalog
+
+            self.broker.create_topic(
+                TopicConfig(
+                    HEALTH_TOPIC,
+                    n_partitions=1,
+                    retention=RetentionPolicy(max_age_s=stream_retention_s),
+                )
+            )
+            self.tiers.register(HEALTH_DATASET, DataClass.SILVER)
+            self._health_consumer = Consumer(
+                self.broker, HEALTH_TOPIC, group="obs-health"
+            )
+            self._health_catalog = health_catalog(
+                list(HEALTH_SENSORS), sample_period_s=silver_interval_s
+            )
+
         self.windows: list[WindowSummary] = []
         self._executor: ThreadPoolExecutor | None = None
         self._finalizer = weakref.finalize(self, _shutdown_executor, None)
@@ -272,7 +333,13 @@ class ODAFramework:
         if self.options.resolve_executor() == "serial" or len(tasks) <= 1:
             return [task() for task in tasks]
         pool = self._get_executor()
-        return [f.result() for f in [pool.submit(task) for task in tasks]]
+        # TRACER.wrap reparents each task's spans under the span active
+        # *here*, on the submitting thread — the worker threads have
+        # empty span stacks of their own.
+        return [
+            f.result()
+            for f in [pool.submit(TRACER.wrap(task)) for task in tasks]
+        ]
 
     def run_window(self, t0: float, t1: float) -> WindowSummary:
         """Ingest and refine one time window end to end.
@@ -284,8 +351,17 @@ class ODAFramework:
         insertion order): offset commits, tier writes, retention — the
         steps whose order the on-disk artifacts depend on.
         """
-        with PERF.timer("window.total"):
-            return self._run_window_impl(t0, t1)
+        with TRACER.span_or_trace(
+            "window",
+            seed=self.seed,
+            index=len(self.windows),
+            window=len(self.windows),
+            machine=self.machine.name,
+            t0=t0,
+            t1=t1,
+        ):
+            with PERF.timer("window.total"):
+                return self._run_window_impl(t0, t1)
 
     def _run_window_impl(self, t0: float, t1: float) -> WindowSummary:
         batched = self.options.batched
@@ -316,31 +392,42 @@ class ODAFramework:
                 ]
             return [r.value for r in consumer.poll(max_records=1_000)]
 
-        def refine_task(consumer: Consumer, pipeline: MedallionPipeline):
-            return lambda: pipeline.process(poll_values(consumer))
+        # Task wrapper spans embed the topic/role in the span *name*
+        # ("refine:power", "consume:log-index"): concurrently created
+        # siblings must have distinct names for their IDs to be
+        # assignment-order independent (see repro.obs.span).
+        def refine_task(name: str, consumer: Consumer, pipeline: MedallionPipeline):
+            def task():
+                with TRACER.span(f"refine:{name}", topic=name):
+                    return pipeline.process(poll_values(consumer))
+
+            return task
 
         def facility_task():
-            fac_batches = poll_values(self._facility_consumer)
-            if not fac_batches:
-                return None
-            return silver_aggregate(
-                bronze_standardize(fac_batches),
-                self.fleet.facility.catalog,
-                self.medallion.interval,
-            )
+            with TRACER.span("refine:facility", topic="facility"):
+                fac_batches = poll_values(self._facility_consumer)
+                if not fac_batches:
+                    return None
+                return silver_aggregate(
+                    bronze_standardize(fac_batches),
+                    self.fleet.facility.catalog,
+                    self.medallion.interval,
+                )
 
         def log_task():
-            for value in poll_values(self._log_consumer):
-                self.logs.ingest(value)
+            with TRACER.span("consume:log-index", topic="syslog"):
+                for value in poll_values(self._log_consumer):
+                    self.logs.ingest(value)
 
         def sec_task():
-            for value in poll_values(self._sec_consumer):
-                self.copacetic.process(value)
+            with TRACER.span("consume:copacetic", topic="syslog"):
+                for value in poll_values(self._sec_consumer):
+                    self.copacetic.process(value)
 
         names = list(self._refineries)
         tasks = [
-            refine_task(consumer, pipeline)
-            for consumer, pipeline in self._refineries.values()
+            refine_task(name, consumer, pipeline)
+            for name, (consumer, pipeline) in self._refineries.items()
         ]
         tasks += [facility_task, log_task, sec_task]
         results = self._run_tasks(tasks)
@@ -377,7 +464,64 @@ class ODAFramework:
             gold_rows=tables["gold"].num_rows,
         )
         self.windows.append(summary)
+        if self._health_consumer is not None:
+            self._publish_health(summary)
         return summary
+
+    def _publish_health(self, summary: WindowSummary) -> None:
+        """Close the self-telemetry loop for one window.
+
+        The window's health gauges become an :class:`ObservationBatch`
+        on the ``oda_health`` topic, which a dedicated consumer group
+        polls and refines through the same Bronze -> Silver chain as
+        machine telemetry before landing in the ``oda_health.silver``
+        dataset — queryable by the UA dashboard like any other stream.
+        """
+        from repro.obs import health_batch
+        from repro.pipeline.medallion import bronze_standardize, silver_aggregate
+
+        with TRACER.span("obs.self_telemetry"):
+            skipped = sum(
+                c.skipped_by_retention
+                for c in (
+                    *(c for c, _ in self._refineries.values()),
+                    self._facility_consumer,
+                    self._log_consumer,
+                    self._sec_consumer,
+                )
+            )
+            gauges = {
+                "oda.records_produced": summary.records_produced,
+                "oda.raw_bytes": summary.raw_bytes,
+                "oda.bronze_rows": summary.bronze_rows,
+                "oda.silver_rows": summary.silver_rows,
+                "oda.gold_rows": summary.gold_rows,
+                "oda.stream_retained_bytes": sum(
+                    self.broker.topic_bytes(t) for t in self.broker.topics()
+                ),
+                "oda.skipped_by_retention": skipped,
+                "oda.windows_total": len(self.windows),
+            }
+            for name, value in gauges.items():
+                METRICS.set_gauge(name, value, deterministic=True)
+            batch = health_batch(METRICS, summary.t0, self._health_catalog)
+            self.producer.send(
+                HEALTH_TOPIC, batch, key="obs-health", timestamp=summary.t0
+            )
+            values = [
+                r.value
+                for _, recs in self._health_consumer.poll_slices(
+                    max_records=None
+                )
+                for r in recs
+            ]
+            self._health_consumer.commit()
+            silver = silver_aggregate(
+                bronze_standardize(values),
+                self._health_catalog,
+                self.medallion.interval,
+            )
+            self.tiers.ingest(HEALTH_DATASET, silver, now=summary.t1)
 
     def run(self, t0: float, t1: float, window_s: float) -> list[WindowSummary]:
         """Drive consecutive windows across ``[t0, t1)``."""

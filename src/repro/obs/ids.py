@@ -1,0 +1,47 @@
+"""Deterministic trace/span identifiers.
+
+The paper's replay discipline (and this repo's DET rules) forbid wall
+clocks and global RNG anywhere identifiers are minted: a trace captured
+today must be byte-identical to the same seeded run captured tomorrow,
+or diffing two runs' traces becomes guesswork.  IDs are therefore pure
+functions of *logical* coordinates — the root seed, a trace name, the
+logical window index, the parent span, and a per-(parent, name) sibling
+sequence number — hashed with BLAKE2b exactly like
+:func:`repro.util.rng.derive_seed` derives RNG streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["trace_id", "span_id"]
+
+#: Hex digits in an ID (64-bit, matching the RNG seed derivation width).
+_ID_BYTES = 8
+
+
+def _digest(payload: str) -> str:
+    return hashlib.blake2b(
+        payload.encode("utf-8"), digest_size=_ID_BYTES
+    ).hexdigest()
+
+
+def trace_id(seed: int, name: str, index: int = 0) -> str:
+    """ID of one logical trace (e.g. one ingest window of one run).
+
+    ``seed`` is the run's root seed, ``name`` the trace kind (``"window"``,
+    ``"query"``, ...), ``index`` the logical sequence number (window
+    index).  Same coordinates -> same ID, across processes and platforms.
+    """
+    return _digest(f"trace:{seed}:{name}:{index}")
+
+
+def span_id(trace: str, parent: str, name: str, seq: int) -> str:
+    """ID of one span, derived from its position in the tree.
+
+    ``seq`` disambiguates siblings sharing a parent and a name; the
+    tracer assigns it from a per-(parent, name) counter, so IDs stay
+    stable however thread execution interleaves differently-named
+    siblings.
+    """
+    return _digest(f"span:{trace}:{parent}:{name}:{seq}")

@@ -1,0 +1,297 @@
+"""Labeled metrics: counters, gauges, fixed-bucket histograms.
+
+The facade that subsumes the flat :data:`repro.perf.PERF` timer/counter
+bag: meters here carry labels (``topic="power"``), histograms capture
+distributions (batch sizes, fetch latencies, rows per window) instead of
+just totals, and :meth:`MetricsRegistry.snapshot` can merge the legacy
+PERF registry so one tree describes the whole process.
+
+The lock discipline is the same as PERF's — one coarse lock, one dict
+update per record — and recording can be suspended with a reentrant,
+lock-guarded depth counter (the fixed version of the bug
+``PerfRegistry.disabled`` used to have).
+
+Gauges and counters registered with ``deterministic=True`` declare that
+their values are functions of seeds and logical progress only (row
+counts, byte volumes — never wall time); the self-telemetry exporter
+publishes exactly those, so the "ODA for the ODA" loop stays replayable.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    "DEFAULT_BUCKETS",
+    "SIZE_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavoured, geometric).
+DEFAULT_BUCKETS = (
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+    1.0,
+    10.0,
+)
+
+#: Bucket bounds suited to row/byte counts.
+SIZE_BUCKETS = (1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def _render(name: str, label_key: tuple) -> str:
+    if not label_key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in label_key)
+    return f"{name}{{{inner}}}"
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style bucket counts)."""
+
+    __slots__ = ("edges", "counts", "total", "n", "max_value")
+
+    def __init__(self, edges: tuple[float, ...]) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError("bucket edges must be non-empty and ascending")
+        self.edges = tuple(float(e) for e in edges)
+        # counts[i] = observations <= edges[i]; counts[-1] = overflow.
+        self.counts = [0] * (len(self.edges) + 1)
+        self.total = 0.0
+        self.n = 0
+        self.max_value = 0.0
+
+    def observe(self, value: float) -> None:
+        i = 0
+        for edge in self.edges:
+            if value <= edge:
+                break
+            i += 1
+        self.counts[i] += 1
+        self.total += value
+        self.n += 1
+        if value > self.max_value:
+            self.max_value = value
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": {
+                **{f"le_{edge:g}": c for edge, c in zip(self.edges, self.counts)},
+                "overflow": self.counts[-1],
+            },
+            "count": self.n,
+            "total": self.total,
+            "mean": self.total / self.n if self.n else 0.0,
+            "max": self.max_value,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe labeled counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, tuple], float] = {}
+        self._gauges: dict[tuple[str, tuple], float] = {}
+        self._hists: dict[tuple[str, tuple], Histogram] = {}
+        self._buckets: dict[str, tuple[float, ...]] = {}
+        self._deterministic: set[str] = set()
+        self._suspend = 0
+        self._on = True
+
+    # -- enable / suspend ----------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether records are currently accepted."""
+        with self._lock:
+            return self._on and self._suspend == 0
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        with self._lock:
+            self._on = bool(value)
+
+    @contextmanager
+    def suspended(self):
+        """Reentrant, thread-safe recording pause (depth-counted)."""
+        with self._lock:
+            self._suspend += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._suspend -= 1
+
+    def _recording(self) -> bool:
+        with self._lock:
+            return self._on and self._suspend == 0
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(
+        self,
+        name: str,
+        value: float = 1.0,
+        *,
+        deterministic: bool = False,
+        **labels,
+    ) -> None:
+        """Add ``value`` to counter ``name`` (per label set)."""
+        if not self._recording():
+            return
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
+            if deterministic:
+                self._deterministic.add(name)
+
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        *,
+        deterministic: bool = False,
+        **labels,
+    ) -> None:
+        """Set gauge ``name`` to ``value`` (per label set)."""
+        if not self._recording():
+            return
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._gauges[key] = float(value)
+            if deterministic:
+                self._deterministic.add(name)
+
+    def register_buckets(self, name: str, edges: tuple[float, ...]) -> None:
+        """Fix the bucket bounds future ``observe(name, ...)`` calls use.
+
+        Must happen before the first observation of ``name``; later calls
+        with different bounds raise (mixing bucketings is unmergeable).
+        """
+        edges = tuple(float(e) for e in edges)
+        with self._lock:
+            prev = self._buckets.get(name)
+            if prev is not None and prev != edges:
+                raise ValueError(
+                    f"histogram {name!r} already registered with different "
+                    "bucket edges"
+                )
+            for (hname, _), hist in self._hists.items():
+                if hname == name and hist.edges != edges:
+                    raise ValueError(
+                        f"histogram {name!r} already observed with different "
+                        "bucket edges"
+                    )
+            self._buckets[name] = edges
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record ``value`` into histogram ``name`` (per label set)."""
+        if not self._recording():
+            return
+        key = (name, _label_key(labels))
+        with self._lock:
+            hist = self._hists.get(key)
+            if hist is None:
+                edges = self._buckets.get(name, DEFAULT_BUCKETS)
+                hist = self._hists[key] = Histogram(edges)
+            hist.observe(value)
+
+    @contextmanager
+    def timer(self, name: str, **labels):
+        """Observe a block's wall duration into histogram ``name``."""
+        if not self._recording():
+            yield
+            return
+        t0 = perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, perf_counter() - t0, **labels)
+
+    # -- reading ---------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels) -> float:
+        """Current counter value (0 if never hit)."""
+        with self._lock:
+            return self._counters.get((name, _label_key(labels)), 0.0)
+
+    def gauge_value(self, name: str, **labels) -> float:
+        """Current gauge value (0 if never set)."""
+        with self._lock:
+            return self._gauges.get((name, _label_key(labels)), 0.0)
+
+    def snapshot(self, include_perf: bool = False) -> dict:
+        """All meters as one JSON-ready tree.
+
+        ``include_perf=True`` merges the legacy :data:`repro.perf.PERF`
+        snapshot under a ``"perf"`` key, so callers migrating off the
+        flat registry see both worlds in one report.
+        """
+        with self._lock:
+            out = {
+                "counters": {
+                    _render(n, lk): v
+                    for (n, lk), v in sorted(self._counters.items())
+                },
+                "gauges": {
+                    _render(n, lk): v
+                    for (n, lk), v in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    _render(n, lk): h.to_dict()
+                    for (n, lk), h in sorted(self._hists.items())
+                },
+            }
+        if include_perf:
+            # Imported lazily: repro.obs must stay import-light because
+            # the instrumented modules import it at call time.
+            from repro.perf import PERF
+
+            out["perf"] = PERF.snapshot()
+        return out
+
+    def deterministic_values(self) -> list[tuple[str, float]]:
+        """Sorted (rendered-name, value) pairs of the deterministic
+        counters and gauges — the self-telemetry sensor set."""
+        with self._lock:
+            det = self._deterministic
+            pairs = [
+                (_render(n, lk), v)
+                for (n, lk), v in self._counters.items()
+                if n in det
+            ]
+            pairs += [
+                (_render(n, lk), v)
+                for (n, lk), v in self._gauges.items()
+                if n in det
+            ]
+        return sorted(pairs)
+
+    def reset(self) -> None:
+        """Drop every meter (bucket registrations survive)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+            self._deterministic.clear()
+
+
+#: The process-wide metrics registry the data plane records into.
+METRICS = MetricsRegistry()
+
+# Count-valued histograms need count-scaled buckets; register before any
+# instrumented module can observe into them with the default edges.
+METRICS.register_buckets("stream.batch_size", SIZE_BUCKETS)
+METRICS.register_buckets("refine.rows_per_window", SIZE_BUCKETS)

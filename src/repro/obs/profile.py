@@ -1,0 +1,87 @@
+"""Opt-in profiling hooks for hot paths.
+
+``obs.profile(...)`` decorates (or wraps, as a context manager) a hot
+function so that *when profiling is enabled* each call becomes a span
+plus a latency-histogram observation.  Profiling is off by default and
+the disabled fast path is a single module-flag check — cheap enough to
+leave the decorators on production code, which is the point: flipping
+:func:`profiling_enabled` on a live system lights up the hot paths
+without a deploy.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+
+from repro.obs.metrics import METRICS
+from repro.obs.span import TRACER
+
+__all__ = ["profile", "profiling_enabled", "profiling_active"]
+
+_lock = threading.Lock()
+_depth = 0
+
+
+@contextmanager
+def profiling_enabled():
+    """Enable profiling hooks for the duration of the block (reentrant)."""
+    global _depth
+    with _lock:
+        _depth += 1
+    try:
+        yield
+    finally:
+        with _lock:
+            _depth -= 1
+
+
+def profiling_active() -> bool:
+    """Whether profiling hooks currently record."""
+    return _depth > 0
+
+
+@contextmanager
+def _profiled(name: str):
+    t0 = perf_counter()
+    with TRACER.span(f"profile:{name}"):
+        try:
+            yield
+        finally:
+            METRICS.observe("profile.latency_s", perf_counter() - t0, site=name)
+
+
+def profile(name: str | None = None):
+    """Decorator form: ``@profile()`` or ``@profile("custom.name")``.
+
+    For code that cannot take a decorator there is the inline form,
+    ``with profile_block("hot.loop"): ...`` — the decorator is the
+    common shape.
+    """
+
+    def decorate(fn):
+        site = name or f"{fn.__module__}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if _depth == 0:
+                return fn(*args, **kwargs)
+            with _profiled(site):
+                return fn(*args, **kwargs)
+
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate
+
+
+@contextmanager
+def profile_block(name: str):
+    """Context-manager form for code that cannot take a decorator."""
+    if _depth == 0:
+        yield
+        return
+    with _profiled(name):
+        yield

@@ -1,6 +1,12 @@
 """Lightweight performance instrumentation for the data plane."""
 
-from repro.perf.baseline import baseline_mode, reset_fast_path_caches
+from repro.perf.baseline import baseline_mode, reset_all, reset_fast_path_caches
 from repro.perf.registry import PERF, PerfRegistry
 
-__all__ = ["PERF", "PerfRegistry", "baseline_mode", "reset_fast_path_caches"]
+__all__ = [
+    "PERF",
+    "PerfRegistry",
+    "baseline_mode",
+    "reset_all",
+    "reset_fast_path_caches",
+]

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from contextlib import ExitStack, contextmanager
 
-__all__ = ["baseline_mode", "reset_fast_path_caches"]
+__all__ = ["baseline_mode", "reset_fast_path_caches", "reset_all"]
 
 
 @contextmanager
@@ -53,3 +53,20 @@ def reset_fast_path_caches() -> None:
     compression.clear_compress_memo()
     file_format.clear_chunk_memo()
     query_cache.clear_row_group_cache()
+
+
+def reset_all() -> None:
+    """Full measurement isolation: fast-path memos, the PERF registry,
+    and the obs tracer/metrics, all emptied in one call.
+
+    ``reset_fast_path_caches`` alone promised "benchmark isolation" but
+    left ``PERF``'s timers and counters intact, so every benchmark had
+    to remember a second manual ``PERF.reset()`` — and a forgotten one
+    silently blended repetitions.  Both benchmarks now call this.
+    """
+    from repro import obs
+    from repro.perf.registry import PERF
+
+    reset_fast_path_caches()
+    PERF.reset()
+    obs.reset_all()

@@ -46,16 +46,37 @@ class PerfRegistry:
     """Named wall-time accumulators and monotonic counters."""
 
     def __init__(self) -> None:
-        self.enabled = True
+        self._enabled = True
+        self._suspend = 0
         self._lock = threading.Lock()
         self._timers: dict[str, _TimerStat] = {}
         self._counters: dict[str, float] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether records are currently accepted (manual switch AND no
+        active :meth:`disabled` region on any thread)."""
+        with self._lock:
+            return self._enabled and self._suspend == 0
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        with self._lock:
+            self._enabled = bool(value)
 
     # -- recording ----------------------------------------------------------
 
     @contextmanager
     def timer(self, name: str):
-        """Context manager accumulating wall time under ``name``."""
+        """Context manager accumulating wall time under ``name``.
+
+        Whether the block is recorded is decided *once, at entry*: a
+        block that starts while recording is enabled lands in the stats
+        even if a :meth:`disabled` region begins before it exits (and a
+        block that starts disabled stays unrecorded however the flag
+        moves).  Deciding again at exit — the old behaviour — silently
+        dropped timings that straddled a baseline-bench region.
+        """
         if not self.enabled:
             yield
             return
@@ -63,17 +84,20 @@ class PerfRegistry:
         try:
             yield
         finally:
-            self.add_time(name, perf_counter() - t0)
+            self._add_time_unconditional(name, perf_counter() - t0)
 
-    def add_time(self, name: str, dt: float) -> None:
-        """Record one timed invocation of ``name``."""
-        if not self.enabled:
-            return
+    def _add_time_unconditional(self, name: str, dt: float) -> None:
         with self._lock:
             stat = self._timers.get(name)
             if stat is None:
                 stat = self._timers[name] = _TimerStat()
             stat.add(dt)
+
+    def add_time(self, name: str, dt: float) -> None:
+        """Record one timed invocation of ``name``."""
+        if not self.enabled:
+            return
+        self._add_time_unconditional(name, dt)
 
     def count(self, name: str, n: float = 1) -> None:
         """Add ``n`` to the counter ``name``."""
@@ -118,13 +142,23 @@ class PerfRegistry:
 
     @contextmanager
     def disabled(self):
-        """Context manager that pauses recording (for baseline benches)."""
-        prev = self.enabled
-        self.enabled = False
+        """Context manager that pauses recording (for baseline benches).
+
+        Implemented as a lock-guarded suppression *depth*, so the region
+        is reentrant and safe under concurrency: overlapping regions —
+        a baseline bench on the main thread while threaded ``run_window``
+        workers enter their own — each push and pop one level, and
+        recording resumes exactly when the last one exits.  The previous
+        save/restore of a shared boolean could restore a stale value and
+        leave recording off forever.
+        """
+        with self._lock:
+            self._suspend += 1
         try:
             yield
         finally:
-            self.enabled = prev
+            with self._lock:
+                self._suspend -= 1
 
 
 #: The process-wide registry the data plane records into.

@@ -205,15 +205,20 @@ class MedallionPipeline:
     def _timed(
         self, name: str, table_in_rows: int, bytes_in: int, fn
     ) -> ColumnTable:
+        from repro.obs import METRICS, TRACER
         from repro.perf import PERF
 
-        t0 = time.perf_counter()
-        out = fn()
-        wall = time.perf_counter() - t0
+        with TRACER.span(f"refine.{name}") as span:
+            t0 = time.perf_counter()
+            out = fn()
+            wall = time.perf_counter() - t0
+            if span is not None:
+                span.set(rows_in=table_in_rows, rows_out=out.num_rows)
         self.stats[name].record(
             table_in_rows, out.num_rows, bytes_in, out.nbytes, wall,
         )
         PERF.add_time(f"refine.{name}", wall)
+        METRICS.observe("refine.rows_per_window", out.num_rows, stage=name)
         return out
 
     def process(

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.columnar.file_format import read_table
 from repro.columnar.table import ColumnTable
+from repro.obs import TRACER
 from repro.perf import PERF
 from repro.query.plan import ScanPlan, SegmentUnit
 from repro.query.scan import scan_part, scan_segment
@@ -123,11 +124,14 @@ def execute_plan(
 ) -> ColumnTable:
     """Execute a plan on the fast path (oracle when the reference
     toggle is active); returns the concatenated surviving rows."""
-    if _scan_reference:
-        return execute_plan_reference(plan)
-    opts = options or ScanOptions()
-    with PERF.timer("query.scan"):
-        return _execute_plan_impl(plan, opts)
+    with TRACER.span(
+        "query.execute", table=plan.table, units=len(plan.units)
+    ):
+        if _scan_reference:
+            return execute_plan_reference(plan)
+        opts = options or ScanOptions()
+        with PERF.timer("query.scan"):
+            return _execute_plan_impl(plan, opts)
 
 
 def _execute_plan_impl(plan: ScanPlan, opts: ScanOptions) -> ColumnTable:

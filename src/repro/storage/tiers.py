@@ -162,10 +162,12 @@ class TieredStore:
 
         Returns which tiers received the batch.
         """
+        from repro.obs import TRACER
         from repro.perf import PERF
 
-        with PERF.timer("tier.ingest"):
-            return self._ingest_impl(name, table, now)
+        with TRACER.span(f"tier.ingest:{name}", rows=table.num_rows):
+            with PERF.timer("tier.ingest"):
+                return self._ingest_impl(name, table, now)
 
     def _ingest_impl(self, name: str, table: ColumnTable, now: float) -> dict[str, bool]:
         meta = self._meta(name)
@@ -246,12 +248,14 @@ class TieredStore:
         ``baseline_mode`` every part is fetched and the reference
         executor decodes everything.
         """
+        from repro.obs import TRACER
         from repro.perf import PERF
 
-        with PERF.timer("tier.query_archive"):
-            return self._query_archive_impl(
-                name, t0, t1, predicate, columns, options
-            )
+        with TRACER.span("query.archive", dataset=name):
+            with PERF.timer("tier.query_archive"):
+                return self._query_archive_impl(
+                    name, t0, t1, predicate, columns, options
+                )
 
     def _query_archive_impl(
         self,

@@ -11,6 +11,7 @@ the at-least-once replay behaviour the pipeline's recovery path
 from __future__ import annotations
 
 from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy, call_with_retry
+from repro.obs import METRICS, TRACER
 from repro.perf import PERF
 from repro.stream.broker import Broker, Record
 
@@ -111,36 +112,45 @@ class Consumer:
         out: list[tuple[int, list[Record]]] = []
         budget = max_records
         n_fetched = 0
-        with PERF.timer("stream.fetch"):
-            for p in self.partitions:
-                if budget is not None and budget <= 0:
-                    break
-                pos = self._positions[p]
-                earliest = self.broker.earliest_offset(self.topic, p)
-                if earliest > pos:
-                    skipped = earliest - pos
-                    self.skipped_by_retention += skipped
-                    PERF.count("stream.skipped_by_retention", skipped)
-                    pos = earliest
-                records = call_with_retry(
-                    lambda: self.broker.fetch(self.topic, p, pos, budget),
-                    policy=self.retry_policy,
-                    site="consumer.fetch",
-                )
-                if records:
-                    self._positions[p] = records[-1].offset + 1
-                    self._touched.add(p)
-                    out.append((p, records))
-                    n_fetched += len(records)
-                    if budget is not None:
-                        budget -= len(records)
-                elif pos != self._positions[p]:
-                    # Moved past a trimmed gap with nothing beyond it
-                    # yet: real (accounted) progress, worth committing.
-                    self._positions[p] = pos
-                    self._touched.add(p)
+        with TRACER.span("stream.fetch", topic=self.topic) as span:
+            with PERF.timer("stream.fetch"):
+                for p in self.partitions:
+                    if budget is not None and budget <= 0:
+                        break
+                    pos = self._positions[p]
+                    earliest = self.broker.earliest_offset(self.topic, p)
+                    if earliest > pos:
+                        skipped = earliest - pos
+                        self.skipped_by_retention += skipped
+                        PERF.count("stream.skipped_by_retention", skipped)
+                        METRICS.inc(
+                            "stream.skipped_by_retention",
+                            skipped,
+                            topic=self.topic,
+                        )
+                        pos = earliest
+                    records = call_with_retry(
+                        lambda: self.broker.fetch(self.topic, p, pos, budget),
+                        policy=self.retry_policy,
+                        site="consumer.fetch",
+                    )
+                    if records:
+                        self._positions[p] = records[-1].offset + 1
+                        self._touched.add(p)
+                        out.append((p, records))
+                        n_fetched += len(records)
+                        if budget is not None:
+                            budget -= len(records)
+                    elif pos != self._positions[p]:
+                        # Moved past a trimmed gap with nothing beyond it
+                        # yet: real (accounted) progress, worth committing.
+                        self._positions[p] = pos
+                        self._touched.add(p)
+            if span is not None:
+                span.set(records=n_fetched)
         if n_fetched:
             PERF.count("stream.fetch.records", n_fetched)
+            METRICS.inc("stream.fetched_records", n_fetched, topic=self.topic)
         return out
 
     def commit(self) -> None:

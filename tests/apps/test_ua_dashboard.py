@@ -93,6 +93,153 @@ class TestDiagnosis:
             assert finding.message
 
 
+class TestDiagnosisEdges:
+    """The _check_* rules on degenerate inputs: empty/missing tables and
+    zero-row job slices must diagnose cleanly, never crash."""
+
+    @staticmethod
+    def _empty_overview(deployment):
+        from repro.apps.ua_dashboard import JobOverview
+        from repro.columnar.table import ColumnTable
+        from repro.telemetry.schema import EventBatch
+
+        job = deployment["allocation"].jobs[0]
+        empty = ColumnTable({})
+        return JobOverview(
+            job, empty, EventBatch.empty(), empty, empty
+        )
+
+    def test_empty_overview_produces_no_findings(self, dashboard, deployment):
+        overview = self._empty_overview(deployment)
+        assert dashboard._check_idle_gpus(overview) == []
+        assert dashboard._check_fabric_stalls(overview) == []
+        assert dashboard._check_error_bursts(overview) == []
+        assert dashboard._check_node_imbalance(overview) == []
+        assert dashboard._diagnose(overview) == []
+
+    def test_missing_columns_are_tolerated(self, dashboard, deployment):
+        """Tables that exist but lack the diagnostic columns (e.g. a
+        fabric silver without nic_stall_frac) must not crash the rules."""
+        import numpy as np
+
+        from repro.columnar.table import ColumnTable
+
+        overview = self._empty_overview(deployment)
+        overview.fabric = ColumnTable(
+            {"timestamp": np.zeros(3), "node": np.zeros(3)}
+        )
+        overview.power = ColumnTable(
+            {"timestamp": np.zeros(3), "node": np.arange(3.0)}
+        )
+        assert dashboard._check_fabric_stalls(overview) == []
+        assert dashboard._check_idle_gpus(overview) == []
+        assert dashboard._check_node_imbalance(overview) == []
+
+    def test_single_node_job_skips_imbalance(self, dashboard, deployment):
+        import numpy as np
+
+        from repro.columnar.table import ColumnTable
+
+        overview = self._empty_overview(deployment)
+        overview.power = ColumnTable(
+            {
+                "timestamp": np.zeros(4),
+                "node": np.zeros(4),
+                "input_power": np.array([100.0, 900.0, 100.0, 900.0]),
+            }
+        )
+        assert dashboard._check_node_imbalance(overview) == []
+
+    def test_zero_row_job_slice_compiles(self, deployment):
+        """A dashboard over a lake with no silver tables yields zero-row
+        slices for every job; the overview must still compile and
+        diagnose to nothing."""
+        from repro.storage.lake import TimeSeriesLake
+
+        dash = UserAssistanceDashboard(
+            TimeSeriesLake(), deployment["allocation"]
+        )
+        job = deployment["allocation"].jobs[0]
+        overview = dash.job_overview(job.job_id)
+        assert overview.power.num_rows == 0
+        assert overview.io.num_rows == 0
+        assert overview.fabric.num_rows == 0
+        assert overview.findings == []
+
+
+class TestFrameworkHealth:
+    """framework_health: the dashboard diagnosing the ODA itself."""
+
+    @staticmethod
+    def _lake_with_health(rows):
+        import numpy as np
+
+        from repro.columnar.table import ColumnTable
+        from repro.storage.lake import TimeSeriesLake
+
+        lake = TimeSeriesLake()
+        n = len(rows["timestamp"])
+        table = ColumnTable(
+            {k: np.asarray(v, dtype=np.float64) for k, v in rows.items()}
+            | {"node": np.zeros(n)}
+        )
+        lake.ingest("oda_health.silver", table)
+        return lake
+
+    def test_no_telemetry_warns(self, deployment):
+        from repro.storage.lake import TimeSeriesLake
+
+        dash = UserAssistanceDashboard(
+            TimeSeriesLake(), deployment["allocation"]
+        )
+        (finding,) = dash.framework_health()
+        assert finding.code == "obs-no-telemetry"
+        assert finding.severity == "warning"
+
+    def test_retention_loss_is_critical(self, deployment):
+        lake = self._lake_with_health(
+            {
+                "timestamp": [0.0, 60.0],
+                "oda.skipped_by_retention": [0.0, 12.0],
+                "oda.gold_rows": [8.0, 8.0],
+            }
+        )
+        dash = UserAssistanceDashboard(lake, deployment["allocation"])
+        codes = {f.code: f for f in dash.framework_health()}
+        assert "obs-data-loss" in codes
+        assert codes["obs-data-loss"].severity == "critical"
+        assert codes["obs-data-loss"].evidence["skipped_records"] == 12.0
+
+    def test_stalled_refinement_warns(self, deployment):
+        lake = self._lake_with_health(
+            {
+                "timestamp": [0.0, 60.0],
+                "oda.skipped_by_retention": [0.0, 0.0],
+                "oda.gold_rows": [0.0, 0.0],
+            }
+        )
+        dash = UserAssistanceDashboard(lake, deployment["allocation"])
+        codes = {f.code for f in dash.framework_health()}
+        assert "refinement-stalled" in codes
+        assert "pipeline-healthy" not in codes
+
+    def test_healthy_pipeline_reports_info(self, deployment):
+        lake = self._lake_with_health(
+            {
+                "timestamp": [0.0, 60.0],
+                "oda.skipped_by_retention": [0.0, 0.0],
+                "oda.gold_rows": [8.0, 8.0],
+                "oda.silver_rows": [64.0, 64.0],
+            }
+        )
+        dash = UserAssistanceDashboard(lake, deployment["allocation"])
+        (finding,) = dash.framework_health()
+        assert finding.code == "pipeline-healthy"
+        assert finding.severity == "info"
+        assert finding.evidence["windows_observed"] == 2.0
+        assert finding.evidence["last_silver_rows"] == 64.0
+
+
 class TestLogSearch:
     def test_search_job_logs(self, dashboard, deployment):
         from repro.storage import LogStore

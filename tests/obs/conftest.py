@@ -1,0 +1,16 @@
+"""Shared obs fixtures: every test starts from clean global registries."""
+
+import pytest
+
+from repro.obs import METRICS, TRACER, reset_all
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Reset the global tracer/metrics around every test in this package
+    (they are process-wide, and other suites record into them too)."""
+    reset_all()
+    yield
+    TRACER.enabled = True
+    METRICS.enabled = True
+    reset_all()

@@ -1,0 +1,154 @@
+"""Exporters: span trees, JSONL round-trips, the self-telemetry loop."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    METRICS,
+    TRACER,
+    Tracer,
+    health_batch,
+    health_catalog,
+    read_jsonl,
+    span_tree,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _small_trace(tracer):
+    with tracer.trace(seed=1, name="window", index=0):
+        with tracer.span("refine:power"):
+            with tracer.span("refine.bronze"):
+                pass
+        with tracer.span("stream.produce"):
+            pass
+
+
+class TestSpanTree:
+    def test_tree_shape(self):
+        t = Tracer()
+        _small_trace(t)
+        (root,) = span_tree(t.finished())
+        assert root["name"] == "window"
+        child_names = [c["name"] for c in root["children"]]
+        assert child_names == ["refine:power", "stream.produce"]
+        refine = root["children"][0]
+        assert [c["name"] for c in refine["children"]] == ["refine.bronze"]
+
+    def test_orphans_surface_as_roots(self):
+        t = Tracer(max_spans=1)
+        with t.trace(seed=0, name="w"):
+            with t.span("kept"):
+                pass
+            with t.span("dropped-sibling"):
+                pass
+        # Only "kept" fits the buffer; its parent was dropped, so it
+        # must still appear (as a root), not vanish.
+        roots = span_tree(t.finished())
+        assert [r["name"] for r in roots] == ["kept"]
+
+    def test_uses_global_tracer_by_default(self):
+        _small_trace(TRACER)
+        assert span_tree()[0]["name"] == "window"
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        t = Tracer()
+        _small_trace(t)
+        m = MetricsRegistry()
+        m.inc("records", 3, topic="power")
+        m.observe("lat", 0.5)
+        path = tmp_path / "trace.jsonl"
+        n = write_jsonl(path, tracer=t, metrics=m)
+        lines = read_jsonl(path)
+        assert len(lines) == n
+        kinds = [l["kind"] for l in lines]
+        assert kinds.count("span") == 4
+        assert "counter" in kinds and "histogram" in kinds and "perf" in kinds
+
+    def test_spans_dump_in_deterministic_tree_order(self, tmp_path):
+        paths = []
+        for i in range(2):
+            t = Tracer()
+            _small_trace(t)
+            p = tmp_path / f"t{i}.jsonl"
+            write_jsonl(p, tracer=t, metrics=MetricsRegistry(),
+                        include_metrics=False)
+            paths.append(p)
+
+        def stripped(path):
+            return [
+                {k: v for k, v in l.items() if k != "duration_s"}
+                for l in read_jsonl(path)
+            ]
+
+        assert stripped(paths[0]) == stripped(paths[1])
+
+    def test_dropped_spans_line(self, tmp_path):
+        t = Tracer(max_spans=1)
+        with t.trace(seed=0, name="w"):
+            with t.span("a"):
+                pass
+        path = tmp_path / "t.jsonl"
+        write_jsonl(path, tracer=t, metrics=MetricsRegistry(),
+                    include_metrics=False)
+        (drop_line,) = [
+            l for l in read_jsonl(path) if l["kind"] == "dropped_spans"
+        ]
+        assert drop_line["count"] == 1
+
+    def test_lines_are_valid_json_objects(self, tmp_path):
+        t = Tracer()
+        _small_trace(t)
+        path = tmp_path / "t.jsonl"
+        write_jsonl(path, tracer=t, metrics=MetricsRegistry())
+        for raw in path.read_text().splitlines():
+            assert isinstance(json.loads(raw), dict)
+
+
+class TestSelfTelemetry:
+    def test_health_catalog_assigns_stable_ids(self):
+        names = ["oda.bronze_rows", "oda.silver_rows"]
+        cat = health_catalog(names, sample_period_s=15.0)
+        assert cat.names() == names
+        assert cat.id_of("oda.bronze_rows") == 0
+        assert cat.spec(1).unit == "obs"
+
+    def test_health_batch_exports_only_deterministic_meters(self):
+        cat = health_catalog(["oda.bronze_rows"])
+        METRICS.set_gauge("oda.bronze_rows", 128.0, deterministic=True)
+        METRICS.set_gauge("wall.seconds", 0.37)  # non-deterministic
+        METRICS.set_gauge("oda.unknown", 1.0, deterministic=True)  # not in cat
+        batch = health_batch(METRICS, 60.0, cat)
+        assert len(batch) == 1
+        assert batch.values[0] == 128.0
+        assert batch.timestamps[0] == 60.0
+        assert batch.sensor_ids[0] == cat.id_of("oda.bronze_rows")
+
+    def test_health_batch_empty_when_nothing_matches(self):
+        cat = health_catalog(["oda.bronze_rows"])
+        batch = health_batch(METRICS, 0.0, cat)
+        assert len(batch) == 0
+
+    def test_health_batch_refines_through_medallion(self):
+        """The loop's core claim: a health batch is a normal observation
+        batch — Bronze/Silver accept it unchanged."""
+        from repro.pipeline.medallion import bronze_standardize, silver_aggregate
+
+        cat = health_catalog(["oda.bronze_rows", "oda.gold_rows"])
+        METRICS.set_gauge("oda.bronze_rows", 100.0, deterministic=True)
+        METRICS.set_gauge("oda.gold_rows", 8.0, deterministic=True)
+        batch = health_batch(METRICS, 30.0, cat)
+        silver = silver_aggregate(bronze_standardize([batch]), cat, 15.0)
+        assert silver.num_rows == 1
+        assert silver["oda.bronze_rows"][0] == 100.0
+        assert silver["oda.gold_rows"][0] == 8.0
+
+
+def test_catalog_rejects_unknown_name_lookup():
+    cat = health_catalog(["oda.bronze_rows"])
+    with pytest.raises(KeyError):
+        cat.id_of("oda.nope")

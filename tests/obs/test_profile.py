@@ -1,0 +1,70 @@
+"""Profiling hooks: off by default, spans + histograms when enabled."""
+
+from repro.obs import (
+    METRICS,
+    TRACER,
+    profile,
+    profile_block,
+    profiling_active,
+    profiling_enabled,
+)
+
+
+@profile()
+def _hot(x):
+    return x * 2
+
+
+@profile("custom.site")
+def _named(x):
+    return x + 1
+
+
+def test_disabled_by_default():
+    assert not profiling_active()
+    assert _hot(21) == 42
+    assert TRACER.finished() == []
+    assert METRICS.snapshot()["histograms"] == {}
+
+
+def test_enabled_records_span_and_histogram():
+    with profiling_enabled():
+        assert profiling_active()
+        with TRACER.trace(seed=0, name="w"):
+            assert _hot(1) == 2
+            assert _named(1) == 2
+    names = {s.name for s in TRACER.finished()}
+    assert "profile:tests.obs.test_profile._hot" in names
+    assert "profile:custom.site" in names
+    hists = METRICS.snapshot()["histograms"]
+    assert "profile.latency_s{site=custom.site}" in hists
+
+
+def test_enabled_is_reentrant():
+    with profiling_enabled():
+        with profiling_enabled():
+            assert profiling_active()
+        assert profiling_active()
+    assert not profiling_active()
+
+
+def test_profile_block_form():
+    with profiling_enabled():
+        with TRACER.trace(seed=0, name="w"):
+            with profile_block("hot.loop"):
+                pass
+    assert "profile:hot.loop" in {s.name for s in TRACER.finished()}
+
+
+def test_profiled_spans_join_active_trace():
+    with profiling_enabled():
+        with TRACER.trace(seed=0, name="w") as root:
+            _hot(1)
+    spans = {s.name: s for s in TRACER.finished()}
+    prof = spans["profile:tests.obs.test_profile._hot"]
+    assert prof.parent_id == root.span_id
+
+
+def test_wrapped_function_metadata_preserved():
+    assert _hot.__name__ == "_hot"
+    assert _hot.__wrapped__(3) == 6
