@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-query chaos lint lint-json obs-report
+.PHONY: test bench bench-quick bench-e2e-smoke bench-query chaos lint lint-json obs-report
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,6 +18,14 @@ bench:
 
 bench-quick:
 	$(PYTHON) benchmarks/bench_e2e.py --quick
+
+# Tier-1 perf gate (run alongside `make lint`): tiny-shape end-to-end
+# bench that must still produce baseline-identical outputs and must not
+# regress any headline stage's fast/baseline ratio >10% vs. the
+# committed BENCH_e2e.json — see DESIGN.md §13.
+bench-e2e-smoke:
+	$(PYTHON) benchmarks/bench_e2e.py --quick \
+		--out .bench_e2e_smoke.json --check-against BENCH_e2e.json
 
 # Read-plane benchmark: planned scans (manifest + row-group pruning,
 # dict pushdown, row-group cache, parallel units) vs. the

@@ -103,6 +103,61 @@ def summarize(walls, summaries, footprint, snapshot, label):
     }
 
 
+#: --check-against gate: a stage regresses when its fast/baseline time
+#: ratio worsens by more than this factor vs. the committed report.
+#: Ratios (not absolute seconds) are compared so a CI-sized smoke run
+#: can be held against the committed full-shape numbers.
+CHECK_TOLERANCE = 1.10
+#: Stages cheaper than this in the smoke run are pure timer noise: a
+#: quick-shape stage of a few tens of milliseconds swings by half under
+#: CI load, so the gate only judges stages with real absolute weight.
+CHECK_MIN_STAGE_S = 0.02
+#: At the smoke shape the content-addressed memos barely warm up, so
+#: memo-driven stages legitimately decay to fast ~= baseline parity;
+#: a ratio within this absolute bound is parity noise, not regression.
+CHECK_PARITY_SLACK = 1.25
+
+
+def check_against(report, committed) -> list[str]:
+    """Compare ``report`` with a committed ``BENCH_e2e.json``; return a
+    list of human-readable failures (empty = gate passes)."""
+    failures = []
+    if not committed.get("outputs_identical"):
+        failures.append("committed report has outputs_identical != true")
+    if not report.get("outputs_identical"):
+        failures.append("this run has outputs_identical != true")
+
+    def stage_s(cfg, stage):
+        entry = cfg.get("stages", {}).get(stage)
+        return entry["total_s"] if entry else None
+
+    for stage in HEADLINE_TIMERS:
+        ref_base = stage_s(committed.get("baseline", {}), stage)
+        ref_fast = stage_s(committed.get("fast", {}), stage)
+        if ref_base is None or ref_fast is None:
+            continue  # stage did not exist when the report was committed
+        new_base = stage_s(report["baseline"], stage)
+        new_fast = stage_s(report["fast"], stage)
+        if new_base is None or new_fast is None:
+            failures.append(f"stage {stage!r} missing from this run")
+            continue
+        if max(new_base, new_fast) < CHECK_MIN_STAGE_S:
+            continue
+        ref_ratio = ref_fast / ref_base if ref_base else float("inf")
+        new_ratio = new_fast / new_base if new_base else float("inf")
+        # Memo hit rates (and so the achievable ratio) scale with run
+        # shape, so a smoke run is held to the committed ratio OR to
+        # near-parity — whichever is looser.  A stage whose fast path
+        # falls clearly behind its own baseline always fails.
+        if new_ratio > max(ref_ratio * CHECK_TOLERANCE, CHECK_PARITY_SLACK):
+            failures.append(
+                f"stage {stage!r} regressed: fast/baseline ratio "
+                f"{new_ratio:.3f} vs committed {ref_ratio:.3f} "
+                f"(tolerance {CHECK_TOLERANCE:.2f}x)"
+            )
+    return failures
+
+
 def check_identical(base, fast):
     base_summaries, base_footprint = base
     fast_summaries, fast_footprint = fast
@@ -135,6 +190,15 @@ def main(argv=None) -> int:
         type=Path,
         default=REPO_ROOT / "BENCH_e2e.json",
         help="output JSON path (default: repo-root BENCH_e2e.json)",
+    )
+    parser.add_argument(
+        "--check-against",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="committed BENCH_e2e.json to gate against: fail (exit 1) if "
+        "outputs diverge or any headline stage's fast/baseline ratio "
+        "regresses beyond the tolerance",
     )
     args = parser.parse_args(argv)
     defaults = (4, 16, 1) if args.quick else (40, 32, 5)
@@ -227,6 +291,14 @@ def main(argv=None) -> int:
         f"speedup {speedup:.2f}x  "
         f"obs overhead {obs_overhead * 100:+.1f}%  -> {args.out}"
     )
+    if args.check_against is not None:
+        committed = json.loads(args.check_against.read_text())
+        failures = check_against(report, committed)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}")
+            return 1
+        print(f"check vs {args.check_against}: ok")
     return 0
 
 

@@ -36,6 +36,12 @@ DATA_PLANE_PACKAGES = frozenset(
         # wall-clock or global-RNG call in repro.obs would silently break
         # trace replayability.  Durations use perf_counter (legal).
         "repro.obs",
+        # The vectorized emitters and the splitmix helpers under them are
+        # the definition of the synthetic ground truth: a stray wall-clock
+        # or global-RNG call there breaks emit/emit_reference equality and
+        # the split-invariance law the pipelined scheduler relies on.
+        "repro.telemetry",
+        "repro.util",
     }
 )
 

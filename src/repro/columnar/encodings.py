@@ -368,11 +368,14 @@ def _run_count(arr: np.ndarray) -> int:
     """
     if arr.size == 0:
         return 0
-    if arr.dtype.kind == "f":
-        same = (arr[1:] == arr[:-1]) | (np.isnan(arr[1:]) & np.isnan(arr[:-1]))
-    else:
-        same = arr[1:] == arr[:-1]
-    return int(arr.size - np.count_nonzero(same))
+    same_count = int(np.count_nonzero(arr[1:] == arr[:-1]))
+    if arr.dtype.kind == "f" and np.isnan(arr.min()):
+        # min() propagates NaN, so this reduction doubles as an
+        # any-NaN probe.  NaN != NaN, so the equality count above
+        # missed exactly the NaN-NaN neighbour pairs; add them back.
+        nan = np.isnan(arr)
+        same_count += int(np.count_nonzero(nan[1:] & nan[:-1]))
+    return int(arr.size - same_count)
 
 
 def _choose_encoding_impl(arr: np.ndarray) -> int:
@@ -406,11 +409,41 @@ def _choose_encoding_impl(arr: np.ndarray) -> int:
 
     best = min(costs, key=lambda k: (costs[k], k))
     if item + n * 4 + 24 < costs[best]:
-        n_uniq = np.unique(arr).size
-        if n_uniq <= max(n // 4, 1):
+        n_uniq = _bounded_unique_count(arr, max(n // 4, 1))
+        if n_uniq is not None:
             costs[DICTIONARY] = n_uniq * item + n * 4 + 24
             best = min(costs, key=lambda k: (costs[k], k))
     return best
+
+
+def _bounded_unique_count(arr: np.ndarray, threshold: int) -> int | None:
+    """Exact distinct count when ``<= threshold``, else ``None``.
+
+    The reference estimator only uses the count when it is at most
+    ``threshold`` (DICTIONARY is otherwise out), so exceeding the bound
+    can be proven without the full sort: narrow-range integers count
+    bucket occupancy in O(n + range); everything else first probes a
+    ``threshold + 1``-element prefix — if all its values are distinct,
+    the whole column has more than ``threshold`` distinct values by
+    containment, and the O(n log n) unique scan is skipped.
+    """
+    n = arr.size
+    if arr.dtype.kind in "iu":
+        mn = int(arr.min())
+        mx = int(arr.max())
+        span = mx - mn + 1
+        if span <= max(4 * n, 1024) and -(2**62) < mn and mx < 2**62:
+            shifted = arr.astype(np.int64)
+            shifted -= mn
+            occupied = np.zeros(span, dtype=bool)
+            occupied[shifted] = True
+            count = int(np.count_nonzero(occupied))
+            return count if count <= threshold else None
+    if threshold + 1 < n:
+        if np.unique(arr[: threshold + 1]).size > threshold:
+            return None
+    count = int(np.unique(arr).size)
+    return count if count <= threshold else None
 
 
 def choose_encoding_reference(arr: np.ndarray) -> int:

@@ -1,6 +1,6 @@
 """The RCF on-disk format: row groups of encoded, compressed column chunks.
 
-Layout (all integers little-endian)::
+Version 1 layout (all integers little-endian)::
 
     magic "RCF1"
     u16 n_columns
@@ -9,7 +9,7 @@ Layout (all integers little-endian)::
     per row group:
         u64 n_rows
         per column (schema order):
-            u8  encoding id      (encodings.py)
+            u8  encoding id      (encodings.py, plus DICT_REF below)
             u8  codec id         (compression.py)
             u8  stats flags      (bit0: stats present; bit1: inexact —
                                   NaN rows were skipped when computing
@@ -20,6 +20,35 @@ Layout (all integers little-endian)::
                 else:             f64 min, f64 max
             u64 payload_len
             payload bytes
+
+Version 2 keeps the group-body layout byte-for-byte but makes the file
+*seekable* and the write path cheaper::
+
+    magic "RCF2"
+    u16 n_columns
+    per column: u16 name_len, name utf-8, u8 is_string
+    u32 n_row_groups
+    group bodies (same layout as v1)
+    footer: per group, u64 absolute_offset + u64 n_rows
+    u64 footer_start
+    tail magic "RCF2"
+
+The footer lets :class:`RcfReader` open a file in O(1) — group headers
+are parsed lazily on first touch instead of sequentially on open — and
+three writer-side rules cut encode cost without a reader round-trip:
+
+* **DICT_REF** (encoding 4, v2 only): a string chunk whose encoded
+  vocabulary is byte-identical to an earlier group's stores only
+  ``u32 donor_group`` + the int32 codes; the vocabulary is read from
+  the donor chunk.
+* **cheap codec**: chunks ≤ 64 raw bytes are stored raw; larger chunks
+  are first gated by a cheap probe — a zlib pass over a 4 KiB prefix
+  for big chunks, a byte-histogram entropy estimate for mid-size ones
+  — and stored raw when the probe says zlib would not pay for itself
+  (already-compact numeric columns).
+* Both rules are pure functions of (content, codec, version) — never
+  toggled by fast-path state — so baseline and optimized runs write
+  identical v2 bytes.
 
 Column projection works by *skipping* unneeded payloads (we know their
 length without decoding); predicate pushdown works by testing each row
@@ -57,6 +86,7 @@ from repro.columnar.table import ColumnTable
 __all__ = [
     "RcfWriter",
     "RcfReader",
+    "DICT_REF",
     "write_table",
     "read_table",
     "column_stats",
@@ -66,6 +96,32 @@ __all__ = [
 ]
 
 _MAGIC = b"RCF1"
+_MAGIC_V2 = b"RCF2"
+
+#: File-format-level encoding id (v2 only): payload is ``u32 donor_group``
+#: followed by this chunk's int32 codes; the vocabulary lives in the donor
+#: group's DICTIONARY chunk of the same column.  Decoding needs reader
+#: context (another group's payload), hence defined here rather than in
+#: :mod:`repro.columnar.encodings`.
+DICT_REF = 4
+
+# Cheap-codec thresholds (v2 writer rule; see the module docstring).
+_CHEAP_MIN_BYTES = 64
+_CHEAP_SAMPLE_BYTES = 4096
+_CHEAP_SKIP_RATIO = 0.9
+#: Mid-size chunks (between the two thresholds above) skip zlib when
+#: their byte entropy is at least this many bits/byte.  Empirical, not
+#: information-theoretic: small high-entropy chunks never reached a
+#: 0.9 ratio under zlib once the per-chunk header overhead is paid,
+#: while genuinely compressible chunks measured far below 6 bits.
+_CHEAP_ENTROPY_BITS = 6.0
+
+
+def _byte_entropy(raw: bytes) -> float:
+    """Shannon entropy of the byte histogram, in bits per byte."""
+    counts = np.bincount(np.frombuffer(raw, dtype=np.uint8))
+    p = counts[counts > 0] / len(raw)
+    return float(-(p * np.log2(p)).sum())
 
 
 # -- serialized-chunk memo ----------------------------------------------------
@@ -158,16 +214,28 @@ class RcfWriter:
     All appended tables must share the schema of the first.
     """
 
-    def __init__(self, codec: str = "fast", row_group_size: int = 65_536) -> None:
+    def __init__(
+        self,
+        codec: str = "fast",
+        row_group_size: int = 65_536,
+        version: int = 2,
+    ) -> None:
         if codec not in CODECS:
             raise ValueError(f"unknown codec {codec!r}")
         if row_group_size <= 0:
             raise ValueError("row_group_size must be positive")
+        if version not in (1, 2):
+            raise ValueError(f"unknown RCF version {version!r}")
         self.codec = codec
         self.row_group_size = row_group_size
+        self.version = version
         self._schema: list[tuple[str, bool]] | None = None
         self._groups: list[bytes] = []
+        self._group_rows: list[int] = []
         self._n_rows = 0
+        # column name -> (group index, encoded vocab section) of the most
+        # recent DICTIONARY chunk, for DICT_REF back-references (v2).
+        self._vocab_donors: dict[str, tuple[int, bytes]] = {}
 
     def append(self, table: ColumnTable) -> None:
         """Add a table's rows, splitting into row groups as needed."""
@@ -183,6 +251,7 @@ class RcfWriter:
         for start in range(0, table.num_rows, self.row_group_size):
             chunk = table.slice(start, start + self.row_group_size)
             self._groups.append(self._encode_group(chunk))
+            self._group_rows.append(chunk.num_rows)
             self._n_rows += chunk.num_rows
 
     def _encode_group(self, chunk: ColumnTable) -> bytes:
@@ -191,12 +260,64 @@ class RcfWriter:
         with PERF.timer("columnar.encode_group"):
             return self._encode_group_impl(chunk)
 
+    def _maybe_dict_ref(
+        self, name: str, group_index: int, raw: bytes
+    ) -> tuple[int, bytes]:
+        """Swap a repeated string vocabulary for a back-reference (v2).
+
+        Consecutive row groups of one topic usually share the exact
+        vocabulary (host names, sensor names, severity levels); when the
+        encoded vocab section is byte-identical to an earlier group's,
+        only ``u32 donor_group`` + the codes are written.
+        """
+        _n_vocab, blob_len = struct.unpack_from("<qq", raw, 1)
+        sec_len = 17 + blob_len
+        vocab_sec = raw[:sec_len]
+        donor = self._vocab_donors.get(name)
+        if donor is not None and donor[1] == vocab_sec:
+            return DICT_REF, struct.pack("<I", donor[0]) + raw[sec_len:]
+        self._vocab_donors[name] = (group_index, vocab_sec)
+        return _enc.DICTIONARY, raw
+
+    def _frame_payload(self, raw: bytes, memo_cold: bool) -> tuple[bytes, str]:
+        """``(payload, codec actually used)`` under the version's rule.
+
+        v2 adds the cheap-codec path: tiny chunks, and chunks whose
+        sampled prefix barely compresses (already-compact numeric
+        columns), are stored raw — skipping zlib entirely.  A pure
+        function of (raw, codec, version), so baseline and fast runs
+        frame identical bytes.
+        """
+        if self.version >= 2:
+            if len(raw) <= _CHEAP_MIN_BYTES:
+                return raw, "none"
+            if len(raw) > _CHEAP_SAMPLE_BYTES:
+                sample = raw[:_CHEAP_SAMPLE_BYTES]
+                if (
+                    len(_compress_raw(sample, self.codec))
+                    >= _CHEAP_SKIP_RATIO * len(sample)
+                ):
+                    return raw, "none"
+            elif _byte_entropy(raw) >= _CHEAP_ENTROPY_BITS:
+                return raw, "none"
+        payload = (
+            _compress_raw(raw, self.codec)
+            if memo_cold
+            else compress(raw, self.codec)
+        )
+        # Keep whichever is smaller; record the codec actually used.
+        if len(payload) >= len(raw):
+            return raw, "none"
+        return payload, self.codec
+
     def _encode_group_impl(self, chunk: ColumnTable) -> bytes:
         global _chunk_memo_bytes, _chunk_hits, _chunk_misses
+        group_index = len(self._groups)
         parts = [struct.pack("<Q", chunk.num_rows)]
         for name, is_string in self._schema or []:
             col = chunk[name]
             key = None
+            memo_cold = False
             if (
                 _chunk_memo_enabled
                 and not _enc._reference_mode
@@ -206,6 +327,7 @@ class RcfWriter:
                 contig = np.ascontiguousarray(col)
                 if col.nbytes <= _chunk_memo_col_max_bytes:
                     key = (
+                        self.version,
                         self.codec,
                         is_string,
                         col.dtype.str,
@@ -227,15 +349,20 @@ class RcfWriter:
                 # digest or store at all.)
                 encoding = _enc._choose_encoding_impl(contig)
                 raw = encode_column(col, encoding)
-                payload = _compress_raw(raw, self.codec)
+                memo_cold = True
             else:
                 encoding = choose_encoding(col)
                 raw = encode_column(col, encoding)
-                payload = compress(raw, self.codec)
-            # Keep whichever is smaller; record the codec actually used.
-            codec = self.codec
-            if len(payload) >= len(raw):
-                payload, codec = raw, "none"
+            if (
+                self.version >= 2
+                and encoding == _enc.DICTIONARY
+                and col.dtype == object
+            ):
+                # String chunks bypass the memo (dtype gate above), so a
+                # position-dependent DICT_REF blob can never be reused in
+                # the wrong file context.
+                encoding, raw = self._maybe_dict_ref(name, group_index, raw)
+            payload, codec = self._frame_payload(raw, memo_cold)
             stats = column_stats(col)
             flags = 0
             if stats is not None:
@@ -276,14 +403,42 @@ class RcfWriter:
     def finish(self) -> bytes:
         """Serialize everything appended into one RCF byte string."""
         schema = self._schema or []
-        parts = [_MAGIC, struct.pack("<H", len(schema))]
+        magic = _MAGIC if self.version == 1 else _MAGIC_V2
+        parts = [magic, struct.pack("<H", len(schema))]
         for name, is_string in schema:
             nb = name.encode("utf-8")
             parts.append(struct.pack("<H", len(nb)) + nb)
             parts.append(struct.pack("<B", 1 if is_string else 0))
         parts.append(struct.pack("<I", len(self._groups)))
-        parts.extend(self._groups)
+        if self.version == 1:
+            parts.extend(self._groups)
+            return b"".join(parts)
+        off = sum(len(p) for p in parts)
+        footer: list[bytes] = []
+        for body, n_rows in zip(self._groups, self._group_rows):
+            footer.append(struct.pack("<QQ", off, n_rows))
+            parts.append(body)
+            off += len(body)
+        parts.extend(footer)
+        parts.append(struct.pack("<Q", off))  # footer_start
+        parts.append(_MAGIC_V2)
         return b"".join(parts)
+
+
+def _materialize_string_dictionary(
+    vocab: np.ndarray, codes: np.ndarray
+) -> np.ndarray:
+    """``values[codes]`` for a string vocabulary, -1 codes -> None —
+    exactly what :func:`encodings.decode_column` produces for an inline
+    DICTIONARY chunk."""
+    out = np.empty(codes.size, dtype=object)
+    nulls = codes < 0
+    safe = np.where(nulls, 0, codes)
+    if vocab.size:
+        vlist = vocab.tolist()
+        out[:] = [vlist[c] for c in safe.tolist()]
+    out[nulls] = None
+    return out
 
 
 @dataclass
@@ -302,12 +457,26 @@ class _GroupMeta:
 
 
 class RcfReader:
-    """Reader with column projection and stats-based row-group pruning."""
+    """Reader with column projection and stats-based row-group pruning.
+
+    Reads both format versions: v1 buffers are parsed sequentially on
+    open (the only option without a footer); v2 buffers open in O(1) by
+    reading the footer, and each group header is parsed lazily the
+    first time that group is touched.
+    """
 
     def __init__(self, buf: bytes) -> None:
-        if buf[:4] != _MAGIC:
+        head = buf[:4]
+        if head == _MAGIC:
+            self.version = 1
+        elif head == _MAGIC_V2:
+            self.version = 2
+        else:
             raise ValueError("not an RCF buffer (bad magic)")
         self._buf = buf
+        #: Group headers parsed so far — the probe the O(1)-open
+        #: regression test watches.
+        self.header_parse_count = 0
         off = 4
         (n_cols,) = struct.unpack_from("<H", buf, off)
         off += 2
@@ -322,14 +491,34 @@ class RcfReader:
             self.schema.append((name, bool(is_string)))
         (n_groups,) = struct.unpack_from("<I", buf, off)
         off += 4
-        self._groups: list[_GroupMeta] = []
-        for _ in range(n_groups):
-            off = self._parse_group(off)
         self._is_string = dict(self.schema)
         self._digest: str | None = None
+        self._metas: list[_GroupMeta | None] = [None] * n_groups
+        if self.version == 1:
+            self._group_offsets: list[int] | None = None
+            self._group_rows: list[int] = []
+            for i in range(n_groups):
+                meta, off = self._parse_group(off)
+                self._metas[i] = meta
+                self._group_rows.append(meta.n_rows)
+        else:
+            if buf[-4:] != _MAGIC_V2:
+                raise ValueError("truncated RCF2 buffer (bad tail magic)")
+            (footer_start,) = struct.unpack_from("<Q", buf, len(buf) - 12)
+            offsets: list[int] = []
+            rows: list[int] = []
+            pos = footer_start
+            for _ in range(n_groups):
+                o, r = struct.unpack_from("<QQ", buf, pos)
+                offsets.append(o)
+                rows.append(int(r))
+                pos += 16
+            self._group_offsets = offsets
+            self._group_rows = rows
 
-    def _parse_group(self, off: int) -> int:
+    def _parse_group(self, off: int) -> tuple[_GroupMeta, int]:
         buf = self._buf
+        self.header_parse_count += 1
         (n_rows,) = struct.unpack_from("<Q", buf, off)
         off += 8
         chunks: dict[str, _ChunkMeta] = {}
@@ -360,18 +549,26 @@ class RcfReader:
                 encoding, codec_name(codec_id), stats, off, payload_len
             )
             off += payload_len
-        self._groups.append(_GroupMeta(n_rows, chunks))
-        return off
+        return _GroupMeta(n_rows, chunks), off
+
+    def _group(self, i: int) -> _GroupMeta:
+        """Group metadata, parsed on first touch (v2) or on open (v1)."""
+        meta = self._metas[i]
+        if meta is None:
+            assert self._group_offsets is not None
+            meta, _ = self._parse_group(self._group_offsets[i])
+            self._metas[i] = meta
+        return meta
 
     @property
     def num_row_groups(self) -> int:
         """Row groups in the file."""
-        return len(self._groups)
+        return len(self._metas)
 
     @property
     def num_rows(self) -> int:
         """Total rows in the file."""
-        return sum(g.n_rows for g in self._groups)
+        return sum(self._group_rows)
 
     def column_names(self) -> list[str]:
         """Schema column names in order."""
@@ -379,36 +576,43 @@ class RcfReader:
 
     def group_stats(self, group: int) -> dict[str, tuple[object, object] | None]:
         """Per-column (min, max) stats of one row group."""
-        return {n: c.stats for n, c in self._groups[group].chunks.items()}
+        return {n: c.stats for n, c in self._group(group).chunks.items()}
 
     def group_row_count(self, group: int) -> int:
         """Rows in one row group."""
-        return self._groups[group].n_rows
+        return self._group_rows[group]
 
     def group_encoding(self, group: int, name: str) -> int:
-        """Encoding id of one chunk (see :mod:`repro.columnar.encodings`)."""
-        return self._groups[group].chunks[name].encoding
+        """Encoding id of one chunk (see :mod:`repro.columnar.encodings`
+        plus the file-level :data:`DICT_REF`)."""
+        return self._group(group).chunks[name].encoding
 
     def decode_group_column(self, group: int, name: str) -> np.ndarray:
         """Decode exactly one chunk — the late-materialization entry
         point: the scan executor decodes predicate columns first and
         calls back here only for groups that survive."""
-        return self._decode_chunk(self._groups[group].chunks[name])
+        meta = self._group(group).chunks[name]
+        if meta.encoding == DICT_REF:
+            vocab, codes = self._dict_ref_parts(meta, name)
+            return _materialize_string_dictionary(vocab, codes)
+        return self._decode_chunk(meta)
 
     def group_dictionary_parts(
         self, group: int, name: str
     ) -> tuple[np.ndarray, np.ndarray, bool] | None:
-        """``(values, codes, is_string)`` of a DICTIONARY chunk without
-        materializing ``values[codes]``, or None for other encodings.
-        Enables evaluating ``Compare``/``IsIn`` on the (tiny) vocabulary
-        and mapping the verdicts through the codes."""
-        meta = self._groups[group].chunks[name]
+        """``(values, codes, is_string)`` of a DICTIONARY (or DICT_REF)
+        chunk without materializing ``values[codes]``, or None for other
+        encodings.  Enables evaluating ``Compare``/``IsIn`` on the
+        (tiny) vocabulary and mapping the verdicts through the codes."""
+        meta = self._group(group).chunks[name]
+        if meta.encoding == DICT_REF:
+            vocab, codes = self._dict_ref_parts(meta, name)
+            return vocab, codes, True
         if meta.encoding != _enc.DICTIONARY:
             return None
-        payload = self._buf[
-            meta.payload_offset : meta.payload_offset + meta.payload_len
-        ]
-        return _enc.decode_dictionary_parts(decompress(payload, meta.codec))
+        return _enc.decode_dictionary_parts(
+            decompress(self._payload(meta), meta.codec)
+        )
 
     def digest(self) -> str:
         """Stable content digest of the whole buffer — the cache token
@@ -419,9 +623,34 @@ class RcfReader:
             ).hexdigest()
         return self._digest
 
+    def _payload(self, meta: _ChunkMeta) -> bytes:
+        return self._buf[
+            meta.payload_offset : meta.payload_offset + meta.payload_len
+        ]
+
+    def _dict_ref_parts(
+        self, meta: _ChunkMeta, name: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(vocab, codes)`` of a DICT_REF chunk, vocabulary fetched
+        from the donor group's DICTIONARY chunk of the same column."""
+        buf = decompress(self._payload(meta), meta.codec)
+        (donor,) = struct.unpack_from("<I", buf, 0)
+        codes = np.frombuffer(buf, dtype=np.int32, offset=4)
+        donor_meta = self._group(donor).chunks[name]
+        if donor_meta.encoding != _enc.DICTIONARY:
+            raise ValueError(
+                f"DICT_REF donor group {donor} of column {name!r} is not "
+                f"DICTIONARY-encoded"
+            )
+        vocab, _, _ = _enc.decode_dictionary_parts(
+            decompress(self._payload(donor_meta), donor_meta.codec)
+        )
+        return vocab, codes
+
     def _decode_chunk(self, meta: _ChunkMeta) -> np.ndarray:
-        payload = self._buf[meta.payload_offset : meta.payload_offset + meta.payload_len]
-        return decode_column(decompress(payload, meta.codec), meta.encoding)
+        return decode_column(
+            decompress(self._payload(meta), meta.codec), meta.encoding
+        )
 
     def read(
         self,
@@ -443,13 +672,14 @@ class RcfReader:
             need |= predicate.columns()
 
         pieces: list[ColumnTable] = []
-        for group in self._groups:
+        for gi in range(len(self._metas)):
+            group = self._group(gi)
             if predicate is not None:
                 stats = {n: c.stats for n, c in group.chunks.items()}
                 if not predicate.might_match(stats):
                     continue  # pruned — zero decode cost
             data = {
-                n: self._decode_chunk(group.chunks[n])
+                n: self.decode_group_column(gi, n)
                 for n in self.column_names()
                 if n in need
             }
@@ -464,8 +694,10 @@ class RcfReader:
     def scan_stats(self, predicate: Predicate) -> tuple[int, int]:
         """(groups_scanned, groups_pruned) for a predicate — bench hook."""
         scanned = pruned = 0
-        for group in self._groups:
-            stats = {n: c.stats for n, c in group.chunks.items()}
+        for gi in range(len(self._metas)):
+            stats = {
+                n: c.stats for n, c in self._group(gi).chunks.items()
+            }
             if predicate.might_match(stats):
                 scanned += 1
             else:
@@ -474,10 +706,15 @@ class RcfReader:
 
 
 def write_table(
-    table: ColumnTable, codec: str = "fast", row_group_size: int = 65_536
+    table: ColumnTable,
+    codec: str = "fast",
+    row_group_size: int = 65_536,
+    version: int = 2,
 ) -> bytes:
     """One-shot table -> RCF bytes."""
-    writer = RcfWriter(codec=codec, row_group_size=row_group_size)
+    writer = RcfWriter(
+        codec=codec, row_group_size=row_group_size, version=version
+    )
     writer.append(table)
     return writer.finish()
 

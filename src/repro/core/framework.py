@@ -12,6 +12,7 @@ import os
 import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -103,6 +104,19 @@ class DataPlaneOptions:
     reference_emit:
         Emit telemetry through the loop-per-channel reference path
         instead of the batched one (same bytes, slower).
+    pipeline:
+        Overlap consecutive windows in :meth:`ODAFramework.run`:
+        ``"on"`` prefetches the next window's telemetry on a dedicated
+        emit thread and defers tier writes to a dedicated FIFO ingest
+        thread, so window k+1's emit/refine overlaps window k's
+        encode+ingest.  ``"off"`` runs windows back to back;
+        ``"auto"`` (default) picks ``"on"`` on multi-core hosts.
+        Outputs are byte-identical either way (ingest ops replay in
+        exact serial order on one thread, so part numbering and
+        manifests cannot drift), and spans reparent identically
+        (each deferred op is wrapped at its original call site).
+        Only :meth:`ODAFramework.run` pipelines; direct
+        :meth:`ODAFramework.run_window` calls stay fully serial.
     self_telemetry:
         Re-publish the framework's own health gauges (row counts, byte
         volumes — see :data:`HEALTH_SENSORS`) as a synthetic telemetry
@@ -116,6 +130,7 @@ class DataPlaneOptions:
     executor: str = "auto"
     max_workers: int | None = None
     reference_emit: bool = False
+    pipeline: str = "auto"
     self_telemetry: bool = False
 
     def __post_init__(self) -> None:
@@ -123,6 +138,10 @@ class DataPlaneOptions:
             raise ValueError(
                 "executor must be 'auto', 'serial' or 'threads', "
                 f"got {self.executor!r}"
+            )
+        if self.pipeline not in ("auto", "off", "on"):
+            raise ValueError(
+                f"pipeline must be 'auto', 'off' or 'on', got {self.pipeline!r}"
             )
         if self.max_workers is not None and self.max_workers <= 0:
             raise ValueError("max_workers must be positive")
@@ -133,10 +152,21 @@ class DataPlaneOptions:
             return "threads" if (os.cpu_count() or 1) >= 2 else "serial"
         return self.executor
 
+    def resolve_pipeline(self) -> str:
+        """The concrete pipeline mode: ``"auto"`` resolved per host."""
+        if self.pipeline == "auto":
+            return "on" if (os.cpu_count() or 1) >= 2 else "off"
+        return self.pipeline
+
     @classmethod
     def serial_baseline(cls) -> "DataPlaneOptions":
         """The pre-optimization data plane (benchmark reference)."""
-        return cls(batched=False, executor="serial", reference_emit=True)
+        return cls(
+            batched=False,
+            executor="serial",
+            reference_emit=True,
+            pipeline="off",
+        )
 
 
 @dataclass(frozen=True)
@@ -292,6 +322,11 @@ class ODAFramework:
         self.windows: list[WindowSummary] = []
         self._executor: ThreadPoolExecutor | None = None
         self._finalizer = weakref.finalize(self, _shutdown_executor, None)
+        # Pipelined-run plumbing (see DataPlaneOptions.pipeline): the
+        # prefetched (t0, t1, batches) for the next window, and — when a
+        # list — the sink collecting deferred tier-ingest closures.
+        self._prefetched: tuple[float, float, dict] | None = None
+        self._ingest_sink: list | None = None
 
     # -- execution ------------------------------------------------------------
 
@@ -363,10 +398,38 @@ class ODAFramework:
             with PERF.timer("window.total"):
                 return self._run_window_impl(t0, t1)
 
+    def _take_prefetched(self, t0: float, t1: float) -> dict | None:
+        """Claim the prefetched emit for exactly this window, if any."""
+        pre = self._prefetched
+        if pre is None or pre[0] != t0 or pre[1] != t1:
+            return None
+        self._prefetched = None
+        return pre[2]
+
+    def _ingest(self, name: str, table, now: float) -> None:
+        """Tier write, direct or deferred to the pipelined ingest thread.
+
+        When a pipelined run is collecting (``_ingest_sink`` is a list),
+        the op is wrapped *here* — at the exact call site where the
+        serial path would open its ``tier.ingest`` span — so the span
+        reparents identically when it later runs on the ingest thread;
+        FIFO replay on a single thread keeps part numbering and manifest
+        order byte-identical to serial.
+        """
+        sink = self._ingest_sink
+        if sink is None:
+            self.tiers.ingest(name, table, now=now)
+        else:
+            sink.append(
+                TRACER.wrap(partial(self.tiers.ingest, name, table, now=now))
+            )
+
     def _run_window_impl(self, t0: float, t1: float) -> WindowSummary:
         batched = self.options.batched
-        with PERF.timer("telemetry.emit"):
-            batches = self.fleet.emit_window(t0, t1)
+        batches = self._take_prefetched(t0, t1)
+        if batches is None:
+            with PERF.timer("telemetry.emit"):
+                batches = self.fleet.emit_window(t0, t1)
 
         # Hop 1: everything lands on the STREAM tier, keyed for ordering.
         produced = 0
@@ -439,14 +502,14 @@ class ODAFramework:
         for name, (consumer, _) in self._refineries.items():
             out = refined[name]
             consumer.commit()
-            self.tiers.ingest(f"{name}.silver", out["silver"], now=t1)
+            self._ingest(f"{name}.silver", out["silver"], now=t1)
             if name == "power":
                 tables = out
-                self.tiers.ingest("power.bronze", out["bronze"], now=t1)
-                self.tiers.ingest("power.gold_profiles", out["gold"], now=t1)
+                self._ingest("power.bronze", out["bronze"], now=t1)
+                self._ingest("power.gold_profiles", out["gold"], now=t1)
 
         if fac_silver is not None:
-            self.tiers.ingest("facility.silver", fac_silver, now=t1)
+            self._ingest("facility.silver", fac_silver, now=t1)
         self._facility_consumer.commit()
         self._log_consumer.commit()
         self._sec_consumer.commit()
@@ -521,18 +584,83 @@ class ODAFramework:
                 self._health_catalog,
                 self.medallion.interval,
             )
-            self.tiers.ingest(HEALTH_DATASET, silver, now=summary.t1)
+            self._ingest(HEALTH_DATASET, silver, now=summary.t1)
 
     def run(self, t0: float, t1: float, window_s: float) -> list[WindowSummary]:
-        """Drive consecutive windows across ``[t0, t1)``."""
+        """Drive consecutive windows across ``[t0, t1)``.
+
+        Under ``options.pipeline`` (default ``"auto"``: on for
+        multi-core hosts) consecutive windows overlap: window k+1's
+        telemetry is synthesized on the emit thread while window k
+        refines, and window k's tier writes (columnar encode + store
+        put) run on the ingest thread while window k+1 computes —
+        byte-identical to the serial schedule (see
+        :class:`DataPlaneOptions`).
+        """
         if window_s <= 0:
             raise ValueError("window_s must be positive")
-        out = []
+        bounds: list[tuple[float, float]] = []
         t = t0
         while t < t1:
-            out.append(self.run_window(t, min(t + window_s, t1)))
+            bounds.append((t, min(t + window_s, t1)))
             t += window_s
-        return out
+        if self.options.resolve_pipeline() == "off" or len(bounds) <= 1:
+            return [self.run_window(a, b) for a, b in bounds]
+        return self._run_pipelined(bounds)
+
+    def _run_pipelined(
+        self, bounds: list[tuple[float, float]]
+    ) -> list[WindowSummary]:
+        """The overlapped window schedule behind :meth:`run`.
+
+        Three stages, each on its own thread, at most one window apart:
+        emit (prefetch k+1), the window body (refine + commits, main
+        thread), and ingest (deferred tier writes, strict FIFO).  The
+        backlog is bounded by waiting out window k-1's ingest before
+        starting window k+1, so at most two windows of encoded output
+        are ever in flight.
+        """
+        emit_pool = ThreadPoolExecutor(1, thread_name_prefix="oda-emit")
+        ingest_pool = ThreadPoolExecutor(1, thread_name_prefix="oda-ingest")
+        summaries: list[WindowSummary] = []
+        ingest_futures: list = []
+
+        def emit_task(a: float, b: float):
+            def task():
+                with PERF.timer("telemetry.emit"):
+                    return self.fleet.emit_window(a, b)
+
+            return task
+
+        def flush_task(ops: list):
+            def flush():
+                for op in ops:
+                    op()
+
+            return flush
+
+        try:
+            emit_fut = emit_pool.submit(emit_task(*bounds[0]))
+            for i, (a, b) in enumerate(bounds):
+                batches = emit_fut.result()
+                if i + 1 < len(bounds):
+                    emit_fut = emit_pool.submit(emit_task(*bounds[i + 1]))
+                self._prefetched = (a, b, batches)
+                self._ingest_sink = ops = []
+                try:
+                    summaries.append(self.run_window(a, b))
+                finally:
+                    self._prefetched = None
+                    self._ingest_sink = None
+                ingest_futures.append(ingest_pool.submit(flush_task(ops)))
+                if len(ingest_futures) >= 2:
+                    ingest_futures[-2].result()
+            for f in ingest_futures:
+                f.result()  # drain; propagates any deferred-write error
+        finally:
+            emit_pool.shutdown(wait=False, cancel_futures=True)
+            ingest_pool.shutdown(wait=True)
+        return summaries
 
     # -- reporting ------------------------------------------------------------
 

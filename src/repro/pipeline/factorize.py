@@ -213,6 +213,52 @@ def _digest(buf) -> bytes:
     return hashlib.blake2b(buf, digest_size=16).digest()
 
 
+#: Widest value range an integer column may span and still take the
+#: counting path: the O(range) tables must stay small next to the
+#: O(n log n) sort they replace.
+_COUNT_MAX_SPAN = 1 << 16
+
+
+def _int_factorize(col: np.ndarray) -> tuple[np.ndarray, np.ndarray] | None:
+    """Sort-free ``(codes, uniques)`` for narrow-range integer columns.
+
+    ``np.unique(col, return_inverse=True)`` yields the sorted distinct
+    values and each row's rank among them; for integers spanning a small
+    range the same arrays fall out of one counting pass — presence mask
+    -> sorted uniques, its cumsum -> rank lookup table — in O(n + range)
+    instead of O(n log n).  Returns ``None`` when the range is too wide
+    to table (caller sorts as before).
+    """
+    mn = int(col.min())
+    mx = int(col.max())
+    span = mx - mn + 1
+    if span > min(max(4 * col.size, 1024), _COUNT_MAX_SPAN):
+        return None
+    if mn < -(2**62) or mx > 2**62:  # keep the int64 shift overflow-free
+        return None
+    shifted = col.astype(np.int64)
+    shifted -= mn
+    present = np.zeros(span, dtype=bool)
+    present[shifted] = True
+    rank = np.cumsum(present)
+    rank -= 1
+    codes = rank[shifted]
+    uniq = np.flatnonzero(present)
+    uniq += mn
+    return codes, uniq.astype(col.dtype, copy=False)
+
+
+def _numeric_factorize(col: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(codes int64, uniques) for a non-object column, counting-pass
+    when possible, sort otherwise — identical output either way."""
+    if col.dtype.kind in "iu" and col.size:
+        fast = _int_factorize(col)
+        if fast is not None:
+            return fast
+    uniq, codes = np.unique(col, return_inverse=True)
+    return codes.astype(np.int64), uniq
+
+
 def factorize(col: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """(codes int64, uniques) — vectorized and memoized.
 
@@ -252,10 +298,8 @@ def factorize(col: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         hit = _cache_get(key)
         if hit is not None:
             return hit
-        uniq, codes = np.unique(contig, return_inverse=True)
-        value = (codes.astype(np.int64), uniq)
+        value = _numeric_factorize(contig)
         _cache_put(key, value)
         return value
 
-    uniq, codes = np.unique(col, return_inverse=True)
-    return codes.astype(np.int64), uniq
+    return _numeric_factorize(col)

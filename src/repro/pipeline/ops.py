@@ -15,7 +15,12 @@ import numpy as np
 from repro.columnar.predicate import Predicate
 from repro.columnar.table import ColumnTable
 from repro.pipeline.factorize import factorize
-from repro.util.timeseries import bucket_indices, bucket_reduce
+from repro.util.timeseries import (
+    bucket_indices,
+    bucket_plan,
+    bucket_reduce,
+    bucket_reduce_planned,
+)
 
 __all__ = ["select", "where", "group_by_agg", "pivot", "hash_join", "resample"]
 
@@ -103,14 +108,13 @@ def group_by_agg(
             cols[out_name] = np.empty(0)
         return ColumnTable(cols)
     composite, uniq_list, radices = _composite_codes(table, keys)
+    # One argsort of the composite key, shared by every aggregation.
+    plan = bucket_plan(composite)
+    uniq_composite = plan[0]
     out_cols: dict[str, np.ndarray] = {}
-    uniq_composite: np.ndarray | None = None
     for out_name, (col, reducer) in aggs.items():
-        uc, reduced = bucket_reduce(composite, table[col], reducer)
-        if uniq_composite is None:
-            uniq_composite = uc
+        _, reduced = bucket_reduce_planned(plan, table[col], reducer)
         out_cols[out_name] = reduced
-    assert uniq_composite is not None
     key_values = _decompose(uniq_composite, uniq_list, radices)
     result: dict[str, np.ndarray] = {
         k: v for k, v in zip(keys, key_values)

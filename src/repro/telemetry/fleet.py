@@ -121,8 +121,13 @@ class FleetTelemetry:
             + gpu_u * (m.gpu_tdp_w - 90.0) * m.gpus_per_node
             + cpu_u * (m.cpu_tdp_w - 60.0) * m.cpus_per_node
         )
-        mean_power = node_power.mean(axis=0)
-        return mean_power * m.n_nodes
+        # Sum each time's *contiguous* node column so the float reduction
+        # order depends only on the node count, never on how many times
+        # share the window — axis-0 reductions over (nodes, times) block
+        # their pairwise sums by the trailing shape, which would make
+        # plant telemetry vary in the last bits with the window split.
+        totals = np.ascontiguousarray(node_power.T).sum(axis=1)
+        return totals * (m.n_nodes / node_power.shape[0])
 
     def emit_window(
         self, t0: float, t1: float

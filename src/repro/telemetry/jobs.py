@@ -16,6 +16,7 @@ allocation logs) for contextualization", §V-A).  This module provides
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -118,6 +119,11 @@ class AllocationTable:
             tuple, tuple[np.ndarray, np.ndarray, np.ndarray]
         ] = OrderedDict()
         self._util_memo_max = 16
+        # The memo is shared by emitting sources and refine workers which
+        # may run on different threads (and, with pipelined windows, by
+        # the emit-prefetch thread); all OrderedDict mutation sits under
+        # this lock.  The cached arrays themselves are read-only.
+        self._util_lock = threading.Lock()
 
     def _check_no_node_conflicts(self) -> None:
         per_node: dict[int, list[tuple[float, float, int]]] = {}
@@ -177,10 +183,11 @@ class AllocationTable:
                     np.ascontiguousarray(times), digest_size=16
                 ).digest(),
             )
-            hit = self._util_memo.get(key)
-            if hit is not None:
-                self._util_memo.move_to_end(key)
-                return hit
+            with self._util_lock:
+                hit = self._util_memo.get(key)
+                if hit is not None:
+                    self._util_memo.move_to_end(key)
+                    return hit
         gpu = np.zeros((node_ids.size, times.size))
         cpu = np.zeros_like(gpu)
         jid = np.full(gpu.shape, -1, dtype=np.int64)
@@ -206,9 +213,10 @@ class AllocationTable:
         if key is not None:
             for a in (gpu, cpu, jid):
                 a.setflags(write=False)
-            self._util_memo[key] = (gpu, cpu, jid)
-            while len(self._util_memo) > self._util_memo_max:
-                self._util_memo.popitem(last=False)
+            with self._util_lock:
+                self._util_memo[key] = (gpu, cpu, jid)
+                while len(self._util_memo) > self._util_memo_max:
+                    self._util_memo.popitem(last=False)
         return gpu, cpu, jid
 
     def log_records(self) -> list[dict]:

@@ -116,22 +116,31 @@ class PerfCounterSource(TelemetrySource):
         sids = np.arange(len(self._catalog), dtype=np.uint64)
         active = gpu_u > 0.0
         if active.all():
-            noise = 0.1 * normal_from_index_tags(self.seed, 500 + sids, idx)
-            values = self._scales[:, None, None] * np.maximum(
-                gpu_u[None, :, :] * (1.0 + noise), 0.0
-            )
+            # In-place pipeline over the one noise cube: each step uses
+            # the same operands (commuted where needed — IEEE multiply is
+            # bitwise commutative) and order as the reference expression
+            # scale * max(u * (1 + 0.1 * n), 0), so bits are identical.
+            values = normal_from_index_tags(self.seed, 500 + sids, idx)
+            values *= 0.1
+            values += 1.0
+            values *= gpu_u[None, :, :]
+            np.maximum(values, 0.0, out=values)
+            values *= self._scales[:, None, None]
         else:
             # Idle cells are exactly 0.0 regardless of noise (|noise| < 1,
             # so gpu_u * (1 + noise) is +0.0 there) — draw noise only on
             # the active cells and leave the rest zero-filled.
             values = np.zeros((sids.size,) + gpu_u.shape)
             if active.any():
-                noise = 0.1 * normal_from_index_tags(
+                cells = normal_from_index_tags(
                     self.seed, 500 + sids, idx[active]
                 )
-                values[:, active] = self._scales[:, None] * np.maximum(
-                    gpu_u[active][None, :] * (1.0 + noise), 0.0
-                )
+                cells *= 0.1
+                cells += 1.0
+                cells *= gpu_u[active][None, :]
+                np.maximum(cells, 0.0, out=cells)
+                cells *= self._scales[:, None]
+                values[:, active] = cells
         keep = (
             uniform_from_index_tags(self.seed, 4000 + sids, idx)
             >= self.loss_rate

@@ -159,6 +159,16 @@ class PowerThermalSource(TelemetrySource):
             self.seed, 101, node_u64
         )  # per-node factor; per-GPU refinement below
         self._cpu_spread = 1.0 + 0.03 * normal_from_index(self.seed, 102, node_u64)
+        # Hoisted per-(node, GPU) spread columns: the exact expression the
+        # per-window loop used to rebuild every emit, computed once here.
+        self._gpu_spread_cols = [
+            self._gpu_spread[:, None]
+            * (
+                1.0
+                + 0.02 * normal_from_index(self.seed, 200 + g, node_u64)[:, None]
+            )
+            for g in range(machine.gpus_per_node)
+        ]
 
     @property
     def catalog(self) -> SensorCatalog:
@@ -222,13 +232,7 @@ class PowerThermalSource(TelemetrySource):
         gpu_total = np.zeros_like(gpu_u)
         for g in range(m.gpus_per_node):
             # Per-GPU spread refines the per-node factor deterministically.
-            spread = self._gpu_spread[:, None] * (
-                1.0
-                + 0.02
-                * normal_from_index(
-                    self.seed, 200 + g, self.nodes.astype(np.uint64)
-                )[:, None]
-            )
+            spread = self._gpu_spread_cols[g]
             pwr = (GPU_IDLE_W + gpu_u * (m.gpu_tdp_w - GPU_IDLE_W)) * spread
             pwr += MEASUREMENT_NOISE_W * noise[10 + g]
             pwr = np.maximum(pwr, 0.0)

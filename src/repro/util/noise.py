@@ -36,6 +36,25 @@ def hash_u64(x: np.ndarray) -> np.ndarray:
     return z
 
 
+def _hash_u64_inplace(z: np.ndarray) -> np.ndarray:
+    """Splitmix64 finalizer applied in place to an owned uint64 array.
+
+    Integer arithmetic is exact, so the result is bit-identical to
+    :func:`hash_u64`; the only difference is that the caller's array is
+    consumed as scratch, saving one temporary per arithmetic step on the
+    batched hot path.
+    """
+    with np.errstate(over="ignore"):
+        z += _GOLDEN
+        z *= _MIX1
+        z ^= z >> np.uint64(30)
+        z *= _MIX1
+        z ^= z >> np.uint64(27)
+        z *= _MIX2
+        z ^= z >> np.uint64(31)
+    return z
+
+
 def _indices_to_u64(seed: int, tag: int, idx: np.ndarray) -> np.ndarray:
     with np.errstate(over="ignore"):
         base = np.uint64(seed & 0xFFFFFFFFFFFFFFFF) * _MIX2 + np.uint64(
@@ -81,9 +100,13 @@ def uniform_from_index_tags(
     idx = np.asarray(idx, dtype=np.uint64)
     with np.errstate(over="ignore"):
         base = np.uint64(seed & 0xFFFFFFFFFFFFFFFF) * _MIX2 + tags * _GOLDEN
+        # ``keyed`` is a fresh array, so the finalizer may consume it.
         keyed = idx[None, ...] + base.reshape((-1,) + (1,) * idx.ndim)
-    bits = hash_u64(keyed)
-    return (bits >> np.uint64(11)).astype(np.float64) * (1.0 / (1 << 53))
+    bits = _hash_u64_inplace(keyed)
+    bits >>= np.uint64(11)
+    out = bits.astype(np.float64)
+    out *= 1.0 / (1 << 53)
+    return out
 
 
 def normal_from_index_tags(
@@ -92,11 +115,26 @@ def normal_from_index_tags(
     """Batched :func:`normal_from_index` over many channel tags at once.
 
     Row ``i`` is bit-identical to ``normal_from_index(seed, tags[i], idx)``.
+    The two Box-Muller uniform channels for all tags are drawn in a
+    *single* stacked hash pass (tags ``2t+1`` then ``2t+2``), and the
+    transform runs in place on the halves — elementwise float ops in the
+    same order and with the same operands as the scalar path, so the
+    bits cannot differ.
     """
-    tags = np.asarray(tags, dtype=np.uint64)
+    tags = np.atleast_1d(np.asarray(tags, dtype=np.uint64))
     with np.errstate(over="ignore"):
         doubled = tags * np.uint64(2)
-        u1 = uniform_from_index_tags(seed, doubled + np.uint64(1), idx)
-        u2 = uniform_from_index_tags(seed, doubled + np.uint64(2), idx)
-    u1 = np.maximum(u1, 1e-12)
-    return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+        stacked = np.concatenate(
+            [doubled + np.uint64(1), doubled + np.uint64(2)]
+        )
+    u = uniform_from_index_tags(seed, stacked, idx)
+    m = tags.size
+    u1, u2 = u[:m], u[m:]
+    np.maximum(u1, 1e-12, out=u1)
+    np.log(u1, out=u1)
+    u1 *= -2.0
+    np.sqrt(u1, out=u1)
+    u2 *= 2.0 * np.pi
+    np.cos(u2, out=u2)
+    u1 *= u2
+    return u1

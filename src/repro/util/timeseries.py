@@ -16,7 +16,9 @@ import numpy as np
 
 __all__ = [
     "bucket_indices",
+    "bucket_plan",
     "bucket_reduce",
+    "bucket_reduce_planned",
     "bucket_mean",
     "resample_mean",
     "rolling_mean",
@@ -61,14 +63,39 @@ def bucket_reduce(
         )
     if keys.size == 0:
         return keys[:0], values[:0]
+    return bucket_reduce_planned(bucket_plan(keys), values, reducer)
 
+
+def bucket_plan(
+    keys: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Precompute the grouping of ``keys``: ``(unique_keys, order,
+    boundaries, counts)``.
+
+    The stable argsort is the dominant cost of :func:`bucket_reduce`;
+    computing the plan once lets every aggregation over the same keys
+    (a multi-agg GROUP BY) share it.  ``keys`` must be non-empty.
+    """
+    keys = np.asarray(keys)
     order = np.argsort(keys, kind="stable")
     sk = keys[order]
-    sv = values[order]
     # Start offset of each group in the sorted arrays.
     boundaries = np.flatnonzero(np.concatenate(([True], sk[1:] != sk[:-1])))
     uniq = sk[boundaries]
     counts = np.diff(np.concatenate((boundaries, [sk.size])))
+    return uniq, order, boundaries, counts
+
+
+def bucket_reduce_planned(
+    plan: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    values: np.ndarray,
+    reducer: str = "mean",
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`bucket_reduce` over a precomputed :func:`bucket_plan` —
+    identical results, shared sort."""
+    uniq, order, boundaries, counts = plan
+    values = np.asarray(values, dtype=np.float64)
+    sv = values[order]
 
     if reducer == "count":
         return uniq, counts.astype(np.float64)

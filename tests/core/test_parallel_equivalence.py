@@ -10,6 +10,9 @@ import numpy as np
 import pytest
 
 from repro.core import DataPlaneOptions, ODAFramework
+from repro.faults.injector import FaultInjector, FaultyObjectStore
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.obs import TRACER
 from repro.perf import baseline_mode, reset_fast_path_caches
 from repro.telemetry import MINI, synthetic_job_mix
 
@@ -34,6 +37,29 @@ def run_windows(options, baseline=False):
                 fw.run_window(w * WINDOW_S, (w + 1) * WINDOW_S)
                 for w in range(N_WINDOWS)
             ]
+        return fw, summaries
+    finally:
+        fw.close()
+
+
+def run_span(options, baseline=False, fault_plan=None):
+    """Drive the same four windows through ``ODAFramework.run`` (the
+    entry point that owns the pipelined schedule), optionally with a
+    fault injector wrapped around the OCEAN store."""
+    rng = np.random.default_rng(11)
+    allocation = synthetic_job_mix(MINI, 0.0, N_WINDOWS * WINDOW_S, rng)
+    fw = ODAFramework(MINI, allocation, seed=3, options=options)
+    if fault_plan is not None:
+        fw.tiers.ocean = FaultyObjectStore(
+            fw.tiers.ocean, FaultInjector(fault_plan)
+        )
+    reset_fast_path_caches()
+    try:
+        if baseline:
+            with baseline_mode():
+                summaries = fw.run(0.0, N_WINDOWS * WINDOW_S, WINDOW_S)
+        else:
+            summaries = fw.run(0.0, N_WINDOWS * WINDOW_S, WINDOW_S)
         return fw, summaries
     finally:
         fw.close()
@@ -97,17 +123,93 @@ def test_batched_only_matches(baseline_run):
     assert_equivalent(fw, summaries, baseline_run)
 
 
+def test_pipelined_run_matches_serial_baseline(baseline_run):
+    fw, summaries = run_span(DataPlaneOptions(pipeline="on"))
+    assert_equivalent(fw, summaries, baseline_run)
+
+
+def test_pipeline_off_run_matches_serial_baseline(baseline_run):
+    fw, summaries = run_span(DataPlaneOptions(pipeline="off"))
+    assert_equivalent(fw, summaries, baseline_run)
+
+
+def test_pipelined_threads_matches_serial_baseline(baseline_run):
+    fw, summaries = run_span(
+        DataPlaneOptions(pipeline="on", executor="threads", max_workers=4)
+    )
+    assert_equivalent(fw, summaries, baseline_run)
+
+
+def test_pipelined_under_baseline_mode_matches(baseline_run):
+    """Pipelining composes with the reference data plane: baseline_mode
+    plus overlapped windows still reproduces the serial bytes."""
+    fw, summaries = run_span(
+        DataPlaneOptions(
+            batched=False,
+            executor="serial",
+            reference_emit=True,
+            pipeline="on",
+        ),
+        baseline=True,
+    )
+    assert_equivalent(fw, summaries, baseline_run)
+
+
+def test_pipelined_trace_is_span_identical():
+    """The pipelined schedule must emit the same spans with the same
+    deterministic ids and parents as the serial one, no matter which
+    thread executes a deferred ingest."""
+
+    def spans_for(pipeline):
+        TRACER.reset()
+        run_span(DataPlaneOptions(pipeline=pipeline))
+        return {
+            (s.trace_id, s.span_id, s.parent_id, s.name)
+            for s in TRACER.finished()
+        }
+
+    serial, overlapped = spans_for("off"), spans_for("on")
+    assert serial == overlapped
+    assert any(name.startswith("tier.ingest:") for *_, name in serial)
+
+
+def test_pipelined_chaos_equivalence(baseline_run):
+    """Transient OCEAN faults under the pipelined schedule are absorbed
+    by the retry envelope and leave every byte identical to a fault-free
+    serial run (the PR-3 chaos harness contract)."""
+    plan = FaultPlan(
+        [
+            FaultSpec(FaultyObjectStore.SITE_PUT, FaultKind.TIER_ERROR, 2),
+            FaultSpec(FaultyObjectStore.SITE_PUT, FaultKind.TIER_ERROR, 7),
+            FaultSpec(FaultyObjectStore.SITE_PUT, FaultKind.TIER_ERROR, 11),
+        ]
+    )
+    fw, summaries = run_span(
+        DataPlaneOptions(pipeline="on"), fault_plan=plan
+    )
+    assert fw.tiers.ocean.injector.injected  # the faults actually fired
+    assert_equivalent(fw, summaries, baseline_run)
+
+
 def test_option_validation():
     with pytest.raises(ValueError):
         DataPlaneOptions(executor="processes")
     with pytest.raises(ValueError):
         DataPlaneOptions(max_workers=0)
+    with pytest.raises(ValueError):
+        DataPlaneOptions(pipeline="eager")
     assert DataPlaneOptions(executor="auto").resolve_executor() in (
         "serial",
         "threads",
     )
     assert DataPlaneOptions(executor="serial").resolve_executor() == "serial"
     assert DataPlaneOptions(executor="threads").resolve_executor() == "threads"
+    assert DataPlaneOptions(pipeline="auto").resolve_pipeline() in (
+        "off",
+        "on",
+    )
+    assert DataPlaneOptions(pipeline="off").resolve_pipeline() == "off"
+    assert DataPlaneOptions.serial_baseline().resolve_pipeline() == "off"
 
 
 def test_framework_context_manager_closes_pool():

@@ -1,0 +1,127 @@
+"""Tier-1 perf gate: the e2e bench smoke must pass against the
+committed ``BENCH_e2e.json``.
+
+``make bench-e2e-smoke`` is the same invocation; this test keeps the
+gate inside the plain pytest tier so a stage regression (or a fast-path
+output divergence) fails CI even where make is not in the loop.  The
+``check_against`` comparator itself is unit-tested below on synthetic
+reports so its failure modes don't depend on timer noise.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from benchmarks.bench_e2e import CHECK_MIN_STAGE_S, check_against
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+COMMITTED = REPO_ROOT / "BENCH_e2e.json"
+
+
+def _report(stages_base, stages_fast, identical=True):
+    def cfg(stages):
+        return {
+            "stages": {
+                k: {"total_s": v, "calls": 1, "max_s": v}
+                for k, v in stages.items()
+            }
+        }
+
+    return {
+        "outputs_identical": identical,
+        "baseline": cfg(stages_base),
+        "fast": cfg(stages_fast),
+    }
+
+
+class TestCheckAgainstComparator:
+    def test_identical_reports_pass(self):
+        r = _report({"telemetry.emit": 1.0}, {"telemetry.emit": 0.4})
+        assert check_against(r, r) == []
+
+    def test_improvement_passes(self):
+        committed = _report({"telemetry.emit": 1.0}, {"telemetry.emit": 0.5})
+        new = _report({"telemetry.emit": 1.0}, {"telemetry.emit": 0.3})
+        assert check_against(new, committed) == []
+
+    def test_fast_losing_to_baseline_fails(self):
+        committed = _report({"telemetry.emit": 1.0}, {"telemetry.emit": 0.5})
+        new = _report({"telemetry.emit": 1.0}, {"telemetry.emit": 1.4})
+        failures = check_against(new, committed)
+        assert len(failures) == 1
+        assert "telemetry.emit" in failures[0]
+
+    def test_shape_slack_tolerates_worse_but_winning_ratio(self):
+        """Memo hit rates shrink with the smoke shape, so a worse — but
+        still <1 — ratio is not a regression."""
+        committed = _report(
+            {"columnar.encode_group": 1.0}, {"columnar.encode_group": 0.25}
+        )
+        new = _report(
+            {"columnar.encode_group": 1.0}, {"columnar.encode_group": 0.9}
+        )
+        assert check_against(new, committed) == []
+
+    def test_parity_noise_within_slack_passes(self):
+        """Smoke shapes barely warm the memos, so a memo-driven stage
+        hovering just over 1.0 is parity noise, not a regression."""
+        committed = _report({"tier.ingest": 1.0}, {"tier.ingest": 0.7})
+        new = _report({"tier.ingest": 1.0}, {"tier.ingest": 1.1})
+        assert check_against(new, committed) == []
+
+    def test_regression_beyond_committed_ratio_fails(self):
+        committed = _report({"tier.ingest": 1.0}, {"tier.ingest": 1.1})
+        new = _report({"tier.ingest": 1.0}, {"tier.ingest": 1.5})
+        assert check_against(new, committed) != []
+
+    def test_missing_stage_fails(self):
+        committed = _report({"telemetry.emit": 1.0}, {"telemetry.emit": 0.5})
+        new = _report({}, {})
+        failures = check_against(new, committed)
+        assert any("missing" in f for f in failures)
+
+    def test_noise_floor_skips_tiny_stages(self):
+        committed = _report({"refine.bronze": 1.0}, {"refine.bronze": 0.5})
+        eps = CHECK_MIN_STAGE_S / 10.0
+        new = _report({"refine.bronze": eps}, {"refine.bronze": eps * 3})
+        assert check_against(new, committed) == []
+
+    def test_output_divergence_fails(self):
+        r = _report({"telemetry.emit": 1.0}, {"telemetry.emit": 0.4})
+        bad = _report(
+            {"telemetry.emit": 1.0}, {"telemetry.emit": 0.4}, identical=False
+        )
+        assert check_against(bad, r) != []
+        assert check_against(r, bad) != []
+
+
+@pytest.mark.skipif(not COMMITTED.exists(), reason="no committed bench report")
+def test_bench_e2e_smoke_gate(tmp_path):
+    """The real gate: quick-shape run, outputs identical, no stage
+    regression vs. the committed report (what `make bench-e2e-smoke`
+    runs)."""
+    out = tmp_path / "smoke.json"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "bench_e2e.py"),
+            "--quick",
+            "--out",
+            str(out),
+            "--check-against",
+            str(COMMITTED),
+        ],
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    report = json.loads(out.read_text())
+    assert report["outputs_identical"] is True
+    assert report["fast"]["wall_s_median"] > 0
