@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-e2e-smoke bench-query chaos lint lint-json obs-report
+.PHONY: test bench bench-quick bench-e2e-smoke bench-query chaos lint lint-json obs-report race
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,13 +35,28 @@ bench-query:
 
 # Bytecode compile catches syntax errors in cold paths; repro.analysis
 # then enforces the repo invariants (determinism, locking, fast-path
-# oracles, exception hygiene, layering) — see DESIGN.md §9.
+# oracles, exception hygiene, layering, interprocedural races) — see
+# DESIGN.md §9 and §14.  Incremental: unchanged files are served from
+# .repro-lint-cache/ (keyed on content digest + rule set); pass
+# --no-cache to force a full re-parse.
 lint:
 	$(PYTHON) -m compileall -q src benchmarks examples
 	$(PYTHON) -m repro.analysis src
 
 lint-json:
 	$(PYTHON) -m repro.analysis --format json src
+
+# Dynamic cross-validation of the static RACE verdicts (DESIGN.md §14):
+# first the Eraser-style monitor's own suite (including the planted
+# race that must be caught by BOTH passes), then the chaos and
+# parallel-equivalence suites under REPRO_DYNRACE=1 — every container
+# the static pass flags is watched live, and any observed race (a
+# suppression pragma whose invariant failed to hold) fails the run.
+race:
+	$(PYTHON) -m pytest -x -q tests/analysis/test_dynrace.py tests/core/test_race_fixes.py
+	REPRO_DYNRACE=1 $(PYTHON) -m pytest -x -q tests/faults \
+		tests/integration/test_crash_recovery.py \
+		tests/core/test_parallel_equivalence.py
 
 # Self-observability: run a seeded end-to-end window sequence with
 # tracing + self-telemetry on, dump the trace/metric JSONL, and render

@@ -1,20 +1,31 @@
 """CLI: ``python -m repro.analysis [options] paths...`` (also installed
 as the ``repro-lint`` console script).
 
-Exit status: 0 when no unsuppressed findings, 1 when any remain, 2 on
-usage errors.  JSON schema (``--format json``)::
+Exit status contract (pinned by ``tests/analysis/test_cli.py``): 0 when
+no unsuppressed findings, 1 when any remain, 2 on usage or internal
+errors.  JSON schema (``--format json``)::
 
     {
-      "version": 1,
+      "version": 2,
       "paths": ["src"],
       "rules": ["DET001", ...],          # rules that ran
       "counts": {"total": N,             # all findings incl. suppressed
                  "suppressed": M,
                  "errors": E, "warnings": W},   # unsuppressed by severity
       "findings": [{"file": ..., "line": ..., "rule": ...,
+                    "rule_family": "DET"|"CONC"|"RACE"|...,
                     "severity": "error"|"warning",
-                    "message": ..., "suppressed": bool}, ...]
+                    "message": ..., "suppressed": bool,
+                    "call_path": ["module:func", ...]}, ...]
     }
+
+``call_path`` is non-empty only for interprocedural findings (RACE/
+DET010): the resolved chain from a thread entry point to the access.
+
+Runs are incremental by default: per-file summaries and findings are
+cached under ``.repro-lint-cache/`` keyed on a blake2b content digest
+(``--no-cache`` forces a cold run; the env var ``REPRO_LINT_CACHE``
+relocates the directory).
 """
 
 from __future__ import annotations
@@ -24,8 +35,9 @@ import json
 import os
 import sys
 
+from repro.analysis.cache import CACHE_DIR, LintCache
 from repro.analysis.engine import Checker
-from repro.analysis.findings import ERROR, WARNING
+from repro.analysis.findings import ERROR, WARNING, rule_family
 from repro.analysis.rules import ALL_RULE_CLASSES, select_rules
 
 __all__ = ["main", "build_parser", "run"]
@@ -36,8 +48,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "AST-based invariant checker: determinism (DET), concurrency "
-            "(CONC), fast-path oracles (ORACLE), exception hygiene (EXC) "
-            "and layering (IMP)."
+            "(CONC), interprocedural locksets (RACE), fast-path oracles "
+            "(ORACLE), exception hygiene (EXC) and layering (IMP)."
         ),
     )
     parser.add_argument(
@@ -70,6 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every rule id and description, then exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print the full documentation for one rule id, then exit",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the .repro-lint-cache directory",
+    )
     return parser
 
 
@@ -78,6 +100,29 @@ def _split_tokens(values: list[str]) -> list[str]:
     for value in values:
         out.extend(tok for tok in value.replace(",", " ").split() if tok)
     return out
+
+
+def _explain(rule_id: str, out) -> int:
+    wanted = rule_id.strip().upper()
+    for cls in ALL_RULE_CLASSES:
+        if cls.id.upper() != wanted:
+            continue
+        print(f"{cls.id} ({cls.name}) — severity: {cls.severity}", file=out)
+        print(f"\n{cls.description}", file=out)
+        doc = (cls.__doc__ or "").strip()
+        if doc:
+            print(f"\n{doc}", file=out)
+        fam_doc = (sys.modules[cls.__module__].__doc__ or "").strip()
+        if fam_doc:
+            print(f"\n[{rule_family(cls.id)} family]\n{fam_doc}", file=out)
+        print(
+            "\nSuppress with: "
+            f"# repro: ignore[{cls.id}] -- <invariant that makes it safe>",
+            file=out,
+        )
+        return 0
+    print(f"error: unknown rule id {rule_id!r}", file=sys.stderr)
+    return 2
 
 
 def run(argv: list[str] | None = None, stdout=None) -> int:
@@ -89,6 +134,9 @@ def run(argv: list[str] | None = None, stdout=None) -> int:
             print(f"{cls.id:10s} {cls.severity:7s} {cls.description}", file=out)
         return 0
 
+    if args.explain:
+        return _explain(args.explain, out)
+
     select = _split_tokens(args.select)
     ignore = _split_tokens(args.ignore)
     rules = select_rules(select or None, ignore or None)
@@ -97,13 +145,20 @@ def run(argv: list[str] | None = None, stdout=None) -> int:
         return 2
 
     paths = args.paths or (["src"] if os.path.isdir("src") else ["."])
-    checker = Checker(rules)
-    findings = checker.run(paths)
+    cache = None
+    if not args.no_cache:
+        cache = LintCache(os.environ.get("REPRO_LINT_CACHE", CACHE_DIR))
+    checker = Checker(rules, cache=cache)
+    try:
+        findings = checker.run(paths)
+    except Exception as exc:  # noqa: BLE001 — contract: internal error => 2
+        print(f"internal error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
     active = [f for f in findings if not f.suppressed]
 
     if args.format == "json":
         payload = {
-            "version": 1,
+            "version": 2,
             "paths": paths,
             "rules": [rule.id for rule in rules],
             "counts": {
@@ -118,6 +173,8 @@ def run(argv: list[str] | None = None, stdout=None) -> int:
     else:
         for finding in active:
             print(finding.render(), file=out)
+            if finding.call_path:
+                print(f"    via {' -> '.join(finding.call_path)}", file=out)
         suppressed = len(findings) - len(active)
         tail = f" ({suppressed} suppressed)" if suppressed else ""
         if active:

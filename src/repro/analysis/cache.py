@@ -1,0 +1,132 @@
+"""Incremental lint cache: skip the parse when nothing changed.
+
+One JSON entry per checked file under ``.repro-lint-cache/``, named by
+the blake2b of the file's absolute path and validated against the
+blake2b of its *content* plus a rules key (rule ids + engine schema
+version).  An entry stores everything a later run needs from that file:
+
+* the per-file findings (project-level findings are recomputed each run
+  from the summaries — they depend on *other* files too);
+* the :class:`~repro.analysis.project.ModuleSummary` (accesses, calls,
+  locks, taint facts, suppression map) feeding the RACE/DET010 passes;
+* the per-module records cross-module single-pass rules stash for their
+  ``finalize`` (ORACLE003's toggle registry).
+
+A hit therefore reproduces the full analysis state of the file without
+touching ``ast.parse`` — the counter-pinned test in
+``tests/analysis/test_cache.py`` holds the engine to that.  Corrupt or
+version-skewed entries read as misses; cache writes are best-effort
+(a read-only checkout still lints, just cold).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import SUMMARY_VERSION, ModuleSummary
+
+__all__ = ["CACHE_DIR", "LintCache", "source_digest"]
+
+CACHE_DIR = ".repro-lint-cache"
+
+#: Bump to invalidate every entry (entry layout changes).
+_FORMAT_VERSION = 1
+
+
+def source_digest(source: str) -> str:
+    return hashlib.blake2b(
+        source.encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+class LintCache:
+    def __init__(self, root: str = CACHE_DIR) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, path: str) -> str:
+        key = hashlib.blake2b(
+            os.path.abspath(path).encode("utf-8"), digest_size=16
+        ).hexdigest()
+        return os.path.join(self.root, f"{key}.json")
+
+    def load(
+        self, path: str, digest: str, rules_key: str
+    ) -> dict | None:
+        """The stored entry for ``path`` if still valid, else ``None``."""
+        try:
+            with open(self._entry_path(path), "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            entry.get("format") != _FORMAT_VERSION
+            or entry.get("summary_version") != SUMMARY_VERSION
+            or entry.get("digest") != digest
+            or entry.get("rules_key") != rules_key
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(
+        self,
+        path: str,
+        digest: str,
+        rules_key: str,
+        findings: list[Finding],
+        summary: ModuleSummary,
+        records: dict,
+    ) -> None:
+        entry = {
+            "format": _FORMAT_VERSION,
+            "summary_version": SUMMARY_VERSION,
+            "digest": digest,
+            "rules_key": rules_key,
+            "findings": [
+                {
+                    "line": f.line,
+                    "rule": f.rule_id,
+                    "severity": f.severity,
+                    "message": f.message,
+                    "suppressed": f.suppressed,
+                    "call_path": list(f.call_path),
+                }
+                for f in findings
+            ],
+            "summary": summary.to_dict(),
+            "records": records,
+        }
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            tmp = self._entry_path(path) + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, self._entry_path(path))
+        except (OSError, TypeError, ValueError):
+            pass  # best-effort: a cold run next time, never a failure
+
+    @staticmethod
+    def findings_from_entry(entry: dict, path: str) -> list[Finding]:
+        return [
+            Finding(
+                file=path,
+                line=f["line"],
+                rule_id=f["rule"],
+                severity=f["severity"],
+                message=f["message"],
+                suppressed=f["suppressed"],
+                call_path=tuple(f.get("call_path", ())),
+            )
+            for f in entry.get("findings", ())
+        ]
+
+    @staticmethod
+    def summary_from_entry(entry: dict, path: str) -> ModuleSummary:
+        return ModuleSummary.from_dict(entry["summary"], path)

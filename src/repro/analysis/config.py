@@ -17,6 +17,8 @@ __all__ = [
     "STREAM_PACKAGE",
     "RETRY_MODULE",
     "TRANSIENT_ERROR_NAMES",
+    "SEED_SOURCE_FUNCTIONS",
+    "SEED_PROPAGATING_CALLS",
 ]
 
 #: Packages whose outputs must be bit-reproducible across runs and
@@ -150,3 +152,33 @@ LAYER_ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
         }
     ),
 }
+
+#: Functions whose return value is a *trusted* deterministic seed: the
+#: root of the DET010 taint lattice.  Matching is by full dotted name or
+#: by final name component (so in-module helpers named ``derive_seed``
+#: count without an import chain to follow).
+SEED_SOURCE_FUNCTIONS = frozenset(
+    {
+        "repro.util.rng.derive_seed",
+        "derive_seed",
+    }
+)
+
+#: Pure value-preserving calls the seed taint flows through unchanged
+#: (casts and arithmetic reductions of already-tainted inputs).
+SEED_PROPAGATING_CALLS = frozenset(
+    {
+        "int",
+        "abs",
+        "hash",
+        "str",
+        "len",
+        "min",
+        "max",
+        "sum",
+        "numpy.uint64",
+        "numpy.int64",
+        "numpy.uint32",
+        "numpy.int32",
+    }
+)

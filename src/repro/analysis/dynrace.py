@@ -1,0 +1,681 @@
+"""Dynamic cross-validation of the static RACE findings.
+
+The static pass (:mod:`repro.analysis.rules.locks`) reasons about every
+access path it can see; this module validates those verdicts against a
+*live* schedule.  It is an Eraser-style lockset monitor (Savage et al.,
+SOSP '97) hybridized with fork/join happens-before: two accesses to the
+same watched variable race when
+
+* they come from different threads,
+* at least one is a write,
+* their locksets are disjoint, and
+* neither happens-before the other (vector clocks over thread
+  start/join and executor submit/result edges).
+
+The happens-before half is what lets the phase-barriered containers the
+static pass flags — and the ``RACE001`` suppression pragmas
+explain — be *demonstrated* safe on a real schedule instead of argued
+safe: the window thread's ``Future.result()`` drain is a join edge, so
+worker-phase accesses are ordered before the commit-phase accesses that
+follow it.
+
+Determinism: events carry a logical sequence number from a counter —
+never a wall-clock time — so the event log of a deterministic schedule
+is replayable byte-for-byte.  The observed interleaving decides event
+*order*; nothing in an event depends on when it happened.
+
+Use :func:`validating` (the ``make race`` / ``REPRO_DYNRACE=1`` hook)
+to monitor the framework's known shared containers during a test, or
+build a :class:`DynRaceMonitor` and :func:`watch` containers by hand in
+targeted tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DynAccess",
+    "DynRace",
+    "DynRaceMonitor",
+    "TrackedLock",
+    "WatchedDict",
+    "WatchedList",
+    "WatchedSet",
+    "watch",
+    "crosscheck",
+    "CrossCheckReport",
+    "validating",
+    "STATIC_FP_TARGETS",
+]
+
+#: Containers the static pass flags as RACE001 and the tree suppresses
+#: with a phase-barrier invariant.  ``validating`` watches exactly this
+#: set, so a dynamic race on any of them means a pragma's stated
+#: invariant does not hold — the cross-check fails, not annotates.
+STATIC_FP_TARGETS = frozenset(
+    {
+        "Broker._partitions",
+        "Consumer._positions",
+        "Consumer._touched",
+        "LogStore._docs",
+        "CopaceticEngine._fired",
+        "CopaceticEngine.alerts",
+    }
+)
+
+
+@dataclass(frozen=True)
+class DynAccess:
+    """One observed access to a watched variable."""
+
+    seq: int
+    var: str
+    thread: str
+    write: bool
+    locks: frozenset
+    clock: int  # this thread's own component at access time
+    vc: dict = field(compare=False, repr=False, default_factory=dict)
+
+    def happens_before(self, other: "DynAccess") -> bool:
+        """True when this access is ordered before ``other`` by the
+        fork/join edges the monitor has seen."""
+        return self.clock <= other.vc.get(self.thread, 0)
+
+
+@dataclass(frozen=True)
+class DynRace:
+    """A witnessed pair of conflicting accesses."""
+
+    var: str
+    first: DynAccess
+    second: DynAccess
+
+    def render(self) -> str:
+        a, b = self.first, self.second
+        return (
+            f"{self.var}: {a.thread}"
+            f" {'write' if a.write else 'read'} (locks={sorted(a.locks)})"
+            f" races {b.thread}"
+            f" {'write' if b.write else 'read'} (locks={sorted(b.locks)})"
+            f" [seq {a.seq} vs {b.seq}]"
+        )
+
+
+class DynRaceMonitor:
+    """Thread-safe lockset + happens-before monitor.
+
+    All state sits under one internal lock; instrumented code calls
+    :meth:`on_access` / :meth:`on_acquire` / :meth:`on_release` and the
+    sync hooks (:meth:`fork_snapshot`, :meth:`begin_task`,
+    :meth:`join_vc`, :meth:`barrier`).  Per variable the monitor keeps
+    only the *concurrent frontier* of prior accesses (those not yet
+    ordered before everything new), so cost stays proportional to the
+    number of live threads, not the access count.
+    """
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()
+        self._seq = 0
+        self._tag = 0
+        self._active = True
+        self._held: dict[int, list[str]] = {}  # thread ident -> lock names
+        self._vcs: dict[str, dict[str, int]] = {}  # thread name -> VC
+        # Frontier is per (var, instance tag): two instances of one
+        # class share a var *name* for reporting but never conflict
+        # with each other (a serial and a threaded framework in one
+        # equivalence test must not alias).
+        self._frontier: dict[tuple, list[DynAccess]] = {}
+        self._threads_seen: dict[str, set] = {}
+        self._races: dict[str, DynRace] = {}  # first witness per var
+        self.events: list[dict] = []
+
+    def new_tag(self) -> int:
+        """A fresh instance tag (deterministic: construction order)."""
+        with self._mu:
+            self._tag += 1
+            return self._tag
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def deactivate(self) -> None:
+        """Stop recording (watched proxies may outlive the monitor)."""
+        with self._mu:
+            self._active = False
+
+    # -- internals (callers hold self._mu) ---------------------------------
+
+    def _me(self) -> str:
+        return threading.current_thread().name
+
+    def _vc(self, name: str) -> dict[str, int]:
+        return self._vcs.setdefault(name, {name: 0})
+
+    def _tick(self, name: str) -> None:
+        vc = self._vc(name)
+        vc[name] = vc.get(name, 0) + 1
+
+    def _log(self, op: str, **extra) -> int:
+        self._seq += 1
+        self.events.append({"seq": self._seq, "op": op, "thread": self._me(), **extra})
+        return self._seq
+
+    # -- sync edges --------------------------------------------------------
+
+    def fork_snapshot(self) -> dict[str, int]:
+        """Snapshot the forking thread's clock (call at submit/start)."""
+        with self._mu:
+            if not self._active:
+                return {}
+            me = self._me()
+            snap = dict(self._vc(me))
+            self._tick(me)
+            self._log("fork")
+            return snap
+
+    def begin_task(self, snapshot: dict[str, int], fresh: bool = False) -> None:
+        """Enter a forked task on the current thread; ``fresh`` resets
+        the clock first (new OS thread, not a reused pool worker)."""
+        with self._mu:
+            if not self._active:
+                return
+            me = self._me()
+            if fresh:
+                self._vcs[me] = {me: 0}
+            vc = self._vc(me)
+            for k, v in snapshot.items():
+                if vc.get(k, 0) < v:
+                    vc[k] = v
+            self._tick(me)
+            self._log("begin_task")
+
+    def current_vc(self) -> dict[str, int]:
+        """The current thread's clock (capture at task end, for joins)."""
+        with self._mu:
+            return dict(self._vc(self._me()))
+
+    def join_vc(self, vc: dict[str, int]) -> None:
+        """Merge a completed task's final clock into the current thread
+        (call after ``Future.result()`` / ``Thread.join()``)."""
+        with self._mu:
+            if not self._active:
+                return
+            me = self._me()
+            mine = self._vc(me)
+            for k, v in vc.items():
+                if mine.get(k, 0) < v:
+                    mine[k] = v
+            self._tick(me)
+            self._log("join")
+
+    def barrier(self, label: str = "") -> None:
+        """Global barrier: order every thread's past accesses before
+        every thread's future ones (test harness hook for explicit
+        phase boundaries)."""
+        with self._mu:
+            if not self._active:
+                return
+            merged: dict[str, int] = {}
+            for vc in self._vcs.values():
+                for k, v in vc.items():
+                    if merged.get(k, 0) < v:
+                        merged[k] = v
+            for name in self._vcs:
+                self._vcs[name] = dict(merged)
+                self._tick(name)
+            self._log("barrier", label=label)
+
+    # -- lock events -------------------------------------------------------
+
+    def on_acquire(self, name: str) -> None:
+        with self._mu:
+            if not self._active:
+                return
+            self._held.setdefault(threading.get_ident(), []).append(name)
+            self._log("acquire", lock=name)
+
+    def on_release(self, name: str) -> None:
+        with self._mu:
+            if not self._active:
+                return
+            held = self._held.get(threading.get_ident(), [])
+            if name in held:
+                held.remove(name)
+            self._log("release", lock=name)
+
+    # -- accesses ----------------------------------------------------------
+
+    def on_access(self, var: str, write: bool, tag: int = 0) -> None:
+        """Record one access and check it against the frontier."""
+        with self._mu:
+            if not self._active:
+                return
+            me = self._me()
+            locks = frozenset(self._held.get(threading.get_ident(), ()))
+            self._tick(me)
+            vc = dict(self._vc(me))
+            seq = self._log(
+                "write" if write else "read", var=var, locks=sorted(locks)
+            )
+            acc = DynAccess(
+                seq=seq,
+                var=var,
+                thread=me,
+                write=write,
+                locks=locks,
+                clock=vc[me],
+                vc=vc,
+            )
+            self._threads_seen.setdefault(var, set()).add(me)
+            key = (var, tag)
+            frontier = self._frontier.setdefault(key, [])
+            if var not in self._races:
+                for prev in frontier:
+                    if (
+                        prev.thread != acc.thread
+                        and (prev.write or acc.write)
+                        and not (prev.locks & acc.locks)
+                        and not prev.happens_before(acc)
+                    ):
+                        self._races[var] = DynRace(var, prev, acc)
+                        self._log("race", var=var)
+                        break
+            # Frontier maintenance: drop everything now ordered before
+            # this access; keep concurrent survivors bounded by thread
+            # count.
+            self._frontier[key] = [
+                p for p in frontier if not p.happens_before(acc)
+            ] + [acc]
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def races(self) -> list[DynRace]:
+        with self._mu:
+            return [self._races[v] for v in sorted(self._races)]
+
+    def threads_touching(self, var: str) -> set:
+        with self._mu:
+            return set(self._threads_seen.get(var, ()))
+
+    def watched_vars(self) -> list[str]:
+        with self._mu:
+            return sorted(self._threads_seen)
+
+
+class TrackedLock:
+    """Drop-in ``threading.Lock`` reporting acquire/release events."""
+
+    def __init__(self, monitor: DynRaceMonitor, name: str) -> None:
+        self._lock = threading.Lock()
+        self._monitor = monitor
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._lock.acquire(blocking, timeout)
+        if ok:
+            self._monitor.on_acquire(self.name)
+        return ok
+
+    def release(self) -> None:
+        self._monitor.on_release(self.name)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class WatchedDict(dict):
+    """Dict proxy reporting accesses on behalf of a named variable."""
+
+    def __init__(
+        self, var: str, monitor: DynRaceMonitor, *args, tag: int = 0, **kwargs
+    ):
+        super().__init__(*args, **kwargs)
+        self._var = var
+        self._mon = monitor
+        self._tag = tag
+
+    def __setitem__(self, key, value):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        super().__delitem__(key)
+
+    def pop(self, *args):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        return super().pop(*args)
+
+    def popitem(self):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        return super().popitem()
+
+    def clear(self):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        super().clear()
+
+    def update(self, *args, **kwargs):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        super().update(*args, **kwargs)
+
+    def setdefault(self, key, default=None):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        return super().setdefault(key, default)
+
+    def __getitem__(self, key):
+        self._mon.on_access(self._var, write=False, tag=self._tag)
+        return super().__getitem__(key)
+
+    def get(self, key, default=None):
+        self._mon.on_access(self._var, write=False, tag=self._tag)
+        return super().get(key, default)
+
+    def __contains__(self, key):
+        self._mon.on_access(self._var, write=False, tag=self._tag)
+        return super().__contains__(key)
+
+    def __iter__(self):
+        self._mon.on_access(self._var, write=False, tag=self._tag)
+        return super().__iter__()
+
+
+class WatchedList(list):
+    """List proxy reporting accesses on behalf of a named variable."""
+
+    def __init__(self, var: str, monitor: DynRaceMonitor, *args, tag: int = 0):
+        super().__init__(*args)
+        self._var = var
+        self._mon = monitor
+        self._tag = tag
+
+    def append(self, item):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        super().append(item)
+
+    def extend(self, items):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        super().extend(items)
+
+    def insert(self, index, item):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        super().insert(index, item)
+
+    def pop(self, index=-1):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        return super().pop(index)
+
+    def remove(self, item):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        super().remove(item)
+
+    def clear(self):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        super().clear()
+
+    def __setitem__(self, index, item):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        super().__setitem__(index, item)
+
+    def __delitem__(self, index):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        super().__delitem__(index)
+
+    def __getitem__(self, index):
+        self._mon.on_access(self._var, write=False, tag=self._tag)
+        return super().__getitem__(index)
+
+    def __iter__(self):
+        self._mon.on_access(self._var, write=False, tag=self._tag)
+        return super().__iter__()
+
+    def __len__(self):
+        # len() is read-only but extremely hot (doc-id allocation);
+        # still an access: index allocation races are real races.
+        self._mon.on_access(self._var, write=False, tag=self._tag)
+        return super().__len__()
+
+
+class WatchedSet(set):
+    """Set proxy reporting accesses on behalf of a named variable."""
+
+    def __init__(self, var: str, monitor: DynRaceMonitor, *args, tag: int = 0):
+        super().__init__(*args)
+        self._var = var
+        self._mon = monitor
+        self._tag = tag
+
+    def add(self, item):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        super().add(item)
+
+    def discard(self, item):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        super().discard(item)
+
+    def remove(self, item):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        super().remove(item)
+
+    def clear(self):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        super().clear()
+
+    def update(self, *others):
+        self._mon.on_access(self._var, write=True, tag=self._tag)
+        super().update(*others)
+
+    def __contains__(self, item):
+        self._mon.on_access(self._var, write=False, tag=self._tag)
+        return super().__contains__(item)
+
+    def __iter__(self):
+        self._mon.on_access(self._var, write=False, tag=self._tag)
+        return super().__iter__()
+
+
+def watch(obj, var: str, monitor: DynRaceMonitor, tag: int = 0):
+    """Wrap a container in its watched proxy (contents copied)."""
+    if isinstance(obj, dict):
+        return WatchedDict(var, monitor, obj, tag=tag)
+    if isinstance(obj, list):
+        return WatchedList(var, monitor, obj, tag=tag)
+    if isinstance(obj, set):
+        return WatchedSet(var, monitor, obj, tag=tag)
+    raise TypeError(f"cannot watch {type(obj).__name__} ({var})")
+
+
+@dataclass(frozen=True)
+class CrossCheckReport:
+    """Static-vs-dynamic verdict for a set of statically flagged vars.
+
+    ``confirmed``
+        flagged statically AND raced dynamically — real races.
+    ``fp_annotated``
+        flagged statically, exercised by >= 2 threads, never raced —
+        the schedule demonstrates the pragma's invariant held.
+    ``unexercised``
+        flagged statically but never touched by two threads — the run
+        says nothing either way.
+    ``missed``
+        raced dynamically with no static flag — a static-pass miss.
+    """
+
+    confirmed: tuple
+    fp_annotated: tuple
+    unexercised: tuple
+    missed: tuple
+
+    @property
+    def ok(self) -> bool:
+        """No real races and no static misses on this schedule."""
+        return not self.confirmed and not self.missed
+
+
+def crosscheck(monitor: DynRaceMonitor, static_targets) -> CrossCheckReport:
+    """Classify every statically flagged variable against the observed
+    schedule (see :class:`CrossCheckReport`)."""
+    targets = sorted(set(static_targets))
+    raced = {r.var for r in monitor.races}
+    confirmed, fp, unex = [], [], []
+    for t in targets:
+        if t in raced:
+            confirmed.append(t)
+        elif len(monitor.threads_touching(t)) >= 2:
+            fp.append(t)
+        else:
+            unex.append(t)
+    missed = sorted(raced - set(targets))
+    return CrossCheckReport(
+        confirmed=tuple(confirmed),
+        fp_annotated=tuple(fp),
+        unexercised=tuple(unex),
+        missed=tuple(missed),
+    )
+
+
+# -- whole-framework instrumentation (the `make race` hook) ----------------
+
+
+def _wrap_attrs_after_init(cls, attrs: tuple, monitor: DynRaceMonitor):
+    """Patch ``cls.__init__`` to wrap listed attributes in watched
+    proxies named ``Class.attr``; returns the original for restore."""
+    orig = cls.__init__
+
+    def __init__(self, *args, **kwargs):
+        orig(self, *args, **kwargs)
+        tag = monitor.new_tag()
+        for attr in attrs:
+            setattr(
+                self,
+                attr,
+                watch(
+                    getattr(self, attr),
+                    f"{cls.__name__}.{attr}",
+                    monitor,
+                    tag=tag,
+                ),
+            )
+
+    cls.__init__ = __init__
+    return orig
+
+
+@contextmanager
+def validating():
+    """Monitor the framework's statically flagged containers for the
+    duration of the block (the ``REPRO_DYNRACE=1`` conftest hook).
+
+    Patches, for the block only:
+
+    * the constructors of Broker / Consumer / LogStore /
+      CopaceticEngine, wrapping their :data:`STATIC_FP_TARGETS`
+      containers in watched proxies;
+    * ``ThreadPoolExecutor.submit`` and ``Future.result`` — each drained
+      future is a join edge, matching the framework's actual
+      phase-barrier discipline;
+    * ``Thread.start`` / ``Thread.join`` likewise.
+
+    Yields the monitor; the caller asserts ``monitor.races == []`` (any
+    race here is a suppression pragma whose invariant failed to hold).
+    """
+    import concurrent.futures as cf
+
+    # The validator must patch the exact runtime classes whose containers
+    # the static pass flagged; the imports stay local to this hook so the
+    # analysis layer itself never depends on them at import time.
+    from repro.apps.copacetic import CopaceticEngine  # repro: ignore[IMP001] -- validator patches the classes it watches
+    from repro.storage.logstore import LogStore  # repro: ignore[IMP001] -- validator patches the classes it watches
+    from repro.stream.broker import Broker  # repro: ignore[IMP001] -- validator patches the classes it watches
+    from repro.stream.consumer import Consumer  # repro: ignore[IMP001] -- validator patches the classes it watches
+
+    monitor = DynRaceMonitor()
+    originals = [
+        (Broker, _wrap_attrs_after_init(Broker, ("_partitions",), monitor)),
+        (
+            Consumer,
+            _wrap_attrs_after_init(
+                Consumer, ("_positions", "_touched"), monitor
+            ),
+        ),
+        (LogStore, _wrap_attrs_after_init(LogStore, ("_docs",), monitor)),
+        (
+            CopaceticEngine,
+            _wrap_attrs_after_init(
+                CopaceticEngine, ("_fired", "alerts"), monitor
+            ),
+        ),
+    ]
+
+    orig_submit = cf.ThreadPoolExecutor.submit
+    orig_result = cf.Future.result
+    orig_start = threading.Thread.start
+    orig_join = threading.Thread.join
+
+    def submit(self, fn, /, *args, **kwargs):
+        snap = monitor.fork_snapshot()
+        cell = {}
+
+        def wrapped(*a, **k):
+            monitor.begin_task(snap)
+            try:
+                return fn(*a, **k)
+            finally:
+                cell["vc"] = monitor.current_vc()
+
+        fut = orig_submit(self, wrapped, *args, **kwargs)
+        fut._dynrace_cell = cell
+        return fut
+
+    def result(self, timeout=None):
+        out = orig_result(self, timeout)
+        cell = getattr(self, "_dynrace_cell", None)
+        if cell is not None and "vc" in cell:
+            monitor.join_vc(cell["vc"])
+        return out
+
+    def start(self):
+        snap = monitor.fork_snapshot()
+        cell = {}
+        orig_run = self.run
+
+        def run():
+            monitor.begin_task(snap, fresh=True)
+            try:
+                orig_run()
+            finally:
+                cell["vc"] = monitor.current_vc()
+
+        self.run = run
+        self._dynrace_cell = cell
+        orig_start(self)
+
+    def join(self, timeout=None):
+        orig_join(self, timeout)
+        cell = getattr(self, "_dynrace_cell", None)
+        if cell is not None and "vc" in cell:
+            monitor.join_vc(cell["vc"])
+
+    cf.ThreadPoolExecutor.submit = submit
+    cf.Future.result = result
+    threading.Thread.start = start
+    threading.Thread.join = join
+    try:
+        yield monitor
+    finally:
+        cf.ThreadPoolExecutor.submit = orig_submit
+        cf.Future.result = orig_result
+        threading.Thread.start = orig_start
+        threading.Thread.join = orig_join
+        for cls, orig in originals:
+            cls.__init__ = orig
+        monitor.deactivate()

@@ -78,6 +78,11 @@ class ModuleContext:
     ancestors: list[ast.AST] = field(default_factory=list)
     scope: list[ast.AST] = field(default_factory=list)
     aliases: dict[str, str] = field(default_factory=dict)
+    #: Per-module records rules stash in ``end_module`` for their
+    #: ``finalize`` pass.  Keyed by rule id, JSON-serializable values
+    #: only — the lint cache persists them verbatim so cross-module
+    #: rules still see cache-hit files.
+    records: dict[str, object] = field(default_factory=dict)
 
     @property
     def package(self) -> str:
@@ -170,6 +175,15 @@ def _collect_aliases(tree: ast.Module) -> dict[str, str]:
     return aliases
 
 
+def _pseudo_module(path: str) -> str:
+    """Stable stand-in module id for files outside a ``repro`` tree
+    (scratch fixtures), so project-model targets stay unique per file."""
+    norm = os.path.normpath(path)
+    if norm.endswith(".py"):
+        norm = norm[: -len(".py")]
+    return norm.replace(os.sep, ".").strip(".")
+
+
 def module_name_for_path(path: str) -> str:
     """Dotted module name, anchored at the last ``repro`` path segment.
 
@@ -217,16 +231,40 @@ class Checker:
     """Runs a set of rules over files; collects findings and per-module
     summaries for cross-module rules."""
 
-    def __init__(self, rules: list[Rule]):
+    def __init__(self, rules: list[Rule], cache=None):
         self.rules = rules
         self.findings: list[Finding] = []
         #: module name -> arbitrary per-rule records, populated by rules
         #: during end_module for use in finalize (keyed by rule id).
         self.module_records: dict[str, dict[str, object]] = {}
+        #: path -> ModuleSummary, the project-model slice per file
+        #: (parsed fresh or restored from the lint cache).
+        self.summaries: dict[str, object] = {}
+        #: ``parsed`` counts actual ast.parse calls; ``cached`` counts
+        #: files served entirely from the lint cache.
+        self.stats = {"parsed": 0, "cached": 0}
+        self.cache = cache
+        self._graph = None
         self._dispatch: dict[type, list[Rule]] = {}
         for rule in rules:
             for node_type in rule.node_types:
                 self._dispatch.setdefault(node_type, []).append(rule)
+
+    @property
+    def rules_key(self) -> str:
+        """Cache-invalidation key: the rule set and engine vintage."""
+        from repro.analysis.project import SUMMARY_VERSION
+
+        ids = ",".join(sorted(rule.id for rule in self.rules))
+        return f"v{SUMMARY_VERSION}:{ids}"
+
+    def project_graph(self):
+        """The resolved call graph over every summary seen this run."""
+        if self._graph is None:
+            from repro.analysis.callgraph import build_callgraph
+
+            self._graph = build_callgraph(self.summaries)
+        return self._graph
 
     # -- per-file ------------------------------------------------------------
 
@@ -235,6 +273,8 @@ class Checker:
     ) -> list[Finding]:
         """Check one already-read source string (testing entry point)."""
         tree = ast.parse(source, filename=path)
+        self.stats["parsed"] += 1
+        self._graph = None
         ctx = ModuleContext(
             path=path,
             module=module if module is not None else module_name_for_path(path),
@@ -248,12 +288,51 @@ class Checker:
         self._walk(tree, ctx)
         for rule in self.rules:
             rule.end_module(ctx)
+        if ctx.records:
+            self.module_records[ctx.module or ctx.path] = dict(ctx.records)
+        from repro.analysis.project import build_module_summary
+
+        self.summaries[path] = build_module_summary(
+            tree,
+            ctx.module or _pseudo_module(path),
+            path,
+            ctx.suppressions,
+        )
         self.findings.extend(ctx.findings)
         return ctx.findings
 
     def check_file(self, path: str) -> list[Finding]:
         with open(path, "r", encoding="utf-8") as fh:
             source = fh.read()
+        if self.cache is not None:
+            from repro.analysis.cache import LintCache, source_digest
+
+            digest = source_digest(source)
+            entry = self.cache.load(path, digest, self.rules_key)
+            if entry is not None:
+                self.stats["cached"] += 1
+                self._graph = None
+                findings = LintCache.findings_from_entry(entry, path)
+                self.summaries[path] = LintCache.summary_from_entry(
+                    entry, path
+                )
+                records = entry.get("records") or {}
+                if records:
+                    key = module_name_for_path(path) or path
+                    self.module_records[key] = records
+                self.findings.extend(findings)
+                return findings
+            findings = self.check_source(source, path)
+            self.cache.store(
+                path,
+                digest,
+                self.rules_key,
+                findings,
+                self.summaries[path],
+                self.module_records.get(module_name_for_path(path) or path)
+                or {},
+            )
+            return findings
         return self.check_source(source, path)
 
     def _walk(self, node: ast.AST, ctx: ModuleContext) -> None:

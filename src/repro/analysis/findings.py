@@ -33,7 +33,12 @@ def rule_family(rule_id: str) -> str:
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at ``file:line``."""
+    """One rule violation at ``file:line``.
+
+    ``call_path`` is filled by the interprocedural rules: the chain of
+    function qualnames (``module:func``) from a thread entry point to
+    the offending access.  Single-module rules leave it empty.
+    """
 
     file: str
     line: int
@@ -41,6 +46,7 @@ class Finding:
     severity: str
     message: str
     suppressed: bool = field(default=False, compare=False)
+    call_path: tuple[str, ...] = field(default=(), compare=False)
 
     @property
     def family(self) -> str:
@@ -52,9 +58,11 @@ class Finding:
             "file": self.file,
             "line": self.line,
             "rule": self.rule_id,
+            "rule_family": self.family,
             "severity": self.severity,
             "message": self.message,
             "suppressed": self.suppressed,
+            "call_path": list(self.call_path),
         }
 
     def render(self) -> str:

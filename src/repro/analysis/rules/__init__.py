@@ -16,11 +16,17 @@ from repro.analysis.rules.exceptions import (
     TransientCatchOutsideRetry,
 )
 from repro.analysis.rules.imports import LayerViolation
+from repro.analysis.rules.locks import (
+    LockOrderCycle,
+    UnlockedSharedWrite,
+    UnlockedToggle,
+)
 from repro.analysis.rules.oracle import (
     FastWithoutOracle,
     PairWithoutToggle,
     ToggleNotInBaseline,
 )
+from repro.analysis.rules.taint import UntaintedSeedSource
 
 __all__ = ["ALL_RULE_CLASSES", "make_rules", "select_rules"]
 
@@ -28,8 +34,12 @@ __all__ = ["ALL_RULE_CLASSES", "make_rules", "select_rules"]
 ALL_RULE_CLASSES: tuple[type[Rule], ...] = (
     WallClock,
     UnseededRandom,
+    UntaintedSeedSource,
     UnlockedModuleStateWrite,
     UnlockedModuleStateRead,
+    UnlockedSharedWrite,
+    LockOrderCycle,
+    UnlockedToggle,
     PairWithoutToggle,
     FastWithoutOracle,
     ToggleNotInBaseline,

@@ -1,0 +1,313 @@
+"""RACE — interprocedural lockset rules.
+
+The lexical CONC family checks that module containers are touched under
+*a* lock; these rules check the property that actually matters for the
+byte-identical-under-threads claim: that every access path from every
+thread agrees on *which* lock, and that locks nest in one global order.
+They run in :meth:`finalize`, over the per-module summaries the engine
+collected (:mod:`repro.analysis.project`), resolved into a call graph
+(:mod:`repro.analysis.callgraph`).
+
+* **RACE001** — a shared container (module global or ``self.*``
+  attribute) is reachable from a thread entry point and written, but
+  the intersection of the locksets held along all access paths is
+  empty.  Anchored at the container's definition so one pragma (naming
+  the protecting invariant) covers the container, not each access.
+  ``__init__`` accesses are exempt: construction happens-before
+  publication.
+* **RACE002** — the lock-order graph (L -> M when M is acquired while
+  L is held, through calls) has a cycle: two paths can deadlock.
+* **RACE003** — a ``@contextmanager`` toggle (``*_mode``/
+  ``*_disabled``, the things ``baseline_mode()`` composes) mutates
+  module state without holding the module lock.  Overlapping toggles
+  on two threads then restore a stale value; the fix is the
+  lock-guarded depth counter pattern (see ``repro.perf.registry``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.callgraph import MAIN, CallGraph, build_callgraph
+from repro.analysis.engine import Checker, Rule
+from repro.analysis.findings import Finding, rule_family
+from repro.analysis.project import Access, FunctionSummary, ModuleSummary
+
+__all__ = ["ProjectRule", "UnlockedSharedWrite", "LockOrderCycle", "UnlockedToggle"]
+
+
+class ProjectRule(Rule):
+    """Base for rules that run once over the resolved project model.
+
+    Subclasses implement :meth:`check_project`; findings are emitted via
+    :meth:`emit`, which resolves suppression pragmas from the module
+    summary (the source is no longer in hand — cache hits never re-read
+    it) and attaches the call path.
+    """
+
+    node_types = ()
+
+    def finalize(self, checker: Checker) -> None:
+        if not checker.summaries:
+            return
+        graph = checker.project_graph()
+        self.check_project(checker, graph)
+
+    def check_project(self, checker: Checker, graph: CallGraph) -> None:
+        raise NotImplementedError
+
+    def emit(
+        self,
+        checker: Checker,
+        mod: ModuleSummary,
+        line: int,
+        message: str,
+        call_path: tuple[str, ...] = (),
+    ) -> None:
+        suppressed = _suppressed(mod, self.id, line)
+        checker.findings.append(
+            Finding(
+                file=mod.path,
+                line=line,
+                rule_id=self.id,
+                severity=self.severity,
+                message=message,
+                suppressed=suppressed,
+                call_path=call_path,
+            )
+        )
+
+
+def _suppressed(mod: ModuleSummary, rule_id: str, line: int) -> bool:
+    ids = mod.suppressions.get(line)
+    if not ids:
+        return False
+    family = rule_family(rule_id)
+    return rule_id in ids or family in ids
+
+
+def _split_target(
+    graph: CallGraph, target: str, kind: str
+) -> tuple[ModuleSummary, str, int] | None:
+    """(defining module, short name, definition line) for a target id.
+
+    Validates the access against the definitions: a ``maybe-global``
+    recorded from ``othermod.attr`` only survives if ``othermod``
+    really defines a container/flag of that name.
+    """
+    parts = target.split(".")
+    for cut in range(len(parts) - 1, 0, -1):
+        prefix = ".".join(parts[:cut])
+        mod = graph.modules.get(prefix)
+        if mod is None:
+            continue
+        rest = parts[cut:]
+        if kind == "attr" and len(rest) == 2:
+            cls = mod.classes.get(rest[0])
+            if cls is not None and rest[1] in cls.containers:
+                return mod, ".".join(rest), cls.containers[rest[1]]
+            return None
+        if kind == "global" and len(rest) == 1:
+            if rest[0] in mod.containers:
+                return mod, rest[0], mod.containers[rest[0]]
+            if rest[0] in mod.flags:
+                return mod, rest[0], mod.flags[rest[0]]
+            return None
+    return None
+
+
+class UnlockedSharedWrite(ProjectRule):
+    id = "RACE001"
+    name = "unlocked-shared-write"
+    description = (
+        "a container reachable from a thread entry point is written "
+        "with no lock common to all access paths"
+    )
+
+    def check_project(self, checker: Checker, graph: CallGraph) -> None:
+        # target -> [(qualname, Access, effective lockset)]
+        grouped: dict[str, list[tuple[str, Access, frozenset[str]]]] = {}
+        meta: dict[str, tuple[ModuleSummary, str, int]] = {}
+        for qualname in sorted(graph.functions):
+            fn = graph.functions[qualname]
+            for access in fn.accesses:
+                split = meta.get(access.target)
+                if split is None and access.target not in meta:
+                    split = _split_target(graph, access.target, access.kind)
+                    if split is not None:
+                        meta[access.target] = split
+                if split is None:
+                    continue
+                mod, short, _line = split
+                if access.kind == "attr" and _is_init_of(fn, short):
+                    continue  # construction happens-before publication
+                if access.kind == "global" and short in mod.flags:
+                    continue  # scalar toggles are RACE003's business
+                eff = graph.effective_locks(qualname, access.locks)
+                grouped.setdefault(access.target, []).append(
+                    (qualname, access, eff)
+                )
+
+        for target in sorted(grouped):
+            uses = grouped[target]
+            domains: set[str] = set()
+            for qualname, _access, _eff in uses:
+                domains |= graph.domains.get(qualname, set())
+            entries = sorted(d for d in domains if d != MAIN)
+            if not entries:
+                continue  # never reachable from a spawned task
+            writes = [u for u in uses if u[1].write]
+            if not writes:
+                continue
+            common = frozenset.intersection(*(eff for _, _, eff in uses))
+            if common:
+                continue
+            mod, short, line = meta[target]
+            bad_q, bad_access, bad_eff = min(
+                writes, key=lambda u: (len(u[2]), u[1].line, u[0])
+            )
+            path = graph.call_path(entries[0], bad_q) or graph.call_path(
+                MAIN, bad_q
+            )
+            held = ", ".join(sorted(bad_eff)) if bad_eff else "no lock"
+            others = ", ".join(e.split(":")[-1] for e in entries[:3])
+            self.emit(
+                checker,
+                mod,
+                line,
+                f"{target} is written by {bad_q} (holding {held}) and "
+                f"reachable from thread entr{'ies' if len(entries) > 1 else 'y'} "
+                f"{others}; no single lock protects every access path",
+                call_path=tuple(path),
+            )
+
+
+def _is_init_of(fn: FunctionSummary, short: str) -> bool:
+    cls = short.split(".")[0]
+    return fn.name == f"{cls}.__init__" or fn.name.startswith(
+        f"{cls}.__init__.<locals>."
+    )
+
+
+class LockOrderCycle(ProjectRule):
+    id = "RACE002"
+    name = "lock-order-cycle"
+    description = (
+        "two call paths acquire the same pair of locks in opposite "
+        "order; interleaved threads can deadlock"
+    )
+
+    def check_project(self, checker: Checker, graph: CallGraph) -> None:
+        # order edge (held -> acquired) -> first provenance (module, line).
+        edges: dict[tuple[str, str], tuple[ModuleSummary, int]] = {}
+
+        def note(held: str, acquired: str, mod: ModuleSummary, line: int):
+            if held != acquired:
+                edges.setdefault((held, acquired), (mod, line))
+
+        acq_closure = graph.acquired_closure()
+        for qualname in sorted(graph.functions):
+            fn = graph.functions[qualname]
+            mod = graph.modules.get(fn.module)
+            if mod is None:
+                continue
+            for acq in fn.acquires:
+                for held in graph.effective_locks(qualname, acq.held):
+                    note(held, acq.lock, mod, acq.line)
+        for edge in graph.edges:
+            caller = graph.functions[edge.caller]
+            mod = graph.modules.get(caller.module)
+            if mod is None:
+                continue
+            inner = acq_closure.get(edge.callee, frozenset())
+            for held in graph.effective_locks(edge.caller, edge.locks):
+                for acquired in inner:
+                    note(held, acquired, mod, edge.line)
+
+        adj: dict[str, set[str]] = {}
+        for held, acquired in edges:
+            adj.setdefault(held, set()).add(acquired)
+
+        for cycle in _cycles(adj):
+            pairs = list(zip(cycle, cycle[1:] + cycle[:1]))
+            mod, line = edges[pairs[0]]
+            where = "; ".join(
+                f"{a}->{b} at {edges[(a, b)][0].module or edges[(a, b)][0].path}"
+                f":{edges[(a, b)][1]}"
+                for a, b in pairs
+            )
+            self.emit(
+                checker,
+                mod,
+                line,
+                f"lock-order cycle {' -> '.join(cycle + cycle[:1])} ({where})",
+            )
+
+
+def _cycles(adj: dict[str, set[str]]) -> list[list[str]]:
+    """Elementary cycles, each reported once, rotated to its smallest
+    member and sorted — deterministic across runs."""
+    seen: set[tuple[str, ...]] = set()
+    out: list[list[str]] = []
+
+    def dfs(start: str, node: str, path: list[str], visited: set[str]):
+        for nxt in sorted(adj.get(node, ())):
+            if nxt == start and len(path) >= 2:
+                lo = path.index(min(path))
+                canon = tuple(path[lo:] + path[:lo])
+                if canon not in seen:
+                    seen.add(canon)
+                    out.append(list(canon))
+            elif nxt not in visited and nxt > start:
+                # Only walk nodes ordered after the start: every cycle is
+                # then found exactly once, from its smallest member.
+                visited.add(nxt)
+                dfs(start, nxt, path + [nxt], visited)
+                visited.discard(nxt)
+
+    for start in sorted(adj):
+        dfs(start, start, [start], {start})
+    return sorted(out)
+
+
+class UnlockedToggle(ProjectRule):
+    id = "RACE003"
+    name = "unlocked-toggle-write"
+    description = (
+        "a @contextmanager reference/memo toggle mutates module state "
+        "without the module lock; overlapping toggles on two threads "
+        "restore a stale value (use a lock-guarded depth counter)"
+    )
+
+    def check_project(self, checker: Checker, graph: CallGraph) -> None:
+        for module in sorted(graph.modules):
+            mod = graph.modules[module]
+            for name in sorted(mod.functions):
+                fn = mod.functions[name]
+                if not _toggle_chain(mod, name):
+                    continue
+                for access in fn.accesses:
+                    if not access.write or access.kind != "global":
+                        continue
+                    split = _split_target(graph, access.target, "global")
+                    if split is None or split[0] is not mod:
+                        continue
+                    eff = graph.effective_locks(f"{module}:{name}", access.locks)
+                    if eff:
+                        continue
+                    self.emit(
+                        checker,
+                        mod,
+                        access.line,
+                        f"toggle {module}.{name.split('.<locals>.')[0]} "
+                        f"writes {access.target} without a lock; two "
+                        "overlapping toggles restore a stale value — use "
+                        "a lock-guarded depth counter "
+                        "(see repro.perf.registry.PerfRegistry.disabled)",
+                    )
+
+
+def _toggle_chain(mod: ModuleSummary, name: str) -> bool:
+    """True when ``name`` is a toggle or nested inside one (the writes
+    of a ``@contextmanager`` live in its generator body, same node)."""
+    head = name.split(".<locals>.")[0]
+    fn = mod.functions.get(head)
+    return fn is not None and fn.is_toggle

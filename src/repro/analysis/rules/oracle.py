@@ -121,13 +121,11 @@ class ToggleNotInBaseline(_OracleBase):
         "of its toggles entered by repro.perf.baseline.baseline_mode"
     )
 
-    def begin_module(self, ctx: ModuleContext) -> None:
-        super().begin_module(ctx)
-        self._module = ctx.module
-
     def end_module(self, ctx: ModuleContext) -> None:
         # Record for the cross-module pass; suppression is resolved now,
-        # while the module's pragma map is still in hand.
+        # while the module's pragma map is still in hand.  The record
+        # lands in ctx.records so the lint cache replays it for files
+        # served without a re-parse.
         pairs = self._pairs()
         pair_line = pairs[0][1].lineno if pairs else 0
         record = {
@@ -153,10 +151,14 @@ class ToggleNotInBaseline(_OracleBase):
                     if isinstance(node, ast.Name)
                 }
             )
-        self._checker_records[ctx.module or ctx.path] = record
+        ctx.records[self.id] = record
 
     def finalize(self, checker: Checker) -> None:
-        records = self._checker_records
+        records = {
+            key: per_rule[self.id]
+            for key, per_rule in checker.module_records.items()
+            if self.id in per_rule
+        }
         baseline = records.get(BASELINE_MODULE)
         if baseline is None:
             return  # baseline module not in this run; nothing to check
@@ -170,9 +172,6 @@ class ToggleNotInBaseline(_OracleBase):
                 )
 
     # -- plumbing ------------------------------------------------------------
-
-    def __init__(self) -> None:
-        self._checker_records: dict[str, dict] = {}
 
     def _finding(self, module: str, record: dict):
         from repro.analysis.findings import Finding

@@ -1,0 +1,130 @@
+"""DET010 — seed-taint: every RNG must be seeded from `derive_seed`.
+
+DET002 bans *unseeded* generators syntactically; it cannot tell
+``default_rng(derive_seed(seed, name))`` from ``default_rng(id(self))``
+— both "have an argument".  DET010 closes that hole with a taint
+lattice over the project model:
+
+tainted (provably seed-derived) values are: literals; parameters named
+``seed``-ish; ``self.*seed*`` attributes; calls to
+``SEED_SOURCE_FUNCTIONS`` (``derive_seed``); arithmetic/f-string/cast
+compositions of tainted values; and calls to functions whose *return*
+is tainted — resolved transitively over the call graph, so laundering a
+wall-clock value through two helper functions is still caught.
+
+Anything else reaching a generator constructor's seed argument in a
+data-plane module is DET010.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.config import DATA_PLANE_PACKAGES, RNG_ALLOWLIST_MODULES
+from repro.analysis.engine import Checker
+from repro.analysis.rules.locks import ProjectRule
+
+__all__ = ["UntaintedSeedSource"]
+
+
+def _module_applies(module: str) -> bool:
+    parts = module.split(".")
+    top = ".".join(parts[:2]) if len(parts) >= 2 else module
+    if top not in DATA_PLANE_PACKAGES:
+        return False
+    return not any(
+        module == m or module.startswith(m + ".") for m in RNG_ALLOWLIST_MODULES
+    )
+
+
+class UntaintedSeedSource(ProjectRule):
+    id = "DET010"
+    name = "untainted-seed-source"
+    description = (
+        "a data-plane RNG is constructed from a seed not transitively "
+        "derived from derive_seed/config seeds"
+    )
+
+    def check_project(self, checker: Checker, graph: CallGraph) -> None:
+        verdicts = self._return_taints(graph)
+        for module in sorted(graph.modules):
+            if not _module_applies(module):
+                continue
+            mod = graph.modules[module]
+            for name in sorted(mod.functions):
+                fn = mod.functions[name]
+                for site in fn.rng_sites:
+                    if self._site_tainted(
+                        graph, verdicts, f"{module}:{name}", site.taint,
+                        site.pending,
+                    ):
+                        continue
+                    self.emit(
+                        checker,
+                        mod,
+                        site.line,
+                        f"{site.ctor} in {module}.{name} is seeded from a "
+                        "value not derived from derive_seed/config seeds; "
+                        "route the seed through repro.util.rng",
+                    )
+
+    # -- interprocedural return-taint fixpoint --------------------------------
+
+    def _return_taints(self, graph: CallGraph) -> dict[str, str]:
+        """qualname -> "tainted" | "untainted" after resolving `calls`."""
+        state: dict[str, str] = {}
+        pending: dict[str, list[list[str]]] = {}
+        for qualname, fn in graph.functions.items():
+            state[qualname] = fn.return_taint
+            if fn.return_taint == "calls":
+                resolved: list[list[str]] = []
+                for callee in fn.return_pending:
+                    targets = graph.resolver.resolve_call(fn, callee, None)
+                    resolved.append(targets)
+                pending[qualname] = resolved
+        changed = True
+        while changed:
+            changed = False
+            for qualname, dep_groups in pending.items():
+                if state[qualname] != "calls":
+                    continue
+                verdict = "tainted"
+                for targets in dep_groups:
+                    if not targets:
+                        verdict = "untainted"  # external call: distrust it
+                        break
+                    group = {state[t] for t in targets}
+                    if "untainted" in group:
+                        verdict = "untainted"
+                        break
+                    if "calls" in group:
+                        verdict = "calls"
+                if verdict != "calls":
+                    state[qualname] = verdict
+                    changed = True
+        # Leftover "calls" are cyclic helper chains with no untainted
+        # input anywhere in the cycle — treat as untainted (conservative;
+        # break the cycle or name the parameter seed-ish to satisfy).
+        return {
+            q: ("untainted" if v == "calls" else v) for q, v in state.items()
+        }
+
+    def _site_tainted(
+        self,
+        graph: CallGraph,
+        verdicts: dict[str, str],
+        qualname: str,
+        taint: str,
+        pending: tuple[str, ...],
+    ) -> bool:
+        if taint == "tainted":
+            return True
+        if taint != "calls":
+            return False
+        fn = graph.functions[qualname]
+        for callee in pending:
+            targets = graph.resolver.resolve_call(fn, callee, None)
+            if not targets:
+                return False
+            if any(verdicts.get(t) != "tainted" for t in targets):
+                return False
+        return True

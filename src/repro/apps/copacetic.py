@@ -111,8 +111,10 @@ class CopaceticEngine:
         if not self.rules:
             raise ValueError("at least one rule required")
         self._history: dict[int, list[tuple[float, int, int]]] = {}
-        self._fired: set[tuple[str, int, int]] = set()
-        self.alerts: list[Alert] = []
+        # Exactly one sec_task per window mutates these; the window-end
+        # join is the happens-before barrier for main-thread reads.
+        self._fired: set[tuple[str, int, int]] = set()  # repro: ignore[RACE001] -- single sec_task per window, joined before reads
+        self.alerts: list[Alert] = []  # repro: ignore[RACE001] -- single sec_task per window, joined before reads
         self.events_processed = 0
 
     def process(self, batch: EventBatch) -> list[Alert]:

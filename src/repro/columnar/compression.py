@@ -55,6 +55,10 @@ _memo_max_bytes = 32 << 20
 _memo_enabled = True
 _memo_hits = 0
 _memo_misses = 0
+#: Toggle depth counter: ``_memo_enabled`` is maintained from this
+#: under ``_memo_lock`` so overlapping toggles cannot restore a stale
+#: value (see PerfRegistry.disabled for the pattern).
+_memo_disable_depth = 0
 
 
 def compress_memo_stats() -> dict:
@@ -81,14 +85,18 @@ def clear_compress_memo() -> None:
 
 @contextmanager
 def compress_memo_disabled():
-    """Context manager that bypasses the memo (for baseline benches)."""
-    global _memo_enabled
-    prev = _memo_enabled
-    _memo_enabled = False
+    """Context manager that bypasses the memo (for baseline benches).
+    Overlap-safe via a lock-guarded depth counter."""
+    global _memo_disable_depth, _memo_enabled
+    with _memo_lock:
+        _memo_disable_depth += 1
+        _memo_enabled = False
     try:
         yield
     finally:
-        _memo_enabled = prev
+        with _memo_lock:
+            _memo_disable_depth -= 1
+            _memo_enabled = _memo_disable_depth == 0
 
 
 def _compress_raw(buf: bytes, codec: str) -> bytes:

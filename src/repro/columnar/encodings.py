@@ -275,6 +275,11 @@ _memo_enabled = True
 _memo_hits = 0
 _memo_misses = 0
 _reference_mode = False
+#: Toggle depth counters: the booleans above are maintained from these
+#: under ``_memo_lock`` so overlapping toggles on two threads cannot
+#: restore a stale value (see PerfRegistry.disabled for the pattern).
+_memo_disable_depth = 0
+_reference_depth = 0
 
 
 def encoding_memo_stats() -> dict:
@@ -299,14 +304,18 @@ def clear_encoding_memo() -> None:
 
 @contextmanager
 def encoding_memo_disabled():
-    """Context manager that bypasses the memo (for baseline benches)."""
-    global _memo_enabled
-    prev = _memo_enabled
-    _memo_enabled = False
+    """Context manager that bypasses the memo (for baseline benches).
+    Overlap-safe via a lock-guarded depth counter."""
+    global _memo_disable_depth, _memo_enabled
+    with _memo_lock:
+        _memo_disable_depth += 1
+        _memo_enabled = False
     try:
         yield
     finally:
-        _memo_enabled = prev
+        with _memo_lock:
+            _memo_disable_depth -= 1
+            _memo_enabled = _memo_disable_depth == 0
 
 
 @contextmanager
@@ -314,14 +323,18 @@ def encoding_reference_mode():
     """Route ``choose_encoding`` through the original walk-the-column
     estimator with no memo — the pre-optimization behaviour the e2e
     benchmark measures as its baseline.  Choices are identical either
-    way (``tests/columnar/test_encoding_memo.py``)."""
-    global _reference_mode
-    prev = _reference_mode
-    _reference_mode = True
+    way (``tests/columnar/test_encoding_memo.py``).  Overlap-safe via a
+    lock-guarded depth counter."""
+    global _reference_depth, _reference_mode
+    with _memo_lock:
+        _reference_depth += 1
+        _reference_mode = True
     try:
         yield
     finally:
-        _reference_mode = prev
+        with _memo_lock:
+            _reference_depth -= 1
+            _reference_mode = _reference_depth > 0
 
 
 def choose_encoding(arr: np.ndarray) -> int:

@@ -145,6 +145,10 @@ _chunk_memo_col_max_bytes = 1 << 15
 _chunk_memo_enabled = True
 _chunk_hits = 0
 _chunk_misses = 0
+#: Toggle depth counter: ``_chunk_memo_enabled`` is maintained from
+#: this under ``_chunk_lock`` so overlapping toggles cannot restore a
+#: stale value (see PerfRegistry.disabled for the pattern).
+_chunk_disable_depth = 0
 
 
 def chunk_memo_stats() -> dict:
@@ -171,14 +175,18 @@ def clear_chunk_memo() -> None:
 
 @contextmanager
 def chunk_memo_disabled():
-    """Context manager that bypasses the chunk memo (for baselines)."""
-    global _chunk_memo_enabled
-    prev = _chunk_memo_enabled
-    _chunk_memo_enabled = False
+    """Context manager that bypasses the chunk memo (for baselines).
+    Overlap-safe via a lock-guarded depth counter."""
+    global _chunk_disable_depth, _chunk_memo_enabled
+    with _chunk_lock:
+        _chunk_disable_depth += 1
+        _chunk_memo_enabled = False
     try:
         yield
     finally:
-        _chunk_memo_enabled = prev
+        with _chunk_lock:
+            _chunk_disable_depth -= 1
+            _chunk_memo_enabled = _chunk_disable_depth == 0
 
 
 def column_stats(arr: np.ndarray) -> tuple[object, object, bool] | None:

@@ -658,7 +658,12 @@ class ODAFramework:
             for f in ingest_futures:
                 f.result()  # drain; propagates any deferred-write error
         finally:
-            emit_pool.shutdown(wait=False, cancel_futures=True)
+            # wait=True: an in-flight emit must finish before control
+            # returns, or a zombie emit thread keeps mutating fleet and
+            # perf state concurrently with whatever the caller does next
+            # (e.g. a serial re-run after a window raised).  The queued
+            # prefetch, if any, is still cancelled.
+            emit_pool.shutdown(wait=True, cancel_futures=True)
             ingest_pool.shutdown(wait=True)
         return summaries
 

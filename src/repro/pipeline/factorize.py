@@ -46,6 +46,13 @@ _cache_max = 256
 _cache_min_bytes = 1 << 14
 _cache_enabled = True
 _reference_mode = False
+#: Active entries of the matching toggle.  The toggles maintain the
+#: boolean flags from these lock-guarded depth counters instead of
+#: save/restore so two toggles overlapping on different threads cannot
+#: restore a stale value (same failure mode PerfRegistry.disabled
+#: documents).
+_cache_disable_depth = 0
+_reference_depth = 0
 _hits = 0
 _misses = 0
 
@@ -81,14 +88,22 @@ def cache_stats() -> dict:
 
 @contextmanager
 def cache_disabled():
-    """Context manager that bypasses the memo (for baseline benches)."""
-    global _cache_enabled
-    prev = _cache_enabled
-    _cache_enabled = False
+    """Context manager that bypasses the memo (for baseline benches).
+
+    Overlap-safe: maintained from a lock-guarded depth counter, so
+    non-nested exits (two toggles open on different threads) keep the
+    memo off until the last one leaves.
+    """
+    global _cache_disable_depth, _cache_enabled
+    with _lock:
+        _cache_disable_depth += 1
+        _cache_enabled = False
     try:
         yield
     finally:
-        _cache_enabled = prev
+        with _lock:
+            _cache_disable_depth -= 1
+            _cache_enabled = _cache_disable_depth == 0
 
 
 @contextmanager
@@ -96,14 +111,18 @@ def factorize_reference_mode():
     """Route :func:`factorize` through the original row-loop reference —
     the pre-optimization behaviour the e2e benchmark measures as its
     baseline.  Results are identical either way
-    (``tests/pipeline/test_factorize.py``)."""
-    global _reference_mode
-    prev = _reference_mode
-    _reference_mode = True
+    (``tests/pipeline/test_factorize.py``).  Overlap-safe via a
+    lock-guarded depth counter."""
+    global _reference_depth, _reference_mode
+    with _lock:
+        _reference_depth += 1
+        _reference_mode = True
     try:
         yield
     finally:
-        _reference_mode = prev
+        with _lock:
+            _reference_depth -= 1
+            _reference_mode = _reference_depth > 0
 
 
 def _cache_get(key: tuple):

@@ -42,6 +42,10 @@ _cache: "OrderedDict[tuple[str, int, str], np.ndarray]" = OrderedDict()
 _cache_bytes = 0
 _cache_max_bytes = 64 << 20
 _cache_enabled = True
+#: Toggle depth counter: ``_cache_enabled`` is maintained from this
+#: under ``_cache_lock`` so overlapping toggles cannot restore a stale
+#: value (see PerfRegistry.disabled for the pattern).
+_cache_disable_depth = 0
 
 
 def cached_column(
@@ -117,14 +121,18 @@ def row_group_cache_stats() -> dict:
 @contextmanager
 def row_group_cache_disabled():
     """Context manager bypassing the cache (the decode-everything
-    baseline must pay full decode cost on every scan)."""
-    global _cache_enabled
-    prev = _cache_enabled
-    _cache_enabled = False
+    baseline must pay full decode cost on every scan).  Overlap-safe
+    via a lock-guarded depth counter (see PerfRegistry.disabled)."""
+    global _cache_disable_depth, _cache_enabled
+    with _cache_lock:
+        _cache_disable_depth += 1
+        _cache_enabled = False
     try:
         yield
     finally:
-        _cache_enabled = prev
+        with _cache_lock:
+            _cache_disable_depth -= 1
+            _cache_enabled = _cache_disable_depth == 0
 
 
 def set_row_group_cache_limit(max_bytes: int) -> None:

@@ -42,18 +42,27 @@ __all__ = [
 ]
 
 _scan_reference = False
+_mode_lock = threading.Lock()
+#: Toggle depth counter: ``_scan_reference`` is maintained from this
+#: under ``_mode_lock`` so overlapping toggles cannot restore a stale
+#: value (see PerfRegistry.disabled for the pattern).
+_scan_reference_depth = 0
 
 
 @contextmanager
 def scan_reference_mode():
-    """Route :func:`execute_plan` through the decode-everything oracle."""
-    global _scan_reference
-    prev = _scan_reference
-    _scan_reference = True
+    """Route :func:`execute_plan` through the decode-everything oracle.
+    Overlap-safe via a lock-guarded depth counter."""
+    global _scan_reference_depth, _scan_reference
+    with _mode_lock:
+        _scan_reference_depth += 1
+        _scan_reference = True
     try:
         yield
     finally:
-        _scan_reference = prev
+        with _mode_lock:
+            _scan_reference_depth -= 1
+            _scan_reference = _scan_reference_depth > 0
 
 
 def scan_reference_active() -> bool:

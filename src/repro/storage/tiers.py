@@ -19,6 +19,7 @@ age-out migrations and returns a report the Fig. 5 bench prints.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass
 
 from repro.columnar.file_format import RcfReader, read_table, write_table
@@ -136,22 +137,29 @@ class TieredStore:
         self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self.ocean.create_bucket(self.OCEAN_BUCKET)
         self._datasets: dict[str, _DatasetMeta] = {}
+        # ``register`` may run on the window thread while deferred tier
+        # writes resolve datasets on the pipelined ingest thread; all
+        # registry access goes through this lock.
+        self._registry_lock = threading.Lock()
 
     # -- dataset registry -------------------------------------------------------
 
     def register(self, name: str, data_class: DataClass) -> None:
         """Declare a dataset and its medallion class."""
-        if name in self._datasets:
-            raise ValueError(f"dataset {name!r} already registered")
-        self._datasets[name] = _DatasetMeta(name, data_class)
+        with self._registry_lock:
+            if name in self._datasets:
+                raise ValueError(f"dataset {name!r} already registered")
+            self._datasets[name] = _DatasetMeta(name, data_class)
 
     def datasets(self) -> dict[str, DataClass]:
         """Registered dataset -> class."""
-        return {n: m.data_class for n, m in self._datasets.items()}
+        with self._registry_lock:
+            return {n: m.data_class for n, m in self._datasets.items()}
 
     def _meta(self, name: str) -> _DatasetMeta:
         try:
-            return self._datasets[name]
+            with self._registry_lock:
+                return self._datasets[name]
         except KeyError:
             raise KeyError(f"dataset {name!r} not registered") from None
 
@@ -321,7 +329,9 @@ class TieredStore:
         ``ocean_deleted``.
         """
         report = {"lake_segments_dropped": 0, "ocean_archived": 0, "ocean_deleted": 0}
-        for name, meta in self._datasets.items():
+        with self._registry_lock:
+            registered = list(self._datasets.items())
+        for name, meta in registered:
             policy = self.policies[meta.data_class]
             if policy.lake_retention_s is not None:
                 report["lake_segments_dropped"] += self.lake.drop_before(

@@ -39,18 +39,27 @@ __all__ = [
 # The oracle is a pure function of its (immutable) job set, so repeated
 # grids are served from a small per-table LRU of read-only arrays.
 _util_memo_enabled = True
+_util_toggle_lock = threading.Lock()
+#: Toggle depth counter: ``_util_memo_enabled`` is maintained from this
+#: under ``_util_toggle_lock`` so overlapping toggles cannot restore a
+#: stale value (see PerfRegistry.disabled for the pattern).
+_util_disable_depth = 0
 
 
 @contextmanager
 def utilization_memo_disabled():
-    """Context manager that bypasses the utilization memo (baselines)."""
-    global _util_memo_enabled
-    prev = _util_memo_enabled
-    _util_memo_enabled = False
+    """Context manager that bypasses the utilization memo (baselines).
+    Overlap-safe via a lock-guarded depth counter."""
+    global _util_disable_depth, _util_memo_enabled
+    with _util_toggle_lock:
+        _util_disable_depth += 1
+        _util_memo_enabled = False
     try:
         yield
     finally:
-        _util_memo_enabled = prev
+        with _util_toggle_lock:
+            _util_disable_depth -= 1
+            _util_memo_enabled = _util_disable_depth == 0
 
 
 @dataclass(frozen=True)

@@ -11,6 +11,7 @@ without replaying the whole fleet.
 from __future__ import annotations
 
 import hashlib
+import threading
 
 import numpy as np
 
@@ -48,6 +49,10 @@ class RngStreams:
     def __init__(self, seed: int = 0) -> None:
         self._seed = int(seed)
         self._cache: dict[str, np.random.Generator] = {}
+        # One factory may be shared by concurrently emitting sources;
+        # the check-then-create in ``get`` must be atomic or two threads
+        # can briefly hold *different* generator objects for one name.
+        self._lock = threading.Lock()
 
     @property
     def seed(self) -> int:
@@ -60,11 +65,12 @@ class RngStreams:
         Repeated calls with the same name return the *same* generator
         object (its internal state advances as it is consumed).
         """
-        gen = self._cache.get(name)
-        if gen is None:
-            gen = np.random.default_rng(derive_seed(self._seed, name))
-            self._cache[name] = gen
-        return gen
+        with self._lock:
+            gen = self._cache.get(name)
+            if gen is None:
+                gen = np.random.default_rng(derive_seed(self._seed, name))
+                self._cache[name] = gen
+            return gen
 
     def fresh(self, name: str) -> np.random.Generator:
         """Return a *newly seeded* generator for ``name``.

@@ -1,0 +1,142 @@
+"""Incremental lint cache: digest-keyed reuse (zero re-parses on an
+unchanged tree), byte-identical JSON across cold/warm runs, precise
+invalidation, and the ``--no-cache`` escape hatch."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+from repro.analysis import Checker, make_rules
+from repro.analysis.__main__ import run
+from repro.analysis.cache import LintCache
+
+TREE = {
+    "repro/pipeline/hot.py": """
+        import time
+
+        _cache = {}
+
+        def stamp(key):
+            _cache[key] = time.time()
+            return _cache[key]
+        """,
+    "repro/pipeline/racy.py": """
+        from concurrent.futures import ThreadPoolExecutor
+
+        _shared = {}
+
+        def worker(n):
+            _shared[n] = n
+
+        def run_all():
+            with ThreadPoolExecutor(2) as pool:
+                for n in range(4):
+                    pool.submit(worker, n)
+        """,
+    "repro/stream/clean.py": """
+        import threading
+
+        _lock = threading.Lock()
+        _reg = {}
+
+        def put(k, v):
+            with _lock:
+                _reg[k] = v
+        """,
+}
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = run(list(argv), stdout=out)
+    return code, out.getvalue()
+
+
+def checked(root, cache):
+    checker = Checker(make_rules(), cache=cache)
+    findings = checker.run([str(root)])
+    return checker, findings
+
+
+class TestIncrementalReuse:
+    def test_second_run_parses_nothing(self, make_tree, tmp_path):
+        root = make_tree(TREE)
+        cache = LintCache(str(tmp_path / "c"))
+        first, f1 = checked(root, cache)
+        assert first.stats["parsed"] > 0
+        assert first.stats["cached"] == 0
+        second, f2 = checked(root, LintCache(str(tmp_path / "c")))
+        # The acceptance counter: an unchanged tree re-parses zero files.
+        assert second.stats["parsed"] == 0
+        assert second.stats["cached"] == first.stats["parsed"]
+
+    def test_cold_and_cached_findings_identical(self, make_tree, tmp_path):
+        root = make_tree(TREE)
+        _, cold = checked(root, LintCache(str(tmp_path / "c")))
+        _, warm = checked(root, LintCache(str(tmp_path / "c")))
+        assert [f.as_dict() for f in cold] == [f.as_dict() for f in warm]
+        # The tree is deliberately dirty: reuse must preserve findings,
+        # including the interprocedural RACE001 recomputed from cached
+        # summaries.
+        assert {f.rule_id for f in cold} >= {"DET001", "CONC001", "RACE001"}
+
+    def test_json_output_byte_identical_across_runs(self, make_tree):
+        root = make_tree(TREE)
+        _, out1 = run_cli("--format", "json", str(root))
+        _, out2 = run_cli("--format", "json", str(root))
+        assert out1 == out2
+
+    def test_edit_invalidates_only_that_file(self, make_tree, tmp_path):
+        root = make_tree(TREE)
+        checked(root, LintCache(str(tmp_path / "c")))
+        target = root / "repro" / "stream" / "clean.py"
+        target.write_text(
+            target.read_text(encoding="utf-8") + "\nX = 1\n", encoding="utf-8"
+        )
+        again, _ = checked(root, LintCache(str(tmp_path / "c")))
+        assert again.stats["parsed"] == 1
+
+    def test_rule_selection_invalidates_cache(self, make_tree, tmp_path):
+        # Entries are keyed on the rule set: a --select run must not
+        # poison (or be served from) the full-pack cache.
+        root = make_tree(TREE)
+        cache = LintCache(str(tmp_path / "c"))
+        checked(root, cache)
+        checker = Checker(
+            [r for r in make_rules() if r.id.startswith("DET")],
+            cache=LintCache(str(tmp_path / "c")),
+        )
+        checker.run([str(root)])
+        assert checker.stats["parsed"] > 0
+
+
+class TestNoCacheFlag:
+    def test_no_cache_leaves_no_directory(self, make_tree, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "never-created"
+        monkeypatch.setenv("REPRO_LINT_CACHE", str(cache_dir))
+        root = make_tree(TREE)
+        code1, out1 = run_cli("--format", "json", "--no-cache", str(root))
+        code2, out2 = run_cli("--format", "json", "--no-cache", str(root))
+        assert not cache_dir.exists()
+        assert out1 == out2
+
+    def test_cached_and_uncached_output_identical(self, make_tree):
+        root = make_tree(TREE)
+        _, cached = run_cli("--format", "json", str(root))
+        _, uncached = run_cli("--format", "json", "--no-cache", str(root))
+        assert json.loads(cached) == json.loads(uncached)
+
+
+class TestCacheEntryHygiene:
+    def test_corrupt_entry_falls_back_to_parse(self, make_tree, tmp_path):
+        root = make_tree(TREE)
+        cache_root = tmp_path / "c"
+        checked(root, LintCache(str(cache_root)))
+        for entry in os.listdir(cache_root):
+            with open(cache_root / entry, "w", encoding="utf-8") as fh:
+                fh.write("{not json")
+        again, findings = checked(root, LintCache(str(cache_root)))
+        assert again.stats["parsed"] > 0
+        assert {f.rule_id for f in findings} >= {"DET001", "RACE001"}

@@ -82,7 +82,7 @@ class TestSelectIgnore:
         code, out = run_cli("--format", "json", "--select", "DET", str(root))
         assert code == 1
         payload = json.loads(out)
-        assert payload["rules"] == ["DET001", "DET002"]
+        assert payload["rules"] == ["DET001", "DET002", "DET010"]
         assert {f["rule"] for f in payload["findings"]} == {"DET001"}
 
     def test_select_single_id(self, make_tree):
@@ -178,7 +178,7 @@ class TestJsonSchema:
         root = make_tree(VIOLATION_TREE)
         _, out = run_cli("--format", "json", str(root))
         payload = json.loads(out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert set(payload["counts"]) == {
             "total",
             "suppressed",
@@ -190,12 +190,16 @@ class TestJsonSchema:
                 "file",
                 "line",
                 "rule",
+                "rule_family",
                 "severity",
                 "message",
                 "suppressed",
+                "call_path",
             }
             assert finding["severity"] in ("error", "warning")
             assert isinstance(finding["line"], int) and finding["line"] >= 1
+            assert finding["rule"].startswith(finding["rule_family"])
+            assert isinstance(finding["call_path"], list)
 
     def test_counts_are_consistent(self, make_tree):
         root = make_tree(VIOLATION_TREE)
@@ -206,6 +210,27 @@ class TestJsonSchema:
         assert counts["total"] == len(payload["findings"])
         assert counts["suppressed"] == counts["total"] - len(active)
         assert counts["errors"] + counts["warnings"] == len(active)
+
+
+class TestExplain:
+    def test_explain_race_rule(self):
+        code, out = run_cli("--explain", "RACE001")
+        assert code == 0
+        assert "RACE001" in out
+        assert "lock" in out.lower()
+
+    def test_explain_det010(self):
+        code, out = run_cli("--explain", "DET010")
+        assert code == 0
+        assert "seed" in out.lower()
+
+    def test_explain_shows_suppression_hint(self):
+        _, out = run_cli("--explain", "RACE001")
+        assert "repro: ignore[RACE001]" in out
+
+    def test_explain_unknown_rule_is_usage_error(self):
+        code, _ = run_cli("--explain", "NOPE999")
+        assert code == 2
 
 
 class TestTextOutput:

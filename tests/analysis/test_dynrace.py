@@ -1,0 +1,285 @@
+"""Dynamic race validator: Eraser-style lockset monitor, fork/join
+happens-before, and the static/dynamic cross-check — including the
+contract test that one planted race is caught by BOTH passes."""
+
+from __future__ import annotations
+
+import textwrap
+import threading
+
+from repro.analysis import Checker, make_rules
+from repro.analysis.dynrace import (
+    DynRaceMonitor,
+    TrackedLock,
+    WatchedDict,
+    crosscheck,
+    validating,
+    watch,
+)
+
+#: The planted race: two named threads write one module dict with no
+#: lock.  The *same source* is fed to the static checker and executed
+#: under the dynamic monitor below.
+PLANTED = textwrap.dedent(
+    """
+    import threading
+
+    _results = {}
+    _lock = threading.Lock()
+
+    def worker(n):
+        _results[n] = n * n
+
+    def run_all():
+        ts = [
+            threading.Thread(target=worker, args=(n,), name=f"planted-{n}")
+            for n in range(4)
+        ]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+    """
+)
+
+#: The fix: identical schedule, writes under the module lock.
+PLANTED_FIXED = PLANTED.replace(
+    "    _results[n] = n * n",
+    "    with _lock:\n        _results[n] = n * n",
+)
+
+
+def static_findings(source, module="repro.pipeline.planted"):
+    checker = Checker(make_rules())
+    checker.check_source(source, "planted.py", module=module)
+    for rule in checker.rules:
+        rule.finalize(checker)
+    return [f for f in checker.findings if not f.suppressed]
+
+
+def run_planted(source, monitor, locked=False):
+    """Execute the planted module with its dict (and lock, if asked)
+    replaced by monitored doubles."""
+    ns = {}
+    exec(compile(source, "planted.py", "exec"), ns)
+    ns["_results"] = watch({}, "planted._results", monitor)
+    if locked:
+        ns["_lock"] = TrackedLock(monitor, "planted._lock")
+    ns["run_all"]()
+    return ns["_results"]
+
+
+class TestPlantedRaceBothPasses:
+    def test_static_pass_flags_planted_race(self):
+        rules = {f.rule_id for f in static_findings(PLANTED)}
+        assert "RACE001" in rules
+
+    def test_dynamic_pass_flags_planted_race(self):
+        monitor = DynRaceMonitor()
+        results = run_planted(PLANTED, monitor)
+        assert dict(results) == {n: n * n for n in range(4)}
+        races = monitor.races
+        assert [r.var for r in races] == ["planted._results"]
+        first, second = races[0].first, races[0].second
+        assert first.thread != second.thread
+        assert first.write and second.write
+        assert not (first.locks & second.locks)
+
+    def test_fixed_version_clean_in_both_passes(self):
+        assert not any(
+            f.rule_id.startswith("RACE") for f in static_findings(PLANTED_FIXED)
+        )
+        monitor = DynRaceMonitor()
+        run_planted(PLANTED_FIXED, monitor, locked=True)
+        assert monitor.races == []
+
+    def test_crosscheck_confirms_static_finding(self):
+        monitor = DynRaceMonitor()
+        run_planted(PLANTED, monitor)
+        report = crosscheck(monitor, ["planted._results"])
+        assert report.confirmed == ("planted._results",)
+        assert not report.ok
+
+    def test_crosscheck_reports_static_miss(self):
+        monitor = DynRaceMonitor()
+        run_planted(PLANTED, monitor)
+        report = crosscheck(monitor, [])
+        assert report.missed == ("planted._results",)
+        assert not report.ok
+
+
+class TestLocksetSemantics:
+    def test_same_lock_on_both_threads_is_clean(self):
+        monitor = DynRaceMonitor()
+        lock = TrackedLock(monitor, "L")
+        shared = WatchedDict("v", monitor)
+
+        def task(k):
+            with lock:
+                shared[k] = k
+
+        ts = [
+            threading.Thread(target=task, args=(i,), name=f"lk-{i}")
+            for i in range(2)
+        ]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert monitor.races == []
+
+    def test_different_locks_still_race(self):
+        monitor = DynRaceMonitor()
+        la = TrackedLock(monitor, "A")
+        lb = TrackedLock(monitor, "B")
+        shared = WatchedDict("v", monitor)
+        done = threading.Barrier(2)
+
+        def task(lock, k):
+            done.wait()
+            with lock:
+                shared[k] = k
+
+        ts = [
+            threading.Thread(target=task, args=(lk, i), name=f"dl-{i}")
+            for i, lk in enumerate((la, lb))
+        ]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert [r.var for r in monitor.races] == ["v"]
+
+    def test_read_read_never_races(self):
+        monitor = DynRaceMonitor()
+        shared = WatchedDict("v", monitor, {1: 1})
+
+        def task():
+            shared.get(1)
+
+        ts = [
+            threading.Thread(target=task, name=f"rr-{i}") for i in range(2)
+        ]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert monitor.races == []
+
+
+class TestHappensBefore:
+    def test_join_orders_writer_before_reader(self):
+        # Phase-barrier shape: a worker writes, the main thread joins
+        # it, then reads.  Under plain Eraser this is a false positive;
+        # the join edge exonerates it.
+        monitor = DynRaceMonitor()
+        shared = watch({}, "v", monitor)
+
+        snap = monitor.fork_snapshot()
+        cell = {}
+
+        def run():
+            monitor.begin_task(snap, fresh=True)
+            shared["k"] = 1
+            cell["vc"] = monitor.current_vc()
+
+        t = threading.Thread(target=run, name="hb-worker")
+        t.start()
+        t.join()
+        monitor.join_vc(cell["vc"])
+        assert shared["k"] == 1  # main-thread read, after the join edge
+        assert monitor.races == []
+
+    def test_barrier_separates_phases(self):
+        monitor = DynRaceMonitor()
+        shared = watch({}, "v", monitor)
+        shared["k"] = 0  # main, phase 1
+
+        def phase2():
+            shared["k"] = 1
+
+        monitor.barrier("phase-boundary")
+        snap = monitor.fork_snapshot()
+
+        def run():
+            monitor.begin_task(snap, fresh=True)
+            phase2()
+
+        t = threading.Thread(target=run, name="bar-worker")
+        t.start()
+        t.join()
+        assert monitor.races == []
+
+    def test_deterministic_event_log_has_no_wall_clock(self):
+        monitor = DynRaceMonitor()
+        shared = watch({}, "v", monitor)
+        shared["k"] = 1
+        _ = shared["k"]
+        assert [e["seq"] for e in monitor.events] == [1, 2]
+        for event in monitor.events:
+            assert set(event) <= {"seq", "op", "thread", "var", "locks", "lock", "label"}
+
+
+class TestValidatingHook:
+    def test_broker_phase_barrier_confirmed_false_positive(self):
+        # The static pass flags Broker._partitions / Consumer._positions
+        # (suppressed with a phase-barrier invariant).  Drive the real
+        # classes through the phased schedule the framework uses —
+        # produce on main, fetch on a worker via an executor, drain the
+        # future, then seek/commit on main — and the dynamic pass must
+        # come back clean: the suppression is a demonstrated FP.
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.stream.broker import Broker, TopicConfig
+        from repro.stream.consumer import Consumer
+
+        with validating() as monitor:
+            broker = Broker()
+            broker.create_topic(TopicConfig(name="t", n_partitions=2))
+            for i in range(8):
+                broker.produce("t", key=f"k{i}", value={"i": i})
+            consumer = Consumer(broker, "t", group="g")
+            with ThreadPoolExecutor(
+                1, thread_name_prefix="dynrace-worker"
+            ) as pool:
+                records = pool.submit(
+                    consumer.poll
+                ).result()  # <- the join edge the pragmas rely on
+            consumer.commit()
+            assert len(records) == 8
+            report = crosscheck(
+                monitor, ["Broker._partitions", "Consumer._positions"]
+            )
+        assert monitor.races == []
+        assert report.confirmed == ()
+        assert "Broker._partitions" in (
+            report.fp_annotated + report.unexercised
+        )
+
+    def test_validating_catches_unbarriered_write(self):
+        # Teeth check: without a join edge between a worker write and a
+        # main-thread write, the monitor must race — concurrency is
+        # decided by the fork/join clocks, not by observed timing.
+        with validating() as monitor:
+            shared = watch({}, "Broker._partitions", monitor, tag=999)
+            t = threading.Thread(
+                target=lambda: shared.update({"x": 2}), name="dynrace-rogue"
+            )
+            t.start()
+            shared["y"] = 3  # main thread, concurrent with t
+            t.join()
+        assert [r.var for r in monitor.races] == ["Broker._partitions"]
+
+    def test_patches_are_restored(self):
+        import concurrent.futures as cf
+
+        submit = cf.ThreadPoolExecutor.submit
+        result = cf.Future.result
+        start = threading.Thread.start
+        join = threading.Thread.join
+        with validating():
+            assert cf.ThreadPoolExecutor.submit is not submit
+        assert cf.ThreadPoolExecutor.submit is submit
+        assert cf.Future.result is result
+        assert threading.Thread.start is start
+        assert threading.Thread.join is join

@@ -25,4 +25,32 @@ def test_src_tree_is_finding_free():
 def test_every_rule_family_ran():
     # Guard against the self-check passing because rules were dropped.
     families = {rule.id.rstrip("0123456789") for rule in make_rules()}
-    assert {"DET", "CONC", "ORACLE", "EXC", "IMP"} <= families
+    assert {"DET", "CONC", "ORACLE", "EXC", "IMP", "RACE"} <= families
+
+
+def test_race_rules_registered():
+    # The interprocedural pass must stay in the default pack: the
+    # self-check above is only meaningful if RACE001-003 and DET010
+    # actually ran over the tree.
+    ids = {rule.id for rule in make_rules()}
+    assert {"RACE001", "RACE002", "RACE003", "DET010"} <= ids
+
+
+def test_src_suppressions_name_an_invariant():
+    # Zero *unexplained* suppressions: every race pragma in the tree
+    # must carry a `-- reason` naming the protecting invariant.
+    import re
+
+    pat = re.compile(r"#\s*repro:\s*ignore\[(RACE[^\]]*)\](.*)")
+    bad = []
+    for dirpath, _, names in os.walk(SRC):
+        for name in names:
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            with open(path, encoding="utf-8") as fh:
+                for lineno, line in enumerate(fh, 1):
+                    m = pat.search(line)
+                    if m and "--" not in m.group(2):
+                        bad.append(f"{path}:{lineno}")
+    assert bad == [], f"race suppressions without a stated invariant: {bad}"

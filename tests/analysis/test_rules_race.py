@@ -1,0 +1,381 @@
+"""Interprocedural RACE rules and the DET010 seed-taint rule, over
+inline fixtures (positive + negative per rule)."""
+
+from __future__ import annotations
+
+
+class TestRace001UnlockedSharedWrite:
+    def test_unlocked_write_from_pool_entry(self, check):
+        findings = check(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            _shared = {}
+
+            def worker(n):
+                _shared[n] = n
+
+            def run_all():
+                with ThreadPoolExecutor(2) as pool:
+                    for n in range(4):
+                        pool.submit(worker, n)
+            """
+        )
+        race = [f for f in findings if f.rule_id == "RACE001"]
+        assert len(race) == 1
+        assert "_shared" in race[0].message
+        assert any("worker" in step for step in race[0].call_path)
+
+    def test_thread_target_entry(self, rule_ids):
+        ids = rule_ids(
+            """
+            import threading
+
+            _shared = {}
+
+            def worker():
+                _shared["k"] = 1
+
+            def run_all():
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+            """
+        )
+        assert "RACE001" in ids
+
+    def test_consistent_lock_is_clean(self, rule_ids):
+        ids = rule_ids(
+            """
+            import threading
+            from concurrent.futures import ThreadPoolExecutor
+
+            _lock = threading.Lock()
+            _shared = {}
+
+            def worker(n):
+                with _lock:
+                    _shared[n] = n
+
+            def run_all():
+                with ThreadPoolExecutor(2) as pool:
+                    for n in range(4):
+                        pool.submit(worker, n)
+            """
+        )
+        assert "RACE001" not in ids
+
+    def test_interprocedural_write_through_callee(self, check):
+        # The write happens two calls below the thread entry; only the
+        # call graph sees it.
+        findings = check(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            _shared = {}
+
+            def store(n):
+                _shared[n] = n
+
+            def worker(n):
+                store(n)
+
+            def run_all():
+                with ThreadPoolExecutor(2) as pool:
+                    pool.submit(worker, 1)
+            """
+        )
+        race = [f for f in findings if f.rule_id == "RACE001"]
+        assert len(race) == 1
+        assert any("store" in step for step in race[0].call_path)
+
+    def test_lock_held_by_caller_covers_callee(self, rule_ids):
+        # The entry takes the lock and calls down; effective locksets
+        # must propagate through call edges.
+        ids = rule_ids(
+            """
+            import threading
+            from concurrent.futures import ThreadPoolExecutor
+
+            _lock = threading.Lock()
+            _shared = {}
+
+            def store(n):
+                _shared[n] = n
+
+            def worker(n):
+                with _lock:
+                    store(n)
+
+            def run_all():
+                with ThreadPoolExecutor(2) as pool:
+                    pool.submit(worker, 1)
+            """
+        )
+        assert "RACE001" not in ids
+
+    def test_main_only_access_is_clean(self, rule_ids):
+        ids = rule_ids(
+            """
+            _shared = {}
+
+            def store(n):
+                _shared[n] = n
+
+            def main():
+                store(1)
+            """
+        )
+        assert "RACE001" not in ids
+
+    def test_suppression_at_definition_line(self, check):
+        findings = check(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            _shared = {}  # repro: ignore[RACE001] -- fixture invariant
+
+            def worker(n):
+                _shared[n] = n
+
+            def run_all():
+                with ThreadPoolExecutor(2) as pool:
+                    pool.submit(worker, 1)
+            """
+        )
+        race = [f for f in findings if f.rule_id == "RACE001"]
+        assert len(race) == 1 and race[0].suppressed
+
+
+class TestRace002LockOrderCycle:
+    def test_inverted_acquisition_order(self, check):
+        findings = check(
+            """
+            import threading
+
+            _a = threading.Lock()
+            _b = threading.Lock()
+
+            def forward():
+                with _a:
+                    with _b:
+                        pass
+
+            def backward():
+                with _b:
+                    with _a:
+                        pass
+            """
+        )
+        cyc = [f for f in findings if f.rule_id == "RACE002"]
+        assert len(cyc) == 1
+        assert "_a" in cyc[0].message and "_b" in cyc[0].message
+
+    def test_interprocedural_order_edge(self, rule_ids):
+        # forward holds _a and calls a helper that takes _b; backward
+        # nests them the other way — only visible via the call graph.
+        ids = rule_ids(
+            """
+            import threading
+
+            _a = threading.Lock()
+            _b = threading.Lock()
+
+            def helper():
+                with _b:
+                    pass
+
+            def forward():
+                with _a:
+                    helper()
+
+            def backward():
+                with _b:
+                    with _a:
+                        pass
+            """
+        )
+        assert "RACE002" in ids
+
+    def test_consistent_order_is_clean(self, rule_ids):
+        ids = rule_ids(
+            """
+            import threading
+
+            _a = threading.Lock()
+            _b = threading.Lock()
+
+            def one():
+                with _a:
+                    with _b:
+                        pass
+
+            def two():
+                with _a:
+                    with _b:
+                        pass
+            """
+        )
+        assert "RACE002" not in ids
+
+
+class TestRace003UnlockedToggle:
+    def test_save_restore_toggle_flagged(self, check):
+        findings = check(
+            """
+            from contextlib import contextmanager
+
+            _memo_enabled = True
+
+            @contextmanager
+            def memo_disabled():
+                global _memo_enabled
+                prev = _memo_enabled
+                _memo_enabled = False
+                try:
+                    yield
+                finally:
+                    _memo_enabled = prev
+            """
+        )
+        toggles = [f for f in findings if f.rule_id == "RACE003"]
+        assert toggles
+        assert "_memo_enabled" in toggles[0].message
+
+    def test_depth_counter_toggle_is_clean(self, rule_ids):
+        ids = rule_ids(
+            """
+            import threading
+            from contextlib import contextmanager
+
+            _lock = threading.Lock()
+            _memo_enabled = True
+            _disable_depth = 0
+
+            @contextmanager
+            def memo_disabled():
+                global _disable_depth, _memo_enabled
+                with _lock:
+                    _disable_depth += 1
+                    _memo_enabled = False
+                try:
+                    yield
+                finally:
+                    with _lock:
+                        _disable_depth -= 1
+                        _memo_enabled = _disable_depth == 0
+            """
+        )
+        assert "RACE003" not in ids
+
+    def test_non_toggle_contextmanager_not_flagged(self, rule_ids):
+        ids = rule_ids(
+            """
+            from contextlib import contextmanager
+
+            @contextmanager
+            def open_session():
+                session = object()
+                try:
+                    yield session
+                finally:
+                    del session
+            """
+        )
+        assert "RACE003" not in ids
+
+
+class TestDet010SeedTaint:
+    def test_rng_from_config_count_flagged(self, check):
+        findings = check(
+            """
+            import numpy as np
+
+            def build(config):
+                return np.random.default_rng(config.node_count)
+            """
+        )
+        det = [f for f in findings if f.rule_id == "DET010"]
+        assert len(det) == 1
+
+    def test_rng_from_seed_param_clean(self, rule_ids):
+        ids = rule_ids(
+            """
+            import numpy as np
+
+            def build(seed):
+                return np.random.default_rng(seed)
+            """
+        )
+        assert "DET010" not in ids
+
+    def test_rng_from_derive_seed_clean(self, rule_ids):
+        ids = rule_ids(
+            """
+            import numpy as np
+
+            from repro.util.rng import derive_seed
+
+            def build(root_seed, name):
+                return np.random.default_rng(derive_seed(root_seed, name))
+            """
+        )
+        assert "DET010" not in ids
+
+    def test_taint_flows_through_local_helper(self, rule_ids):
+        # Transitive: the helper returns a value derived from its
+        # seed-ish parameter, so the ctor argument is tainted.
+        ids = rule_ids(
+            """
+            import numpy as np
+
+            def child_seed(seed):
+                return seed * 2 + 1
+
+            def build(seed):
+                return np.random.default_rng(child_seed(seed))
+            """
+        )
+        assert "DET010" not in ids
+
+    def test_mixing_seed_with_unknown_data_flagged(self, rule_ids):
+        # The lattice is conservative: combining a seed with a value of
+        # unknown provenance yields unknown, not seed.
+        ids = rule_ids(
+            """
+            import numpy as np
+
+            def build(seed, config):
+                return np.random.default_rng(seed + config.node_count)
+            """
+        )
+        assert "DET010" in ids
+
+    def test_untainted_helper_return_flagged(self, rule_ids):
+        ids = rule_ids(
+            """
+            import numpy as np
+
+            def pick():
+                return 1234
+
+            def scale(config):
+                return config.width * 2
+
+            def build(config):
+                return np.random.default_rng(scale(config))
+            """
+        )
+        assert "DET010" in ids
+
+    def test_allowlisted_module_exempt(self, rule_ids):
+        ids = rule_ids(
+            """
+            import numpy as np
+
+            def build(config):
+                return np.random.default_rng(config.node_count)
+            """,
+            module="repro.util.rng",
+        )
+        assert "DET010" not in ids

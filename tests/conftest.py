@@ -1,0 +1,32 @@
+"""Repo-wide test hooks.
+
+``REPRO_DYNRACE=1`` turns every test into a dynamic race-validation
+run: the containers the static RACE pass flags (and the tree suppresses
+with phase-barrier pragmas) are wrapped in the Eraser-style lockset
+monitor from :mod:`repro.analysis.dynrace`, and any observed race —
+i.e. any suppression whose stated invariant failed to hold on the live
+schedule — fails the test.  ``make race`` runs the chaos and
+parallel-equivalence suites under this hook.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _dynrace_validation():
+    if not os.environ.get("REPRO_DYNRACE"):
+        yield
+        return
+    from repro.analysis import dynrace
+
+    with dynrace.validating() as monitor:
+        yield
+    races = monitor.races
+    assert races == [], (
+        "dynamic races (a RACE suppression's invariant did not hold):\n"
+        + "\n".join(r.render() for r in races)
+    )
