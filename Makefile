@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-e2e-smoke bench-query chaos lint lint-json obs-report race
+.PHONY: test bench bench-quick bench-e2e-smoke bench-query chaos lifecycle lint lint-json obs-report race
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +26,14 @@ bench-quick:
 bench-e2e-smoke:
 	$(PYTHON) benchmarks/bench_e2e.py --quick \
 		--out .bench_e2e_smoke.json --check-against BENCH_e2e.json
+
+# Tier lifecycle suite: crash-safe compaction commit protocol, sorted
+# rewrites, demotion/freeze policies, materialized Gold rollups, and
+# the crash-mid-compaction chaos harness — see DESIGN.md §15.
+lifecycle:
+	$(PYTHON) -m pytest -x -q tests/storage/test_compaction.py \
+		tests/storage/test_lifecycle.py tests/storage/test_rollup.py \
+		tests/integration/test_lifecycle_chaos.py
 
 # Read-plane benchmark: planned scans (manifest + row-group pruning,
 # dict pushdown, row-group cache, parallel units) vs. the

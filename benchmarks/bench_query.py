@@ -13,7 +13,12 @@ panel of dashboard-style selective queries three ways:
 
 Every query's output must be identical across all three configurations;
 repetitions are interleaved and summarized by the median of per-rep
-ratios, as in ``bench_e2e.py``.  Writes ``BENCH_query.json``::
+ratios, as in ``bench_e2e.py``.
+
+A second phase measures the tier lifecycle's compaction win: the same
+selective queries on a small-object sprawl store before and after
+``TieredStore.compact`` (byte-identical outputs required), reported
+under the ``compaction`` key.  Writes ``BENCH_query.json``::
 
     PYTHONPATH=src python benchmarks/bench_query.py            # full shape
     PYTHONPATH=src python benchmarks/bench_query.py --quick    # CI-sized
@@ -173,6 +178,113 @@ def check_identical(panel, base_outputs, outputs, label):
             )
 
 
+def sprawl_panel():
+    """Full-horizon selective queries — the workload small-object sprawl
+    hurts.  Time-windowed queries stay out: hourly parts already prune
+    those at the manifest level, compacted or not (that is the main
+    panel's story).  Here every part survives part-level pruning, so
+    the pre-compaction store pays per-object costs (a fetch, a footer
+    parse, a plan unit, ragged final row groups) once per part."""
+
+    def project_history(store, options):
+        return store.query_archive(
+            DATASET,
+            predicate=Col("project") == "PRJC",
+            columns=["timestamp", "input_power"],
+            options=options,
+        )
+
+    def node_history(store, options):
+        return store.query_archive(
+            DATASET,
+            predicate=IsIn("node", (3.0, 7.0)),
+            columns=["timestamp", "node", "input_power"],
+            options=options,
+        )
+
+    def hot_rows(store, options):
+        return store.query_archive(
+            DATASET,
+            predicate=Col("input_power") > 450.0,
+            columns=["timestamp", "node", "input_power"],
+            options=options,
+        )
+
+    return [
+        ("project_history", project_history),
+        ("node_history", node_history),
+        ("hot_rows", hot_rows),
+    ]
+
+
+def run_compaction_phase(args):
+    """Time selective archive queries on a small-object sprawl store,
+    compact it, and time them again.
+
+    The sprawl shape (many small ragged parts) is what streaming ingest
+    leaves behind; the lifecycle compactor's one time-clustered part
+    with full row groups should serve the same queries faster — with
+    byte-identical outputs, which this phase asserts every rep.
+    """
+    # Parts far smaller than a row group — the sprawl streaming ingest
+    # actually leaves behind (every part a single ragged group).
+    parts, rows = (32, 1000) if args.quick else (256, 750)
+    rng = np.random.default_rng(5678)
+    store, _ = build_store(parts, rows, args.row_group, rng)
+    panel = sprawl_panel()
+    options = ScanOptions(executor="serial")
+
+    def time_panel():
+        walls = {name: [] for name, _ in panel}
+        outputs = {}
+        for _ in range(args.repeat):
+            reset_all()
+            for name, fn in panel:
+                t0 = time.perf_counter()
+                out = fn(store, options)
+                walls[name].append(time.perf_counter() - t0)
+                outputs[name] = out
+        return walls, outputs
+
+    pre_walls, pre_outputs = time_panel()
+    merged = store.compact(DATASET, min_objects=2)
+    parts_after = len(store.ocean.list(store.OCEAN_BUCKET, prefix=f"{DATASET}/"))
+    post_walls, post_outputs = time_panel()
+    check_identical(panel, pre_outputs, post_outputs, "post-compaction")
+
+    queries = {}
+    for name, _ in panel:
+        ratios = [
+            pre / post if post else float("inf")
+            for pre, post in zip(pre_walls[name], post_walls[name])
+        ]
+        queries[name] = {
+            "wall_s_median_pre": statistics.median(pre_walls[name]),
+            "wall_s_median_post": statistics.median(post_walls[name]),
+            "speedup": statistics.median(ratios),
+        }
+    overall = statistics.median([q["speedup"] for q in queries.values()])
+    print(f"\ncompaction phase ({parts} parts -> {parts_after}):")
+    for name, q in queries.items():
+        print(f"  {name:15s} post-compaction {q['speedup']:6.2f}x")
+    return {
+        "shape": {
+            "parts": parts,
+            "rows_per_part": rows,
+            "row_group_size": args.row_group,
+            "repeat": args.repeat,
+            "seed": 5678,
+        },
+        "parts_before": merged["merged"],
+        "parts_after": parts_after,
+        "bytes_before": merged["bytes_before"],
+        "bytes_after": merged["bytes_after"],
+        "outputs_identical": True,
+        "speedup_median": overall,
+        "queries": queries,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--parts", type=int, default=None,
@@ -263,6 +375,7 @@ def main(argv=None) -> int:
         "speedup_median": overall,
         "queries": queries,
         "scan_counters": last_counters,
+        "compaction": run_compaction_phase(args),
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nmedian speedup {overall:.2f}x  -> {args.out}")

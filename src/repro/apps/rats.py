@@ -139,6 +139,7 @@ class RatsReport:
         dataset: str,
         t0: float | None = None,
         t1: float | None = None,
+        rollup: str | None = None,
     ) -> ColumnTable:
         """Per-node power summary over *archived* (OCEAN) telemetry.
 
@@ -147,9 +148,29 @@ class RatsReport:
         path (``tiers.query_archive``), so a month-long report over
         years of parts only fetches and decodes what the manifests and
         row-group stats cannot exclude.
+
+        When ``rollup`` names a registered materialized rollup keyed on
+        ``node`` over the power column, the full-archive report is
+        served straight from its precomputed partials — no part is
+        fetched or decoded at all.  Rollups cover the whole archive, so
+        a bounded ``[t0, t1)`` window still takes the scan path.
         """
         from repro.pipeline.ops import group_by_agg
 
+        if rollup is not None:
+            if t0 is not None or t1 is not None:
+                raise ValueError(
+                    "rollup-backed reports cover the full archive; "
+                    "pass t0=t1=None or drop the rollup"
+                )
+            agg = tiers.query_rollup(rollup)
+            return ColumnTable(
+                {
+                    "node": agg["node"],
+                    "mean_power_w": agg["mean"],
+                    "samples": agg["count"],
+                }
+            )
         window = tiers.query_archive(
             dataset, t0, t1, columns=["timestamp", "node", "input_power"]
         )

@@ -265,6 +265,30 @@ class UserAssistanceDashboard:
             ]
         return []
 
+    # -- fleet-wide summaries ----------------------------------------------------------
+
+    def fleet_power_summary(
+        self, tiers, rollup: str = "power.silver.node_power"
+    ) -> ColumnTable:
+        """Fleet-wide per-node power panel from a materialized rollup.
+
+        The dashboard's landing view ("which nodes run hot?") spans the
+        whole archive, which a scan would pay for on every page load.
+        This serves it from the lifecycle manager's incrementally
+        maintained Gold rollup instead: columns ``node``,
+        ``mean_power_w``, ``peak_power_w``, ``samples``, straight from
+        the precomputed partials.
+        """
+        agg = tiers.query_rollup(rollup)
+        return ColumnTable(
+            {
+                "node": agg["node"],
+                "mean_power_w": agg["mean"],
+                "peak_power_w": agg["max"],
+                "samples": agg["count"],
+            }
+        )
+
     # -- the ODA's own health ("ODA for the ODA") --------------------------------------
 
     def framework_health(

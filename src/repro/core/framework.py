@@ -124,6 +124,19 @@ class DataPlaneOptions:
         chain into the ``oda_health.silver`` dataset.  Off by default:
         the loop adds a dataset to the tier footprint, which strict
         footprint comparisons against non-observed runs would notice.
+    lifecycle:
+        Run the tier lifecycle manager (sweep + retention + compaction,
+        see :class:`repro.storage.lifecycle.LifecycleManager`) between
+        windows of :meth:`ODAFramework.run`, driven by window-boundary
+        simulated time — never the wall clock — so managed runs stay
+        replayable.  Also registers the default ``power.silver``
+        per-node power rollup the UA dashboard and RATS serve from.
+        Off by default: ticks rewrite OCEAN parts, which strict
+        footprint/part-count comparisons against unmanaged runs would
+        notice.
+    lifecycle_every_s:
+        Minimum simulated seconds between lifecycle ticks.  ``None``
+        (default) ticks after every window.
     """
 
     batched: bool = True
@@ -132,6 +145,8 @@ class DataPlaneOptions:
     reference_emit: bool = False
     pipeline: str = "auto"
     self_telemetry: bool = False
+    lifecycle: bool = False
+    lifecycle_every_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.executor not in ("auto", "serial", "threads"):
@@ -145,6 +160,11 @@ class DataPlaneOptions:
             )
         if self.max_workers is not None and self.max_workers <= 0:
             raise ValueError("max_workers must be positive")
+        if self.lifecycle_every_s is not None:
+            if not self.lifecycle:
+                raise ValueError("lifecycle_every_s requires lifecycle=True")
+            if self.lifecycle_every_s <= 0:
+                raise ValueError("lifecycle_every_s must be positive")
 
     def resolve_executor(self) -> str:
         """The concrete executor: ``"auto"`` resolved against the host."""
@@ -317,6 +337,24 @@ class ODAFramework:
             )
             self._health_catalog = health_catalog(
                 list(HEALTH_SENSORS), sample_period_s=silver_interval_s
+            )
+
+        # Tier lifecycle: always constructed (callers may tick it by
+        # hand), scheduled from run() only when options.lifecycle is on.
+        from repro.storage.lifecycle import LifecycleManager
+
+        self.lifecycle = LifecycleManager(self.tiers)
+        self._next_lifecycle_at: float | None = None
+        if self.options.lifecycle:
+            from repro.storage.rollup import RollupSpec
+
+            self.tiers.add_rollup(
+                RollupSpec(
+                    name="power.silver.node_power",
+                    source="power.silver",
+                    keys=("node",),
+                    value="input_power",
+                )
             )
 
         self.windows: list[WindowSummary] = []
@@ -596,6 +634,12 @@ class ODAFramework:
         put) run on the ingest thread while window k+1 computes —
         byte-identical to the serial schedule (see
         :class:`DataPlaneOptions`).
+
+        With ``options.lifecycle`` on, the lifecycle manager ticks
+        between windows at each due window's end time (simulated time,
+        so runs replay deterministically); the pipelined schedule
+        drains that window's deferred tier writes first, so a tick
+        never races the ingest thread.
         """
         if window_s <= 0:
             raise ValueError("window_s must be positive")
@@ -604,9 +648,33 @@ class ODAFramework:
         while t < t1:
             bounds.append((t, min(t + window_s, t1)))
             t += window_s
+        if (
+            self.options.lifecycle
+            and self.options.lifecycle_every_s is not None
+            and self._next_lifecycle_at is None
+        ):
+            self._next_lifecycle_at = t0 + self.options.lifecycle_every_s
         if self.options.resolve_pipeline() == "off" or len(bounds) <= 1:
-            return [self.run_window(a, b) for a, b in bounds]
+            summaries = []
+            for a, b in bounds:
+                summaries.append(self.run_window(a, b))
+                if self._lifecycle_due(b):
+                    self._run_lifecycle(b)
+            return summaries
         return self._run_pipelined(bounds)
+
+    def _lifecycle_due(self, t_end: float) -> bool:
+        """Is a lifecycle tick scheduled at this window boundary?"""
+        if not self.options.lifecycle:
+            return False
+        if self.options.lifecycle_every_s is None:
+            return True
+        return self._next_lifecycle_at is not None and t_end >= self._next_lifecycle_at
+
+    def _run_lifecycle(self, t_end: float) -> None:
+        self.lifecycle.tick(t_end)
+        if self.options.lifecycle_every_s is not None:
+            self._next_lifecycle_at = t_end + self.options.lifecycle_every_s
 
     def _run_pipelined(
         self, bounds: list[tuple[float, float]]
@@ -653,6 +721,14 @@ class ODAFramework:
                     self._prefetched = None
                     self._ingest_sink = None
                 ingest_futures.append(ingest_pool.submit(flush_task(ops)))
+                if self._lifecycle_due(b):
+                    # The tick rewrites OCEAN parts, so this window's
+                    # deferred tier writes must land first; waiting on
+                    # the ingest future also pins the tick at the exact
+                    # point the serial schedule runs it, keeping both
+                    # schedules byte-identical.
+                    ingest_futures[-1].result()
+                    self._run_lifecycle(b)
                 if len(ingest_futures) >= 2:
                     ingest_futures[-2].result()
             for f in ingest_futures:

@@ -199,9 +199,17 @@ class TornCheckpointStore:
 
 class FaultyObjectStore:
     """An :class:`~repro.storage.object_store.ObjectStore` front that
-    injects transient write faults at the put site."""
+    injects faults at the put and delete sites.
+
+    Both sites fire *before* delegating, so a ``CRASH`` models a process
+    death in which the operation never reached the store — the windows
+    the tier rewrite protocol (DESIGN.md §15) must survive: a crash at
+    ``tier.put`` loses an uncommitted rewrite, a crash at
+    ``tier.delete`` strands a superseded part for the recovery sweep.
+    """
 
     SITE_PUT = "tier.put"
+    SITE_DELETE = "tier.delete"
 
     def __init__(self, inner: "ObjectStore", injector: FaultInjector) -> None:
         self.inner = inner
@@ -213,3 +221,7 @@ class FaultyObjectStore:
     def put(self, bucket: str, key: str, data: bytes, **kwargs: Any) -> "ObjectMeta":
         self.injector.fire(self.SITE_PUT)
         return self.inner.put(bucket, key, data, **kwargs)
+
+    def delete(self, bucket: str, key: str) -> None:
+        self.injector.fire(self.SITE_DELETE)
+        self.inner.delete(bucket, key)

@@ -21,7 +21,9 @@ storage in a frozen state", §VI-B).
 from repro.storage.object_store import ObjectMeta, ObjectStore
 from repro.storage.lake import TimeSeriesLake
 from repro.storage.glacier import TapeArchive
+from repro.storage.lifecycle import LifecycleManager
 from repro.storage.logstore import LogDocument, LogStore
+from repro.storage.rollup import GoldRollup, RollupSpec
 from repro.storage.tiers import (
     DEFAULT_POLICIES,
     DataClass,
@@ -34,8 +36,11 @@ __all__ = [
     "ObjectMeta",
     "TimeSeriesLake",
     "TapeArchive",
+    "LifecycleManager",
     "LogStore",
     "LogDocument",
+    "GoldRollup",
+    "RollupSpec",
     "TieredStore",
     "TierPolicy",
     "DataClass",

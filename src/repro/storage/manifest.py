@@ -14,6 +14,16 @@ part at put time (the S3-tags idiom):
 * ``digest`` — the part's content digest (the row-group cache token),
   letting compaction and retention release cache memory for deleted
   parts without re-reading them.
+* ``spans`` — the part's retention provenance: an ascending list of
+  ``(created_at, n_rows)`` runs recording which ingest batch each row
+  block came from.  A freshly ingested part is one span; a compacted
+  part carries one span per merged ingest epoch, in row order, so
+  retention can expire exactly the rows the uncompacted store would
+  have expired (see :mod:`repro.storage.lifecycle`).
+* ``replaces`` — the commit record of the crash-safe rewrite protocol:
+  the part keys this object supersedes.  A key named in *any* present
+  part's ``replaces`` is dead the instant the replacing put lands; the
+  later deletes are pure garbage collection, resumable after a crash.
 
 Parts written before this manifest existed simply lack the keys; every
 reader here degrades to None and the planner treats None as
@@ -32,11 +42,17 @@ __all__ = [
     "STATS_META_KEY",
     "COLUMNS_META_KEY",
     "DIGEST_META_KEY",
+    "SPANS_META_KEY",
+    "REPLACES_META_KEY",
     "table_stats",
     "stats_to_meta",
     "stats_from_meta",
     "columns_to_meta",
     "columns_from_meta",
+    "spans_to_meta",
+    "spans_from_meta",
+    "replaces_to_meta",
+    "replaces_from_meta",
     "blob_token",
     "part_meta",
 ]
@@ -44,6 +60,8 @@ __all__ = [
 STATS_META_KEY = "stats"
 COLUMNS_META_KEY = "columns"
 DIGEST_META_KEY = "digest"
+SPANS_META_KEY = "spans"
+REPLACES_META_KEY = "replaces"
 
 
 def table_stats(table: ColumnTable) -> dict:
@@ -105,6 +123,54 @@ def columns_from_meta(raw: str | None) -> list[str] | None:
     if not isinstance(dec, list):
         return None
     return [str(n) for n in dec]
+
+
+def spans_to_meta(spans: list[tuple[float, int]]) -> str:
+    """JSON-encode a part's retention spans (``(created_at, n_rows)``
+    runs in row order) for ``user_meta``."""
+    return json.dumps(
+        [[float(t), int(n)] for t, n in spans], separators=(",", ":")
+    )
+
+
+def spans_from_meta(raw: str | None) -> list[tuple[float, int]] | None:
+    """Decode a ``spans`` metadata value (None when absent/mangled).
+
+    A part without decodable spans is treated as one opaque ingest epoch
+    stamped with the object's ``created_at`` — exactly the pre-lifecycle
+    retention granularity — so legacy parts stay correct."""
+    if not raw:
+        return None
+    try:
+        dec = json.loads(raw)
+    except ValueError:
+        return None
+    if not isinstance(dec, list):
+        return None
+    out: list[tuple[float, int]] = []
+    for item in dec:
+        if not isinstance(item, list) or len(item) != 2:
+            return None
+        out.append((float(item[0]), int(item[1])))
+    return out
+
+
+def replaces_to_meta(keys: list[str]) -> str:
+    """JSON-encode the part keys a rewrite supersedes."""
+    return json.dumps([str(k) for k in keys], separators=(",", ":"))
+
+
+def replaces_from_meta(raw: str | None) -> list[str] | None:
+    """Decode a ``replaces`` metadata value (None when absent/mangled)."""
+    if not raw:
+        return None
+    try:
+        dec = json.loads(raw)
+    except ValueError:
+        return None
+    if not isinstance(dec, list):
+        return None
+    return [str(k) for k in dec]
 
 
 def blob_token(blob: bytes) -> str:

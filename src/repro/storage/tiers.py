@@ -14,6 +14,16 @@ matching the paper's policy of serving refined data hot while freezing
 raw Bronze ("there was very little value in serving unrefined data sets
 in hotter data tiers", §VI-B).  :meth:`TieredStore.enforce` performs the
 age-out migrations and returns a report the Fig. 5 bench prints.
+
+OCEAN rewrites (compaction, partial retention) follow a crash-safe
+commit protocol.  A rewrite puts the replacement part *first*, carrying
+the keys it supersedes in its ``replaces`` manifest entry — that single
+put is the commit point.  Readers compute the live part set as "present
+keys minus every key any present part replaces", so a crash between the
+put and the old-part deletes can never surface duplicate rows; the
+deletes are pure garbage collection, resumed by
+:meth:`TieredStore.sweep_superseded` after restart.  DESIGN.md §15 walks
+through the protocol and its failure windows.
 """
 
 from __future__ import annotations
@@ -21,6 +31,8 @@ from __future__ import annotations
 import enum
 import threading
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.columnar.file_format import RcfReader, read_table, write_table
 from repro.columnar.predicate import Predicate
@@ -37,6 +49,7 @@ from repro.storage import manifest
 from repro.storage.glacier import TapeArchive
 from repro.storage.lake import TimeSeriesLake
 from repro.storage.object_store import ObjectMeta, ObjectStore
+from repro.storage.rollup import GoldRollup, RollupSpec
 
 __all__ = ["DataClass", "TierPolicy", "TieredStore", "DEFAULT_POLICIES"]
 
@@ -64,6 +77,13 @@ class TierPolicy:
     glacier: bool  # archive on ocean age-out (vs delete)
     codec: str = "fast"
     row_group_size: int = 65_536
+    #: Minimum live OCEAN parts before the lifecycle compactor rewrites
+    #: a dataset (the one-shot :meth:`TieredStore.compact` default).
+    compact_min_parts: int = 4
+    #: Bronze-freeze: for ``glacier`` classes, age-out to GLACIER after
+    #: this many seconds even if ``ocean_retention_s`` has not elapsed
+    #: (the §VI-B "freeze raw data early" lever).  ``None`` disables.
+    freeze_after_s: float | None = None
 
     def __post_init__(self) -> None:
         for v in (self.lake_retention_s, self.ocean_retention_s):
@@ -71,6 +91,10 @@ class TierPolicy:
                 raise ValueError("retention must be positive or None")
         if self.row_group_size <= 0:
             raise ValueError("row_group_size must be positive")
+        if self.compact_min_parts < 2:
+            raise ValueError("compact_min_parts must be at least 2")
+        if self.freeze_after_s is not None and self.freeze_after_s <= 0:
+            raise ValueError("freeze_after_s must be positive or None")
 
 
 DEFAULT_POLICIES: dict[DataClass, TierPolicy] = {
@@ -139,8 +163,11 @@ class TieredStore:
         self._datasets: dict[str, _DatasetMeta] = {}
         # ``register`` may run on the window thread while deferred tier
         # writes resolve datasets on the pipelined ingest thread; all
-        # registry access goes through this lock.
+        # registry access — including part-number allocation — goes
+        # through this lock.
         self._registry_lock = threading.Lock()
+        self._rollups: dict[str, GoldRollup] = {}
+        self._rollup_lock = threading.Lock()
 
     # -- dataset registry -------------------------------------------------------
 
@@ -162,6 +189,19 @@ class TieredStore:
                 return self._datasets[name]
         except KeyError:
             raise KeyError(f"dataset {name!r} not registered") from None
+
+    def _allocate_part(self, meta: _DatasetMeta) -> int:
+        """Claim the next part number for a dataset.
+
+        Pipelined ingest and the lifecycle compactor both mint part
+        keys; the increment must happen under the registry lock or two
+        writers can claim the same number and the second put silently
+        shadow the first part.
+        """
+        with self._registry_lock:
+            part = meta.next_part
+            meta.next_part = part + 1
+        return part
 
     # -- ingest -------------------------------------------------------------------
 
@@ -191,13 +231,15 @@ class TieredStore:
             )
             placed["lake"] = True
         if policy.ocean_retention_s is not None:
-            key = f"{name}/part-{meta.next_part:08d}.rcf"
-            meta.next_part += 1
+            key = f"{name}/part-{self._allocate_part(meta):08d}.rcf"
             blob = write_table(
                 table, codec=policy.codec, row_group_size=policy.row_group_size
             )
             user_meta = {"dataset": name, "class": meta.data_class.value}
             user_meta.update(manifest.part_meta(table, blob))
+            user_meta[manifest.SPANS_META_KEY] = manifest.spans_to_meta(
+                [(now, table.num_rows)]
+            )
             call_with_retry(
                 lambda: self.ocean.put(
                     self.OCEAN_BUCKET,
@@ -209,8 +251,50 @@ class TieredStore:
                 policy=self.retry_policy,
                 site="tier.ocean.put",
             )
+            self._rollup_observe(name, key, table)
             placed["ocean"] = True
         return placed
+
+    # -- live part set ------------------------------------------------------------
+
+    @staticmethod
+    def _superseded(metas: list[ObjectMeta]) -> set[str]:
+        """Keys tombstoned by any present part's ``replaces`` record.
+
+        The union runs over *all* present parts, dead or alive: a
+        superseded part's own ``replaces`` still counts, so a
+        half-collected rewrite chain cannot resurrect its grandparents.
+        """
+        dead: set[str] = set()
+        for m in metas:
+            rep = manifest.replaces_from_meta(
+                m.user_meta.get(manifest.REPLACES_META_KEY)
+            )
+            if rep:
+                dead.update(rep)
+        return dead
+
+    def _live_parts(self, name: str) -> list[ObjectMeta]:
+        """A dataset's OCEAN parts minus superseded ones (key order)."""
+        metas = self.ocean.list(self.OCEAN_BUCKET, prefix=f"{name}/")
+        dead = self._superseded(metas)
+        return [m for m in metas if m.key not in dead]
+
+    def _part_spans(
+        self, obj: ObjectMeta, num_rows: int | None = None
+    ) -> list[tuple[float, int]] | None:
+        """A part's retention spans, or None for legacy/mangled
+        manifests (the part then ages as one block under its
+        ``created_at``).  When the caller knows the row count, spans
+        that fail to cover it are rejected the same way."""
+        spans = manifest.spans_from_meta(
+            obj.user_meta.get(manifest.SPANS_META_KEY)
+        )
+        if spans is None or not spans:
+            return None
+        if num_rows is not None and sum(n for _, n in spans) != num_rows:
+            return None
+        return spans
 
     # -- query --------------------------------------------------------------------
 
@@ -255,6 +339,10 @@ class TieredStore:
         pruning, late materialization, cache, parallel units).  Under
         ``baseline_mode`` every part is fetched and the reference
         executor decodes everything.
+
+        Parts superseded by an in-flight rewrite are excluded before
+        planning, so a crash between a compaction's commit put and its
+        garbage-collection deletes never yields duplicate rows.
         """
         from repro.obs import TRACER
         from repro.perf import PERF
@@ -276,7 +364,7 @@ class TieredStore:
     ) -> ColumnTable:
         from repro.perf import PERF
 
-        metas = self.ocean.list(self.OCEAN_BUCKET, prefix=f"{name}/")
+        metas = self._live_parts(name)
         if not metas:
             return ColumnTable({})
         if columns is None:
@@ -320,15 +408,104 @@ class TieredStore:
                 plan.columns = RcfReader(first).column_names()
         return execute_plan(plan, options)
 
+    # -- materialized rollups -----------------------------------------------------
+
+    def add_rollup(self, spec: RollupSpec) -> GoldRollup:
+        """Register a materialized rollup over a dataset's OCEAN parts.
+
+        Parts already in the store are picked up lazily on the first
+        :meth:`query_rollup` (the same reconciliation that makes the
+        rollup crash-consistent); parts ingested, compacted, or expired
+        afterwards maintain it incrementally.
+        """
+        self._meta(spec.source)  # datasets must be registered first
+        with self._rollup_lock:
+            if spec.name in self._rollups:
+                raise ValueError(f"rollup {spec.name!r} already registered")
+            ru = GoldRollup(spec, self.time_column)
+            self._rollups[spec.name] = ru
+        return ru
+
+    def rollups(self) -> dict[str, RollupSpec]:
+        """Registered rollup name -> spec."""
+        with self._rollup_lock:
+            return {n: r.spec for n, r in self._rollups.items()}
+
+    def query_rollup(self, name: str) -> ColumnTable:
+        """Serve a rollup from its materialized partials.
+
+        Reconciles against the live part set first: partials of deleted
+        parts are dropped and live parts the rollup has never seen are
+        backfilled (counted as ``rollup.parts_backfilled``), so the
+        answer is correct even right after a crash-interrupted rewrite
+        — at worst it re-aggregates a few parts, it never scans rows a
+        second time once their partial exists.
+        """
+        from repro.obs import TRACER
+        from repro.perf import PERF
+
+        with TRACER.span("tier.rollup", rollup=name):
+            with PERF.timer("tier.query_rollup"):
+                return self._query_rollup_impl(name)
+
+    def _query_rollup_impl(self, name: str) -> ColumnTable:
+        from repro.perf import PERF
+
+        with self._rollup_lock:
+            try:
+                ru = self._rollups[name]
+            except KeyError:
+                raise KeyError(f"rollup {name!r} not registered") from None
+        live = {m.key for m in self._live_parts(ru.spec.source)}
+        seen = ru.part_keys()
+        for key in seen - live:
+            ru.drop_part(key)
+        backfilled = 0
+        for key in sorted(live - seen):
+            blob = self.ocean.get(self.OCEAN_BUCKET, key)
+            ru.observe_part(key, read_table(blob))
+            backfilled += 1
+        if backfilled:
+            PERF.count("rollup.parts_backfilled", backfilled)
+        return ru.merged()
+
+    def _rollups_for(self, source: str) -> list[GoldRollup]:
+        with self._rollup_lock:
+            return [r for r in self._rollups.values() if r.spec.source == source]
+
+    def _rollup_observe(self, name: str, key: str, table: ColumnTable) -> None:
+        for ru in self._rollups_for(name):
+            ru.observe_part(key, table)
+
+    def _rollup_drop(self, key: str) -> None:
+        with self._rollup_lock:
+            rollups = list(self._rollups.values())
+        for ru in rollups:
+            ru.drop_part(key)
+
     # -- retention ------------------------------------------------------------------
 
     def enforce(self, now: float) -> dict[str, int]:
         """Apply retention: LAKE segment drops, OCEAN -> GLACIER/delete.
 
+        Retention is span-aware: a compacted part records which ingest
+        epoch each row block came from, so a part that straddles the
+        horizon is *split* — the expired prefix is archived (glacier
+        classes) and a remainder part is rewritten under the crash-safe
+        ``replaces`` protocol — instead of the whole part surviving
+        under its newest row's clock.  Glacier classes with
+        ``freeze_after_s`` set age out at the earlier of retention and
+        freeze (Bronze-freeze).
+
         Returns counters: ``lake_segments_dropped``, ``ocean_archived``,
-        ``ocean_deleted``.
+        ``ocean_deleted``, ``ocean_rewritten``.
         """
-        report = {"lake_segments_dropped": 0, "ocean_archived": 0, "ocean_deleted": 0}
+        report = {
+            "lake_segments_dropped": 0,
+            "ocean_archived": 0,
+            "ocean_deleted": 0,
+            "ocean_rewritten": 0,
+        }
         with self._registry_lock:
             registered = list(self._datasets.items())
         for name, meta in registered:
@@ -339,19 +516,100 @@ class TieredStore:
                 )
             if policy.ocean_retention_s is None:
                 continue
-            horizon = now - policy.ocean_retention_s
-            for obj in self.ocean.list(self.OCEAN_BUCKET, prefix=f"{name}/"):
-                if obj.created_at >= horizon:
-                    continue
-                if policy.glacier and not self.glacier.exists(obj.key):
-                    blob = self.ocean.get(self.OCEAN_BUCKET, obj.key)
-                    self.glacier.archive(obj.key, blob, created_at=obj.created_at)
-                    report["ocean_archived"] += 1
+            age_out_s = policy.ocean_retention_s
+            if policy.glacier and policy.freeze_after_s is not None:
+                age_out_s = min(age_out_s, policy.freeze_after_s)
+            horizon = now - age_out_s
+            for obj in self._live_parts(name):
+                spans = self._part_spans(obj)
+                if spans is None:
+                    expired = 0 if obj.created_at >= horizon else 1
+                    whole = expired == 1
                 else:
-                    report["ocean_deleted"] += 1
-                self.ocean.delete(self.OCEAN_BUCKET, obj.key)
-                invalidate_token(self._part_token(obj))
+                    expired = sum(1 for created, _ in spans if created < horizon)
+                    whole = expired == len(spans)
+                if expired == 0:
+                    continue
+                if whole:
+                    blob = None
+                    if policy.glacier and not self.glacier.exists(obj.key):
+                        blob = self.ocean.get(self.OCEAN_BUCKET, obj.key)
+                        self.glacier.archive(
+                            obj.key, blob, created_at=obj.created_at
+                        )
+                        report["ocean_archived"] += 1
+                    else:
+                        report["ocean_deleted"] += 1
+                    self._delete_part(obj, blob)
+                else:
+                    self._split_expired(name, meta, policy, obj, spans, expired)
+                    report["ocean_rewritten"] += 1
         return report
+
+    def _split_expired(
+        self,
+        name: str,
+        meta: _DatasetMeta,
+        policy: TierPolicy,
+        obj: ObjectMeta,
+        spans: list[tuple[float, int]],
+        n_expired: int,
+    ) -> None:
+        """Rewrite a part that straddles the retention horizon.
+
+        Because compaction sorts rows by (ingest epoch, time), expired
+        spans are always a row prefix.  Commit order matters: (1)
+        archive the expired slice to GLACIER under ``key@expired``
+        (exists-guarded, so a crashed attempt retries idempotently),
+        (2) put the remainder part with ``replaces=[key]`` — the commit
+        point, (3) delete the old part.  A crash anywhere leaves every
+        row in exactly one live place.
+        """
+        blob = self.ocean.get(self.OCEAN_BUCKET, obj.key)
+        table = read_table(blob)
+        if self._part_spans(obj, table.num_rows) is None:
+            # Spans do not cover the rows after all: age the part as
+            # one legacy block on a later pass rather than mis-slice.
+            return
+        cut = sum(n for _, n in spans[:n_expired])
+        if policy.glacier:
+            archive_key = f"{obj.key}@expired"
+            if not self.glacier.exists(archive_key):
+                expired_blob = write_table(
+                    table.slice(0, cut),
+                    codec=policy.codec,
+                    row_group_size=policy.row_group_size,
+                )
+                self.glacier.archive(
+                    archive_key,
+                    expired_blob,
+                    created_at=spans[n_expired - 1][0],
+                )
+        remainder = table.slice(cut, table.num_rows)
+        rem_spans = spans[n_expired:]
+        key = f"{name}/part-{self._allocate_part(meta):08d}.rcf"
+        rem_blob = write_table(
+            remainder, codec=policy.codec, row_group_size=policy.row_group_size
+        )
+        user_meta = {"dataset": name, "class": meta.data_class.value}
+        user_meta.update(manifest.part_meta(remainder, rem_blob))
+        user_meta[manifest.SPANS_META_KEY] = manifest.spans_to_meta(rem_spans)
+        user_meta[manifest.REPLACES_META_KEY] = manifest.replaces_to_meta(
+            [obj.key]
+        )
+        call_with_retry(
+            lambda: self.ocean.put(
+                self.OCEAN_BUCKET,
+                key,
+                rem_blob,
+                created_at=rem_spans[-1][0],
+                user_meta=user_meta,
+            ),
+            policy=self.retry_policy,
+            site="tier.ocean.put",
+        )
+        self._rollup_observe(name, key, remainder)
+        self._delete_part(obj, blob)
 
     def _part_token(self, obj: ObjectMeta, blob: bytes | None = None) -> str:
         """A part's row-group cache token: the persisted digest, or one
@@ -364,49 +622,151 @@ class TieredStore:
             return manifest.blob_token(blob)
         return ""
 
+    def _delete_part(self, obj: ObjectMeta, blob: bytes | None = None) -> None:
+        """Delete one OCEAN part and release everything keyed on it.
+
+        Pre-manifest parts carry no persisted digest, so the blob must
+        be in hand *before* the delete to compute the row-group cache
+        token — otherwise the dead part's decoded groups linger in the
+        cache until eviction.
+        """
+        if blob is None and not obj.user_meta.get(manifest.DIGEST_META_KEY):
+            blob = self.ocean.get(self.OCEAN_BUCKET, obj.key)
+        self.ocean.delete(self.OCEAN_BUCKET, obj.key)
+        invalidate_token(self._part_token(obj, blob))
+        self._rollup_drop(obj.key)
+
     # -- maintenance ------------------------------------------------------------------
 
+    def sweep_superseded(self, name: str | None = None) -> int:
+        """Garbage-collect parts superseded by a committed rewrite.
+
+        This is the recovery half of the rewrite protocol: after a
+        crash between a rewrite's commit put and its deletes, the old
+        parts are still present but tombstoned.  Deletion runs
+        bottom-up — a superseded part is removed only once every key
+        *it* replaces is gone, so removing a mid-chain part can never
+        resurrect its grandparents — looping until a pass makes no
+        progress.  Returns the number of parts collected.
+        """
+        if name is None:
+            with self._registry_lock:
+                names = list(self._datasets)
+        else:
+            names = [name]
+        removed = 0
+        for dataset in names:
+            removed += self._sweep_one(dataset)
+        return removed
+
+    def _sweep_one(self, name: str) -> int:
+        removed = 0
+        while True:
+            metas = self.ocean.list(self.OCEAN_BUCKET, prefix=f"{name}/")
+            present = {m.key for m in metas}
+            dead = self._superseded(metas)
+            progress = False
+            for m in metas:
+                if m.key not in dead:
+                    continue
+                replaces = manifest.replaces_from_meta(
+                    m.user_meta.get(manifest.REPLACES_META_KEY)
+                )
+                if replaces and any(k in present for k in replaces):
+                    continue  # its own targets first (bottom-up)
+                self._delete_part(m)
+                present.discard(m.key)
+                progress = True
+                removed += 1
+            if not progress:
+                return removed
+
     def compact(self, name: str, min_objects: int = 4) -> dict[str, int]:
-        """Merge a dataset's OCEAN part files into one object.
+        """Merge a dataset's live OCEAN part files into one object.
 
         Streaming ingestion leaves many small objects per dataset; small
         objects hurt scan throughput and metadata overhead (the §V data
-        management lesson).  Compaction reads every part, rewrites one
-        combined RCF object at the dataset's codec, and deletes the
-        parts.  No-op unless at least ``min_objects`` parts exist.
+        management lesson).  Compaction reads every live part, sorts the
+        union by (ingest epoch, event time) — so retention spans stay
+        contiguous and zone maps over the time column get tight — and
+        commits one combined RCF object whose ``replaces`` entry
+        tombstones the inputs before they are deleted.  No-op unless at
+        least ``min_objects`` live parts exist.
 
         Returns ``{"merged": n_parts, "bytes_before": .., "bytes_after": ..}``.
         """
+        from repro.obs import TRACER
+        from repro.perf import PERF
+
+        with TRACER.span("tier.compact", dataset=name):
+            with PERF.timer("tier.compact"):
+                return self._compact_impl(name, min_objects)
+
+    def _compact_impl(self, name: str, min_objects: int) -> dict[str, int]:
         meta = self._meta(name)
         policy = self.policies[meta.data_class]
-        parts = self.ocean.list(self.OCEAN_BUCKET, prefix=f"{name}/")
+        parts = self._live_parts(name)
         if len(parts) < min_objects:
             return {"merged": 0, "bytes_before": 0, "bytes_after": 0}
         bytes_before = sum(p.size for p in parts)
         blobs = [self.ocean.get(self.OCEAN_BUCKET, p.key) for p in parts]
-        combined = ColumnTable.concat([read_table(b) for b in blobs])
-        newest = max(p.created_at for p in parts)
+        tables = [read_table(b) for b in blobs]
+        created_runs = []
+        for p, t in zip(parts, tables):
+            spans = self._part_spans(p, t.num_rows) or [(p.created_at, t.num_rows)]
+            created_runs.append(
+                np.repeat([c for c, _ in spans], [n for _, n in spans])
+            )
+        combined = ColumnTable.concat(tables)
+        created = (
+            np.concatenate(created_runs)
+            if created_runs
+            else np.empty(0, dtype=np.float64)
+        )
+        if self.time_column in combined.column_names:
+            ts = np.asarray(combined[self.time_column], dtype=np.float64)
+            order = np.lexsort((ts, created))
+        else:
+            order = np.argsort(created, kind="stable")
+        combined = combined.take(order)
+        created = created[order]
+        bounds = np.flatnonzero(np.diff(created)) + 1
+        starts = np.concatenate(([0], bounds))
+        ends = np.concatenate((bounds, [created.size]))
+        out_spans = [
+            (float(created[s]), int(e - s)) for s, e in zip(starts, ends)
+        ]
         blob = write_table(
             combined, codec=policy.codec, row_group_size=policy.row_group_size
         )
-        key = f"{name}/part-{meta.next_part:08d}.rcf"
-        meta.next_part += 1
+        key = f"{name}/part-{self._allocate_part(meta):08d}.rcf"
         user_meta = {
             "dataset": name,
             "class": meta.data_class.value,
             "compacted_from": str(len(parts)),
         }
         user_meta.update(manifest.part_meta(combined, blob))
-        self.ocean.put(
-            self.OCEAN_BUCKET,
-            key,
-            blob,
-            created_at=newest,
-            user_meta=user_meta,
+        user_meta[manifest.SPANS_META_KEY] = manifest.spans_to_meta(out_spans)
+        user_meta[manifest.REPLACES_META_KEY] = manifest.replaces_to_meta(
+            [p.key for p in parts]
         )
+        # The commit point: once this put lands, the inputs are dead —
+        # readers exclude them via ``replaces`` — and the deletes below
+        # are garbage collection that sweep_superseded can resume.
+        call_with_retry(
+            lambda: self.ocean.put(
+                self.OCEAN_BUCKET,
+                key,
+                blob,
+                created_at=float(created[-1]),
+                user_meta=user_meta,
+            ),
+            policy=self.retry_policy,
+            site="tier.ocean.put",
+        )
+        self._rollup_observe(name, key, combined)
         for p, old_blob in zip(parts, blobs):
-            self.ocean.delete(self.OCEAN_BUCKET, p.key)
-            invalidate_token(self._part_token(p, old_blob))
+            self._delete_part(p, old_blob)
         return {
             "merged": len(parts),
             "bytes_before": bytes_before,

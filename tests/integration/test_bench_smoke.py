@@ -20,6 +20,7 @@ from benchmarks.bench_e2e import CHECK_MIN_STAGE_S, check_against
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 COMMITTED = REPO_ROOT / "BENCH_e2e.json"
+COMMITTED_QUERY = REPO_ROOT / "BENCH_query.json"
 
 
 def _report(stages_base, stages_fast, identical=True):
@@ -125,3 +126,49 @@ def test_bench_e2e_smoke_gate(tmp_path):
     report = json.loads(out.read_text())
     assert report["outputs_identical"] is True
     assert report["fast"]["wall_s_median"] > 0
+
+
+@pytest.mark.skipif(
+    not COMMITTED_QUERY.exists(), reason="no committed query bench report"
+)
+def test_committed_query_report_records_compaction_win():
+    """The committed full-shape report must carry the lifecycle claim:
+    identical outputs and a net post-compaction speedup on the sprawl
+    panel.  (The quick-shape smoke below re-proves identity but not the
+    speedup — small shapes are timer-noise-bound.)"""
+    report = json.loads(COMMITTED_QUERY.read_text())
+    assert report["outputs_identical"] is True
+    compaction = report["compaction"]
+    assert compaction["outputs_identical"] is True
+    assert compaction["speedup_median"] > 1.0
+    assert compaction["parts_after"] < compaction["parts_before"]
+
+
+def test_bench_query_smoke_gate(tmp_path):
+    """Quick-shape run of the read-plane bench: every query identical
+    across baseline/serial/threads, and the compaction phase merges the
+    sprawl store with byte-identical answers."""
+    out = tmp_path / "query_smoke.json"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "bench_query.py"),
+            "--quick",
+            "--out",
+            str(out),
+        ],
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    report = json.loads(out.read_text())
+    assert report["outputs_identical"] is True
+    compaction = report["compaction"]
+    assert compaction["outputs_identical"] is True
+    assert compaction["parts_after"] < compaction["parts_before"]
+    assert set(compaction["queries"]) == {
+        "project_history", "node_history", "hot_rows",
+    }

@@ -1,0 +1,145 @@
+"""Crash-mid-compaction chaos: every injection point recovers exactly.
+
+The lifecycle rewrite protocol claims that a :class:`SimulatedCrash` at
+*any* put or delete inside a tick leaves a store that — after the
+supervised restarts of :meth:`LifecycleManager.run_with_restarts` —
+serves ``query_archive`` results byte-identical to a fault-free oracle:
+no duplicated rows while superseded parts linger, none lost once they
+are swept.  These tests enumerate every injection point of a compaction
+tick, then fuzz multi-crash schedules from seeded plans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.columnar import ColumnTable
+from repro.columnar.file_format import write_table
+from repro.faults.injector import FaultInjector, FaultyObjectStore
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.storage import DataClass, LifecycleManager, TieredStore, TierPolicy
+
+N_PARTS = 6
+#: The injector wraps the store only after ingest, so put call 1 is the
+#: compaction commit and the GC that follows is delete calls 1..N_PARTS.
+COMMIT_PUT = 1
+
+
+def batch(t_start, n=40):
+    rng = np.random.default_rng(int(t_start))
+    return ColumnTable(
+        {
+            "timestamp": t_start + np.arange(n, dtype=float),
+            "node": rng.integers(0, 8, n),
+            "value": rng.normal(100.0, 10.0, n),
+        }
+    )
+
+
+def build_store(plan=None, policy=None):
+    policies = {DataClass.SILVER: policy} if policy else None
+    ts = TieredStore(policies=policies)
+    ts.register("d", DataClass.SILVER)
+    for i in range(N_PARTS):
+        ts.ingest("d", batch(i * 100.0), now=float(i))
+    if plan is not None:
+        ts.ocean = FaultyObjectStore(ts.ocean, FaultInjector(plan))
+    return ts
+
+
+def archive_bytes(ts):
+    """The canonical byte encoding of the full archive query."""
+    return write_table(ts.scan_ocean("d"))
+
+
+def oracle_state(policy=None, now=float(N_PARTS)):
+    ts = build_store(policy=policy)
+    LifecycleManager(ts).tick(now=now)
+    return archive_bytes(ts), len(ts.ocean.list(ts.OCEAN_BUCKET, prefix="d/"))
+
+
+CRASH_POINTS = [("tier.put", COMMIT_PUT)] + [
+    ("tier.delete", i) for i in range(1, N_PARTS + 1)
+]
+
+
+class TestEveryInjectionPoint:
+    @pytest.mark.parametrize("site,at_call", CRASH_POINTS)
+    def test_single_crash_recovers_to_oracle(self, site, at_call):
+        want_bytes, want_parts = oracle_state()
+        ts = build_store(
+            FaultPlan([FaultSpec(site, FaultKind.CRASH, at_call=at_call)])
+        )
+        report, restarts = LifecycleManager(ts).run_with_restarts(
+            now=float(N_PARTS)
+        )
+        assert restarts == 1
+        assert archive_bytes(ts) == want_bytes
+        assert len(ts.ocean.list(ts.OCEAN_BUCKET, prefix="d/")) == want_parts
+
+    def test_consistent_even_before_recovery_sweep(self):
+        # Between the crash and the restart the store is already
+        # duplicate-free: the committed part's ``replaces`` record hides
+        # the not-yet-deleted inputs from every reader.
+        ts = build_store(
+            FaultPlan([FaultSpec("tier.delete", FaultKind.CRASH, at_call=1)])
+        )
+        before = archive_bytes(ts)
+        from repro.faults.errors import SimulatedCrash
+
+        with pytest.raises(SimulatedCrash):
+            ts.compact("d")
+        assert archive_bytes(ts) == before
+
+
+class TestCrashSchedules:
+    def test_compound_crash_schedule(self):
+        want_bytes, want_parts = oracle_state()
+        ts = build_store(
+            FaultPlan(
+                [
+                    FaultSpec("tier.put", FaultKind.CRASH, at_call=COMMIT_PUT),
+                    FaultSpec("tier.delete", FaultKind.CRASH, at_call=2),
+                    FaultSpec("tier.delete", FaultKind.CRASH, at_call=5),
+                ]
+            )
+        )
+        report, restarts = LifecycleManager(ts).run_with_restarts(
+            now=float(N_PARTS)
+        )
+        assert restarts == 3
+        assert archive_bytes(ts) == want_bytes
+        assert len(ts.ocean.list(ts.OCEAN_BUCKET, prefix="d/")) == want_parts
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_seeded_crash_plans(self, seed):
+        want_bytes, _ = oracle_state()
+        plan = FaultPlan.seeded(
+            seed,
+            {"tier.put": FaultKind.CRASH, "tier.delete": FaultKind.CRASH},
+            rate=0.3,
+            horizon=40,
+        )
+        ts = build_store(plan)
+        LifecycleManager(ts).run_with_restarts(now=float(N_PARTS))
+        assert archive_bytes(ts) == want_bytes
+
+    def test_crash_during_retention_split(self):
+        policy = TierPolicy(
+            lake_retention_s=None,
+            ocean_retention_s=2.5,
+            glacier=True,
+            compact_min_parts=2,
+        )
+        want_bytes, want_parts = oracle_state(policy=policy, now=5.0)
+        for at_call in range(COMMIT_PUT, COMMIT_PUT + 2):
+            ts = build_store(
+                FaultPlan(
+                    [FaultSpec("tier.put", FaultKind.CRASH, at_call=at_call)]
+                ),
+                policy=policy,
+            )
+            LifecycleManager(ts).run_with_restarts(now=5.0)
+            assert archive_bytes(ts) == want_bytes
+            assert (
+                len(ts.ocean.list(ts.OCEAN_BUCKET, prefix="d/")) == want_parts
+            )

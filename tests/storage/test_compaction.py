@@ -69,3 +69,231 @@ class TestCompaction:
         store.compact("power.silver")
         out = store.scan_ocean("power.silver", predicate=Col("node") == 3)
         assert (out["node"] == 3).all()
+
+
+class TestAtomicPartAllocation:
+    def test_concurrent_allocation_yields_unique_parts(self):
+        # Regression: ``meta.next_part += 1`` used to run outside the
+        # registry lock in both ingest and compact, so pipelined ingest
+        # racing the compactor could mint the same part key and the
+        # second put silently shadowed the first part's rows.
+        import threading
+
+        ts = TieredStore()
+        ts.register("d", DataClass.SILVER)
+        meta = ts._meta("d")
+        claimed: list[int] = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(250):
+                claimed.append(ts._allocate_part(meta))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(claimed) == list(range(8 * 250))
+        assert meta.next_part == 8 * 250
+
+    def test_concurrent_ingest_and_compact_lose_no_rows(self):
+        import threading
+
+        ts = TieredStore()
+        ts.register("d", DataClass.SILVER)
+        for i in range(6):
+            ts.ingest("d", batch(i * 100.0), now=float(i))
+        errors: list[BaseException] = []
+
+        def ingest_more():
+            try:
+                for i in range(6, 12):
+                    ts.ingest("d", batch(i * 100.0), now=float(i))
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+
+        t = threading.Thread(target=ingest_more)
+        t.start()
+        ts.compact("d", min_objects=2)
+        t.join()
+        assert not errors
+        out = ts.scan_ocean("d")
+        assert out.num_rows == 12 * 50  # every ingested row, exactly once
+
+
+class TestCacheInvalidationOnDelete:
+    def test_pre_manifest_part_releases_cache_on_delete(self):
+        # Regression: the delete path of enforce() computed the cache
+        # token without the blob in hand, so parts written before the
+        # manifest existed (no persisted digest) invalidated nothing
+        # and their decoded row groups lingered in the cache.
+        from repro.columnar.file_format import write_table
+        from repro.query import clear_row_group_cache, invalidate_token
+        from repro.storage import manifest
+
+        ts = TieredStore()
+        ts.register("g", DataClass.GOLD)  # glacier=False: pure delete
+        table = batch(0.0)
+        blob = write_table(table)
+        ts.ocean.put(
+            ts.OCEAN_BUCKET,
+            "g/part-00000000.rcf",
+            blob,
+            created_at=0.0,
+            user_meta={"dataset": "g", "class": "gold"},  # no digest
+        )
+        clear_row_group_cache()
+        ts.query_archive("g")  # populate the cache under the blob digest
+        token = manifest.blob_token(blob)
+        assert invalidate_token(token) > 0  # entries exist...
+        ts.query_archive("g")  # ...repopulate
+        from repro.storage.tiers import DAY_S
+
+        report = ts.enforce(now=6 * 365 * DAY_S)
+        assert report["ocean_deleted"] == 1
+        assert invalidate_token(token) == 0  # nothing left to release
+
+
+class TestSortedRewrite:
+    def test_compacted_rows_sorted_by_epoch_then_time(self):
+        from repro.columnar.file_format import read_table
+        from repro.storage import TierPolicy, manifest
+
+        # OCEAN-only policy so late-arriving (out-of-time-order) batches
+        # are accepted: concatenation alone would be unsorted.
+        policies = {
+            DataClass.SILVER: TierPolicy(
+                lake_retention_s=None, ocean_retention_s=5e8, glacier=True
+            )
+        }
+        store = TieredStore(policies=policies)
+        store.register("power.silver", DataClass.SILVER)
+        for i in range(6):
+            store.ingest("power.silver", batch(i * 100.0), now=float(i))
+        store.ingest("power.silver", batch(50.0), now=6.0)
+        store.compact("power.silver")
+        meta = store.ocean.list(store.OCEAN_BUCKET, prefix="power.silver/")[0]
+        spans = manifest.spans_from_meta(
+            meta.user_meta[manifest.SPANS_META_KEY]
+        )
+        assert [c for c, _ in spans] == sorted(c for c, _ in spans)
+        table = read_table(store.ocean.get(store.OCEAN_BUCKET, meta.key))
+        assert sum(n for _, n in spans) == table.num_rows
+        ts_col = table["timestamp"]
+        row = 0
+        for _, n in spans:
+            chunk = ts_col[row:row + n]
+            assert (chunk[1:] >= chunk[:-1]).all()  # time-sorted per epoch
+            row += n
+
+    def test_retention_after_compaction_matches_uncompacted(self):
+        # Regression: compact() used to stamp the merged object with the
+        # newest input's created_at, resurrecting rows already past the
+        # retention horizon.  Span-aware retention must expire exactly
+        # the rows the uncompacted store would have expired.
+        from repro.storage import TierPolicy
+
+        policies = {
+            DataClass.SILVER: TierPolicy(
+                lake_retention_s=None, ocean_retention_s=2.5, glacier=True
+            )
+        }
+
+        def build():
+            ts = TieredStore(policies=policies)
+            ts.register("d", DataClass.SILVER)
+            for i in range(6):
+                ts.ingest("d", batch(i * 100.0), now=float(i))
+            return ts
+
+        plain, compacted = build(), build()
+        compacted.compact("d")
+        plain.enforce(now=5.0)      # horizon 2.5: epochs 0..2 expire
+        compacted.enforce(now=5.0)
+        assert plain.scan_ocean("d") == compacted.scan_ocean("d")
+        assert compacted.scan_ocean("d").num_rows == 3 * 50
+
+    def test_split_rewrite_archives_expired_prefix(self):
+        from repro.columnar.file_format import read_table
+        from repro.storage import TierPolicy
+
+        policies = {
+            DataClass.SILVER: TierPolicy(
+                lake_retention_s=None, ocean_retention_s=2.5, glacier=True
+            )
+        }
+        ts = TieredStore(policies=policies)
+        ts.register("d", DataClass.SILVER)
+        for i in range(6):
+            ts.ingest("d", batch(i * 100.0), now=float(i))
+        ts.compact("d")
+        report = ts.enforce(now=5.0)
+        assert report["ocean_rewritten"] == 1
+        keys = [k for k in ts.glacier.keys() if k.endswith("@expired")]
+        assert len(keys) == 1
+        frozen = read_table(ts.glacier.retrieve(keys[0])[0])
+        assert frozen.num_rows == 3 * 50
+        assert float(frozen["timestamp"].max()) < 300.0  # epochs 0..2 only
+
+
+class TestCrashSafeCommit:
+    def _store_with_faults(self, specs):
+        from repro.faults.injector import FaultInjector, FaultyObjectStore
+        from repro.faults.plan import FaultPlan
+
+        ts = TieredStore()
+        ts.ocean = FaultyObjectStore(ts.ocean, FaultInjector(FaultPlan(specs)))
+        ts.register("d", DataClass.SILVER)
+        for i in range(6):
+            ts.ingest("d", batch(i * 100.0), now=float(i))
+        return ts
+
+    def test_crash_between_put_and_deletes_hides_superseded_parts(self):
+        from repro.faults.errors import SimulatedCrash
+        from repro.faults.plan import FaultKind, FaultSpec
+
+        ts = self._store_with_faults(
+            [FaultSpec("tier.delete", FaultKind.CRASH, at_call=1)]
+        )
+        oracle = ts.scan_ocean("d")
+        with pytest.raises(SimulatedCrash):
+            ts.compact("d")
+        # Combined part committed, all six inputs still present — but
+        # readers must see each row exactly once.
+        assert len(ts.ocean.list(ts.OCEAN_BUCKET, prefix="d/")) == 7
+        assert ts.scan_ocean("d") == oracle
+
+    def test_sweep_collects_tombstoned_parts(self):
+        from repro.faults.errors import SimulatedCrash
+        from repro.faults.plan import FaultKind, FaultSpec
+
+        ts = self._store_with_faults(
+            [FaultSpec("tier.delete", FaultKind.CRASH, at_call=3)]
+        )
+        oracle = ts.scan_ocean("d")
+        with pytest.raises(SimulatedCrash):
+            ts.compact("d")
+        assert ts.sweep_superseded("d") == 4  # the four survivors
+        parts = ts.ocean.list(ts.OCEAN_BUCKET, prefix="d/")
+        assert len(parts) == 1
+        assert ts.scan_ocean("d") == oracle
+
+    def test_crash_before_put_leaves_store_untouched(self):
+        from repro.faults.errors import SimulatedCrash
+        from repro.faults.plan import FaultKind, FaultSpec
+
+        # Ingest takes puts 1..6; the compaction commit is put 7.
+        ts = self._store_with_faults(
+            [FaultSpec("tier.put", FaultKind.CRASH, at_call=7)]
+        )
+        oracle = ts.scan_ocean("d")
+        with pytest.raises(SimulatedCrash):
+            ts.compact("d")
+        assert len(ts.ocean.list(ts.OCEAN_BUCKET, prefix="d/")) == 6
+        assert ts.sweep_superseded("d") == 0  # nothing committed
+        assert ts.scan_ocean("d") == oracle
+        result = ts.compact("d")  # clean retry completes
+        assert result["merged"] == 6
+        assert ts.scan_ocean("d") == oracle

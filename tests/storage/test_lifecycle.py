@@ -1,0 +1,238 @@
+"""LifecycleManager: tick phases, policies, scheduling, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import ColumnTable
+from repro.storage import DataClass, LifecycleManager, TieredStore, TierPolicy
+from repro.storage.tiers import DAY_S
+
+
+def batch(t_start, n=50):
+    rng = np.random.default_rng(int(t_start))
+    return ColumnTable(
+        {
+            "timestamp": t_start + np.arange(n, dtype=float),
+            "node": rng.integers(0, 8, n),
+            "value": rng.normal(100.0, 10.0, n),
+        }
+    )
+
+
+def make_store(policy=None, n_parts=6):
+    policies = {DataClass.SILVER: policy} if policy else None
+    ts = TieredStore(policies=policies)
+    ts.register("d", DataClass.SILVER)
+    for i in range(n_parts):
+        ts.ingest("d", batch(i * 100.0), now=float(i))
+    return ts
+
+
+class TestTick:
+    def test_tick_compacts_and_reports(self):
+        ts = make_store()
+        mgr = LifecycleManager(ts)
+        report = mgr.tick(now=6.0)
+        assert report["compactions"] == 1
+        assert report["compacted_parts"] == 6
+        assert len(ts.ocean.list(ts.OCEAN_BUCKET, prefix="d/")) == 1
+        assert mgr.ticks == 1
+        assert mgr.last_report is report
+
+    def test_tick_respects_compact_min_parts(self):
+        policy = TierPolicy(
+            lake_retention_s=None,
+            ocean_retention_s=5 * 365 * DAY_S,
+            glacier=True,
+            compact_min_parts=8,
+        )
+        ts = make_store(policy, n_parts=6)
+        report = LifecycleManager(ts).tick(now=6.0)
+        assert report["compactions"] == 0
+        assert len(ts.ocean.list(ts.OCEAN_BUCKET, prefix="d/")) == 6
+
+    def test_tick_applies_retention_before_compaction(self):
+        policy = TierPolicy(
+            lake_retention_s=None,
+            ocean_retention_s=2.5,
+            glacier=True,
+            compact_min_parts=2,
+        )
+        ts = make_store(policy)
+        report = LifecycleManager(ts).tick(now=5.0)
+        # Epoch parts 0..2 age out whole before the compactor runs, so
+        # only the three survivors merge.
+        assert report["ocean_archived"] == 3
+        assert report["compacted_parts"] == 3
+        out = ts.scan_ocean("d")
+        assert out.num_rows == 3 * 50
+
+    def test_tick_sweeps_crash_leftovers_first(self):
+        from repro.faults.errors import SimulatedCrash
+        from repro.faults.injector import FaultInjector, FaultyObjectStore
+        from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+        ts = make_store()
+        ts.ocean = FaultyObjectStore(
+            ts.ocean,
+            FaultInjector(
+                FaultPlan([FaultSpec("tier.delete", FaultKind.CRASH, at_call=1)])
+            ),
+        )
+        oracle = ts.scan_ocean("d")
+        mgr = LifecycleManager(ts)
+        with pytest.raises(SimulatedCrash):
+            mgr.tick(now=6.0)
+        report = mgr.tick(now=6.0)
+        assert report["swept"] == 6
+        assert len(ts.ocean.list(ts.OCEAN_BUCKET, prefix="d/")) == 1
+        assert ts.scan_ocean("d") == oracle
+
+    def test_run_with_restarts_survives_crash_loop(self):
+        from repro.faults.injector import FaultInjector, FaultyObjectStore
+        from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+        ts = make_store()
+        ts.ocean = FaultyObjectStore(
+            ts.ocean,
+            FaultInjector(
+                FaultPlan(
+                    [
+                        FaultSpec("tier.delete", FaultKind.CRASH, at_call=2),
+                        FaultSpec("tier.delete", FaultKind.CRASH, at_call=5),
+                    ]
+                )
+            ),
+        )
+        oracle = ts.scan_ocean("d")
+        report, restarts = LifecycleManager(ts).run_with_restarts(now=6.0)
+        assert restarts == 2
+        assert len(ts.ocean.list(ts.OCEAN_BUCKET, prefix="d/")) == 1
+        assert ts.scan_ocean("d") == oracle
+
+    def test_ticks_are_deterministic(self):
+        listings = []
+        for _ in range(2):
+            ts = make_store()
+            LifecycleManager(ts).tick(now=6.0)
+            listings.append(
+                [
+                    (m.key, m.created_at, sorted(m.user_meta.items()))
+                    for m in ts.ocean.list(ts.OCEAN_BUCKET, prefix="d/")
+                ]
+            )
+        assert listings[0] == listings[1]
+
+
+class TestFreezePolicy:
+    def test_bronze_freeze_archives_before_retention(self):
+        policy = TierPolicy(
+            lake_retention_s=None,
+            ocean_retention_s=7 * DAY_S,
+            glacier=True,
+            freeze_after_s=2.0,
+        )
+        ts = make_store(policy, n_parts=1)
+        report = ts.enforce(now=3.0)  # freeze horizon 1.0 > created 0.0
+        assert report["ocean_archived"] == 1
+        assert ts.glacier.exists("d/part-00000000.rcf")
+
+    def test_freeze_ignored_for_non_glacier_classes(self):
+        policy = TierPolicy(
+            lake_retention_s=None,
+            ocean_retention_s=7 * DAY_S,
+            glacier=False,
+            freeze_after_s=2.0,
+        )
+        ts = make_store(policy, n_parts=1)
+        report = ts.enforce(now=3.0)
+        assert report["ocean_deleted"] == 0
+        assert len(ts.ocean.list(ts.OCEAN_BUCKET, prefix="d/")) == 1
+
+    def test_invalid_policy_fields_rejected(self):
+        with pytest.raises(ValueError):
+            TierPolicy(
+                lake_retention_s=None,
+                ocean_retention_s=1.0,
+                glacier=True,
+                compact_min_parts=1,
+            )
+        with pytest.raises(ValueError):
+            TierPolicy(
+                lake_retention_s=None,
+                ocean_retention_s=1.0,
+                glacier=True,
+                freeze_after_s=0.0,
+            )
+
+
+class TestFrameworkScheduling:
+    WINDOW_S = 30.0
+
+    def _run(self, n_windows, **opt_kwargs):
+        from repro.core import DataPlaneOptions, ODAFramework
+        from repro.perf import reset_fast_path_caches
+        from repro.telemetry import MINI, synthetic_job_mix
+
+        rng = np.random.default_rng(11)
+        allocation = synthetic_job_mix(MINI, 0.0, n_windows * self.WINDOW_S, rng)
+        fw = ODAFramework(
+            MINI,
+            allocation,
+            seed=3,
+            options=DataPlaneOptions(lifecycle=True, **opt_kwargs),
+        )
+        reset_fast_path_caches()
+        try:
+            fw.run(0.0, n_windows * self.WINDOW_S, self.WINDOW_S)
+        finally:
+            fw.close()
+        return fw
+
+    def test_options_validation(self):
+        from repro.core import DataPlaneOptions
+
+        with pytest.raises(ValueError):
+            DataPlaneOptions(lifecycle_every_s=60.0)  # needs lifecycle
+        with pytest.raises(ValueError):
+            DataPlaneOptions(lifecycle=True, lifecycle_every_s=0.0)
+
+    def test_ticks_every_window_by_default(self):
+        fw = self._run(4, pipeline="off")
+        assert fw.lifecycle.ticks == 4
+
+    def test_tick_interval_uses_simulated_time(self):
+        fw = self._run(4, pipeline="off", lifecycle_every_s=60.0)
+        assert fw.lifecycle.ticks == 2  # due at t=60 and t=120
+
+    def test_lifecycle_compacts_the_archive(self):
+        fw = self._run(6, pipeline="off")
+        parts = fw.tiers.ocean.list(
+            fw.tiers.OCEAN_BUCKET, prefix="power.silver/"
+        )
+        # Six windows of small parts collapse under the default
+        # compact_min_parts=4 policy instead of accumulating.
+        assert len(parts) < 6
+
+    def test_default_rollup_serves_dashboard(self):
+        fw = self._run(4, pipeline="off")
+        panel = fw.tiers.query_rollup("power.silver.node_power")
+        assert panel.num_rows > 0
+        assert "mean" in panel.column_names
+
+    def test_pipelined_run_matches_serial(self):
+        serial = self._run(6, pipeline="off")
+        piped = self._run(6, pipeline="on")
+
+        def listing(fw):
+            return [
+                (m.key, m.created_at, sorted(m.user_meta.items()), m.size)
+                for m in fw.tiers.ocean.list(fw.tiers.OCEAN_BUCKET)
+            ]
+
+        assert listing(serial) == listing(piped)
+        assert serial.lifecycle.ticks == piped.lifecycle.ticks
+        assert (
+            serial.tiers.query_archive("power.silver")
+            == piped.tiers.query_archive("power.silver")
+        )
