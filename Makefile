@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-e2e-smoke bench-query chaos lifecycle lint lint-json obs-report race
+.PHONY: test bench bench-quick bench-e2e-smoke bench-query bench-serving chaos lifecycle lint lint-json obs-report race
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -40,6 +40,12 @@ lifecycle:
 # decode-everything baseline — see DESIGN.md §11.
 bench-query:
 	$(PYTHON) benchmarks/bench_query.py
+
+# Serving benchmark: seeded zipf multi-tenant load replayed against the
+# gateway with the result cache on/off across offered-QPS levels; finds
+# the admission knee and the cached p50/p99 speedup — see DESIGN.md §16.
+bench-serving:
+	$(PYTHON) benchmarks/bench_serving.py
 
 # Bytecode compile catches syntax errors in cold paths; repro.analysis
 # then enforces the repo invariants (determinism, locking, fast-path

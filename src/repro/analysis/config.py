@@ -44,6 +44,12 @@ DATA_PLANE_PACKAGES = frozenset(
         # the split-invariance law the pipelined scheduler relies on.
         "repro.telemetry",
         "repro.util",
+        # The serving plane answers with cached results whose validity is
+        # a (fingerprint, generation) equation; wall-clock or global-RNG
+        # influence on envelopes would break the gateway==direct-call
+        # byte-equivalence the cache's correctness argument rests on.
+        # Service-latency *measurement* uses perf_counter (legal).
+        "repro.serve",
     }
 )
 
@@ -135,6 +141,12 @@ LAYER_ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "repro.telemetry",
         }
     ),
+    # The serving plane fronts the read-side apps for many tenants: it
+    # may call apps and the read plane (plus storage duck-typed via the
+    # objects handed to it), but never reaches past them into telemetry
+    # producers or columnar internals — clients of the hourglass, not
+    # parts of its waist.
+    "repro.serve": frozenset({"repro.apps", "repro.query"}),
     "repro.core": frozenset(
         {
             "repro.apps",
@@ -145,6 +157,7 @@ LAYER_ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "repro.perf",
             "repro.pipeline",
             "repro.scheduler",
+            "repro.serve",
             "repro.storage",
             "repro.stream",
             "repro.telemetry",

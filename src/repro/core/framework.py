@@ -24,6 +24,7 @@ from repro.stream.broker import Broker, TopicConfig
 from repro.stream.consumer import Consumer
 from repro.stream.producer import Producer
 from repro.stream.retention import RetentionPolicy
+from repro.stream.sharding import ShardedBroker
 from repro.telemetry.fleet import FleetTelemetry
 from repro.telemetry.jobs import AllocationTable
 from repro.telemetry.machine import MachineConfig
@@ -137,6 +138,18 @@ class DataPlaneOptions:
     lifecycle_every_s:
         Minimum simulated seconds between lifecycle ticks.  ``None``
         (default) ticks after every window.
+    shards:
+        Number of independent broker shards at the hourglass waist.
+        ``1`` (default) is the plain single-node :class:`Broker`;
+        larger values stand up a
+        :class:`~repro.stream.sharding.ShardedBroker` behind the same
+        client API (each topic gets its per-topic partition count *per
+        shard*, with per-shard offsets and retention).  Pipeline
+        outputs are byte-identical across shard counts for the same
+        seeds — each (machine, topic) key lands wholly on one shard,
+        so every consumer sees the same value sequence
+        (``tests/integration/test_serving_equivalence`` proves Gold
+        tables and span structure match).
     """
 
     batched: bool = True
@@ -147,8 +160,11 @@ class DataPlaneOptions:
     self_telemetry: bool = False
     lifecycle: bool = False
     lifecycle_every_s: float | None = None
+    shards: int = 1
 
     def __post_init__(self) -> None:
+        if self.shards <= 0:
+            raise ValueError("shards must be positive")
         if self.executor not in ("auto", "serial", "threads"):
             raise ValueError(
                 "executor must be 'auto', 'serial' or 'threads', "
@@ -248,7 +264,11 @@ class ODAFramework:
             reference_emit=self.options.reference_emit,
         )
 
-        self.broker = Broker()
+        self.broker = (
+            Broker()
+            if self.options.shards == 1
+            else ShardedBroker(self.options.shards)
+        )
         for topic in STREAM_TOPICS:
             self.broker.create_topic(
                 TopicConfig(
@@ -742,6 +762,55 @@ class ODAFramework:
             emit_pool.shutdown(wait=True, cancel_futures=True)
             ingest_pool.shutdown(wait=True)
         return summaries
+
+    # -- serving --------------------------------------------------------------
+
+    def serving_gateway(
+        self,
+        executor: str = "auto",
+        admission=None,
+        cache=None,
+        cache_enabled: bool = True,
+        max_workers: int = 4,
+    ):
+        """A :class:`~repro.serve.gateway.ServingGateway` over this
+        deployment's apps.
+
+        Stands up the UA dashboard, LVA and RATS against the live tier
+        store and registers their canonical endpoints; the gateway's
+        result cache invalidates on this store's ``data_version()``, so
+        lifecycle ticks and window ingests age cached answers out
+        automatically.  The ``fleet_power`` endpoint needs the
+        lifecycle rollup and is only registered under
+        ``options.lifecycle``.
+        """
+        from repro.apps.lva import LiveVisualAnalytics
+        from repro.apps.rats import RatsReport
+        from repro.apps.ua_dashboard import UserAssistanceDashboard
+        from repro.scheduler.accounting import AccountingLedger
+        from repro.serve import ServingGateway, build_endpoints
+
+        dashboard = UserAssistanceDashboard(self.tiers.lake, self.allocation)
+        lva = LiveVisualAnalytics(
+            self.tiers, self.fleet.power.catalog, self.allocation
+        )
+        rats = RatsReport(AccountingLedger(), [])
+        endpoints = build_endpoints(
+            dashboard=dashboard, lva=lva, rats=rats, tiers=self.tiers
+        )
+        if not self.options.lifecycle:
+            endpoints.pop("fleet_power", None)
+        if not self.options.self_telemetry:
+            endpoints.pop("framework_health", None)
+        return ServingGateway(
+            self.tiers,
+            endpoints,
+            admission=admission,
+            cache=cache,
+            executor=executor,
+            cache_enabled=cache_enabled,
+            max_workers=max_workers,
+        )
 
     # -- reporting ------------------------------------------------------------
 

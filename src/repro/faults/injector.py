@@ -91,14 +91,28 @@ class FaultInjector:
 
 class FaultyBroker:
     """A :class:`~repro.stream.broker.Broker` front that injects
-    transport faults at the fetch/produce sites."""
+    transport faults at the fetch/produce sites.
+
+    ``site_prefix`` namespaces the fault sites, so a sharded broker's
+    individual shards can be wrapped independently (e.g. wrapping
+    ``sharded.shards[1]`` with ``site_prefix="broker.shard1"`` arms the
+    sites ``broker.shard1.fetch`` / ``broker.shard1.produce`` — a
+    shard-local outage the other shards never see).
+    """
 
     SITE_FETCH = "broker.fetch"
     SITE_PRODUCE = "broker.produce"
 
-    def __init__(self, inner: "Broker", injector: FaultInjector) -> None:
+    def __init__(
+        self,
+        inner: "Broker",
+        injector: FaultInjector,
+        site_prefix: str = "broker",
+    ) -> None:
         self.inner = inner
         self.injector = injector
+        self.site_fetch = f"{site_prefix}.fetch"
+        self.site_produce = f"{site_prefix}.produce"
 
     def __getattr__(self, name: str) -> Any:
         return getattr(self.inner, name)
@@ -110,7 +124,7 @@ class FaultyBroker:
         from_offset: int,
         max_records: int | None = 1000,
     ) -> list["Record"]:
-        spec = self.injector.fire(self.SITE_FETCH)
+        spec = self.injector.fire(self.site_fetch)
         if spec is not None and spec.kind is FaultKind.RETENTION_RACE:
             # Retention runs "concurrently", trimming the head the
             # consumer was about to read.
@@ -118,13 +132,13 @@ class FaultyBroker:
         return self.inner.fetch(topic, partition, from_offset, max_records)
 
     def produce(self, topic: str, value: Any, **kwargs: Any) -> "Record":
-        self.injector.fire(self.SITE_PRODUCE)
+        self.injector.fire(self.site_produce)
         return self.inner.produce(topic, value, **kwargs)
 
     def produce_many(
         self, topic: str, values: Any, **kwargs: Any
     ) -> list["Record"]:
-        self.injector.fire(self.SITE_PRODUCE)
+        self.injector.fire(self.site_produce)
         return self.inner.produce_many(topic, values, **kwargs)
 
 

@@ -1,0 +1,23 @@
+"""Typed serving-plane errors."""
+
+from __future__ import annotations
+
+__all__ = ["AdmissionRejected"]
+
+
+class AdmissionRejected(Exception):
+    """Fast-fail raised when admission control refuses a request.
+
+    ``reason`` is one of ``"quota"`` (the tenant's token bucket is
+    empty) or ``"queue_full"`` (the tenant's bounded queue is at its
+    limit).  The gateway converts this into a ``"rejected"`` result
+    envelope rather than letting it propagate — shedding is an answer,
+    not a crash.
+    """
+
+    def __init__(self, tenant: str, reason: str) -> None:
+        super().__init__(
+            f"request from tenant {tenant!r} rejected: {reason}"
+        )
+        self.tenant = tenant
+        self.reason = reason

@@ -1,0 +1,135 @@
+"""Seeded multi-tenant load generator for the serving gateway.
+
+Models what production ODA front-ends actually see: many dashboard and
+reporting sessions, a zipf-skewed tenant population (a few heavy
+projects dominate), a weighted endpoint mix, and *sticky sessions* —
+a tenant refreshing a dashboard re-issues its previous query with high
+probability, which is exactly the redundancy a result cache monetizes.
+
+Everything is a pure function of ``(profile, n_requests, seed)``:
+:func:`generate_load` replays byte-identically (checkable with
+:func:`replay_digest`), so a bench run's offered load is part of its
+reproducibility contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.serve.envelope import Request
+from repro.util.rng import derive_seed
+
+__all__ = ["EndpointMix", "LoadProfile", "generate_load", "replay_digest"]
+
+
+@dataclass(frozen=True)
+class EndpointMix:
+    """One endpoint's share of the offered load.
+
+    ``params`` maps each parameter name to the tuple of candidate
+    values a session may ask for — the distinct-query population is the
+    cross product, deliberately bounded so cache behaviour is a
+    function of the profile, not of unbounded key cardinality.
+    """
+
+    name: str
+    weight: float
+    params: tuple[tuple[str, tuple], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        for pname, candidates in self.params:
+            if not candidates:
+                raise ValueError(
+                    f"param {pname!r} of {self.name!r} has no candidates"
+                )
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Shape of the offered load (who asks, what, how repetitively)."""
+
+    mix: tuple[EndpointMix, ...]
+    n_tenants: int = 50
+    zipf_a: float = 1.2
+    repeat_p: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not self.mix:
+            raise ValueError("mix must name at least one endpoint")
+        if self.n_tenants <= 0:
+            raise ValueError("n_tenants must be positive")
+        if self.zipf_a <= 0:
+            raise ValueError("zipf_a must be positive")
+        if not 0.0 <= self.repeat_p < 1.0:
+            raise ValueError("repeat_p must be in [0, 1)")
+
+
+def _tenant_probs(n: int, a: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    p = ranks**-a
+    return p / p.sum()
+
+
+def generate_load(
+    profile: LoadProfile, n_requests: int, seed: int = 0
+) -> list[Request]:
+    """``n_requests`` seeded arrivals in issue order.
+
+    Tenant choice is bounded-zipf over ``n_tenants`` ranks; endpoint
+    choice is weighted by the mix; each param draws uniformly from its
+    candidate tuple.  With probability ``repeat_p`` a tenant that has
+    asked before re-issues its previous query verbatim (the sticky
+    dashboard refresh).
+    """
+    if n_requests < 0:
+        raise ValueError("n_requests must be non-negative")
+    rng = np.random.default_rng(derive_seed(seed, "serve.loadgen"))
+    tenant_p = _tenant_probs(profile.n_tenants, profile.zipf_a)
+    weights = np.array([m.weight for m in profile.mix], dtype=np.float64)
+    weights /= weights.sum()
+
+    tenant_ids = rng.choice(profile.n_tenants, size=n_requests, p=tenant_p)
+    endpoint_ids = rng.choice(len(profile.mix), size=n_requests, p=weights)
+    repeat_draws = rng.random(n_requests)
+
+    last_by_tenant: dict[int, tuple[str, tuple]] = {}
+    out: list[Request] = []
+    for i in range(n_requests):
+        t = int(tenant_ids[i])
+        tenant = f"tenant-{t:04d}"
+        previous = last_by_tenant.get(t)
+        if previous is not None and repeat_draws[i] < profile.repeat_p:
+            endpoint, params = previous
+        else:
+            mix = profile.mix[int(endpoint_ids[i])]
+            endpoint = mix.name
+            chosen: list[tuple[str, Any]] = []
+            for pname, candidates in mix.params:
+                j = int(rng.integers(len(candidates)))
+                chosen.append((pname, candidates[j]))
+            params = tuple(sorted(chosen))
+        last_by_tenant[t] = (endpoint, params)
+        out.append(Request(tenant, endpoint, params))
+    return out
+
+
+def replay_digest(requests: list[Request]) -> str:
+    """Content digest of an offered-load sequence (order-sensitive).
+
+    Two generators produced the same load iff their digests match —
+    the serving bench records this so a report's latency numbers are
+    pinned to a replayable request stream.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for request in requests:
+        h.update(request.tenant.encode("utf-8"))
+        h.update(b"\x00")
+        h.update(request.fingerprint().encode("utf-8"))
+        h.update(b"\x01")
+    return h.hexdigest()

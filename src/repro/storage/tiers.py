@@ -168,6 +168,32 @@ class TieredStore:
         self._registry_lock = threading.Lock()
         self._rollups: dict[str, GoldRollup] = {}
         self._rollup_lock = threading.Lock()
+        # Monotone data version: bumped on every committed mutation of
+        # queryable state (ingest, part delete/rewrite, lake drop), so
+        # readers can fingerprint "has anything changed since I looked?"
+        # with one integer — the serving gateway keys its result cache
+        # on it (see repro.serve.cache).
+        self._version = 0
+        self._version_lock = threading.Lock()
+
+    # -- data version -----------------------------------------------------------
+
+    def data_version(self) -> int:
+        """Monotone counter of committed mutations to queryable state.
+
+        Two calls returning the same value bracket a span in which every
+        query against this store would have answered identically; any
+        ingest, retention action, compaction or sweep in between bumps
+        it.  The serving gateway's result cache keys entries on
+        ``(query fingerprint, data_version)``, which makes lifecycle
+        ticks natural cache-invalidation events.
+        """
+        with self._version_lock:
+            return self._version
+
+    def _bump_version(self) -> None:
+        with self._version_lock:
+            self._version += 1
 
     # -- dataset registry -------------------------------------------------------
 
@@ -253,6 +279,8 @@ class TieredStore:
             )
             self._rollup_observe(name, key, table)
             placed["ocean"] = True
+        if placed["lake"] or placed["ocean"]:
+            self._bump_version()
         return placed
 
     # -- live part set ------------------------------------------------------------
@@ -511,9 +539,12 @@ class TieredStore:
         for name, meta in registered:
             policy = self.policies[meta.data_class]
             if policy.lake_retention_s is not None:
-                report["lake_segments_dropped"] += self.lake.drop_before(
+                dropped = self.lake.drop_before(
                     name, now - policy.lake_retention_s
                 )
+                report["lake_segments_dropped"] += dropped
+                if dropped:
+                    self._bump_version()
             if policy.ocean_retention_s is None:
                 continue
             age_out_s = policy.ocean_retention_s
@@ -635,6 +666,10 @@ class TieredStore:
         self.ocean.delete(self.OCEAN_BUCKET, obj.key)
         invalidate_token(self._part_token(obj, blob))
         self._rollup_drop(obj.key)
+        # Rewrites (compact/split) bump here via their input deletes;
+        # their commit put alone changes no query answer, so one bump
+        # per committed transition is enough.
+        self._bump_version()
 
     # -- maintenance ------------------------------------------------------------------
 

@@ -29,14 +29,26 @@ from repro.stream.errors import (
     TransientStreamError,
 )
 from repro.stream.producer import Producer
+from repro.stream.rebalance import (
+    GroupCoordinator,
+    GroupMember,
+    assign_range,
+    assign_round_robin,
+)
 from repro.stream.retention import RetentionPolicy
+from repro.stream.sharding import ShardedBroker
 
 __all__ = [
     "Broker",
+    "ShardedBroker",
     "Record",
     "TopicConfig",
     "Producer",
     "Consumer",
+    "GroupCoordinator",
+    "GroupMember",
+    "assign_range",
+    "assign_round_robin",
     "RetentionPolicy",
     "UnknownTopicError",
     "UnknownPartitionError",

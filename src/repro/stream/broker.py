@@ -170,6 +170,11 @@ class Broker:
     consumer groups, head-only retention.
     """
 
+    #: A plain broker is the degenerate single-shard case; consumers
+    #: label per-shard metrics through :meth:`shard_of` without caring
+    #: whether they talk to a :class:`~repro.stream.sharding.ShardedBroker`.
+    n_shards = 1
+
     def __init__(self) -> None:
         self._topics: dict[str, TopicConfig] = {}
         # Topic topology is frozen at framework construction; during a
@@ -204,6 +209,12 @@ class Broker:
             return self._topics[topic]
         except KeyError:
             raise UnknownTopicError(topic) from None
+
+    def shard_of(self, partition: int, topic: str | None = None) -> int:
+        """Shard owning a partition: always 0 on a single-node broker."""
+        if partition < 0:
+            raise UnknownPartitionError(topic or "?", partition, 0)
+        return 0
 
     def _parts(self, topic: str) -> list[_Partition]:
         try:

@@ -32,6 +32,12 @@ class Consumer:
     retry_policy:
         Backoff policy for transient fetch faults (defaults to
         :data:`repro.faults.retry.DEFAULT_RETRY_POLICY`).
+    partitions:
+        Explicit partition assignment, overriding the static modulo
+        split.  This is how the rebalance coordinator
+        (:mod:`repro.stream.rebalance`) hands a member its generation's
+        owned set; offsets still come from the group's committed state,
+        so ownership can move between members without losing position.
     """
 
     def __init__(
@@ -42,6 +48,7 @@ class Consumer:
         member: int = 0,
         group_size: int = 1,
         retry_policy: RetryPolicy | None = None,
+        partitions: list[int] | None = None,
     ) -> None:
         if group_size <= 0:
             raise ValueError("group_size must be positive")
@@ -52,7 +59,18 @@ class Consumer:
         self.group = group
         self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         n_parts = broker.topic_config(topic).n_partitions
-        self.partitions = [p for p in range(n_parts) if p % group_size == member]
+        if partitions is not None:
+            bad = [p for p in partitions if not 0 <= p < n_parts]
+            if bad:
+                raise ValueError(
+                    f"partitions {bad} out of range for topic {topic!r} "
+                    f"with {n_parts} partitions"
+                )
+            self.partitions = list(partitions)
+        else:
+            self.partitions = [
+                p for p in range(n_parts) if p % group_size == member
+            ]
         # Local read positions start from the group's committed offsets.
         # poll() runs on a worker during phase 1; seek/commit happen on
         # the window thread in phase 2, after the phase-1 join barrier.
@@ -129,6 +147,7 @@ class Consumer:
                             "stream.skipped_by_retention",
                             skipped,
                             topic=self.topic,
+                            shard=self.broker.shard_of(p, self.topic),
                         )
                         pos = earliest
                     records = call_with_retry(

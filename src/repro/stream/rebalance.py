@@ -1,0 +1,251 @@
+"""Consumer-group rebalancing over (shard, partition) pairs.
+
+Kafka's group protocol, deterministic: a :class:`GroupCoordinator` owns
+the membership of one (topic, group), numbers every membership change
+with a *generation*, and deals the topic's global partitions (the
+flattened (shard, local) index space of
+:class:`~repro.stream.sharding.ShardedBroker`) to the members with a
+seeded strategy.  On every join or leave the coordinator revokes all
+assignments — committing each member's progress first — bumps the
+generation, and re-deals; the fresh per-member consumers initialize
+from the group's committed offsets, so position survives ownership
+moves and no record is lost or double-consumed across a rebalance.
+
+Determinism contract: the assignment is a pure function of
+``(seed, strategy, sorted membership, partition count)`` — byte
+identical across runs and *independent of the generation number and
+join order*, so replaying the same membership sequence deals the same
+hands.  The seeded rotation (via :func:`repro.util.rng.derive_seed`)
+varies which member gets the first partition so a fleet of groups with
+different seeds doesn't pile partition 0 onto the lexicographically
+first member everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs import METRICS
+from repro.stream.consumer import Consumer
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "GroupCoordinator",
+    "GroupMember",
+    "assign_range",
+    "assign_round_robin",
+]
+
+
+def assign_round_robin(
+    partitions: Sequence[int], members: Sequence[str], rotation: int = 0
+) -> dict[str, list[int]]:
+    """Deal partitions one at a time across sorted members.
+
+    ``rotation`` offsets which member receives the first partition;
+    ownership is otherwise position-modular, so consecutive partitions
+    land on different members (good when a few partitions are hot).
+    """
+    if not members:
+        raise ValueError("cannot assign partitions to an empty group")
+    ordered = sorted(members)
+    n = len(ordered)
+    assignment: dict[str, list[int]] = {m: [] for m in ordered}
+    for i, p in enumerate(sorted(partitions)):
+        assignment[ordered[(i + rotation) % n]].append(p)
+    return assignment
+
+
+def assign_range(
+    partitions: Sequence[int], members: Sequence[str], rotation: int = 0
+) -> dict[str, list[int]]:
+    """Deal contiguous partition ranges to sorted members.
+
+    Members get runs of adjacent global partitions — under sharding,
+    whole shards where the arithmetic allows — minimizing the number of
+    shards any one member touches.  ``rotation`` rotates which member
+    takes the first (and, when the split is uneven, larger) range.
+    """
+    if not members:
+        raise ValueError("cannot assign partitions to an empty group")
+    ordered = sorted(members)
+    n = len(ordered)
+    order = ordered[rotation % n :] + ordered[: rotation % n]
+    parts = sorted(partitions)
+    base, extra = divmod(len(parts), n)
+    assignment: dict[str, list[int]] = {m: [] for m in ordered}
+    i = 0
+    for j, m in enumerate(order):
+        width = base + (1 if j < extra else 0)
+        assignment[m] = parts[i : i + width]
+        i += width
+    return assignment
+
+
+_STRATEGIES = {
+    "round_robin": assign_round_robin,
+    "range": assign_range,
+}
+
+
+class GroupMember:
+    """One member's handle on its current-generation assignment.
+
+    Created by :meth:`GroupCoordinator.join`; the coordinator swaps the
+    inner :class:`Consumer` on every rebalance.  Poll/commit/position
+    delegate to the current consumer, so application code holds one
+    object across generations.
+    """
+
+    def __init__(self, coordinator: "GroupCoordinator", name: str) -> None:
+        self.coordinator = coordinator
+        self.name = name
+        self.generation = 0
+        self.assignment: tuple[int, ...] = ()
+        self.consumer: Consumer | None = None
+
+    def _active(self) -> Consumer:
+        if self.consumer is None:
+            raise ValueError(
+                f"member {self.name!r} has left the group and holds no "
+                "assignment"
+            )
+        return self.consumer
+
+    def poll(self, max_records: int | None = 1000):
+        """Poll the member's owned partitions (see :meth:`Consumer.poll`)."""
+        return self._active().poll(max_records)
+
+    def poll_slices(self, max_records: int | None = None):
+        """Zero-copy poll (see :meth:`Consumer.poll_slices`)."""
+        return self._active().poll_slices(max_records)
+
+    def commit(self) -> None:
+        """Commit touched partitions (no-op before any poll/seek)."""
+        self._active().commit()
+
+    def position(self, partition: int) -> int:
+        """Local read position on an owned partition."""
+        return self._active().position(partition)
+
+    def lag(self) -> int:
+        """Unconsumed records ahead of this member's positions."""
+        return self._active().lag()
+
+
+class GroupCoordinator:
+    """Deterministic group membership + assignment for one (topic, group).
+
+    Parameters
+    ----------
+    broker:
+        Any broker exposing the client API (plain or sharded).
+    topic, group:
+        The subscription this coordinator manages.
+    seed:
+        Root seed for the assignment rotation (see module docstring).
+    strategy:
+        ``"round_robin"`` or ``"range"``.
+    """
+
+    def __init__(
+        self,
+        broker,
+        topic: str,
+        group: str,
+        seed: int = 0,
+        strategy: str = "round_robin",
+        retry_policy=None,
+    ) -> None:
+        if strategy not in _STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {sorted(_STRATEGIES)}, "
+                f"got {strategy!r}"
+            )
+        self.broker = broker
+        self.topic = topic
+        self.group = group
+        self.seed = seed
+        self.strategy = strategy
+        self.retry_policy = retry_policy
+        self.generation = 0
+        self._members: dict[str, GroupMember] = {}
+
+    # -- membership ---------------------------------------------------------
+
+    def members(self) -> list[str]:
+        """Current member names, sorted."""
+        return sorted(self._members)
+
+    def assignments(self) -> dict[str, tuple[int, ...]]:
+        """Current generation's (member -> owned global partitions)."""
+        return {name: m.assignment for name, m in sorted(self._members.items())}
+
+    def join(self, name: str) -> GroupMember:
+        """Add a member and rebalance; returns its handle."""
+        if name in self._members:
+            raise ValueError(
+                f"member {name!r} already joined group {self.group!r}"
+            )
+        member = GroupMember(self, name)
+        self._members[name] = member
+        self._rebalance()
+        return member
+
+    def leave(self, name: str) -> None:
+        """Remove a member (its progress commits first) and rebalance."""
+        member = self._members.get(name)
+        if member is None:
+            raise ValueError(f"member {name!r} is not in group {self.group!r}")
+        if member.consumer is not None:
+            member.consumer.commit()
+        del self._members[name]
+        member.consumer = None
+        member.assignment = ()
+        if self._members:
+            self._rebalance()
+
+    # -- the rebalance itself -----------------------------------------------
+
+    def _rotation(self, names: list[str]) -> int:
+        """Seeded, membership-derived rotation — NOT generation-derived,
+        so the same seed and membership always deal the same hand."""
+        token = f"{self.strategy}:{','.join(names)}"
+        return derive_seed(self.seed, token) % len(names)
+
+    def _rebalance(self) -> None:
+        self.generation += 1
+        # Revoke: persist every member's progress, then drop the old
+        # consumers so no stale owner can fetch or commit mid-deal.
+        for m in self._members.values():
+            if m.consumer is not None:
+                m.consumer.commit()
+                m.consumer = None
+        names = self.members()
+        n_parts = self.broker.topic_config(self.topic).n_partitions
+        dealt = _STRATEGIES[self.strategy](
+            range(n_parts), names, self._rotation(names)
+        )
+        for name, parts in dealt.items():
+            m = self._members[name]
+            m.assignment = tuple(parts)
+            m.generation = self.generation
+            # The fresh consumer reads positions from the group's
+            # committed offsets, carrying progress across the move.
+            m.consumer = Consumer(
+                self.broker,
+                self.topic,
+                self.group,
+                retry_policy=self.retry_policy,
+                partitions=list(parts),
+            )
+        METRICS.inc(
+            "stream.rebalances", topic=self.topic, group=self.group
+        )
+        METRICS.set_gauge(
+            "stream.group_generation",
+            self.generation,
+            deterministic=True,
+            topic=self.topic,
+            group=self.group,
+        )

@@ -1,0 +1,110 @@
+"""Request fingerprints and payload digests: the determinism contract."""
+
+import numpy as np
+import pytest
+
+from repro.serve import Request, ResultEnvelope, payload_digest
+
+
+class TestRequest:
+    def test_kwarg_order_does_not_change_fingerprint(self):
+        a = Request.make("t", "job_overview", job_id="j1", detail=2)
+        b = Request.make("t", "job_overview", detail=2, job_id="j1")
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_tenant_excluded_from_fingerprint(self):
+        # Tenancy is an admission concern; two tenants asking the same
+        # question share one cache entry.
+        a = Request.make("alice", "job_overview", job_id="j1")
+        b = Request.make("bob", "job_overview", job_id="j1")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_params_and_endpoint_distinguish(self):
+        base = Request.make("t", "e", x=1)
+        assert base.fingerprint() != Request.make("t", "e", x=2).fingerprint()
+        assert base.fingerprint() != Request.make("t", "f", x=1).fingerprint()
+
+    def test_value_types_distinguish(self):
+        # "1" vs 1 must not collide (type-tagged canonical form).
+        a = Request.make("t", "e", x=1)
+        b = Request.make("t", "e", x="1")
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_kwargs_roundtrip(self):
+        request = Request.make("t", "e", t0=0.0, t1=60.0)
+        assert request.kwargs() == {"t0": 0.0, "t1": 60.0}
+
+    def test_non_scalar_params_rejected(self):
+        with pytest.raises(ValueError):
+            Request.make("t", "e", bad=[1, 2])
+        with pytest.raises(ValueError):
+            Request.make("t", "e", bad={"k": 1})
+
+
+class TestResultEnvelope:
+    def test_ok_covers_fresh_and_cached(self):
+        request = Request.make("t", "e")
+        assert ResultEnvelope(request, "ok", payload=1).ok
+        assert ResultEnvelope(request, "cached", payload=1).ok
+        assert not ResultEnvelope(request, "rejected", error="quota").ok
+        assert not ResultEnvelope(request, "error", error="boom").ok
+
+
+class _DuckTable:
+    """Minimal column-table duck type (column_names + __getitem__)."""
+
+    def __init__(self, cols):
+        self._cols = dict(cols)
+
+    @property
+    def column_names(self):
+        return list(self._cols)
+
+    def __getitem__(self, name):
+        return self._cols[name]
+
+
+class TestPayloadDigest:
+    def test_scalars_and_containers(self):
+        assert payload_digest(None) == payload_digest(None)
+        assert payload_digest(1) != payload_digest(1.0)
+        assert payload_digest(True) != payload_digest(1)
+        assert payload_digest([1, 2]) == payload_digest((1, 2))
+        assert payload_digest({"a": 1, "b": 2}) == payload_digest(
+            {"b": 2, "a": 1}
+        )
+        assert payload_digest({"a": 1}) != payload_digest({"a": 2})
+
+    def test_arrays_by_content(self):
+        a = np.arange(5, dtype=np.float64)
+        assert payload_digest(a) == payload_digest(a.copy())
+        assert payload_digest(a) != payload_digest(a.astype(np.float32))
+        assert payload_digest(a) != payload_digest(a[::-1].copy())
+
+    def test_object_arrays_digest_values_not_pointers(self):
+        # Two distinct str objects with equal values must digest equal
+        # (.tobytes() on object arrays hashes pointers).
+        a = np.array(["job-" + "1", "job-2"], dtype=object)
+        b = np.array(["job" + "-1", "job-2"], dtype=object)
+        assert payload_digest(a) == payload_digest(b)
+
+    def test_duck_table_column_order_matters(self):
+        t1 = _DuckTable({"x": np.arange(3), "y": np.ones(3)})
+        t2 = _DuckTable({"x": np.arange(3), "y": np.ones(3)})
+        t3 = _DuckTable({"y": np.ones(3), "x": np.arange(3)})
+        assert payload_digest(t1) == payload_digest(t2)
+        assert payload_digest(t1) != payload_digest(t3)
+
+    def test_nested_payload(self):
+        payload = {
+            "job_id": "j1",
+            "power": np.linspace(0, 1, 4),
+            "events": {"codes": np.array([1, 2])},
+            "findings": ((("code", "E1"),),),
+        }
+        assert payload_digest(payload) == payload_digest(dict(payload))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            payload_digest(object())

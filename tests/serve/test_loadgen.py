@@ -1,0 +1,80 @@
+"""Seeded multi-tenant load generation: replayability and shape."""
+
+from collections import Counter
+
+import pytest
+
+from repro.serve import EndpointMix, LoadProfile, generate_load, replay_digest
+
+MIX = (
+    EndpointMix("job_overview", 3.0, (("job_id", ("j1", "j2", "j3")),)),
+    EndpointMix("system_power_view", 1.0, (("t0", (0.0,)), ("t1", (60.0,)))),
+)
+PROFILE = LoadProfile(mix=MIX, n_tenants=20, zipf_a=1.2, repeat_p=0.5)
+
+
+class TestDeterminism:
+    def test_same_seed_replays_byte_identically(self):
+        a = generate_load(PROFILE, 300, seed=7)
+        b = generate_load(PROFILE, 300, seed=7)
+        assert a == b
+        assert replay_digest(a) == replay_digest(b)
+
+    def test_different_seeds_differ(self):
+        a = generate_load(PROFILE, 300, seed=1)
+        b = generate_load(PROFILE, 300, seed=2)
+        assert replay_digest(a) != replay_digest(b)
+
+    def test_replay_digest_is_order_sensitive(self):
+        requests = generate_load(PROFILE, 50, seed=3)
+        assert replay_digest(requests) != replay_digest(requests[::-1])
+
+
+class TestShape:
+    def test_zipf_skews_toward_low_ranks(self):
+        requests = generate_load(PROFILE, 2000, seed=11)
+        counts = Counter(r.tenant for r in requests)
+        top = counts.most_common(1)[0][1]
+        assert counts["tenant-0000"] == top  # rank 1 dominates
+        assert top > 2000 / PROFILE.n_tenants * 2
+
+    def test_endpoint_mix_respects_weights(self):
+        requests = generate_load(PROFILE, 2000, seed=5)
+        counts = Counter(r.endpoint for r in requests)
+        # 3:1 weights; allow slack for stickiness and sampling noise.
+        assert counts["job_overview"] > counts["system_power_view"]
+
+    def test_stickiness_creates_exact_repeats(self):
+        sticky = LoadProfile(mix=MIX, n_tenants=5, repeat_p=0.8)
+        requests = generate_load(sticky, 500, seed=9)
+        last = {}
+        repeats = 0
+        for r in requests:
+            if last.get(r.tenant) == (r.endpoint, r.params):
+                repeats += 1
+            last[r.tenant] = (r.endpoint, r.params)
+        assert repeats > 200  # p=0.8 over 500 arrivals
+
+    def test_params_drawn_from_candidates(self):
+        requests = generate_load(PROFILE, 200, seed=13)
+        for r in requests:
+            if r.endpoint == "job_overview":
+                assert dict(r.params)["job_id"] in ("j1", "j2", "j3")
+            else:
+                assert dict(r.params) == {"t0": 0.0, "t1": 60.0}
+
+
+class TestValidation:
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            LoadProfile(mix=())
+        with pytest.raises(ValueError):
+            LoadProfile(mix=MIX, n_tenants=0)
+        with pytest.raises(ValueError):
+            LoadProfile(mix=MIX, repeat_p=1.0)
+        with pytest.raises(ValueError):
+            EndpointMix("e", 0.0)
+        with pytest.raises(ValueError):
+            EndpointMix("e", 1.0, (("p", ()),))
+        with pytest.raises(ValueError):
+            generate_load(PROFILE, -1)
