@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-e2e-smoke bench-query bench-serving chaos lifecycle lint lint-json obs-report race
+.PHONY: test bench bench-quick bench-e2e-smoke bench-query bench-serving chaos lifecycle lineage lint lint-json obs-report race
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -71,6 +71,14 @@ race:
 	REPRO_DYNRACE=1 $(PYTHON) -m pytest -x -q tests/faults \
 		tests/integration/test_crash_recovery.py \
 		tests/core/test_parallel_equivalence.py
+
+# Provenance: run a seeded deployment with the lineage catalog on and a
+# CORRUPT_PART fault planted at one OCEAN put, print the blast-radius
+# report, dump the catalog, and render it with the offline CLI — see
+# DESIGN.md §17.
+lineage:
+	$(PYTHON) examples/lineage_impact.py
+	$(PYTHON) -m repro.lineage report lineage_catalog.json
 
 # Self-observability: run a seeded end-to-end window sequence with
 # tracing + self-telemetry on, dump the trace/metric JSONL, and render

@@ -50,6 +50,11 @@ DATA_PLANE_PACKAGES = frozenset(
         # byte-equivalence the cache's correctness argument rests on.
         # Service-latency *measurement* uses perf_counter (legal).
         "repro.serve",
+        # Lineage node IDs are pure functions of logical coordinates;
+        # a wall-clock or global-RNG call here would break the
+        # byte-identical catalog exports the equivalence tests hold
+        # serial/pipelined/sharded runs to.
+        "repro.lineage",
     }
 )
 
@@ -88,7 +93,7 @@ TRANSIENT_ERROR_NAMES = frozenset(
 #: (``perf`` and ``obs`` — their registries import nothing of the data
 #: plane eagerly; exporters reach telemetry/perf lazily, at call time).
 ALWAYS_ALLOWED_IMPORTS = frozenset(
-    {"repro", "repro.util", "repro.perf", "repro.obs"}
+    {"repro", "repro.util", "repro.perf", "repro.obs", "repro.lineage"}
 )
 
 #: The hourglass layering.  ``package -> packages it may import`` (plus
@@ -103,6 +108,12 @@ LAYER_ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "repro.stream": frozenset({"repro.faults"}),
     "repro.analysis": frozenset(),
     "repro.columnar": frozenset(),
+    # The lineage catalog is a cross-cutting spine like repro.obs:
+    # every layer may record into it (it is in ALWAYS_ALLOWED_IMPORTS),
+    # and it imports nothing of the data plane — the store-side
+    # reconcile pass lives in repro.storage, which owns the manifest
+    # knowledge.
+    "repro.lineage": frozenset(),
     # The read plane is pure kernels over columnar data: it may not know
     # about storage topology (plans arrive as metadata, bytes are fed in
     # by the caller), which is what lets LAKE and OCEAN share it.

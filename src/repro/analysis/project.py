@@ -41,7 +41,8 @@ __all__ = [
 
 #: Bump when the summary shape changes; the lint cache embeds it so a
 #: stale on-disk summary can never feed a newer analysis pass.
-SUMMARY_VERSION = 1
+#: 2: element-alias tracking (``x = shared[k]``) added to accesses.
+SUMMARY_VERSION = 2
 
 #: Mutating container methods (superset of the CONC rule's list).
 MUTATORS = frozenset(
@@ -589,6 +590,12 @@ class _FunctionWalker:
         self._globals: set[str] = set()
         #: local name -> dotted class, from annotations / ctor assigns.
         self._local_types: dict[str, str] = {}
+        #: local name -> (container id, kind) for ``x = shared[k]``
+        #: element aliases: mutating ``x`` mutates the container's
+        #: element, so accesses through ``x`` count against the
+        #: container (the ``meta.next_part`` shape RACE001 missed in
+        #: PR 8).
+        self._elem_aliases: dict[str, tuple[str, str]] = {}
         self._tainted: set[str] = set()
         self._escapes: set[str] = set()
         self._returns_funcs: set[str] = set()
@@ -875,6 +882,7 @@ class _FunctionWalker:
                 if isinstance(target, (ast.Tuple, ast.List)):
                     for elt in target.elts:
                         self._record_target(elt, stmt, held)
+            self._capture_elem_alias(stmt, targets, value)
             return
         if isinstance(stmt, ast.Delete):
             for target in stmt.targets:
@@ -912,9 +920,40 @@ class _FunctionWalker:
             elif isinstance(child, ast.stmt):
                 self._walk_stmt(child, held)
 
+    def _capture_elem_alias(
+        self, stmt: ast.stmt, targets: list, value: ast.AST | None
+    ) -> None:
+        """Track ``x = shared[k]`` (and ``.get``/``.setdefault``)
+        element aliases.  The local *is* the container's element, so
+        later accesses through it are accesses to shared state — the
+        alias blind spot the PR-8 ``meta.next_part`` race hid in."""
+        if (
+            value is None
+            or isinstance(stmt, ast.AugAssign)
+            or len(targets) != 1
+            or not isinstance(targets[0], ast.Name)
+        ):
+            return
+        src = None
+        if isinstance(value, ast.Subscript):
+            src = self._shared_target(value.value)
+        elif (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in ("get", "setdefault")
+        ):
+            src = self._shared_target(value.func.value)
+        if src is not None:
+            self._elem_aliases[targets[0].id] = src
+
     def _record_target(
         self, target: ast.AST, stmt: ast.stmt, held: tuple[str, ...]
     ) -> None:
+        if isinstance(target, ast.Name):
+            # Any rebind severs an element alias (the capture for a
+            # fresh ``x = shared[k]`` runs after recording, so this
+            # cannot eat its own alias).
+            self._elem_aliases.pop(target.id, None)
         if isinstance(target, ast.Subscript):
             hit = self._shared_target(target.value)
             if hit is not None:
@@ -929,6 +968,15 @@ class _FunctionWalker:
             if isinstance(target, ast.Name) and target.id not in self._globals:
                 return
             self._add_access(tid, kind, True, stmt.lineno, held)
+            return
+        if isinstance(target, ast.Attribute) and isinstance(
+            target.value, ast.Name
+        ):
+            alias = self._elem_aliases.get(target.value.id)
+            if alias is not None:
+                # ``x.attr = ...`` through an element alias mutates the
+                # container's element.
+                self._add_access(alias[0], alias[1], True, stmt.lineno, held)
 
     def _add_access(
         self,
@@ -990,6 +1038,12 @@ class _FunctionWalker:
                 hit = self._shared_target(expr)
                 if hit is not None and hit[1] == "attr":
                     self._add_access(hit[0], hit[1], False, expr.lineno, held)
+                elif isinstance(expr.value, ast.Name):
+                    alias = self._elem_aliases.get(expr.value.id)
+                    if alias is not None:
+                        self._add_access(
+                            alias[0], alias[1], False, expr.lineno, held
+                        )
             self._walk_expr(expr.value, held, skip_shared=True)
             return
         if isinstance(
@@ -1017,6 +1071,16 @@ class _FunctionWalker:
         func = call.func
         dotted = _dotted(func)
         callee = self.x.qualify(dotted) if dotted else None
+        # Mutators through an element alias (`meta.items.append(...)`
+        # never qualifies, so this runs regardless of callee).
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATORS
+            and isinstance(func.value, ast.Name)
+        ):
+            alias = self._elem_aliases.get(func.value.id)
+            if alias is not None:
+                self._add_access(alias[0], alias[1], True, call.lineno, held)
         recv_type = None
         if (
             isinstance(func, ast.Attribute)

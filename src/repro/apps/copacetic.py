@@ -13,6 +13,7 @@ declarative rules after every batch; each rule fires at most once per
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable
 
@@ -110,11 +111,16 @@ class CopaceticEngine:
         self.rules = rules if rules is not None else default_rules()
         if not self.rules:
             raise ValueError("at least one rule required")
+        # One lock over all engine state.  Exactly one sec_task per
+        # window runs process(), so the lock is uncontended — it exists
+        # because "single writer, joined before reads" is an invariant
+        # of the *caller*, and the per-node history lists handed out by
+        # ``self._history[node]`` are mutated in place (the exact alias
+        # shape the PR-8 ``meta.next_part`` bug had).
+        self._lock = threading.Lock()
         self._history: dict[int, list[tuple[float, int, int]]] = {}
-        # Exactly one sec_task per window mutates these; the window-end
-        # join is the happens-before barrier for main-thread reads.
-        self._fired: set[tuple[str, int, int]] = set()  # repro: ignore[RACE001] -- single sec_task per window, joined before reads
-        self.alerts: list[Alert] = []  # repro: ignore[RACE001] -- single sec_task per window, joined before reads
+        self._fired: set[tuple[str, int, int]] = set()
+        self.alerts: list[Alert] = []  # repro: ignore[RACE001] -- appended under _lock; main-thread reads happen after the window-end join
         self.events_processed = 0
 
     def process(self, batch: EventBatch) -> list[Alert]:
@@ -122,45 +128,46 @@ class CopaceticEngine:
         new_alerts: list[Alert] = []
         if len(batch) == 0:
             return new_alerts
-        self.events_processed += len(batch)
-        now = float(batch.timestamps.max())
-        max_window = max(r.window_s for r in self.rules)
+        with self._lock:
+            self.events_processed += len(batch)
+            now = float(batch.timestamps.max())
+            max_window = max(r.window_s for r in self.rules)
 
-        for i in range(len(batch)):
-            node = int(batch.component_ids[i])
-            self._history.setdefault(node, []).append(
-                (
-                    float(batch.timestamps[i]),
-                    int(batch.severities[i]),
-                    int(batch.message_ids[i]),
+            for i in range(len(batch)):
+                node = int(batch.component_ids[i])
+                self._history.setdefault(node, []).append(
+                    (
+                        float(batch.timestamps[i]),
+                        int(batch.severities[i]),
+                        int(batch.message_ids[i]),
+                    )
                 )
-            )
 
-        touched = set(batch.component_ids.tolist())
-        for node in touched:
-            history = self._history[node]
-            # Evict beyond the largest window.
-            horizon = now - max_window
-            while history and history[0][0] < horizon:
-                history.pop(0)
-            if not history:
-                continue
-            ts = np.array([h[0] for h in history])
-            sev = np.array([h[1] for h in history], dtype=np.int8)
-            msg = np.array([h[2] for h in history], dtype=np.int16)
-            for rule in self.rules:
-                in_window = ts >= now - rule.window_s
-                detail = rule.condition(ts[in_window], sev[in_window],
-                                        msg[in_window])
-                if detail is None:
+            touched = set(batch.component_ids.tolist())
+            for node in touched:
+                history = self._history[node]
+                # Evict beyond the largest window.
+                horizon = now - max_window
+                while history and history[0][0] < horizon:
+                    history.pop(0)
+                if not history:
                     continue
-                # Dedup: one alert per (rule, node, window slot).
-                slot = int(now // rule.window_s)
-                key = (rule.name, node, slot)
-                if key in self._fired:
-                    continue
-                self._fired.add(key)
-                alert = Alert(rule.name, node, now, detail)
-                self.alerts.append(alert)
-                new_alerts.append(alert)
+                ts = np.array([h[0] for h in history])
+                sev = np.array([h[1] for h in history], dtype=np.int8)
+                msg = np.array([h[2] for h in history], dtype=np.int16)
+                for rule in self.rules:
+                    in_window = ts >= now - rule.window_s
+                    detail = rule.condition(ts[in_window], sev[in_window],
+                                            msg[in_window])
+                    if detail is None:
+                        continue
+                    # Dedup: one alert per (rule, node, window slot).
+                    slot = int(now // rule.window_s)
+                    key = (rule.name, node, slot)
+                    if key in self._fired:
+                        continue
+                    self._fired.add(key)
+                    alert = Alert(rule.name, node, now, detail)
+                    self.alerts.append(alert)
+                    new_alerts.append(alert)
         return new_alerts

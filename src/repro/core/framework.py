@@ -138,6 +138,15 @@ class DataPlaneOptions:
     lifecycle_every_s:
         Minimum simulated seconds between lifecycle ticks.  ``None``
         (default) ticks after every window.
+    lineage:
+        Record a :class:`repro.lineage.LineageCatalog` over the run:
+        every topic window, refined batch, OCEAN part, rollup partial,
+        query answer and serve envelope becomes a provenance node,
+        recorded write-through at its producing site.  Node identity is
+        deterministic (logical coordinates, never the clock), so
+        same-seed runs export byte-identical catalogs across executors
+        and shard counts.  Off by default: the catalog grows with the
+        artifact count, which long unattended runs may not want.
     shards:
         Number of independent broker shards at the hourglass waist.
         ``1`` (default) is the plain single-node :class:`Broker`;
@@ -160,6 +169,7 @@ class DataPlaneOptions:
     self_telemetry: bool = False
     lifecycle: bool = False
     lifecycle_every_s: float | None = None
+    lineage: bool = False
     shards: int = 1
 
     def __post_init__(self) -> None:
@@ -300,7 +310,12 @@ class ODAFramework:
             )
         }
 
-        self.tiers = TieredStore()
+        self.lineage = None
+        if self.options.lineage:
+            from repro.lineage import LineageCatalog
+
+            self.lineage = LineageCatalog()
+        self.tiers = TieredStore(lineage=self.lineage)
         self.tiers.register("power.bronze", DataClass.BRONZE)
         self.tiers.register("power.gold_profiles", DataClass.GOLD)
         self._refineries: dict[str, tuple[Consumer, MedallionPipeline]] = {}
@@ -482,6 +497,24 @@ class ODAFramework:
                 TRACER.wrap(partial(self.tiers.ingest, name, table, now=now))
             )
 
+    def _lineage_batch(
+        self, dataset: str, now: float, window_node: str | None
+    ) -> None:
+        """Record a refined batch and its source topic window.
+
+        The batch node's coordinates are exactly the ``(dataset, now)``
+        pair :meth:`TieredStore.ingest` receives, so the store derives
+        the same node ID for the part side of the edge with no shared
+        hand-off — which is what keeps the pipelined run's deferred tier
+        writes linked correctly.
+        """
+        cat = self.lineage
+        if cat is None:
+            return
+        bid = cat.record("batch", (dataset, now), attrs={"dataset": dataset})
+        if window_node is not None:
+            cat.link(window_node, bid, "derived")
+
     def _run_window_impl(self, t0: float, t1: float) -> WindowSummary:
         batched = self.options.batched
         batches = self._take_prefetched(t0, t1)
@@ -492,12 +525,16 @@ class ODAFramework:
         # Hop 1: everything lands on the STREAM tier, keyed for ordering.
         produced = 0
         raw_bytes = 0
+        window_nodes: dict[str, str] = {}
         for topic, batch in batches.items():
             if len(batch) == 0:
                 continue
-            self.producer.send(
-                topic, batch, key=f"{self.machine.name}:{topic}", timestamp=t0
-            )
+            key = f"{self.machine.name}:{topic}"
+            self.producer.send(topic, batch, key=key, timestamp=t0)
+            if self.lineage is not None:
+                window_nodes[topic] = self.lineage.record(
+                    "topic_window", (topic, key, t0), attrs={"topic": topic}
+                )
             produced += 1
             raw_bytes += batch.nbytes_raw
 
@@ -560,13 +597,25 @@ class ODAFramework:
         for name, (consumer, _) in self._refineries.items():
             out = refined[name]
             consumer.commit()
+            # Batch nodes are recorded *before* the tier write so the
+            # phase-2 span — the same code point in serial and pipelined
+            # runs — deterministically wins the node's span field; the
+            # ingest side's recording then merges into it.
+            self._lineage_batch(f"{name}.silver", t1, window_nodes.get(name))
             self._ingest(f"{name}.silver", out["silver"], now=t1)
             if name == "power":
                 tables = out
+                self._lineage_batch("power.bronze", t1, window_nodes.get(name))
+                self._lineage_batch(
+                    "power.gold_profiles", t1, window_nodes.get(name)
+                )
                 self._ingest("power.bronze", out["bronze"], now=t1)
                 self._ingest("power.gold_profiles", out["gold"], now=t1)
 
         if fac_silver is not None:
+            self._lineage_batch(
+                "facility.silver", t1, window_nodes.get("facility")
+            )
             self._ingest("facility.silver", fac_silver, now=t1)
         self._facility_consumer.commit()
         self._log_consumer.commit()
@@ -629,6 +678,13 @@ class ODAFramework:
             self.producer.send(
                 HEALTH_TOPIC, batch, key="obs-health", timestamp=summary.t0
             )
+            health_window = None
+            if self.lineage is not None:
+                health_window = self.lineage.record(
+                    "topic_window",
+                    (HEALTH_TOPIC, "obs-health", summary.t0),
+                    attrs={"topic": HEALTH_TOPIC},
+                )
             values = [
                 r.value
                 for _, recs in self._health_consumer.poll_slices(
@@ -642,6 +698,7 @@ class ODAFramework:
                 self._health_catalog,
                 self.medallion.interval,
             )
+            self._lineage_batch(HEALTH_DATASET, summary.t1, health_window)
             self._ingest(HEALTH_DATASET, silver, now=summary.t1)
 
     def run(self, t0: float, t1: float, window_s: float) -> list[WindowSummary]:

@@ -52,6 +52,10 @@ class FaultInjector:
         self.plan = plan
         self._calls: dict[str, int] = {}
         self.injected: list[tuple[str, int, FaultKind]] = []
+        #: ``(site, call_index, object key)`` for every ``CORRUPT_PART``
+        #: effect applied — the input ``repro.lineage.blast.blast_radius``
+        #: maps to downstream artifacts.
+        self.corrupted: list[tuple[str, int, str]] = []
         self.virtual_delay_s = 0.0
 
     def calls(self, site: str) -> int:
@@ -233,9 +237,44 @@ class FaultyObjectStore:
         return getattr(self.inner, name)
 
     def put(self, bucket: str, key: str, data: bytes, **kwargs: Any) -> "ObjectMeta":
-        self.injector.fire(self.SITE_PUT)
+        spec = self.injector.fire(self.SITE_PUT)
+        if spec is not None and spec.kind is FaultKind.CORRUPT_PART:
+            # Silent corruption: the put succeeds, the bytes are wrong.
+            # The caller's manifest/digest metadata describe the clean
+            # table, exactly the mismatch real bit-rot produces.
+            data = _corrupt_blob(data)
+            self.injector.corrupted.append(
+                (self.SITE_PUT, self.injector.calls(self.SITE_PUT), key)
+            )
+            PERF.count("faults.parts_corrupted")
         return self.inner.put(bucket, key, data, **kwargs)
 
     def delete(self, bucket: str, key: str) -> None:
         self.injector.fire(self.SITE_DELETE)
         self.inner.delete(bucket, key)
+
+
+def _corrupt_blob(data: bytes) -> bytes:
+    """Deterministically perturb an RCF blob's float columns.
+
+    The blob stays decodable (queries keep running and return wrong
+    numbers — the dangerous failure mode) and the perturbation is a
+    pure function of the input, so a corrupted run replays byte-for-
+    byte.  The time column is left alone: windowing and span accounting
+    must keep working for the corruption to flow downstream silently.
+    """
+    import numpy as np
+
+    from repro.columnar.file_format import read_table, write_table
+    from repro.columnar.table import ColumnTable
+
+    table = read_table(data)
+    if table.num_rows == 0:
+        return data
+    columns = {}
+    for name in table.column_names:
+        arr = np.asarray(table[name])
+        if name != "timestamp" and np.issubdtype(arr.dtype, np.floating):
+            arr = arr + 1.0e6
+        columns[name] = arr
+    return write_table(ColumnTable(columns))

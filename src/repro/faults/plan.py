@@ -42,6 +42,12 @@ class FaultKind(enum.Enum):
     CRASH = "crash"
     #: The operation succeeds but takes ``arg`` extra virtual seconds.
     SLOW_READ = "slow_read"
+    #: A tier put lands, but the payload is silently corrupted in
+    #: transit: numeric values are deterministically perturbed before
+    #: the store sees them, manifests and digests are left as the
+    #: writer computed them (the silent-corruption shape blast-radius
+    #: analysis exists for — see ``repro.lineage.blast``).
+    CORRUPT_PART = "corrupt_part"
     #: Retention runs concurrently: the broker trims as of time ``arg``
     #: immediately before the fetch, racing the consumer.
     RETENTION_RACE = "retention_race"

@@ -257,6 +257,40 @@ class DataRUC:
             if who == requester
         ]
 
+    def annotate_lineage(
+        self, request_id: int, catalog, bucket: str = "oda"
+    ) -> int:
+        """Attach a request's reviews to its datasets' lineage nodes.
+
+        Every review filed against the request becomes an advisory on
+        each *live* part node of each dataset the request names.
+        Advisories propagate downstream at query time
+        (:meth:`repro.lineage.LineageCatalog.advisories` walks the
+        upstream closure), so a restriction recorded on a dataset
+        restricts every rollup partial, query answer and serve envelope
+        computed from it — the §IX intent, made queryable.  Returns the
+        number of part nodes annotated.
+        """
+        request = self.get(request_id)
+        annotated = 0
+        for dataset in request.datasets:
+            for key in catalog.live_parts(dataset):
+                nid = catalog.part_node(bucket, key)
+                for review in request.reviews:
+                    catalog.attach_advisory(
+                        nid,
+                        {
+                            "request_id": request.request_id,
+                            "requester": request.requester,
+                            "role": review.role.value,
+                            "verdict": review.verdict.value,
+                            "comment": review.comment,
+                            "at": review.reviewed_at,
+                        },
+                    )
+                annotated += 1
+        return annotated
+
     def mark_sanitized(self, request_id: int, now: float) -> None:
         """Record completed sanitization for an external request."""
         request = self.get(request_id)

@@ -1,0 +1,106 @@
+"""Blast-radius reports: from an injected fault to the artifacts it
+could have touched.
+
+The chaos harness (DESIGN.md §10) proves outputs byte-identical under
+crash/retry faults; *corruption* faults are different — a
+``CORRUPT_PART`` silently rewrites a part's values at the put site, and
+the question becomes "which downstream answers can no longer be
+trusted?".  :func:`blast_radius` answers it from the lineage catalog:
+the downstream flow closure of each corrupted part, grouped by artifact
+kind, is exactly the set a brute-force replay diff finds changed
+(``tests/lineage/test_blast_radius.py`` holds the two equal).
+
+The injector is duck-typed — anything with a ``corrupted`` list of
+``(site, call_index, key)`` triples works — so this module stays
+import-light and usable on offline catalog dumps.
+"""
+
+from __future__ import annotations
+
+from repro.lineage.catalog import LineageCatalog
+
+__all__ = ["blast_radius"]
+
+#: Report sections, in severity-of-surprise order: the corrupt parts
+#: themselves, then everything derived from them.
+_REPORT_KINDS = (
+    "part",
+    "rollup_partial",
+    "batch",
+    "query_result",
+    "envelope",
+)
+
+
+def blast_radius(
+    catalog: LineageCatalog,
+    corrupted_keys=None,
+    injector=None,
+    bucket: str = "oda",
+) -> dict:
+    """Name every artifact an injected corruption could have touched.
+
+    Parameters
+    ----------
+    catalog:
+        The run's lineage catalog (live, or :meth:`LineageCatalog.load`-ed
+        from a dump).
+    corrupted_keys:
+        OCEAN part keys the fault plan corrupted.  May be omitted when
+        ``injector`` is given.
+    injector:
+        A :class:`~repro.faults.injector.FaultInjector` (duck-typed:
+        only its ``corrupted`` log of ``(site, call, key)`` triples is
+        read) to pull the corrupted keys from.
+    bucket:
+        OCEAN bucket the keys live in.
+
+    Returns a report dict::
+
+        {"corrupted_parts": [keys...],
+         "affected": {"part": [...], "rollup_partial": [...],
+                      "batch": [...], "query_result": [...],
+                      "envelope": [...]},
+         "clean": true/false}
+
+    ``affected`` values are sorted lists of node summaries
+    (``{"id", "kind", "coords", "retired"}``); ``clean`` is True when no
+    corruption was injected.  The report is deterministic: same seed,
+    same plan, same report — byte for byte.
+    """
+    keys: list[str] = []
+    if corrupted_keys is not None:
+        keys.extend(corrupted_keys)
+    if injector is not None:
+        keys.extend(k for _, _, k in getattr(injector, "corrupted", ()))
+    keys = sorted(dict.fromkeys(keys))
+
+    affected_ids: set[str] = set()
+    for key in keys:
+        nid = catalog.part_node(bucket, key)
+        if catalog.node(nid) is None:
+            continue
+        affected_ids.add(nid)
+        affected_ids.update(catalog.downstream(nid))
+
+    affected: dict[str, list[dict]] = {kind: [] for kind in _REPORT_KINDS}
+    for nid in sorted(affected_ids):
+        node = catalog.node(nid)
+        if node is None:
+            continue
+        kind = node["kind"]
+        if kind not in affected:
+            affected[kind] = []
+        affected[kind].append(
+            {
+                "id": node["id"],
+                "kind": kind,
+                "coords": node["coords"],
+                "retired": node["retired"],
+            }
+        )
+    return {
+        "corrupted_parts": keys,
+        "affected": affected,
+        "clean": not keys,
+    }

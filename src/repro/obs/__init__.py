@@ -25,6 +25,7 @@ the data plane is imported lazily at call time.
 """
 
 from repro.obs.exporters import (
+    TraceCorruptWarning,
     health_batch,
     health_catalog,
     read_jsonl,
@@ -48,6 +49,7 @@ __all__ = [
     "span_tree",
     "write_jsonl",
     "read_jsonl",
+    "TraceCorruptWarning",
     "health_catalog",
     "health_batch",
     "profile",

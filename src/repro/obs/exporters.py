@@ -19,6 +19,7 @@ Three ways out of the tracer/metrics registries:
 from __future__ import annotations
 
 import json
+import warnings
 
 from repro.obs.metrics import METRICS, MetricsRegistry
 from repro.obs.span import TRACER, Span, Tracer
@@ -29,7 +30,17 @@ __all__ = [
     "read_jsonl",
     "health_catalog",
     "health_batch",
+    "TraceCorruptWarning",
 ]
+
+
+class TraceCorruptWarning(UserWarning):
+    """A trace-dump line could not be parsed and was skipped.
+
+    The torn-line analogue of
+    :class:`repro.pipeline.checkpoint.CheckpointCorruptWarning`: a crash
+    mid-write or a truncated copy leaves a half-line at the end of a
+    JSONL dump, and losing one line must not poison the whole dump."""
 
 
 # -- span trees ---------------------------------------------------------------
@@ -41,7 +52,9 @@ def span_tree(spans: list[Span] | None = None) -> list[dict]:
     Children are ordered by (name, seq) — the deterministic tree order —
     and roots by (trace_id, name, seq).  Spans whose parent never
     finished (still live, or dropped by the buffer bound) surface as
-    roots so nothing silently disappears.
+    roots so nothing silently disappears — marked ``orphaned: True`` so
+    a reader can tell a severed subtree from a true root (data loss
+    from topology).
     """
     if spans is None:
         spans = TRACER.finished()
@@ -51,6 +64,8 @@ def span_tree(spans: list[Span] | None = None) -> list[dict]:
         node = nodes[span.span_id]
         parent = nodes.get(span.parent_id)
         if parent is None:
+            if span.parent_id:
+                node["orphaned"] = True
             roots.append(node)
         else:
             parent["children"].append(node)
@@ -90,11 +105,17 @@ def write_jsonl(
     """
     tracer = tracer if tracer is not None else TRACER
     metrics = metrics if metrics is not None else METRICS
-    lines = [json.dumps(line, sort_keys=True) for line in _flatten(span_tree(tracer.finished()))]
-    if tracer.dropped:
+    flat = _flatten(span_tree(tracer.finished()))
+    lines = [json.dumps(line, sort_keys=True) for line in flat]
+    orphaned = sum(1 for line in flat if line.get("orphaned"))
+    if tracer.dropped or orphaned:
         lines.append(
             json.dumps(
-                {"kind": "dropped_spans", "count": tracer.dropped},
+                {
+                    "kind": "dropped_spans",
+                    "count": tracer.dropped,
+                    "orphaned": orphaned,
+                },
                 sort_keys=True,
             )
         )
@@ -125,13 +146,35 @@ def write_jsonl(
 
 
 def read_jsonl(path) -> list[dict]:
-    """Parse a :func:`write_jsonl` dump back into dicts."""
+    """Parse a :func:`write_jsonl` dump back into dicts.
+
+    Torn lines — a crash mid-write, a truncated copy — are skipped
+    rather than raising: each skip warns :class:`TraceCorruptWarning`
+    and counts under ``obs.trace_lines_skipped``, mirroring the
+    checkpoint store's corrupt-file quarantine (one bad artifact costs
+    one artifact, never the whole dump).
+    """
+    # Imported lazily: repro.obs must stay import-light because the
+    # instrumented modules import it at call time.
+    from repro.perf import PERF
+
     out = []
     with open(path, "r", encoding="utf-8") as fh:
-        for raw in fh:
+        for lineno, raw in enumerate(fh, 1):
             raw = raw.strip()
-            if raw:
+            if not raw:
+                continue
+            try:
                 out.append(json.loads(raw))
+            except ValueError:
+                warnings.warn(
+                    TraceCorruptWarning(
+                        f"skipping unparseable line {lineno} of trace "
+                        f"dump {path}"
+                    ),
+                    stacklevel=2,
+                )
+                PERF.count("obs.trace_lines_skipped")
     return out
 
 

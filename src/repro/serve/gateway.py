@@ -88,6 +88,11 @@ class ServingGateway:
         self.cache_enabled = cache_enabled
         self._generation: int | None = None
         self._pool: ThreadPoolExecutor | None = None
+        #: Prior fresh computations per (tenant, endpoint, fingerprint)
+        #: — the ``seq`` coordinate of envelope lineage nodes.  Advanced
+        #: only on the arrival loop (serial, submission order), never on
+        #: the worker pool, so envelope identity is scheduler-independent.
+        self._envelope_seq: dict[tuple[str, str, str], int] = {}
         #: Wall service seconds per request of the most recent
         #: :meth:`submit_many` batch (0.0 for rejected/cached/unknown),
         #: aligned with the returned envelopes.  Measurement only —
@@ -133,9 +138,22 @@ class ServingGateway:
         gen = self.generation()
         if gen != self._generation:
             if self._generation is not None and self.cache_enabled:
-                pruned = self.cache.prune_stale(gen)
+                # Ask the store what actually changed so the prune can
+                # count collateral invalidations (entries whose read-set
+                # is untouched) — measurement only, eviction is still
+                # wholesale.  Duck-typed: bare stores without the
+                # mutation ledger just skip the audit.
+                mutated = None
+                mutated_since = getattr(self.tiers, "mutated_since", None)
+                if mutated_since is not None:
+                    mutated = mutated_since(self._generation)
+                over_before = self.cache.over_invalidated
+                pruned = self.cache.prune_stale(gen, mutated=mutated)
                 if pruned:
                     METRICS.inc("serve.cache_invalidated", pruned)
+                over = self.cache.over_invalidated - over_before
+                if over:
+                    METRICS.inc("serve.cache.over_invalidated", over)
             self._generation = gen
             METRICS.set_gauge("serve.generation", gen, deterministic=True)
         return gen
@@ -156,10 +174,11 @@ class ServingGateway:
         buckets (virtual time keeps shedding replayable).
         """
         gen = self._refresh_generation()
+        cat = getattr(self.tiers, "lineage", None)
         n = len(requests)
         envelopes: list[ResultEnvelope | None] = [None] * n
         times = [0.0] * n
-        to_run: list[tuple[int, Request, str]] = []
+        to_run: list[tuple[int, Request, str, int]] = []
 
         for i, request in enumerate(requests):
             with TRACER.span(
@@ -169,9 +188,9 @@ class ServingGateway:
             ):
                 envelopes[i] = self._admit_one(i, request, now, gen, to_run)
 
-        results = self._execute([(i, r) for i, r, _ in to_run])
+        results = self._execute([(i, r) for i, r, _, _ in to_run])
 
-        for (i, request, fingerprint), (payload, error, dt) in zip(
+        for (i, request, fingerprint, seq), (payload, error, dt, reads) in zip(
             to_run, results
         ):
             times[i] = dt
@@ -186,8 +205,30 @@ class ServingGateway:
                 self._count(request, "error")
             else:
                 digest = payload_digest(payload)
+                # The read-set travels two ways: dataset names tag the
+                # cache entry (over-invalidation audit), query lineage
+                # nodes become the envelope's ``read`` edges.  An empty
+                # set means the endpoint never touched the tier store's
+                # query paths — unknown, not "reads nothing".
+                read_datasets = frozenset(d for d, _ in reads) or None
                 if self.cache_enabled:
-                    self.cache.put(fingerprint, gen, payload, digest)
+                    self.cache.put(
+                        fingerprint, gen, payload, digest, reads=read_datasets
+                    )
+                if cat is not None:
+                    nid = cat.record(
+                        "envelope",
+                        (request.tenant, request.endpoint, fingerprint, seq),
+                        attrs={
+                            "tenant": request.tenant,
+                            "endpoint": request.endpoint,
+                        },
+                    )
+                    cat.link_many(
+                        sorted({q for _, q in reads if q is not None}),
+                        nid,
+                        "read",
+                    )
                 envelopes[i] = ResultEnvelope(
                     request,
                     "ok",
@@ -206,7 +247,7 @@ class ServingGateway:
         request: Request,
         now: float,
         gen: int,
-        to_run: list[tuple[int, Request, str]],
+        to_run: list[tuple[int, Request, str, int]],
     ) -> ResultEnvelope | None:
         """Arrival-stage verdict: an immediate envelope, or None with the
         request appended to ``to_run`` for execution."""
@@ -242,39 +283,51 @@ class ServingGateway:
                     generation=gen,
                     digest=digest,
                 )
-        to_run.append((index, request, fingerprint))
+        seq_key = (request.tenant, request.endpoint, fingerprint)
+        seq = self._envelope_seq.get(seq_key, 0)
+        self._envelope_seq[seq_key] = seq + 1
+        to_run.append((index, request, fingerprint, seq))
         return None
 
     def _execute(
         self, tasks: list[tuple[int, Request]]
-    ) -> list[tuple[Any, str | None, float]]:
+    ) -> list[tuple[Any, str | None, float, list]]:
         """Run admitted misses; results in submission order.
 
         Each worker task's span gets a per-batch-unique name
         (``serve.request:<index>``) so concurrently created sibling
-        spans keep assignment-order-independent IDs.
+        spans keep assignment-order-independent IDs.  Each result
+        carries the request's tier read-set (thread-local, so the pool
+        tracks concurrent requests without cross-talk).
         """
+        collect = getattr(self.tiers, "collect_reads", None)
 
         def make_task(index: int, request: Request):
             fn = self.endpoints[request.endpoint]
             kwargs = request.kwargs()
 
-            def task() -> tuple[Any, str | None, float]:
+            def task() -> tuple[Any, str | None, float, list]:
                 t0 = perf_counter()
+                reads: list = []
                 with TRACER.span(
                     f"serve.request:{index}",
                     tenant=request.tenant,
                     endpoint=request.endpoint,
                 ):
                     try:
-                        payload = fn(**kwargs)
+                        if collect is not None:
+                            with collect() as reads:
+                                payload = fn(**kwargs)
+                        else:
+                            payload = fn(**kwargs)
                     except Exception as exc:
                         return (
                             None,
                             f"{type(exc).__name__}: {exc}",
                             perf_counter() - t0,
+                            [],
                         )
-                return payload, None, perf_counter() - t0
+                return payload, None, perf_counter() - t0, reads
 
             return task
 

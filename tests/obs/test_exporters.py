@@ -109,6 +109,93 @@ class TestJsonl:
             assert isinstance(json.loads(raw), dict)
 
 
+class TestOrphanMarking:
+    def test_severed_children_are_marked_not_silent(self):
+        # "kept" survives the one-slot buffer but its parent does not:
+        # it surfaces as a root carrying orphaned=True, so a reader can
+        # tell a severed subtree from a true root.
+        t = Tracer(max_spans=1)
+        with t.trace(seed=0, name="w"):
+            with t.span("kept"):
+                pass
+            with t.span("dropped-sibling"):
+                pass
+        (root,) = span_tree(t.finished())
+        assert root["name"] == "kept"
+        assert root["orphaned"] is True
+
+    def test_true_roots_are_not_marked(self):
+        t = Tracer()
+        _small_trace(t)
+        (root,) = span_tree(t.finished())
+        assert "orphaned" not in root
+        assert all("orphaned" not in c for c in root["children"])
+
+    def test_dropped_spans_line_counts_orphans(self, tmp_path):
+        t = Tracer(max_spans=1)
+        with t.trace(seed=0, name="w"):
+            with t.span("kept"):
+                pass
+            with t.span("dropped-sibling"):
+                pass
+        path = tmp_path / "t.jsonl"
+        write_jsonl(path, tracer=t, metrics=MetricsRegistry(),
+                    include_metrics=False)
+        (drop_line,) = [
+            l for l in read_jsonl(path) if l["kind"] == "dropped_spans"
+        ]
+        assert drop_line["count"] == t.dropped
+        assert drop_line["orphaned"] == 1
+
+
+class TestTornLines:
+    def make_dump(self, tmp_path):
+        t = Tracer()
+        _small_trace(t)
+        path = tmp_path / "t.jsonl"
+        write_jsonl(path, tracer=t, metrics=MetricsRegistry(),
+                    include_metrics=False)
+        return path
+
+    def test_torn_tail_is_skipped_with_warning(self, tmp_path):
+        path = self.make_dump(tmp_path)
+        whole = read_jsonl(path)
+        # Tear the last line mid-object, the crash-mid-write shape.
+        text = path.read_text()
+        path.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+        from repro.obs import TraceCorruptWarning
+
+        with pytest.warns(TraceCorruptWarning, match="unparseable line"):
+            lines = read_jsonl(path)
+        # One bad line costs one line, never the dump.
+        assert len(lines) == len(whole) - 1
+        assert lines == whole[:-1]
+
+    def test_mid_dump_garbage_is_skipped_and_counted(self, tmp_path):
+        from repro.perf import PERF
+
+        path = self.make_dump(tmp_path)
+        whole = read_jsonl(path)
+        lines = path.read_text().splitlines()
+        lines.insert(1, '{"kind": "span", "name": truncated')
+        path.write_text("\n".join(lines) + "\n")
+        from repro.obs import TraceCorruptWarning
+
+        before = PERF.snapshot()["counters"].get("obs.trace_lines_skipped", 0)
+        with pytest.warns(TraceCorruptWarning):
+            assert read_jsonl(path) == whole
+        after = PERF.snapshot()["counters"].get("obs.trace_lines_skipped", 0)
+        assert after == before + 1
+
+    def test_clean_dump_round_trips_without_warning(self, tmp_path):
+        import warnings
+
+        path = self.make_dump(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert read_jsonl(path)
+
+
 class TestSelfTelemetry:
     def test_health_catalog_assigns_stable_ids(self):
         names = ["oda.bronze_rows", "oda.silver_rows"]
